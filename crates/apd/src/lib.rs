@@ -1,0 +1,31 @@
+//! # dear-apd — the Adaptive Platform Demonstrator case studies
+//!
+//! Executable reproductions of the paper's evaluation applications:
+//!
+//! * [`calculator`] — the Figure 1 client/server app whose printed value
+//!   is one of {0, 1, 2, 3} depending on thread-dispatch order;
+//! * [`nondet`] — the nondeterministic brake assistant of Figure 4, with
+//!   one-slot buffers, 50 ms periodic callbacks, and the four error types
+//!   of Figure 5 instrumented;
+//! * [`det`] — the deterministic DEAR port of §IV.B (same logic, reactor
+//!   coordination, tagged SOME/IP, deadlines 5/25/25/5 ms, L = 5 ms,
+//!   E = 0);
+//! * [`det_calculator`] — the DEAR fix for Figure 1: concurrent calls,
+//!   deterministic result;
+//! * [`logic`] / [`types`] — the shared pure stage logic and payload
+//!   types, so the two builds differ *only* in coordination.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod calculator;
+pub mod det;
+pub mod det_calculator;
+pub mod logic;
+pub mod nondet;
+pub mod types;
+
+pub use det::{run_det, DetParams, DetReport, StageDeadlines};
+pub use logic::{detect_vehicles, eba_decide, preprocess, reference_decision, StageTimings};
+pub use nondet::{run_nondet, NondetParams, NondetReport};
+pub use types::{BrakeDecision, Frame, LaneBox, Vehicle, VehicleList};

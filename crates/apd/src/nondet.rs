@@ -1,0 +1,614 @@
+//! The nondeterministic brake assistant — the APD design of Figure 4.
+//!
+//! Five SWCs across two platforms:
+//!
+//! ```text
+//! Platform 1                    Platform 2
+//! ┌──────────────┐   frame   ┌──────────────┐ frame ┌──────────────┐
+//! │Video Provider│──────────▶│Video Adapter │──────▶│Preprocessing │─┐lane
+//! └──────────────┘           └──────────────┘       └──────┬───────┘ │
+//!                                                     frame│         ▼
+//!                                                          │  ┌──────────────┐
+//!                                                          └─▶│ComputerVision│
+//!                                                             └──────┬───────┘
+//!                                                             vehicles│
+//!                                                                     ▼
+//!                                                              ┌──────────┐
+//!                                                              │   EBA    │──▶ brake
+//!                                                              └──────────┘
+//! ```
+//!
+//! "Event notifications are used to transfer data from one SWC to the
+//! next and the corresponding event handler stores the data in a one-slot
+//! input buffer. Each SWC sets up a periodic callback so that the OS
+//! triggers the SWC logic every 50 ms. ... This introduces nondeterminism
+//! as data could get overwritten before it is read by a downstream
+//! component, causing entire frames to be dropped. Moreover, since the
+//! Computer Vision component reads not one but two inputs, this can lead
+//! to misalignment between the video frames and the lane information"
+//! (paper §IV.A).
+//!
+//! [`run_nondet`] executes one seeded instance and reports the four error
+//! types of Figure 5.
+
+use crate::logic::{detect_vehicles, eba_decide, preprocess, StageTimings};
+use crate::types::{BrakeDecision, Frame, LaneBox, VehicleList};
+use dear_ara::{EventBuffer, SoftwareComponent, SwcConfig};
+use dear_sim::{LatencyModel, LinkConfig, NetworkHandle, Simulation};
+use dear_someip::SdRegistry;
+use dear_time::{Duration, Instant};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Node ids of the five SWC processes (provider on platform 1, the rest
+/// are processes on platform 2).
+pub mod nodes {
+    use dear_sim::NodeId;
+    /// Video Provider (platform 1).
+    pub const PROVIDER: NodeId = NodeId(1);
+    /// Video Adapter (platform 2).
+    pub const ADAPTER: NodeId = NodeId(2);
+    /// Preprocessing (platform 2).
+    pub const PREPROCESSING: NodeId = NodeId(3);
+    /// Computer Vision (platform 2).
+    pub const COMPUTER_VISION: NodeId = NodeId(4);
+    /// EBA (platform 2).
+    pub const EBA: NodeId = NodeId(5);
+}
+
+/// Service ids and event ids used along the pipeline.
+pub mod services {
+    /// Raw camera frames (provider → adapter, "proprietary protocol").
+    pub const VIDEO: u16 = 0x0100;
+    /// Adapted frames (adapter → preprocessing, and forwarded onwards).
+    pub const ADAPTER: u16 = 0x0200;
+    /// Preprocessing outputs (lane + forwarded frame → computer vision).
+    pub const PREPROCESSING: u16 = 0x0300;
+    /// Vehicle detections (computer vision → EBA).
+    pub const COMPUTER_VISION: u16 = 0x0400;
+    /// The single instance id used by every pipeline service.
+    pub const INSTANCE: u16 = 1;
+    /// Eventgroup used by every pipeline service.
+    pub const EVENTGROUP: u16 = 1;
+    /// Primary event id (frames / lane / vehicles).
+    pub const EVENT_MAIN: u16 = 0x8001;
+    /// Secondary event id (forwarded frame from preprocessing).
+    pub const EVENT_AUX: u16 = 0x8002;
+}
+
+/// Parameters of one experiment instance.
+#[derive(Debug, Clone)]
+pub struct NondetParams {
+    /// Number of frames the provider sends.
+    pub frames: u64,
+    /// Nominal frame period and periodic-callback period (50 ms).
+    pub period: Duration,
+    /// Uniform jitter on the provider's period ("approximately every
+    /// 50 ms").
+    pub provider_jitter: Duration,
+    /// Maximum relative clock drift between platform 1 (provider) and
+    /// platform 2, in parts per million. Each instance samples a drift in
+    /// `[-max, max]`; the provider's effective period is scaled by it.
+    ///
+    /// Drift makes the provider/callback phase sweep slowly through the
+    /// critical race window, which is why real runs (the paper's
+    /// Figure 5) almost never see exactly zero errors.
+    pub provider_drift_ppm_max: i64,
+    /// Standard deviation of the OS dispatch jitter on each periodic
+    /// callback activation (gaussian, unbounded tails).
+    ///
+    /// This models the scheduler noise on the "OS triggers the SWC logic
+    /// every 50 ms" path; its tails are what give even well-phased
+    /// instances a small residual error probability.
+    pub callback_jitter_std: Duration,
+    /// Probability that a callback activation suffers a large scheduling
+    /// delay spike (preemption under load); real OS timer dispatch is
+    /// heavy-tailed, and these spikes are what keep even well-phased
+    /// instances from reaching exactly zero errors over long runs.
+    pub callback_spike_prob: f64,
+    /// Maximum extra delay of a spike (uniform in `(0, max]`).
+    pub callback_spike_max: Duration,
+    /// Stage compute-time models.
+    pub timings: StageTimings,
+    /// Provider → adapter link (crosses the Ethernet switch).
+    pub ethernet: LinkConfig,
+    /// Links between processes on platform 2.
+    pub loopback: LinkConfig,
+}
+
+impl Default for NondetParams {
+    fn default() -> Self {
+        NondetParams {
+            frames: 1_000,
+            period: Duration::from_millis(50),
+            provider_jitter: Duration::from_micros(500),
+            provider_drift_ppm_max: 150,
+            callback_jitter_std: Duration::from_micros(1500),
+            callback_spike_prob: 0.002,
+            callback_spike_max: Duration::from_millis(20),
+            timings: StageTimings::default(),
+            ethernet: LinkConfig::with_latency(LatencyModel::normal(
+                Duration::from_millis(1),
+                Duration::from_micros(200),
+                Duration::from_micros(100),
+            )),
+            loopback: LinkConfig::with_latency(LatencyModel::normal(
+                Duration::from_micros(150),
+                Duration::from_micros(50),
+                Duration::from_micros(20),
+            )),
+        }
+    }
+}
+
+/// The outcome of one nondeterministic-build instance, with the four
+/// error types of the paper's Figure 5.
+#[derive(Debug, Clone, Default)]
+pub struct NondetReport {
+    /// Frames the provider sent.
+    pub frames_sent: u64,
+    /// Brake decisions that reached the output, in emission order.
+    pub decisions: Vec<BrakeDecision>,
+    /// Figure 5: "Dropped frames (Preprocessing)" — overwrites of the
+    /// preprocessing input buffer.
+    pub dropped_preprocessing: u64,
+    /// Figure 5: "Dropped frames (Computer Vision)" — overwrites of the
+    /// CV frame input buffer.
+    pub dropped_cv: u64,
+    /// Figure 5: "Input mismatches (Computer Vision)" — reads where frame
+    /// and lane did not belong together.
+    pub mismatches_cv: u64,
+    /// Figure 5: "Dropped vehicles (EBA)" — overwrites of the EBA input
+    /// buffer.
+    pub dropped_eba: u64,
+    /// Overwrites at the adapter input buffer (not part of Figure 5 but
+    /// reported for completeness).
+    pub dropped_adapter: u64,
+    /// Decisions whose value disagrees with the reference logic (should
+    /// stay zero: the pipeline drops or misaligns, it does not corrupt).
+    pub wrong_decisions: u64,
+}
+
+impl NondetReport {
+    /// Total Figure 5 errors (the four plotted types).
+    #[must_use]
+    pub fn total_errors(&self) -> u64 {
+        self.dropped_preprocessing + self.dropped_cv + self.mismatches_cv + self.dropped_eba
+    }
+
+    /// Error prevalence in percent of sent frames.
+    #[must_use]
+    pub fn prevalence_pct(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.total_errors() as f64 * 100.0 / self.frames_sent as f64
+        }
+    }
+
+    /// Per-type prevalence `[preprocessing, cv, mismatch, eba]` in percent.
+    #[must_use]
+    pub fn prevalence_by_type_pct(&self) -> [f64; 4] {
+        let f = if self.frames_sent == 0 {
+            1.0
+        } else {
+            self.frames_sent as f64
+        };
+        [
+            self.dropped_preprocessing as f64 * 100.0 / f,
+            self.dropped_cv as f64 * 100.0 / f,
+            self.mismatches_cv as f64 * 100.0 / f,
+            self.dropped_eba as f64 * 100.0 / f,
+        ]
+    }
+
+    /// FNV fingerprint of the decision sequence (for determinism checks).
+    #[must_use]
+    pub fn decision_fingerprint(&self) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for d in &self.decisions {
+            for b in d
+                .frame_id
+                .to_le_bytes()
+                .iter()
+                .chain(&[u8::from(d.brake)])
+            {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        hash
+    }
+}
+
+/// Schedules a periodic callback anchored at `offset + k * period`, with
+/// each activation displaced by gaussian OS dispatch jitter. The jitter is
+/// non-cumulative (anchors stay on the nominal grid, as an OS periodic
+/// timer does).
+fn schedule_periodic_jittered(
+    sim: &mut Simulation,
+    offset: Duration,
+    period: Duration,
+    jitter_std: Duration,
+    spike_prob: f64,
+    spike_max: Duration,
+    rng: dear_sim::SimRng,
+    callback: impl FnMut(&mut Simulation) + 'static,
+) {
+    struct State<F> {
+        period: Duration,
+        jitter_std: Duration,
+        spike_prob: f64,
+        spike_max: Duration,
+        rng: dear_sim::SimRng,
+        callback: F,
+        k: u64,
+        start: Instant,
+    }
+    fn tick<F: FnMut(&mut Simulation) + 'static>(sim: &mut Simulation, mut st: State<F>) {
+        (st.callback)(sim);
+        st.k += 1;
+        let anchor = st.start + st.period * i64::try_from(st.k).expect("activation count");
+        let mut jitter = if st.jitter_std.is_zero() {
+            Duration::ZERO
+        } else {
+            let j = st.rng.gaussian() * st.jitter_std.as_nanos() as f64;
+            Duration::from_nanos(j as i64).max(-(st.period / 2))
+        };
+        if st.spike_prob > 0.0
+            && st.spike_max > Duration::ZERO
+            && st.rng.chance(st.spike_prob)
+        {
+            jitter += st.rng.uniform_duration(Duration::ZERO, st.spike_max);
+        }
+        let at = anchor.saturating_add(jitter).max(sim.now() + Duration::from_nanos(1));
+        sim.schedule_at(at, move |sim| tick(sim, st));
+    }
+    let start = sim.now() + offset;
+    let st = State {
+        period,
+        jitter_std,
+        spike_prob,
+        spike_max,
+        rng,
+        callback,
+        k: 0,
+        start,
+    };
+    sim.schedule_at(start, move |sim| tick(sim, st));
+}
+
+/// Runs one seeded instance of the nondeterministic brake assistant.
+///
+/// Per-instance randomness (callback phase offsets, provider jitter,
+/// dispatch jitter, compute times, network latencies) all derive from
+/// `seed`; the same seed replays the identical run.
+#[must_use]
+pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
+    use services::{
+        ADAPTER, COMPUTER_VISION, EVENTGROUP, EVENT_AUX, EVENT_MAIN, INSTANCE, PREPROCESSING,
+        VIDEO,
+    };
+
+    let mut sim = Simulation::new(seed);
+    let net = NetworkHandle::new(params.loopback.clone(), sim.fork_rng("net"));
+    net.configure_link(nodes::PROVIDER, nodes::ADAPTER, params.ethernet.clone());
+    let sd = SdRegistry::new();
+    let offer_ttl = Duration::from_secs(1 << 40 >> 10); // effectively forever
+
+    // --- SWCs -------------------------------------------------------------
+    let provider = SoftwareComponent::launch(
+        &sim,
+        &net,
+        &sd,
+        SwcConfig::single_threaded("video-provider", nodes::PROVIDER, 0x10),
+    );
+    let adapter = SoftwareComponent::launch(
+        &sim,
+        &net,
+        &sd,
+        SwcConfig::multi_threaded("video-adapter", nodes::ADAPTER, 0x20),
+    );
+    let preprocessing = SoftwareComponent::launch(
+        &sim,
+        &net,
+        &sd,
+        SwcConfig::multi_threaded("preprocessing", nodes::PREPROCESSING, 0x30),
+    );
+    let cv = SoftwareComponent::launch(
+        &sim,
+        &net,
+        &sd,
+        SwcConfig::multi_threaded("computer-vision", nodes::COMPUTER_VISION, 0x40),
+    );
+    let eba = SoftwareComponent::launch(
+        &sim,
+        &net,
+        &sd,
+        SwcConfig::multi_threaded("eba", nodes::EBA, 0x50),
+    );
+
+    // Offers.
+    let provider_skel = provider.skeleton(&sim, VIDEO, INSTANCE);
+    provider_skel.offer(&mut sim, offer_ttl);
+    let adapter_skel = adapter.skeleton(&sim, ADAPTER, INSTANCE);
+    adapter_skel.offer(&mut sim, offer_ttl);
+    let preproc_skel = preprocessing.skeleton(&sim, PREPROCESSING, INSTANCE);
+    preproc_skel.offer(&mut sim, offer_ttl);
+    let cv_skel = cv.skeleton(&sim, COMPUTER_VISION, INSTANCE);
+    cv_skel.offer(&mut sim, offer_ttl);
+
+    // Subscriptions into one-slot buffers.
+    let adapter_buf: EventBuffer = adapter
+        .proxy(VIDEO, INSTANCE)
+        .subscribe_buffered(EVENTGROUP, EVENT_MAIN);
+    let preproc_buf: EventBuffer = preprocessing
+        .proxy(ADAPTER, INSTANCE)
+        .subscribe_buffered(EVENTGROUP, EVENT_MAIN);
+    let cv_lane_buf: EventBuffer = cv
+        .proxy(PREPROCESSING, INSTANCE)
+        .subscribe_buffered(EVENTGROUP, EVENT_MAIN);
+    let cv_frame_buf: EventBuffer = cv
+        .proxy(PREPROCESSING, INSTANCE)
+        .subscribe_buffered(EVENTGROUP, EVENT_AUX);
+    let eba_buf: EventBuffer = eba
+        .proxy(COMPUTER_VISION, INSTANCE)
+        .subscribe_buffered(EVENTGROUP, EVENT_MAIN);
+
+    // --- Video Provider: a frame approximately every `period` -------------
+    let frames_total = params.frames;
+    {
+        let mut rng = sim.fork_rng("provider");
+        let jitter = params.provider_jitter;
+        // Relative clock drift between the two platforms scales the
+        // provider's effective period for this instance.
+        let period = if params.provider_drift_ppm_max > 0 {
+            let max = params.provider_drift_ppm_max;
+            let ppm = rng.range_u64(0, 2 * max as u64 + 1) as i64 - max;
+            params.period + Duration::from_nanos(params.period.as_nanos() * ppm / 1_000_000)
+        } else {
+            params.period
+        };
+        let skel = provider_skel.clone();
+        fn send_frame(
+            sim: &mut Simulation,
+            skel: dear_ara::ServiceSkeleton,
+            mut rng: dear_sim::SimRng,
+            id: u64,
+            total: u64,
+            period: Duration,
+            jitter: Duration,
+        ) {
+            if id >= total {
+                return;
+            }
+            let frame = Frame::new(id, sim.now().as_nanos());
+            skel.notify(
+                sim,
+                services::EVENTGROUP,
+                services::EVENT_MAIN,
+                frame.to_payload(),
+            );
+            let next = if jitter.is_zero() {
+                period
+            } else {
+                period + rng.uniform_duration(-jitter, jitter)
+            };
+            sim.schedule_in(next, move |sim| {
+                send_frame(sim, skel, rng, id + 1, total, period, jitter)
+            });
+        }
+        sim.schedule_at(Instant::EPOCH, move |sim| {
+            send_frame(sim, skel, rng, 0, frames_total, period, jitter)
+        });
+    }
+
+    // --- Periodic SWC logic ------------------------------------------------
+    // Phase offsets are the paper's culprit: "the error rate is strongly
+    // influenced by the offset between the individual periodic callbacks
+    // of the SWCs, which depends on when SWCs are started and is
+    // difficult to control."
+    let mut offset_rng = sim.fork_rng("offsets");
+    let mut random_offset = || offset_rng.uniform_duration(Duration::ZERO, params.period);
+    let period = params.period;
+
+    // Video Adapter: republish the latest raw frame.
+    {
+        let buf = adapter_buf.clone();
+        let skel = adapter_skel.clone();
+        let timing = params.timings.adapter.clone();
+        let rng = Rc::new(RefCell::new(sim.fork_rng("adapter-compute")));
+        let offset = random_offset();
+        let cb_rng = sim.fork_rng("adapter-callback");
+        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
+            if let Some(payload) = buf.take() {
+                let d = timing.sample(&mut rng.borrow_mut());
+                let skel = skel.clone();
+                sim.schedule_in(d, move |sim| {
+                    skel.notify(sim, EVENTGROUP, EVENT_MAIN, payload);
+                });
+            }
+        });
+    }
+
+    // Preprocessing: compute the lane box, publish lane + forwarded frame.
+    {
+        let buf = preproc_buf.clone();
+        let skel = preproc_skel.clone();
+        let timing = params.timings.preprocessing.clone();
+        let rng = Rc::new(RefCell::new(sim.fork_rng("preproc-compute")));
+        let offset = random_offset();
+        let cb_rng = sim.fork_rng("preproc-callback");
+        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
+            if let Some(payload) = buf.take() {
+                let frame = Frame::from_payload(&payload).expect("frame payload");
+                let d = timing.sample(&mut rng.borrow_mut());
+                let skel = skel.clone();
+                sim.schedule_in(d, move |sim| {
+                    let lane = preprocess(&frame);
+                    skel.notify(sim, EVENTGROUP, EVENT_MAIN, lane.to_payload());
+                    skel.notify(sim, EVENTGROUP, EVENT_AUX, frame.to_payload());
+                });
+            }
+        });
+    }
+
+    // Computer Vision: join lane + frame, detect vehicles.
+    let mismatches = Rc::new(RefCell::new(0u64));
+    {
+        let lane_buf = cv_lane_buf.clone();
+        let frame_buf = cv_frame_buf.clone();
+        let skel = cv_skel.clone();
+        let timing = params.timings.computer_vision.clone();
+        let rng = Rc::new(RefCell::new(sim.fork_rng("cv-compute")));
+        let mismatches = mismatches.clone();
+        let offset = random_offset();
+        let cb_rng = sim.fork_rng("cv-callback");
+        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
+            let lane = lane_buf.take().map(|p| LaneBox::from_payload(&p).expect("lane"));
+            let frame = frame_buf
+                .take()
+                .map(|p| Frame::from_payload(&p).expect("frame"));
+            match (lane, frame) {
+                (Some(lane), Some(frame)) if lane.frame_id == frame.id => {
+                    let d = timing.sample(&mut rng.borrow_mut());
+                    let skel = skel.clone();
+                    sim.schedule_in(d, move |sim| {
+                        let vehicles = detect_vehicles(&frame, &lane);
+                        skel.notify(sim, EVENTGROUP, EVENT_MAIN, vehicles.to_payload());
+                    });
+                }
+                (Some(_), Some(_)) | (Some(_), None) | (None, Some(_)) => {
+                    // Misaligned inputs: either the pair disagrees or only
+                    // one half arrived in time.
+                    *mismatches.borrow_mut() += 1;
+                }
+                (None, None) => {} // silently wait for the next trigger
+            }
+        });
+    }
+
+    // EBA: decide on the latest vehicle list.
+    let decisions = Rc::new(RefCell::new(Vec::new()));
+    let wrong = Rc::new(RefCell::new(0u64));
+    {
+        let buf = eba_buf.clone();
+        let timing = params.timings.eba.clone();
+        let rng = Rc::new(RefCell::new(sim.fork_rng("eba-compute")));
+        let decisions = decisions.clone();
+        let wrong = wrong.clone();
+        let offset = random_offset();
+        let cb_rng = sim.fork_rng("eba-callback");
+        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
+            if let Some(payload) = buf.take() {
+                let vehicles = VehicleList::from_payload(&payload).expect("vehicles");
+                let d = timing.sample(&mut rng.borrow_mut());
+                let decisions = decisions.clone();
+                let wrong = wrong.clone();
+                sim.schedule_in(d, move |_sim| {
+                    let brake = eba_decide(&vehicles);
+                    if brake != crate::logic::reference_decision(vehicles.frame_id) {
+                        *wrong.borrow_mut() += 1;
+                    }
+                    decisions.borrow_mut().push(BrakeDecision {
+                        frame_id: vehicles.frame_id,
+                        brake,
+                    });
+                });
+            }
+        });
+    }
+
+    // Run long enough for the last frame to drain through the pipeline.
+    let horizon = Instant::EPOCH
+        + params.period * i64::try_from(params.frames).expect("frame count")
+        + Duration::from_secs(1);
+    sim.run_until(horizon);
+
+    let decisions_out = std::mem::take(&mut *decisions.borrow_mut());
+    let mismatches_cv = *mismatches.borrow();
+    let wrong_decisions = *wrong.borrow();
+    NondetReport {
+        frames_sent: params.frames,
+        decisions: decisions_out,
+        dropped_preprocessing: preproc_buf.stats().overwrites,
+        dropped_cv: cv_frame_buf.stats().overwrites,
+        mismatches_cv,
+        dropped_eba: eba_buf.stats().overwrites,
+        dropped_adapter: adapter_buf.stats().overwrites,
+        wrong_decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> NondetParams {
+        NondetParams {
+            frames: 300,
+            ..NondetParams::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_decisions() {
+        let report = run_nondet(1, &small_params());
+        assert!(
+            report.decisions.len() > 100,
+            "most frames should produce decisions, got {}",
+            report.decisions.len()
+        );
+        assert_eq!(report.wrong_decisions, 0, "content is never corrupted");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run_nondet(7, &small_params());
+        let b = run_nondet(7, &small_params());
+        assert_eq!(a.decision_fingerprint(), b.decision_fingerprint());
+        assert_eq!(a.total_errors(), b.total_errors());
+    }
+
+    #[test]
+    fn error_rate_varies_across_seeds() {
+        let params = small_params();
+        let rates: Vec<f64> = (0..12).map(|s| run_nondet(s, &params).prevalence_pct()).collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max > min,
+            "error prevalence should vary between instances: {rates:?}"
+        );
+        assert!(
+            max > 0.0,
+            "at least one instance should exhibit errors: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn decisions_vary_across_seeds() {
+        // The nondeterminism is application-visible: whenever instances
+        // differ in their error counts, their decision sequences must
+        // differ too (dropped frames leave gaps at different places).
+        let params = small_params();
+        let runs: Vec<(u64, u64)> = (0..12)
+            .map(|s| {
+                let r = run_nondet(s, &params);
+                (r.decision_fingerprint(), r.total_errors())
+            })
+            .collect();
+        let distinct_errors: std::collections::HashSet<u64> =
+            runs.iter().map(|&(_, e)| e).collect();
+        assert!(
+            distinct_errors.len() > 1,
+            "expected varying error counts across seeds: {runs:?}"
+        );
+        let distinct_fp: std::collections::HashSet<u64> =
+            runs.iter().map(|&(fp, _)| fp).collect();
+        assert!(
+            distinct_fp.len() > 1,
+            "all seeds produced identical decisions: {runs:?}"
+        );
+    }
+}

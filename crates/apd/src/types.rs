@@ -1,0 +1,285 @@
+//! Data types flowing through the brake-assistant pipeline, with SOME/IP
+//! payload codecs and deterministic synthetic generators.
+//!
+//! The paper's errors are independent of actual image content — what
+//! matters is frame *identity* (to detect misalignment) and timing. The
+//! synthetic [`Frame`] therefore carries an id and timestamps, and the
+//! "vision" results ([`LaneBox`], [`Vehicle`]) are pure functions of the
+//! frame id, so that any two correct executions must produce identical
+//! outputs — which is exactly what the determinism checks compare.
+
+use dear_someip::{PayloadError, PayloadReader, PayloadWriter};
+
+/// Mixes a 64-bit value (SplitMix64 finalizer); used to derive
+/// deterministic pseudo-content from frame ids.
+#[must_use]
+pub fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A captured video frame (synthetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Monotone frame number assigned by the video provider.
+    pub id: u64,
+    /// Capture time in nanoseconds (provider clock).
+    pub capture_nanos: u64,
+    /// Tag time assigned by the video adapter when the frame entered the
+    /// reactor network (0 in the nondeterministic build).
+    pub adapter_nanos: u64,
+}
+
+impl Frame {
+    /// Creates a frame at capture time.
+    #[must_use]
+    pub fn new(id: u64, capture_nanos: u64) -> Self {
+        Frame {
+            id,
+            capture_nanos,
+            adapter_nanos: 0,
+        }
+    }
+
+    /// Serializes to a SOME/IP payload.
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.write_u64(self.id)
+            .write_u64(self.capture_nanos)
+            .write_u64(self.adapter_nanos);
+        w.into_bytes()
+    }
+
+    /// Parses from a SOME/IP payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PayloadError`] on malformed payloads.
+    pub fn from_payload(bytes: &[u8]) -> Result<Self, PayloadError> {
+        let mut r = PayloadReader::new(bytes);
+        let frame = Frame {
+            id: r.read_u64()?,
+            capture_nanos: r.read_u64()?,
+            adapter_nanos: r.read_u64()?,
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// The bounding box demarcating the current travel lane in one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneBox {
+    /// The frame this lane estimate belongs to.
+    pub frame_id: u64,
+    /// Left edge (pixels).
+    pub x0: u16,
+    /// Top edge (pixels).
+    pub y0: u16,
+    /// Right edge (pixels).
+    pub x1: u16,
+    /// Bottom edge (pixels).
+    pub y1: u16,
+}
+
+impl LaneBox {
+    /// Serializes to a SOME/IP payload.
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.write_u64(self.frame_id)
+            .write_u16(self.x0)
+            .write_u16(self.y0)
+            .write_u16(self.x1)
+            .write_u16(self.y1);
+        w.into_bytes()
+    }
+
+    /// Parses from a SOME/IP payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PayloadError`] on malformed payloads.
+    pub fn from_payload(bytes: &[u8]) -> Result<Self, PayloadError> {
+        let mut r = PayloadReader::new(bytes);
+        let lane = LaneBox {
+            frame_id: r.read_u64()?,
+            x0: r.read_u16()?,
+            y0: r.read_u16()?,
+            x1: r.read_u16()?,
+            y1: r.read_u16()?,
+        };
+        r.finish()?;
+        Ok(lane)
+    }
+}
+
+/// A detected vehicle with estimated distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vehicle {
+    /// Track id within the frame.
+    pub track: u32,
+    /// Estimated distance in millimetres.
+    pub distance_mm: u32,
+}
+
+/// The vehicle list produced by Computer Vision for one frame.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct VehicleList {
+    /// The frame these detections belong to.
+    pub frame_id: u64,
+    /// Frame capture time (carried through for latency accounting).
+    pub capture_nanos: u64,
+    /// Adapter tag time (carried through for latency accounting).
+    pub adapter_nanos: u64,
+    /// Detected vehicles in the travel lane.
+    pub vehicles: Vec<Vehicle>,
+}
+
+impl VehicleList {
+    /// Serializes to a SOME/IP payload.
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.write_u64(self.frame_id)
+            .write_u64(self.capture_nanos)
+            .write_u64(self.adapter_nanos)
+            .write_u32(u32::try_from(self.vehicles.len()).expect("too many vehicles"));
+        for v in &self.vehicles {
+            w.write_u32(v.track).write_u32(v.distance_mm);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses from a SOME/IP payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PayloadError`] on malformed payloads.
+    pub fn from_payload(bytes: &[u8]) -> Result<Self, PayloadError> {
+        let mut r = PayloadReader::new(bytes);
+        let frame_id = r.read_u64()?;
+        let capture_nanos = r.read_u64()?;
+        let adapter_nanos = r.read_u64()?;
+        let n = r.read_u32()?;
+        let mut vehicles = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            vehicles.push(Vehicle {
+                track: r.read_u32()?,
+                distance_mm: r.read_u32()?,
+            });
+        }
+        r.finish()?;
+        Ok(VehicleList {
+            frame_id,
+            capture_nanos,
+            adapter_nanos,
+            vehicles,
+        })
+    }
+}
+
+/// The emergency-brake decision for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BrakeDecision {
+    /// The frame the decision derives from.
+    pub frame_id: u64,
+    /// Whether an emergency brake maneuver is required.
+    pub brake: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frame_payload_roundtrip() {
+        let f = Frame {
+            id: 42,
+            capture_nanos: 1_000_000,
+            adapter_nanos: 2_000_000,
+        };
+        assert_eq!(Frame::from_payload(&f.to_payload()).unwrap(), f);
+    }
+
+    #[test]
+    fn lane_payload_roundtrip() {
+        let l = LaneBox {
+            frame_id: 7,
+            x0: 1,
+            y0: 2,
+            x1: 3,
+            y1: 4,
+        };
+        assert_eq!(LaneBox::from_payload(&l.to_payload()).unwrap(), l);
+    }
+
+    #[test]
+    fn vehicle_list_payload_roundtrip() {
+        let v = VehicleList {
+            frame_id: 9,
+            capture_nanos: 5,
+            adapter_nanos: 6,
+            vehicles: vec![
+                Vehicle {
+                    track: 1,
+                    distance_mm: 25_000,
+                },
+                Vehicle {
+                    track: 2,
+                    distance_mm: 60_000,
+                },
+            ],
+        };
+        assert_eq!(VehicleList::from_payload(&v.to_payload()).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_payloads_error() {
+        let f = Frame::new(1, 2).to_payload();
+        assert!(Frame::from_payload(&f[..10]).is_err());
+        let v = VehicleList {
+            frame_id: 1,
+            capture_nanos: 0,
+            adapter_nanos: 0,
+            vehicles: vec![Vehicle {
+                track: 0,
+                distance_mm: 1,
+            }],
+        }
+        .to_payload();
+        assert!(VehicleList::from_payload(&v[..v.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(1), mix(1));
+        assert_ne!(mix(1), mix(2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_roundtrip(id in any::<u64>(), cap in any::<u64>(), ad in any::<u64>()) {
+            let f = Frame { id, capture_nanos: cap, adapter_nanos: ad };
+            prop_assert_eq!(Frame::from_payload(&f.to_payload()).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_vehicle_list_roundtrip(
+            frame_id in any::<u64>(),
+            vehicles in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8)
+        ) {
+            let v = VehicleList {
+                frame_id,
+                capture_nanos: 0,
+                adapter_nanos: 0,
+                vehicles: vehicles.into_iter().map(|(track, distance_mm)| Vehicle { track, distance_mm }).collect(),
+            };
+            prop_assert_eq!(VehicleList::from_payload(&v.to_payload()).unwrap(), v);
+        }
+    }
+}

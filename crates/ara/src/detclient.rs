@@ -1,0 +1,228 @@
+//! The AP "deterministic client" (execution-management spec, cited as
+//! \[14\] in the paper).
+//!
+//! AP's one provision for determinism is a task-based intra-SWC execution
+//! model: a fixed table of tasks runs in a fixed order once per activation
+//! cycle, with cycle-stable pseudo-randomness. The paper's §II.B points
+//! out its limits: "because its scope is limited to individual SWCs, the
+//! solution only addresses the first source of nondeterminism" — the
+//! integration tests demonstrate exactly that (deterministic task order
+//! inside the SWC, nondeterministic cross-SWC communication).
+
+use dear_sim::{SimRng, Simulation};
+use dear_time::Duration;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Per-activation context handed to deterministic-client tasks.
+pub struct CycleCtx<'a> {
+    /// The running simulation.
+    pub sim: &'a mut Simulation,
+    /// The activation (cycle) counter, starting at 0.
+    pub cycle: u64,
+    rng: &'a mut SimRng,
+}
+
+impl fmt::Debug for CycleCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CycleCtx(cycle={})", self.cycle)
+    }
+}
+
+impl CycleCtx<'_> {
+    /// Cycle-stable random source: the AP deterministic client guarantees
+    /// that random numbers drawn within a cycle are reproducible across
+    /// redundant executions of the same cycle.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+type Task = (String, Box<dyn FnMut(&mut CycleCtx<'_>)>);
+
+struct DetClientInner {
+    name: String,
+    tasks: Vec<Task>,
+    cycle: u64,
+    seed_stream: SimRng,
+}
+
+/// A task-based deterministic execution client for one SWC.
+///
+/// # Examples
+///
+/// ```
+/// use dear_ara::DeterministicClient;
+/// use dear_sim::Simulation;
+/// use dear_time::Duration;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new(3);
+/// let client = DeterministicClient::new("worker", sim.fork_rng("det"));
+/// let log = Rc::new(RefCell::new(Vec::new()));
+/// for name in ["read", "compute", "write"] {
+///     let log = log.clone();
+///     client.register_task(name, move |ctx| {
+///         log.borrow_mut().push(format!("{name}@{}", ctx.cycle));
+///     });
+/// }
+/// client.start(&mut sim, Duration::ZERO, Duration::from_millis(10));
+/// sim.run_until(dear_time::Instant::from_millis(15));
+/// assert_eq!(
+///     *log.borrow(),
+///     vec!["read@0", "compute@0", "write@0", "read@1", "compute@1", "write@1"]
+/// );
+/// ```
+#[derive(Clone)]
+pub struct DeterministicClient(Rc<RefCell<DetClientInner>>);
+
+impl fmt::Debug for DeterministicClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("DeterministicClient")
+            .field("name", &inner.name)
+            .field("tasks", &inner.tasks.len())
+            .field("cycle", &inner.cycle)
+            .finish()
+    }
+}
+
+impl DeterministicClient {
+    /// Creates a client with the given seed stream.
+    #[must_use]
+    pub fn new(name: &str, seed_stream: SimRng) -> Self {
+        DeterministicClient(Rc::new(RefCell::new(DetClientInner {
+            name: name.into(),
+            tasks: Vec::new(),
+            cycle: 0,
+            seed_stream,
+        })))
+    }
+
+    /// Appends a task to the fixed execution table.
+    pub fn register_task(&self, name: &str, task: impl FnMut(&mut CycleCtx<'_>) + 'static) {
+        self.0
+            .borrow_mut()
+            .tasks
+            .push((name.into(), Box::new(task)));
+    }
+
+    /// Runs one activation cycle immediately: all tasks, in registration
+    /// order, with a cycle-stable RNG.
+    pub fn activate(&self, sim: &mut Simulation) {
+        // Move tasks out so task bodies may re-borrow the client.
+        let (mut tasks, cycle, mut rng) = {
+            let mut inner = self.0.borrow_mut();
+            let cycle = inner.cycle;
+            inner.cycle += 1;
+            let rng = inner.seed_stream.fork_indexed("cycle", cycle);
+            (std::mem::take(&mut inner.tasks), cycle, rng)
+        };
+        for (_name, task) in &mut tasks {
+            let mut ctx = CycleCtx {
+                sim,
+                cycle,
+                rng: &mut rng,
+            };
+            task(&mut ctx);
+        }
+        let mut inner = self.0.borrow_mut();
+        // Tasks registered during activation (rare) are appended after.
+        let appended = std::mem::take(&mut inner.tasks);
+        inner.tasks = tasks;
+        inner.tasks.extend(appended);
+    }
+
+    /// Schedules periodic activation: first at `offset`, then every
+    /// `period`.
+    pub fn start(&self, sim: &mut Simulation, offset: Duration, period: Duration) {
+        assert!(period > Duration::ZERO, "period must be positive");
+        let client = self.clone();
+        fn tick(sim: &mut Simulation, client: DeterministicClient, period: Duration) {
+            client.activate(sim);
+            let next = client.clone();
+            sim.schedule_in(period, move |sim| tick(sim, next, period));
+        }
+        sim.schedule_in(offset, move |sim| tick(sim, client, period));
+    }
+
+    /// Number of completed activation cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.0.borrow().cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_time::Instant;
+
+    #[test]
+    fn tasks_run_in_registration_order_every_cycle() {
+        let mut sim = Simulation::new(0);
+        let client = DeterministicClient::new("c", sim.fork_rng("det"));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            let log = log.clone();
+            client.register_task(&format!("t{i}"), move |ctx| {
+                log.borrow_mut().push((ctx.cycle, i));
+            });
+        }
+        client.activate(&mut sim);
+        client.activate(&mut sim);
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3)
+            ]
+        );
+        assert_eq!(client.cycles(), 2);
+    }
+
+    #[test]
+    fn cycle_rng_is_stable_per_cycle_and_varies_across_cycles() {
+        let mut sim = Simulation::new(7);
+        let client_a = DeterministicClient::new("a", sim.fork_rng("det"));
+        let draws_a = Rc::new(RefCell::new(Vec::new()));
+        let sink = draws_a.clone();
+        client_a.register_task("draw", move |ctx| {
+            sink.borrow_mut().push(ctx.rng().next_u64());
+        });
+        client_a.activate(&mut sim);
+        client_a.activate(&mut sim);
+
+        // A second client with the same seed stream reproduces the draws.
+        let client_b = DeterministicClient::new("b", sim.fork_rng("det"));
+        let draws_b = Rc::new(RefCell::new(Vec::new()));
+        let sink = draws_b.clone();
+        client_b.register_task("draw", move |ctx| {
+            sink.borrow_mut().push(ctx.rng().next_u64());
+        });
+        client_b.activate(&mut sim);
+        client_b.activate(&mut sim);
+
+        assert_eq!(*draws_a.borrow(), *draws_b.borrow());
+        let d = draws_a.borrow();
+        assert_ne!(d[0], d[1], "different cycles draw differently");
+    }
+
+    #[test]
+    fn periodic_activation_counts_cycles() {
+        let mut sim = Simulation::new(0);
+        let client = DeterministicClient::new("c", sim.fork_rng("det"));
+        client.register_task("noop", |_| {});
+        client.start(&mut sim, Duration::from_millis(5), Duration::from_millis(10));
+        sim.run_until(Instant::from_millis(36));
+        assert_eq!(client.cycles(), 4); // at 5, 15, 25, 35
+    }
+}

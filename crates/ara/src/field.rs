@@ -1,0 +1,267 @@
+//! Service fields: get/set methods plus a change-notification event.
+//!
+//! "Fields are state variables exposed by the server. Each field may
+//! provide a get method, a set method and an event that indicates state
+//! changes" (paper §II.A). A field is therefore implemented as a
+//! composition of two methods and one event — and, on the DEAR side,
+//! "interaction with fields requires the use of one event and two method
+//! transactors" (§III.B).
+
+use crate::future::SimFuture;
+use crate::proxy::{EventBuffer, MethodResult, ServiceProxy};
+use crate::skeleton::ServiceSkeleton;
+use dear_sim::{LatencyModel, Simulation};
+use dear_time::Duration;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The wire identifiers making up one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldIds {
+    /// Method id of the getter.
+    pub get_method: u16,
+    /// Method id of the setter.
+    pub set_method: u16,
+    /// Event id of the change notifier.
+    pub notifier_event: u16,
+    /// Eventgroup carrying the notifier.
+    pub eventgroup: u16,
+}
+
+impl FieldIds {
+    /// Conventional layout: getter `base`, setter `base+1`, notifier event
+    /// `0x8000 | base`, eventgroup `base`.
+    #[must_use]
+    pub const fn conventional(base: u16) -> Self {
+        FieldIds {
+            get_method: base,
+            set_method: base + 1,
+            notifier_event: 0x8000 | base,
+            eventgroup: base,
+        }
+    }
+}
+
+/// Server-side field: owns the value, serves get/set, notifies changes.
+#[derive(Clone)]
+pub struct FieldSkeleton {
+    skeleton: ServiceSkeleton,
+    ids: FieldIds,
+    value: Rc<RefCell<Vec<u8>>>,
+}
+
+impl fmt::Debug for FieldSkeleton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FieldSkeleton({:?})", self.ids)
+    }
+}
+
+impl FieldSkeleton {
+    /// Attaches a field to a skeleton: registers the get/set methods and
+    /// stores the initial value.
+    ///
+    /// `exec_time` models the server-side processing time of get/set
+    /// handling (dispatched through the component's worker pool like any
+    /// other method — fields inherit nondeterminism source 1).
+    #[must_use]
+    pub fn provide(
+        skeleton: &ServiceSkeleton,
+        ids: FieldIds,
+        initial: Vec<u8>,
+        exec_time: LatencyModel,
+    ) -> Self {
+        let value = Rc::new(RefCell::new(initial));
+
+        let v = value.clone();
+        skeleton.provide_method(ids.get_method, exec_time.clone(), move |_sim, _req| {
+            v.borrow().clone()
+        });
+
+        let v = value.clone();
+        let notifier = skeleton.clone();
+        skeleton.provide_method(ids.set_method, exec_time, move |sim, new_value| {
+            *v.borrow_mut() = new_value.clone();
+            notifier.notify(sim, ids.eventgroup, ids.notifier_event, new_value.clone());
+            new_value
+        });
+
+        FieldSkeleton {
+            skeleton: skeleton.clone(),
+            ids,
+            value,
+        }
+    }
+
+    /// Reads the current value (server-local access).
+    #[must_use]
+    pub fn value(&self) -> Vec<u8> {
+        self.value.borrow().clone()
+    }
+
+    /// Server-side update: stores and notifies subscribers.
+    pub fn update(&self, sim: &mut Simulation, new_value: Vec<u8>) {
+        *self.value.borrow_mut() = new_value.clone();
+        self.skeleton
+            .notify(sim, self.ids.eventgroup, self.ids.notifier_event, new_value);
+    }
+
+    /// The field's wire identifiers.
+    #[must_use]
+    pub fn ids(&self) -> FieldIds {
+        self.ids
+    }
+}
+
+/// Client-side field access.
+#[derive(Clone)]
+pub struct FieldProxy {
+    proxy: ServiceProxy,
+    ids: FieldIds,
+}
+
+impl fmt::Debug for FieldProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FieldProxy({:?})", self.ids)
+    }
+}
+
+impl FieldProxy {
+    /// Wraps a service proxy for field access.
+    #[must_use]
+    pub fn new(proxy: ServiceProxy, ids: FieldIds) -> Self {
+        FieldProxy { proxy, ids }
+    }
+
+    /// Calls the field getter.
+    pub fn get(&self, sim: &mut Simulation) -> SimFuture<MethodResult> {
+        self.proxy.call(sim, self.ids.get_method, Vec::new())
+    }
+
+    /// Calls the field setter.
+    pub fn set(&self, sim: &mut Simulation, value: Vec<u8>) -> SimFuture<MethodResult> {
+        self.proxy.call(sim, self.ids.set_method, value)
+    }
+
+    /// Subscribes to change notifications into a one-slot buffer.
+    #[must_use]
+    pub fn subscribe_updates(&self) -> EventBuffer {
+        self.proxy
+            .subscribe_buffered(self.ids.eventgroup, self.ids.notifier_event)
+    }
+
+    /// The field's wire identifiers.
+    #[must_use]
+    pub fn ids(&self) -> FieldIds {
+        self.ids
+    }
+}
+
+/// Default TTL used by examples and tests when offering field services.
+pub const DEFAULT_FIELD_TTL: Duration = Duration::from_secs(3600);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swc::{SoftwareComponent, SwcConfig};
+    use dear_sim::{LinkConfig, NetworkHandle, NodeId};
+    use dear_someip::SdRegistry;
+
+    fn world() -> (Simulation, NetworkHandle, SdRegistry) {
+        let sim = Simulation::new(0);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_micros(100)),
+            sim.fork_rng("net"),
+        );
+        (sim, net, SdRegistry::new())
+    }
+
+    #[test]
+    fn field_get_set_notify_roundtrip() {
+        let (mut sim, net, sd) = world();
+        let server = SoftwareComponent::launch(
+            &sim,
+            &net,
+            &sd,
+            SwcConfig::single_threaded("server", NodeId(1), 0x10),
+        );
+        let skel = server.skeleton(&sim, 0x42, 1);
+        let ids = FieldIds::conventional(0x100);
+        let field = FieldSkeleton::provide(
+            &skel,
+            ids,
+            vec![0],
+            LatencyModel::constant(Duration::from_micros(50)),
+        );
+        skel.offer(&mut sim, DEFAULT_FIELD_TTL);
+
+        let client = SoftwareComponent::launch(
+            &sim,
+            &net,
+            &sd,
+            SwcConfig::single_threaded("client", NodeId(2), 0x20),
+        );
+        let fp = FieldProxy::new(client.proxy(0x42, 1), ids);
+        let updates = fp.subscribe_updates();
+
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let sink = got.clone();
+        fp.set(&mut sim, vec![9]).then(&mut sim, move |_s, r| {
+            sink.borrow_mut().push(("set", r.unwrap()));
+        });
+        sim.run_to_completion();
+        assert_eq!(field.value(), vec![9]);
+        assert_eq!(updates.take(), Some(vec![9]), "notifier fired");
+
+        let sink = got.clone();
+        fp.get(&mut sim).then(&mut sim, move |_s, r| {
+            sink.borrow_mut().push(("get", r.unwrap()));
+        });
+        sim.run_to_completion();
+        assert_eq!(
+            *got.borrow(),
+            vec![("set", vec![9]), ("get", vec![9])]
+        );
+    }
+
+    #[test]
+    fn server_side_update_notifies_without_set() {
+        let (mut sim, net, sd) = world();
+        let server = SoftwareComponent::launch(
+            &sim,
+            &net,
+            &sd,
+            SwcConfig::single_threaded("server", NodeId(1), 0x10),
+        );
+        let skel = server.skeleton(&sim, 0x42, 1);
+        let ids = FieldIds::conventional(0x200);
+        let field = FieldSkeleton::provide(
+            &skel,
+            ids,
+            vec![1],
+            LatencyModel::constant(Duration::ZERO),
+        );
+        skel.offer(&mut sim, DEFAULT_FIELD_TTL);
+        let client = SoftwareComponent::launch(
+            &sim,
+            &net,
+            &sd,
+            SwcConfig::single_threaded("client", NodeId(2), 0x20),
+        );
+        let fp = FieldProxy::new(client.proxy(0x42, 1), ids);
+        let updates = fp.subscribe_updates();
+        field.update(&mut sim, vec![5]);
+        sim.run_to_completion();
+        assert_eq!(updates.take(), Some(vec![5]));
+        assert_eq!(field.ids(), ids);
+    }
+
+    #[test]
+    fn conventional_ids_layout() {
+        let ids = FieldIds::conventional(0x30);
+        assert_eq!(ids.get_method, 0x30);
+        assert_eq!(ids.set_method, 0x31);
+        assert_eq!(ids.notifier_event, 0x8030);
+        assert_eq!(ids.eventgroup, 0x30);
+    }
+}

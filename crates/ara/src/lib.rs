@@ -1,0 +1,38 @@
+//! # dear-ara — the AUTOSAR Adaptive runtime layer (simulated)
+//!
+//! This crate rebuilds the `ara::com`-style runtime that the paper's §II
+//! describes, on top of `dear-someip` and `dear-sim`:
+//!
+//! * [`SoftwareComponent`] / [`ExecutionManager`] — SWCs as processes with
+//!   worker pools and the periodic OS callbacks the APD uses;
+//! * [`ServiceProxy`] — client-side method calls returning [`SimFuture`]s,
+//!   and event subscriptions delivered into one-slot [`EventBuffer`]s
+//!   (latest-value semantics, with drop instrumentation);
+//! * [`ServiceSkeleton`] — server-side method dispatch through the
+//!   component's thread pool: **nondeterminism source 1**, "the runtime
+//!   environment maps each invocation to a different thread";
+//! * [`FieldSkeleton`] / [`FieldProxy`] — fields as get + set + notifier;
+//! * [`DeterministicClient`] — AP's task-based intra-SWC determinism
+//!   provision, which the paper notes cannot fix cross-SWC
+//!   nondeterminism.
+//!
+//! The Figure 1 client/server of the paper is expressed directly against
+//! this API (see `dear-apd::calculator`), and the nondeterministic brake
+//! assistant of Figure 4/5 is built from these parts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod detclient;
+mod field;
+pub mod future;
+mod proxy;
+mod skeleton;
+mod swc;
+
+pub use detclient::{CycleCtx, DeterministicClient};
+pub use field::{FieldIds, FieldProxy, FieldSkeleton, DEFAULT_FIELD_TTL};
+pub use future::{SimFuture, SimPromise};
+pub use proxy::{BufferStats, EventBuffer, MethodError, MethodResult, ServiceProxy};
+pub use skeleton::ServiceSkeleton;
+pub use swc::{ExecutionManager, PeriodicHandle, SoftwareComponent, SwcConfig};

@@ -1,0 +1,287 @@
+//! Client-side service proxies and one-slot event buffers.
+//!
+//! A proxy "is an object that a client receives when requesting a service.
+//! Client and server communicate directly through the proxy and skeleton
+//! objects" (paper §II.A). Methods return futures; event subscriptions
+//! deliver into a **one-slot input buffer** exactly like the APD brake
+//! assistant ("the corresponding event handler stores the data in a
+//! one-slot input buffer", §IV.A) — the buffer counts overwrites, which is
+//! how the Figure 5 instrumentation detects dropped frames.
+
+use crate::future::{promise, SimFuture};
+use dear_sim::Simulation;
+use dear_someip::{Binding, BindingError, MessageType, ReturnCode, ServiceInstance, SomeIpMessage};
+use std::cell::RefCell;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors surfaced by proxy method calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MethodError {
+    /// Service discovery found no provider.
+    ServiceNotFound,
+    /// The server answered with an error return code.
+    Remote(ReturnCode),
+}
+
+impl fmt::Display for MethodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodError::ServiceNotFound => write!(f, "service not found"),
+            MethodError::Remote(code) => write!(f, "server returned error {code:?}"),
+        }
+    }
+}
+
+impl Error for MethodError {}
+
+/// Result type of proxy method calls.
+pub type MethodResult = Result<Vec<u8>, MethodError>;
+
+/// Statistics of a one-slot event buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStats {
+    /// Values written into the slot.
+    pub writes: u64,
+    /// Writes that overwrote an unread value (a *dropped* message).
+    pub overwrites: u64,
+    /// Successful takes.
+    pub reads: u64,
+    /// Takes that found the slot empty.
+    pub empty_reads: u64,
+}
+
+#[derive(Default)]
+struct SlotInner {
+    value: Option<Vec<u8>>,
+    stats: BufferStats,
+}
+
+/// A one-slot event input buffer (latest-value semantics).
+///
+/// New arrivals overwrite unread data — the exact mechanism behind the
+/// frame drops of the paper's Figure 5.
+#[derive(Clone, Default)]
+pub struct EventBuffer(Rc<RefCell<SlotInner>>);
+
+impl fmt::Debug for EventBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("EventBuffer")
+            .field("occupied", &inner.value.is_some())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl EventBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a value, overwriting (and counting as dropped) any unread
+    /// predecessor.
+    pub fn put(&self, value: Vec<u8>) {
+        let mut inner = self.0.borrow_mut();
+        if inner.value.is_some() {
+            inner.stats.overwrites += 1;
+        }
+        inner.stats.writes += 1;
+        inner.value = Some(value);
+    }
+
+    /// Takes the current value, leaving the slot empty.
+    ///
+    /// An empty slot is counted (the APD components "silently stop
+    /// computation" in that case).
+    pub fn take(&self) -> Option<Vec<u8>> {
+        let mut inner = self.0.borrow_mut();
+        match inner.value.take() {
+            Some(v) => {
+                inner.stats.reads += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.empty_reads += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads without consuming.
+    #[must_use]
+    pub fn peek(&self) -> Option<Vec<u8>> {
+        self.0.borrow().value.clone()
+    }
+
+    /// Buffer statistics (drop instrumentation).
+    #[must_use]
+    pub fn stats(&self) -> BufferStats {
+        self.0.borrow().stats
+    }
+}
+
+/// A client-side proxy for one service instance.
+///
+/// Created via [`SoftwareComponent::proxy`](crate::SoftwareComponent::proxy).
+#[derive(Clone)]
+pub struct ServiceProxy {
+    binding: Binding,
+    service: u16,
+    instance: u16,
+}
+
+impl fmt::Debug for ServiceProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ServiceProxy({:04x}:{:04x} via {})",
+            self.service,
+            self.instance,
+            self.binding.node()
+        )
+    }
+}
+
+impl ServiceProxy {
+    pub(crate) fn new(binding: Binding, service: u16, instance: u16) -> Self {
+        ServiceProxy {
+            binding,
+            service,
+            instance,
+        }
+    }
+
+    /// The service id this proxy addresses.
+    #[must_use]
+    pub fn service(&self) -> u16 {
+        self.service
+    }
+
+    /// Invokes a method, returning a future for the result.
+    ///
+    /// The call is non-blocking: it returns immediately, and the future
+    /// resolves when the response message arrives. This is precisely the
+    /// Figure 1 client pattern, where issuing several calls without
+    /// awaiting their futures surrenders the execution order to the
+    /// server's thread pool.
+    pub fn call(
+        &self,
+        sim: &mut Simulation,
+        method: u16,
+        payload: Vec<u8>,
+    ) -> SimFuture<MethodResult> {
+        let (p, f) = promise();
+        let result = self.binding.call(
+            sim,
+            self.service,
+            self.instance,
+            method,
+            payload,
+            move |sim, resp: SomeIpMessage| {
+                let outcome = if resp.message_type == MessageType::Error
+                    || resp.return_code != ReturnCode::Ok
+                {
+                    Err(MethodError::Remote(resp.return_code))
+                } else {
+                    Ok(resp.payload)
+                };
+                p.resolve(sim, outcome);
+            },
+        );
+        match result {
+            Ok(_) => f,
+            Err(BindingError::ServiceNotFound { .. }) => {
+                // The promise moved into the (never-to-fire) callback; a
+                // fresh resolved future reports the discovery failure.
+                crate::future::ready(Err(MethodError::ServiceNotFound))
+            }
+        }
+    }
+
+    /// Invokes a fire-and-forget method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodError::ServiceNotFound`] if discovery fails.
+    pub fn call_no_return(
+        &self,
+        sim: &mut Simulation,
+        method: u16,
+        payload: Vec<u8>,
+    ) -> Result<(), MethodError> {
+        self.binding
+            .call_no_return(sim, self.service, self.instance, method, payload)
+            .map_err(|_| MethodError::ServiceNotFound)
+    }
+
+    /// Subscribes to an event, delivering into a fresh one-slot buffer.
+    ///
+    /// Returns the buffer; the periodic SWC logic polls it with
+    /// [`EventBuffer::take`].
+    #[must_use]
+    pub fn subscribe_buffered(&self, eventgroup: u16, event: u16) -> EventBuffer {
+        let buffer = EventBuffer::new();
+        let sink = buffer.clone();
+        self.binding
+            .subscribe(ServiceInstance::new(self.service, self.instance), eventgroup);
+        self.binding.on_event(self.service, event, move |_sim, msg| {
+            sink.put(msg.payload);
+        });
+        buffer
+    }
+
+    /// Subscribes to an event with a custom handler (no buffer).
+    pub fn subscribe(
+        &self,
+        eventgroup: u16,
+        event: u16,
+        handler: impl Fn(&mut Simulation, Vec<u8>) + 'static,
+    ) {
+        self.binding
+            .subscribe(ServiceInstance::new(self.service, self.instance), eventgroup);
+        self.binding
+            .on_event(self.service, event, move |sim, msg| handler(sim, msg.payload));
+    }
+
+    /// The underlying binding (used by the DEAR transactors).
+    #[must_use]
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_counts_overwrites_and_empty_reads() {
+        let buf = EventBuffer::new();
+        assert_eq!(buf.take(), None);
+        buf.put(vec![1]);
+        buf.put(vec![2]); // overwrites unread 1
+        assert_eq!(buf.take(), Some(vec![2]));
+        assert_eq!(buf.take(), None);
+        buf.put(vec![3]);
+        assert_eq!(buf.peek(), Some(vec![3]));
+        assert_eq!(buf.take(), Some(vec![3]));
+        let stats = buf.stats();
+        assert_eq!(stats.writes, 3);
+        assert_eq!(stats.overwrites, 1);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.empty_reads, 2);
+    }
+
+    #[test]
+    fn buffer_clones_share_state() {
+        let buf = EventBuffer::new();
+        let other = buf.clone();
+        buf.put(vec![5]);
+        assert_eq!(other.take(), Some(vec![5]));
+        assert_eq!(buf.stats().reads, 1);
+    }
+}

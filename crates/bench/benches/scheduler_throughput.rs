@@ -1,0 +1,173 @@
+//! **Runtime ablation** — reactor scheduler throughput.
+//!
+//! The paper's runtime "transparently exploit\[s\] concurrency in the APG
+//! by mapping independent reactions to separate worker threads" (§III.A).
+//! This harness measures the event-processing throughput of the
+//! `dear-core` scheduler over the canonical topologies (chain, fan-out,
+//! diamond), and compares the sequential executor against the
+//! level-parallel one — an honest ablation: for micro-reactions the
+//! parallel executor pays thread-spawn overhead, so its benefit appears
+//! only with heavyweight reaction bodies.
+//!
+//! Run with `cargo bench -p dear-bench --bench scheduler_throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dear_core::{ProgramBuilder, Runtime};
+use dear_time::{Duration, Instant};
+use std::hint::black_box;
+
+/// A chain of `depth` reactors, driven by a 1 ms timer for `ticks` tags.
+fn run_chain(depth: usize, ticks: u64, workers: usize) -> u64 {
+    let mut b = ProgramBuilder::new();
+    let mut src = b.reactor("src", 0u64);
+    let t = src.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let first = src.output::<u64>("o");
+    src.reaction("emit")
+        .triggered_by(t)
+        .effects(first)
+        .body(move |n: &mut u64, ctx| {
+            *n += 1;
+            ctx.set(first, *n);
+        });
+    drop(src);
+
+    let mut prev = first;
+    for i in 0..depth {
+        let mut stage = b.reactor(&format!("s{i}"), ());
+        let inp = stage.input::<u64>("i");
+        let out = stage.output::<u64>("o");
+        stage
+            .reaction("fwd")
+            .triggered_by(inp)
+            .effects(out)
+            .body(move |_, ctx| {
+                let v = *ctx.get(inp).unwrap();
+                ctx.set(out, v.wrapping_mul(31).wrapping_add(1));
+            });
+        drop(stage);
+        b.connect(prev, inp).unwrap();
+        prev = out;
+    }
+
+    let mut rt = Runtime::new(b.build().expect("chain builds"));
+    rt.set_workers(workers);
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::EPOCH + Duration::from_millis(ticks as i64))
+        .expect("stop scheduled");
+    rt.run_fast(u64::MAX);
+    rt.stats().executed_reactions
+}
+
+/// One source fanning out to `width` independent reactors.
+fn run_fanout(width: usize, ticks: u64, workers: usize, work_iters: u64) -> u64 {
+    let mut b = ProgramBuilder::new();
+    let mut src = b.reactor("src", 0u64);
+    let t = src.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let out = src.output::<u64>("o");
+    src.reaction("emit")
+        .triggered_by(t)
+        .effects(out)
+        .body(move |n: &mut u64, ctx| {
+            *n += 1;
+            ctx.set(out, *n);
+        });
+    drop(src);
+
+    for i in 0..width {
+        let mut stage = b.reactor(&format!("w{i}"), 0u64);
+        let inp = stage.input::<u64>("i");
+        stage
+            .reaction("work")
+            .triggered_by(inp)
+            .body(move |acc: &mut u64, ctx| {
+                let mut v = *ctx.get(inp).unwrap();
+                for _ in 0..work_iters {
+                    // black_box defeats LLVM's closed-form folding of LCG
+                    // loops, keeping "heavy" genuinely heavy.
+                    v = black_box(
+                        v.wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407),
+                    );
+                }
+                *acc ^= v;
+            });
+        drop(stage);
+        b.connect(out, inp).unwrap();
+    }
+
+    let mut rt = Runtime::new(b.build().expect("fanout builds"));
+    rt.set_workers(workers);
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::EPOCH + Duration::from_millis(ticks as i64))
+        .expect("stop scheduled");
+    rt.run_fast(u64::MAX);
+    rt.stats().executed_reactions
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/chain");
+    for depth in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| black_box(run_chain(depth, 100, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout_sequential_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/fanout_width32");
+    // Light reactions: sequential wins (parallel pays scope overhead).
+    group.bench_function("light_seq", |b| {
+        b.iter(|| black_box(run_fanout(32, 50, 1, 1)))
+    });
+    group.bench_function("light_par4", |b| {
+        b.iter(|| black_box(run_fanout(32, 50, 4, 1)))
+    });
+    // Heavy reactions: parallel amortizes.
+    group.bench_function("heavy_seq", |b| {
+        b.iter(|| black_box(run_fanout(32, 10, 1, 200_000)))
+    });
+    group.bench_function("heavy_par4", |b| {
+        b.iter(|| black_box(run_fanout(32, 10, 4, 200_000)))
+    });
+    group.finish();
+}
+
+fn bench_action_scheduling(c: &mut Criterion) {
+    c.bench_function("scheduler/logical_action_cascade_10k", |b| {
+        b.iter(|| {
+            let mut bld = ProgramBuilder::new();
+            let mut r = bld.reactor("looper", 0u64);
+            let act = r.logical_action::<u64>("a", Duration::from_micros(1));
+            r.reaction("kick")
+                .triggered_by(dear_core::Startup)
+                .schedules(act)
+                .body(move |_, ctx| ctx.schedule(act, Duration::ZERO, 0));
+            r.reaction("loop")
+                .triggered_by(act)
+                .schedules(act)
+                .body(move |n: &mut u64, ctx| {
+                    *n += 1;
+                    if *n < 10_000 {
+                        let v = *ctx.get_action(&act).unwrap();
+                        ctx.schedule(act, Duration::ZERO, v + 1);
+                    } else {
+                        ctx.request_shutdown();
+                    }
+                });
+            drop(r);
+            let mut rt = Runtime::new(bld.build().expect("builds"));
+            rt.start(Instant::EPOCH);
+            rt.run_fast(u64::MAX);
+            black_box(rt.stats().executed_reactions)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_chain,
+    bench_fanout_sequential_vs_parallel,
+    bench_action_scheduling
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **Figure 2** — the AP communication mechanism, as microbenchmarks.
+//!
+//! Figure 2 is the architecture diagram of the proxy → SOME/IP → skeleton
+//! path. This harness exercises exactly that code path and measures its
+//! cost in the simulation: wire-format encode/decode (with and without
+//! the DEAR tag trailer), a full method-call round trip, and event
+//! notification fan-out.
+//!
+//! Run with `cargo bench -p dear-bench --bench someip_path`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dear_ara::{SoftwareComponent, SwcConfig};
+use dear_sim::{LatencyModel, LinkConfig, NetworkHandle, NodeId, Simulation};
+use dear_someip::{
+    Binding, MessageId, RequestId, SdRegistry, ServiceInstance, SomeIpMessage, WireTag,
+};
+use dear_time::Duration;
+use std::hint::black_box;
+
+fn bench_wire_format(c: &mut Criterion) {
+    let msg = SomeIpMessage::request(
+        MessageId::new(0x1234, 0x0001),
+        RequestId::new(0x11, 0x22),
+        vec![0xAB; 64],
+    );
+    let tagged = msg.clone().with_tag(WireTag::new(123_456_789, 2));
+    let plain_bytes = msg.encode();
+    let tagged_bytes = tagged.encode();
+
+    c.bench_function("someip/encode_plain_64B", |b| {
+        b.iter(|| black_box(msg.encode()))
+    });
+    c.bench_function("someip/encode_tagged_64B", |b| {
+        b.iter(|| black_box(tagged.encode()))
+    });
+    c.bench_function("someip/decode_plain_64B", |b| {
+        b.iter(|| SomeIpMessage::decode(black_box(&plain_bytes)).expect("decodes"))
+    });
+    c.bench_function("someip/decode_tagged_64B", |b| {
+        b.iter(|| SomeIpMessage::decode(black_box(&tagged_bytes)).expect("decodes"))
+    });
+}
+
+/// One full proxy → SOME/IP → skeleton → response round trip in the
+/// simulation (includes discovery lookup, serialization, two simulated
+/// network hops, pool dispatch, and future resolution).
+fn bench_method_roundtrip(c: &mut Criterion) {
+    c.bench_function("someip/method_call_roundtrip", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let net = NetworkHandle::new(
+                LinkConfig::ideal(Duration::from_micros(100)),
+                sim.fork_rng("net"),
+            );
+            let sd = SdRegistry::new();
+            let server = SoftwareComponent::launch(
+                &sim,
+                &net,
+                &sd,
+                SwcConfig::single_threaded("server", NodeId(1), 0x10),
+            );
+            let skel = server.skeleton(&sim, 0x42, 1);
+            skel.provide_method(1, LatencyModel::constant(Duration::from_micros(10)), |_, p| p);
+            skel.offer(&mut sim, Duration::from_secs(10));
+            let client = SoftwareComponent::launch(
+                &sim,
+                &net,
+                &sd,
+                SwcConfig::single_threaded("client", NodeId(2), 0x20),
+            );
+            let proxy = client.proxy(0x42, 1);
+            let _ = proxy.call(&mut sim, 1, vec![1, 2, 3]);
+            sim.run_to_completion();
+            black_box(sim.stats().executed_events)
+        })
+    });
+}
+
+/// Event notification fan-out to 8 subscribers.
+fn bench_event_fanout(c: &mut Criterion) {
+    c.bench_function("someip/event_fanout_8_subscribers", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let net = NetworkHandle::new(
+                LinkConfig::ideal(Duration::from_micros(100)),
+                sim.fork_rng("net"),
+            );
+            let sd = SdRegistry::new();
+            let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+            let inst = ServiceInstance::new(0x60, 1);
+            server.offer(&mut sim, inst, Duration::from_secs(10));
+            for i in 2..10u16 {
+                let c = Binding::new(&net, &sd, NodeId(i), 0x20 + i);
+                c.subscribe(inst, 1);
+                c.on_event(0x60, 0x8001, |_, _| {});
+            }
+            server.notify(&mut sim, inst, 1, 0x8001, vec![0xEE; 32]);
+            sim.run_to_completion();
+            black_box(sim.stats().executed_events)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire_format,
+    bench_method_roundtrip,
+    bench_event_fanout
+);
+criterion_main!(benches);

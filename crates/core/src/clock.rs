@@ -1,0 +1,108 @@
+//! Physical clock abstraction.
+//!
+//! The runtime itself is poll-driven and clock-agnostic; drivers supply
+//! physical time readings. [`PhysicalClock`] is the interface those
+//! drivers use: [`RealClock`] reads the operating system's monotonic
+//! clock, while the simulated drivers in `dear-transactors` derive
+//! readings from a [`dear_sim::VirtualClock`] mapped over simulation time.
+
+use dear_time::{Duration, Instant};
+
+/// A source of physical time readings on the workspace time axis.
+pub trait PhysicalClock {
+    /// The current physical time.
+    fn now(&self) -> Instant;
+}
+
+/// A physical clock backed by [`std::time::Instant`].
+///
+/// The clock is anchored at construction: the OS instant observed then is
+/// defined to correspond to `origin` on the workspace time axis.
+///
+/// # Examples
+///
+/// ```
+/// use dear_core::{PhysicalClock, RealClock};
+/// use dear_time::Instant;
+///
+/// let clock = RealClock::starting_at(Instant::EPOCH);
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    anchor: std::time::Instant,
+    origin: Instant,
+}
+
+impl RealClock {
+    /// Anchors a new clock: "now" (the OS time at this call) maps to
+    /// `origin`.
+    #[must_use]
+    pub fn starting_at(origin: Instant) -> Self {
+        RealClock {
+            anchor: std::time::Instant::now(),
+            origin,
+        }
+    }
+
+    /// The configured origin.
+    #[must_use]
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::starting_at(Instant::EPOCH)
+    }
+}
+
+impl PhysicalClock for RealClock {
+    fn now(&self) -> Instant {
+        let elapsed = self.anchor.elapsed();
+        self.origin + Duration::from_nanos(i64::try_from(elapsed.as_nanos()).unwrap_or(i64::MAX))
+    }
+}
+
+/// A fixed clock for tests: always reads the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedClock(pub Instant);
+
+impl PhysicalClock for FixedClock {
+    fn now(&self) -> Instant {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone_and_advances() {
+        let clock = RealClock::starting_at(Instant::from_secs(100));
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a);
+        assert!(a >= Instant::from_secs(100));
+    }
+
+    #[test]
+    fn real_clock_origin_offsets_readings() {
+        let clock = RealClock::starting_at(Instant::from_secs(7));
+        assert_eq!(clock.origin(), Instant::from_secs(7));
+        assert!(clock.now() >= Instant::from_secs(7));
+        assert!(clock.now() < Instant::from_secs(8), "reading far from origin");
+    }
+
+    #[test]
+    fn fixed_clock_never_moves() {
+        let clock = FixedClock(Instant::from_millis(5));
+        assert_eq!(clock.now(), Instant::from_millis(5));
+        assert_eq!(clock.now(), Instant::from_millis(5));
+    }
+}

@@ -1,0 +1,236 @@
+//! The context handed to reaction bodies.
+//!
+//! A [`ReactionCtx`] is the only way a reaction interacts with the rest of
+//! the program: reading input ports, writing output ports, reading action
+//! payloads, scheduling logical actions, and requesting shutdown. All
+//! writes and schedules are *buffered* in a [`ReactionOutcome`] and applied
+//! by the runtime in deterministic (reaction-id) order after the reaction
+//! returns, which is what allows same-level reactions to execute on
+//! parallel workers without changing observable behaviour.
+
+use crate::handles::{ActionId, LogicalAction, PhysicalAction, Port, PortId};
+use crate::program::{Program, Value};
+use crate::tag::Tag;
+use dear_time::{Duration, Instant};
+
+/// The buffered effects of one reaction execution.
+#[derive(Default)]
+pub(crate) struct ReactionOutcome {
+    /// Port writes `(port, value)` in write order (later wins per port).
+    pub writes: Vec<(PortId, Value)>,
+    /// Scheduled action events `(action, tag, value)`.
+    pub schedules: Vec<(ActionId, Tag, Value)>,
+    /// Whether the reaction requested shutdown.
+    pub shutdown: bool,
+}
+
+/// Read access to an action's payload; implemented by both
+/// [`LogicalAction`] and [`PhysicalAction`].
+///
+/// This trait is sealed.
+pub trait ActionSource<T>: sealed::Sealed {
+    /// The untyped action id.
+    fn action_id(&self) -> ActionId;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl<T> Sealed for super::LogicalAction<T> {}
+    impl<T> Sealed for super::PhysicalAction<T> {}
+}
+
+impl<T> ActionSource<T> for LogicalAction<T> {
+    fn action_id(&self) -> ActionId {
+        self.id
+    }
+}
+impl<T> ActionSource<T> for PhysicalAction<T> {
+    fn action_id(&self) -> ActionId {
+        self.id
+    }
+}
+
+/// Execution context passed to reaction bodies and deadline handlers.
+///
+/// See the [`ProgramBuilder`](crate::ProgramBuilder) example for typical
+/// usage inside a reaction closure.
+pub struct ReactionCtx<'a> {
+    pub(crate) tag: Tag,
+    pub(crate) physical: Instant,
+    pub(crate) program: &'a Program,
+    pub(crate) reaction: crate::handles::ReactionId,
+    pub(crate) ports: &'a [Option<Value>],
+    pub(crate) actions: &'a [Option<Value>],
+    pub(crate) outcome: ReactionOutcome,
+}
+
+impl std::fmt::Debug for ReactionCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactionCtx")
+            .field("tag", &self.tag)
+            .field("physical", &self.physical)
+            .field("reaction", &self.reaction)
+            .finish()
+    }
+}
+
+impl<'a> ReactionCtx<'a> {
+    /// The tag currently being processed.
+    #[must_use]
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// The logical time of the current tag.
+    #[must_use]
+    pub fn logical_time(&self) -> Instant {
+        self.tag.time
+    }
+
+    /// The physical clock reading the runtime observed when it began
+    /// processing the current tag.
+    #[must_use]
+    pub fn physical_time(&self) -> Instant {
+        self.physical
+    }
+
+    /// How far physical time is ahead of logical time at this tag.
+    #[must_use]
+    pub fn lag(&self) -> Duration {
+        self.tag.lag(self.physical)
+    }
+
+    fn meta(&self) -> &crate::program::ReactionMeta {
+        &self.program.reactions[self.reaction.index()]
+    }
+
+    fn assert_readable(&self, port: PortId, what: &str) {
+        assert!(
+            self.meta().readable.binary_search(&port).is_ok(),
+            "reaction `{}` reads port `{}` without declaring it as a trigger or use ({what})",
+            self.meta().name,
+            self.program.ports[port.index()].name,
+        );
+    }
+
+    /// Reads an input or output port. Returns `None` if the port is absent
+    /// at the current tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was not declared as a trigger, use or effect of
+    /// this reaction — undeclared reads would invalidate the dependency
+    /// analysis that determinism rests on.
+    #[must_use]
+    pub fn get<T: 'static>(&self, port: Port<T>) -> Option<&T> {
+        self.assert_readable(port.id, "get");
+        let root = self.program.ports[port.id.index()].root;
+        // A reaction may read back what it wrote itself this tag.
+        if let Some((_, v)) = self
+            .outcome
+            .writes
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == root)
+        {
+            return Some(v.downcast_ref::<T>().expect("port value type mismatch"));
+        }
+        self.ports[root.index()]
+            .as_ref()
+            .map(|v| v.downcast_ref::<T>().expect("port value type mismatch"))
+    }
+
+    /// Reads and clones a port value.
+    #[must_use]
+    pub fn get_cloned<T: Clone + 'static>(&self, port: Port<T>) -> Option<T> {
+        self.get(port).cloned()
+    }
+
+    /// Returns `true` if the port carries a value at the current tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ReactionCtx::get`].
+    #[must_use]
+    pub fn is_present<T: 'static>(&self, port: Port<T>) -> bool {
+        self.get(port).is_some()
+    }
+
+    /// Writes a value to an output port.
+    ///
+    /// The value becomes visible to downstream reactions at the current
+    /// tag. Writing the same port twice in one reaction keeps the last
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port was not declared as an effect of this reaction.
+    pub fn set<T: Send + Sync + 'static>(&mut self, port: Port<T>, value: T) {
+        assert!(
+            self.meta().effects.binary_search(&port.id).is_ok(),
+            "reaction `{}` writes port `{}` without declaring it as an effect",
+            self.meta().name,
+            self.program.ports[port.id.index()].name,
+        );
+        self.outcome.writes.push((port.id, Box::new(value)));
+    }
+
+    /// Reads the payload of an action that triggered at the current tag.
+    ///
+    /// Returns `None` if the action is not present at this tag.
+    #[must_use]
+    pub fn get_action<T: 'static>(&self, action: &impl ActionSource<T>) -> Option<&T> {
+        self.actions[action.action_id().index()]
+            .as_ref()
+            .map(|v| v.downcast_ref::<T>().expect("action value type mismatch"))
+    }
+
+    /// Returns `true` if the action is present at the current tag.
+    #[must_use]
+    pub fn is_action_present<T: 'static>(&self, action: &impl ActionSource<T>) -> bool {
+        self.actions[action.action_id().index()].is_some()
+    }
+
+    /// Schedules a logical action with an additional delay on top of the
+    /// action's minimum delay.
+    ///
+    /// The resulting event's tag is `current_tag.delay(min_delay + delay)`:
+    /// a total delay of zero advances the microstep, a positive delay
+    /// advances logical time. Determinism is preserved because the new tag
+    /// is derived from the current tag, not from any clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action was not declared via
+    /// [`schedules`](crate::ReactionDeclaration::schedules), or if `delay`
+    /// is negative.
+    pub fn schedule<T: Send + Sync + 'static>(
+        &mut self,
+        action: LogicalAction<T>,
+        delay: Duration,
+        value: T,
+    ) {
+        assert!(!delay.is_negative(), "schedule delay must be non-negative");
+        assert!(
+            self.meta().schedules.binary_search(&action.id).is_ok(),
+            "reaction `{}` schedules action `{}` without declaring it",
+            self.meta().name,
+            self.program.actions[action.id.index()].name,
+        );
+        let min_delay = self.program.actions[action.id.index()].min_delay;
+        let tag = self.tag.delay(min_delay + delay);
+        self.outcome.schedules.push((action.id, tag, Box::new(value)));
+    }
+
+    /// Requests a graceful shutdown: shutdown reactions run at the next
+    /// microstep and the runtime stops afterwards.
+    pub fn request_shutdown(&mut self) {
+        self.outcome.shutdown = true;
+    }
+
+    /// The qualified name of the currently executing reaction.
+    #[must_use]
+    pub fn reaction_name(&self) -> &str {
+        &self.meta().name
+    }
+}

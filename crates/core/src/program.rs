@@ -1,0 +1,983 @@
+//! Program assembly: reactors, reactions, ports, actions, timers, and the
+//! acyclic precedence graph (APG).
+//!
+//! A reactor program is declared through [`ProgramBuilder`] and validated
+//! by [`ProgramBuilder::build`], which computes the APG described in
+//! §III.A of the paper: port connections and intra-reactor reaction
+//! priorities induce a dependency graph over reactions; the graph must be
+//! acyclic, and its longest-path *levels* drive scheduling. Reactions on
+//! the same level are guaranteed independent, which is what lets the
+//! runtime "transparently exploit concurrency in the APG by mapping
+//! independent reactions to separate worker threads".
+
+use crate::context::ReactionCtx;
+use crate::error::AssemblyError;
+use crate::handles::{
+    ActionId, LogicalAction, PhysicalAction, Port, PortId, PortKind, ReactionId, ReactorId, Timer,
+    TimerId, TriggerId, TriggerSource,
+};
+use dear_time::Duration;
+use std::any::{Any, TypeId};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+/// A boxed value travelling through ports and actions.
+pub(crate) type Value = Box<dyn Any + Send + Sync>;
+/// A type-erased reaction body.
+pub(crate) type BodyFn = Box<dyn FnMut(&mut (dyn Any + Send), &mut ReactionCtx<'_>) + Send>;
+
+/// Whether an action is logical or physical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Scheduled by reactions with a logical delay.
+    Logical,
+    /// Scheduled from outside the runtime, tagged with physical time.
+    Physical,
+}
+
+pub(crate) struct ReactorMeta {
+    pub name: String,
+}
+
+pub(crate) struct PortMeta {
+    pub name: String,
+    #[allow(dead_code)]
+    pub reactor: ReactorId,
+    #[allow(dead_code)]
+    pub kind: PortKind,
+    #[allow(dead_code)]
+    pub type_id: TypeId,
+    /// The port whose value slot this port reads (itself for outputs and
+    /// unconnected inputs; the source output for connected inputs).
+    pub root: PortId,
+    /// Reactions triggered when this (root) port becomes present.
+    pub sinks_trigger: Vec<ReactionId>,
+}
+
+pub(crate) struct ActionMeta {
+    pub name: String,
+    #[allow(dead_code)]
+    pub reactor: ReactorId,
+    pub kind: ActionKind,
+    pub min_delay: Duration,
+    pub triggered: Vec<ReactionId>,
+}
+
+pub(crate) struct TimerMeta {
+    #[allow(dead_code)]
+    pub name: String,
+    #[allow(dead_code)]
+    pub reactor: ReactorId,
+    pub offset: Duration,
+    pub period: Option<Duration>,
+    pub triggered: Vec<ReactionId>,
+}
+
+pub(crate) struct ReactionMeta {
+    pub name: String,
+    pub reactor: ReactorId,
+    pub level: u32,
+    pub body: Mutex<BodyFn>,
+    pub deadline: Option<Duration>,
+    pub deadline_handler: Option<Mutex<BodyFn>>,
+    /// Ports this reaction may read (triggers + uses + effects), sorted.
+    pub readable: Vec<PortId>,
+    /// Ports this reaction may write, sorted.
+    pub effects: Vec<PortId>,
+    /// Actions this reaction may schedule, sorted.
+    pub schedules: Vec<ActionId>,
+}
+
+/// A fully assembled, validated reactor program.
+///
+/// Produced by [`ProgramBuilder::build`]; consumed by
+/// [`Runtime::new`](crate::Runtime::new).
+pub struct Program {
+    pub(crate) reactors: Vec<ReactorMeta>,
+    pub(crate) ports: Vec<PortMeta>,
+    pub(crate) actions: Vec<ActionMeta>,
+    pub(crate) timers: Vec<TimerMeta>,
+    pub(crate) reactions: Vec<ReactionMeta>,
+    pub(crate) startup: Vec<ReactionId>,
+    pub(crate) shutdown: Vec<ReactionId>,
+    /// Initial reactor states, taken by `Runtime::new`. Wrapped in a
+    /// `Mutex` solely so that `&Program` is `Sync` for the level-parallel
+    /// executor (`Box<dyn Any + Send>` alone is not).
+    pub(crate) states: Mutex<Vec<Box<dyn Any + Send>>>,
+    pub(crate) num_levels: u32,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("reactors", &self.reactors.len())
+            .field("ports", &self.ports.len())
+            .field("actions", &self.actions.len())
+            .field("timers", &self.timers.len())
+            .field("reactions", &self.reactions.len())
+            .field("num_levels", &self.num_levels)
+            .finish()
+    }
+}
+
+impl Program {
+    /// Number of reactors in the program.
+    #[must_use]
+    pub fn reactor_count(&self) -> usize {
+        self.reactors.len()
+    }
+
+    /// Number of reactions in the program.
+    #[must_use]
+    pub fn reaction_count(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Number of APG levels (the critical-path length of the graph).
+    #[must_use]
+    pub fn level_count(&self) -> u32 {
+        self.num_levels
+    }
+
+    /// The qualified name of a reaction, e.g. `"Preprocessing.on_frame"`.
+    #[must_use]
+    pub fn reaction_name(&self, id: ReactionId) -> &str {
+        &self.reactions[id.index()].name
+    }
+
+    /// The APG level of a reaction.
+    #[must_use]
+    pub fn reaction_level(&self, id: ReactionId) -> u32 {
+        self.reactions[id.index()].level
+    }
+}
+
+struct ReactionBuild {
+    name: String,
+    reactor: ReactorId,
+    triggers: Vec<TriggerId>,
+    uses: Vec<PortId>,
+    effects: Vec<PortId>,
+    schedules: Vec<ActionId>,
+    body: BodyFn,
+    deadline: Option<Duration>,
+    deadline_handler: Option<BodyFn>,
+}
+
+struct PortBuild {
+    name: String,
+    reactor: ReactorId,
+    kind: PortKind,
+    type_id: TypeId,
+    source: Option<PortId>,
+}
+
+/// Builder for a reactor program.
+///
+/// # Examples
+///
+/// ```
+/// use dear_core::{ProgramBuilder, Runtime, Startup};
+///
+/// let mut b = ProgramBuilder::new();
+/// let mut producer = b.reactor("producer", ());
+/// let out = producer.output::<u32>("value");
+/// producer
+///     .reaction("emit")
+///     .triggered_by(Startup)
+///     .effects(out)
+///     .body(move |_, ctx| ctx.set(out, 17));
+/// drop(producer);
+///
+/// let mut consumer = b.reactor("consumer", Vec::<u32>::new());
+/// let inp = consumer.input::<u32>("value");
+/// consumer
+///     .reaction("collect")
+///     .triggered_by(inp)
+///     .body(move |seen: &mut Vec<u32>, ctx| {
+///         seen.push(*ctx.get(inp).unwrap());
+///     });
+/// drop(consumer);
+///
+/// b.connect(out, inp)?;
+/// let program = b.build()?;
+/// assert_eq!(program.reaction_count(), 2);
+/// # Ok::<(), dear_core::AssemblyError>(())
+/// ```
+#[derive(Default)]
+pub struct ProgramBuilder {
+    reactors: Vec<ReactorMeta>,
+    states: Vec<Box<dyn Any + Send>>,
+    ports: Vec<PortBuild>,
+    actions: Vec<ActionMeta>,
+    timers: Vec<TimerMeta>,
+    reactions: Vec<ReactionBuild>,
+}
+
+impl std::fmt::Debug for ProgramBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramBuilder")
+            .field("reactors", &self.reactors.len())
+            .field("ports", &self.ports.len())
+            .field("reactions", &self.reactions.len())
+            .finish()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a reactor with the given name and initial state.
+    ///
+    /// The returned [`ReactorBuilder`] borrows this builder; declare the
+    /// reactor's ports, actions, timers and reactions through it, then drop
+    /// it (or let it go out of scope) before declaring the next reactor.
+    pub fn reactor<S: Send + 'static>(&mut self, name: &str, state: S) -> ReactorBuilder<'_, S> {
+        let id = ReactorId(u32::try_from(self.reactors.len()).expect("too many reactors"));
+        self.reactors.push(ReactorMeta { name: name.into() });
+        self.states.push(Box::new(state));
+        ReactorBuilder {
+            builder: self,
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Connects an output port to an input port of the same value type.
+    ///
+    /// Fan-out (one output to many inputs) is allowed; fan-in (an input
+    /// with several sources) is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AssemblyError`] if the source is not an output, the
+    /// target is not an input, the target already has a source, or the
+    /// ports are identical.
+    pub fn connect<T: 'static>(
+        &mut self,
+        from: Port<T>,
+        to: Port<T>,
+    ) -> Result<(), AssemblyError> {
+        if from.id == to.id {
+            return Err(AssemblyError::SelfLoop {
+                port: from.id,
+                name: self.ports[from.id.index()].name.clone(),
+            });
+        }
+        if self.ports[from.id.index()].kind != PortKind::Output {
+            return Err(AssemblyError::SourceNotOutput {
+                port: from.id,
+                name: self.ports[from.id.index()].name.clone(),
+            });
+        }
+        if self.ports[to.id.index()].kind != PortKind::Input {
+            return Err(AssemblyError::TargetNotInput {
+                port: to.id,
+                name: self.ports[to.id.index()].name.clone(),
+            });
+        }
+        if self.ports[to.id.index()].source.is_some() {
+            return Err(AssemblyError::MultipleSources {
+                port: to.id,
+                name: self.ports[to.id.index()].name.clone(),
+            });
+        }
+        self.ports[to.id.index()].source = Some(from.id);
+        Ok(())
+    }
+
+    /// Connects an output port to an input port through a logical delay.
+    ///
+    /// Values written to `from` appear on `to` at `tag.delay(delay)` — a
+    /// strictly later tag. Because the value travels through a logical
+    /// action, a delayed connection contributes **no** dependency edge to
+    /// the precedence graph: it is the standard reactor idiom for
+    /// breaking feedback loops.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProgramBuilder::connect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn connect_delayed<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        from: Port<T>,
+        to: Port<T>,
+        delay: Duration,
+    ) -> Result<(), AssemblyError> {
+        assert!(!delay.is_negative(), "connection delay must be non-negative");
+        let name = format!("__delay_{}_{}", from.id, to.id);
+        let mut r = self.reactor(&name, ());
+        let din = r.input::<T>("in");
+        let dout = r.output::<T>("out");
+        let act = r.logical_action::<T>("value", delay);
+        // `release` is declared *before* `capture` so the intra-reactor
+        // priority edge points release -> capture; the reverse order would
+        // close a zero-delay cycle when the connection is used as a
+        // feedback path.
+        r.reaction("release")
+            .triggered_by(act)
+            .effects(dout)
+            .body(move |_, ctx: &mut ReactionCtx<'_>| {
+                let v = ctx.get_action(&act).cloned().expect("action present");
+                ctx.set(dout, v);
+            });
+        r.reaction("capture")
+            .triggered_by(din)
+            .schedules(act)
+            .body(move |_, ctx: &mut ReactionCtx<'_>| {
+                let v = ctx.get(din).cloned().expect("triggering port present");
+                ctx.schedule(act, Duration::ZERO, v);
+            });
+        drop(r);
+        self.connect(from, din)?;
+        self.connect(dout, to)
+    }
+
+    /// Validates the program and computes the APG levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssemblyError::DependencyCycle`] if the reaction graph has
+    /// a zero-delay cycle.
+    pub fn build(self) -> Result<Program, AssemblyError> {
+        let n = self.reactions.len();
+
+        // Resolve port roots (one hop: inputs read their source output).
+        let roots: Vec<PortId> = self
+            .ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.source.unwrap_or(PortId(i as u32)))
+            .collect();
+
+        // Readers of each root port, split into triggered vs. all readers.
+        let mut sinks_trigger: Vec<Vec<ReactionId>> = vec![Vec::new(); self.ports.len()];
+        let mut sinks_all: Vec<Vec<ReactionId>> = vec![Vec::new(); self.ports.len()];
+        for (i, r) in self.reactions.iter().enumerate() {
+            let rid = ReactionId(i as u32);
+            for t in &r.triggers {
+                if let TriggerId::Port(p) = t {
+                    let root = roots[p.index()];
+                    sinks_trigger[root.index()].push(rid);
+                    sinks_all[root.index()].push(rid);
+                }
+            }
+            for p in &r.uses {
+                let root = roots[p.index()];
+                sinks_all[root.index()].push(rid);
+            }
+        }
+        for v in sinks_trigger.iter_mut().chain(sinks_all.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        // Dependency edges: writer -> reader through ports, plus the
+        // intra-reactor priority chain (declaration order).
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree: Vec<usize> = vec![0; n];
+        let add_edge = |succs: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
+            succs[a].push(b);
+            indegree[b] += 1;
+        };
+        for (i, r) in self.reactions.iter().enumerate() {
+            for p in &r.effects {
+                let root = roots[p.index()];
+                debug_assert_eq!(root, *p, "effects are outputs, thus their own root");
+                for reader in &sinks_all[root.index()] {
+                    // A self-edge (a reaction triggered by a port its own
+                    // effect feeds) is a genuine zero-delay cycle and is
+                    // reported as such by Kahn's algorithm.
+                    add_edge(&mut succs, &mut indegree, i, reader.index());
+                }
+            }
+        }
+        // Priority chain per reactor.
+        let mut last_of_reactor: Vec<Option<usize>> = vec![None; self.reactors.len()];
+        for (i, r) in self.reactions.iter().enumerate() {
+            if let Some(prev) = last_of_reactor[r.reactor.index()] {
+                add_edge(&mut succs, &mut indegree, prev, i);
+            }
+            last_of_reactor[r.reactor.index()] = Some(i);
+        }
+
+        // Kahn's algorithm computing longest-path levels.
+        let mut level = vec![0u32; n];
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop_front() {
+            visited += 1;
+            for &s in &succs[i] {
+                level[s] = level[s].max(level[i] + 1);
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if visited != n {
+            let cycle: Vec<String> = (0..n)
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| self.reactions[i].name.clone())
+                .collect();
+            return Err(AssemblyError::DependencyCycle(cycle));
+        }
+        let num_levels = level.iter().max().map_or(0, |&m| m + 1);
+
+        // Trigger lists for actions, timers, startup and shutdown.
+        let mut actions = self.actions;
+        let mut timers = self.timers;
+        let mut startup = Vec::new();
+        let mut shutdown = Vec::new();
+        for (i, r) in self.reactions.iter().enumerate() {
+            let rid = ReactionId(i as u32);
+            for t in &r.triggers {
+                match t {
+                    TriggerId::Startup => startup.push(rid),
+                    TriggerId::Shutdown => shutdown.push(rid),
+                    TriggerId::Action(a) => actions[a.index()].triggered.push(rid),
+                    TriggerId::Timer(t) => timers[t.index()].triggered.push(rid),
+                    TriggerId::Port(_) => {}
+                }
+            }
+        }
+        for list in actions
+            .iter_mut()
+            .map(|a| &mut a.triggered)
+            .chain(timers.iter_mut().map(|t| &mut t.triggered))
+        {
+            list.sort_unstable();
+            list.dedup();
+        }
+        startup.sort_unstable();
+        shutdown.sort_unstable();
+
+        let ports: Vec<PortMeta> = self
+            .ports
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| PortMeta {
+                name: p.name,
+                reactor: p.reactor,
+                kind: p.kind,
+                type_id: p.type_id,
+                root: roots[i],
+                sinks_trigger: std::mem::take(&mut sinks_trigger[i]),
+            })
+            .collect();
+
+        let reactions: Vec<ReactionMeta> = self
+            .reactions
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut readable: Vec<PortId> = r
+                    .triggers
+                    .iter()
+                    .filter_map(|t| match t {
+                        TriggerId::Port(p) => Some(*p),
+                        _ => None,
+                    })
+                    .chain(r.uses.iter().copied())
+                    .chain(r.effects.iter().copied())
+                    .collect();
+                readable.sort_unstable();
+                readable.dedup();
+                let mut effects = r.effects;
+                effects.sort_unstable();
+                effects.dedup();
+                let mut schedules = r.schedules;
+                schedules.sort_unstable();
+                schedules.dedup();
+                ReactionMeta {
+                    name: r.name,
+                    reactor: r.reactor,
+                    level: level[i],
+                    body: Mutex::new(r.body),
+                    deadline: r.deadline,
+                    deadline_handler: r.deadline_handler.map(Mutex::new),
+                    readable,
+                    effects,
+                    schedules,
+                }
+            })
+            .collect();
+
+        Ok(Program {
+            reactors: self.reactors,
+            ports,
+            actions,
+            timers,
+            reactions,
+            startup,
+            shutdown,
+            states: Mutex::new(self.states),
+            num_levels,
+        })
+    }
+}
+
+/// Builder scope for one reactor's ports, actions, timers and reactions.
+///
+/// Created by [`ProgramBuilder::reactor`]; see that method's example.
+pub struct ReactorBuilder<'b, S> {
+    builder: &'b mut ProgramBuilder,
+    id: ReactorId,
+    _marker: PhantomData<fn(S) -> S>,
+}
+
+impl<S> std::fmt::Debug for ReactorBuilder<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReactorBuilder({})", self.id)
+    }
+}
+
+impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
+    /// The id of the reactor being built.
+    #[must_use]
+    pub fn id(&self) -> ReactorId {
+        self.id
+    }
+
+    fn add_port<T: Send + Sync + 'static>(&mut self, name: &str, kind: PortKind) -> Port<T> {
+        let id = PortId(u32::try_from(self.builder.ports.len()).expect("too many ports"));
+        let reactor_name = &self.builder.reactors[self.id.index()].name;
+        self.builder.ports.push(PortBuild {
+            name: format!("{reactor_name}.{name}"),
+            reactor: self.id,
+            kind,
+            type_id: TypeId::of::<T>(),
+            source: None,
+        });
+        Port {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Declares an input port carrying values of type `T`.
+    pub fn input<T: Send + Sync + 'static>(&mut self, name: &str) -> Port<T> {
+        self.add_port(name, PortKind::Input)
+    }
+
+    /// Declares an output port carrying values of type `T`.
+    pub fn output<T: Send + Sync + 'static>(&mut self, name: &str) -> Port<T> {
+        self.add_port(name, PortKind::Output)
+    }
+
+    fn add_action<T: Send + Sync + 'static>(
+        &mut self,
+        name: &str,
+        kind: ActionKind,
+        min_delay: Duration,
+    ) -> ActionId {
+        assert!(
+            !min_delay.is_negative(),
+            "action min_delay must be non-negative"
+        );
+        let id = ActionId(u32::try_from(self.builder.actions.len()).expect("too many actions"));
+        let reactor_name = &self.builder.reactors[self.id.index()].name;
+        self.builder.actions.push(ActionMeta {
+            name: format!("{reactor_name}.{name}"),
+            reactor: self.id,
+            kind,
+            min_delay,
+            triggered: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a logical action with the given minimum logical delay.
+    pub fn logical_action<T: Send + Sync + 'static>(
+        &mut self,
+        name: &str,
+        min_delay: Duration,
+    ) -> LogicalAction<T> {
+        LogicalAction {
+            id: self.add_action::<T>(name, ActionKind::Logical, min_delay),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Declares a physical action with the given minimum delay.
+    ///
+    /// Physical actions are scheduled from outside the runtime via
+    /// [`Runtime::schedule_physical`](crate::Runtime::schedule_physical) or
+    /// [`Runtime::schedule_physical_at`](crate::Runtime::schedule_physical_at).
+    pub fn physical_action<T: Send + Sync + 'static>(
+        &mut self,
+        name: &str,
+        min_delay: Duration,
+    ) -> PhysicalAction<T> {
+        PhysicalAction {
+            id: self.add_action::<T>(name, ActionKind::Physical, min_delay),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Declares a timer firing first at `offset` after startup and then
+    /// every `period` (or only once if `period` is `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is negative or `period` is non-positive.
+    pub fn timer(&mut self, name: &str, offset: Duration, period: Option<Duration>) -> Timer {
+        assert!(!offset.is_negative(), "timer offset must be non-negative");
+        if let Some(p) = period {
+            assert!(p > Duration::ZERO, "timer period must be positive");
+        }
+        let id = TimerId(u32::try_from(self.builder.timers.len()).expect("too many timers"));
+        let reactor_name = &self.builder.reactors[self.id.index()].name;
+        self.builder.timers.push(TimerMeta {
+            name: format!("{reactor_name}.{name}"),
+            reactor: self.id,
+            offset,
+            period,
+            triggered: Vec::new(),
+        });
+        Timer { id }
+    }
+
+    /// Begins the declaration of a reaction.
+    ///
+    /// Reactions of the same reactor are totally ordered by declaration
+    /// order (their *priority*), which the APG honours.
+    pub fn reaction(&mut self, name: &str) -> ReactionDeclaration<'_, S> {
+        let reactor_name = &self.builder.reactors[self.id.index()].name;
+        let name = format!("{reactor_name}.{name}");
+        ReactionDeclaration {
+            builder: self.builder,
+            reactor: self.id,
+            name,
+            triggers: Vec::new(),
+            uses: Vec::new(),
+            effects: Vec::new(),
+            schedules: Vec::new(),
+            deadline: None,
+            deadline_handler: None,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Fluent declaration of a single reaction; finished by [`body`].
+///
+/// [`body`]: ReactionDeclaration::body
+pub struct ReactionDeclaration<'r, S> {
+    builder: &'r mut ProgramBuilder,
+    reactor: ReactorId,
+    name: String,
+    triggers: Vec<TriggerId>,
+    uses: Vec<PortId>,
+    effects: Vec<PortId>,
+    schedules: Vec<ActionId>,
+    deadline: Option<Duration>,
+    deadline_handler: Option<BodyFn>,
+    _marker: PhantomData<fn(S) -> S>,
+}
+
+impl<S> std::fmt::Debug for ReactionDeclaration<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ReactionDeclaration({})", self.name)
+    }
+}
+
+fn wrap_body<S: Send + 'static>(
+    name: String,
+    mut f: impl FnMut(&mut S, &mut ReactionCtx<'_>) + Send + 'static,
+) -> BodyFn {
+    Box::new(move |state, ctx| {
+        let state = state
+            .downcast_mut::<S>()
+            .unwrap_or_else(|| panic!("state type mismatch in reaction `{name}`"));
+        f(state, ctx);
+    })
+}
+
+impl<'r, S: Send + 'static> ReactionDeclaration<'r, S> {
+    /// Adds a trigger: the reaction runs whenever the trigger is present.
+    #[must_use]
+    pub fn triggered_by(mut self, source: impl TriggerSource) -> Self {
+        self.triggers.push(source.trigger_id());
+        self
+    }
+
+    /// Declares a port the reaction reads without being triggered by it.
+    #[must_use]
+    pub fn uses<T>(mut self, port: Port<T>) -> Self {
+        self.uses.push(port.id);
+        self
+    }
+
+    /// Declares an output port the reaction may write.
+    #[must_use]
+    pub fn effects<T>(mut self, port: Port<T>) -> Self {
+        self.effects.push(port.id);
+        self
+    }
+
+    /// Declares a logical action the reaction may schedule.
+    #[must_use]
+    pub fn schedules<T>(mut self, action: LogicalAction<T>) -> Self {
+        self.schedules.push(action.id);
+        self
+    }
+
+    /// Attaches a deadline: if the reaction is *launched* more than
+    /// `deadline` after its tag's time point (measured on the physical
+    /// clock), `handler` runs instead of the body (§III.A: "a deadline D is
+    /// considered violated when an event with tag t triggers a reaction
+    /// associated with D after physical time T has exceeded t + D").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is negative.
+    #[must_use]
+    pub fn with_deadline(
+        mut self,
+        deadline: Duration,
+        handler: impl FnMut(&mut S, &mut ReactionCtx<'_>) + Send + 'static,
+    ) -> Self {
+        assert!(!deadline.is_negative(), "deadline must be non-negative");
+        self.deadline = Some(deadline);
+        self.deadline_handler = Some(wrap_body(format!("{}(deadline)", self.name), handler));
+        self
+    }
+
+    /// Finishes the declaration with the reaction body and registers it.
+    pub fn body(
+        self,
+        f: impl FnMut(&mut S, &mut ReactionCtx<'_>) + Send + 'static,
+    ) -> ReactionId {
+        let id = ReactionId(u32::try_from(self.builder.reactions.len()).expect("too many reactions"));
+        let body = wrap_body(self.name.clone(), f);
+        self.builder.reactions.push(ReactionBuild {
+            name: self.name,
+            reactor: self.reactor,
+            triggers: self.triggers,
+            uses: self.uses,
+            effects: self.effects,
+            schedules: self.schedules,
+            body,
+            deadline: self.deadline,
+            deadline_handler: self.deadline_handler,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handles::Startup;
+
+    #[test]
+    fn levels_follow_connections_and_priorities() {
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        let out = a.output::<u32>("out");
+        let r0 = a
+            .reaction("produce")
+            .triggered_by(Startup)
+            .effects(out)
+            .body(move |_, ctx| ctx.set(out, 1));
+        // Same reactor, later declaration: must be at a higher level.
+        let r1 = a.reaction("after").triggered_by(Startup).body(|_, _| {});
+        drop(a);
+
+        let mut c = b.reactor("c", ());
+        let inp = c.input::<u32>("in");
+        let r2 = c.reaction("consume").triggered_by(inp).body(|_, _| {});
+        drop(c);
+        b.connect(out, inp).unwrap();
+
+        let p = b.build().unwrap();
+        assert_eq!(p.reaction_level(r0), 0);
+        assert_eq!(p.reaction_level(r1), 1);
+        assert_eq!(p.reaction_level(r2), 1);
+        assert_eq!(p.level_count(), 2);
+        assert_eq!(p.reaction_name(r0), "a.produce");
+    }
+
+    #[test]
+    fn uses_creates_dependency_without_trigger() {
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        let out = a.output::<u32>("out");
+        a.reaction("produce")
+            .triggered_by(Startup)
+            .effects(out)
+            .body(move |_, ctx| ctx.set(out, 1));
+        drop(a);
+        let mut c = b.reactor("c", ());
+        let inp = c.input::<u32>("in");
+        let t = c.timer("t", dear_time::Duration::ZERO, None);
+        let r = c
+            .reaction("peek")
+            .triggered_by(t)
+            .uses(inp)
+            .body(|_, _| {});
+        drop(c);
+        b.connect(out, inp).unwrap();
+        let p = b.build().unwrap();
+        // The user of the port is levelled after the writer even though it
+        // is not triggered by it.
+        assert_eq!(p.reaction_level(r), 1);
+    }
+
+    #[test]
+    fn cycle_is_rejected_with_names() {
+        let mut b = ProgramBuilder::new();
+        let mut x = b.reactor("x", ());
+        let xo = x.output::<u32>("o");
+        let xi = x.input::<u32>("i");
+        x.reaction("fwd")
+            .triggered_by(xi)
+            .effects(xo)
+            .body(|_, _| {});
+        drop(x);
+        let mut y = b.reactor("y", ());
+        let yo = y.output::<u32>("o");
+        let yi = y.input::<u32>("i");
+        y.reaction("fwd")
+            .triggered_by(yi)
+            .effects(yo)
+            .body(|_, _| {});
+        drop(y);
+        b.connect(xo, yi).unwrap();
+        b.connect(yo, xi).unwrap();
+        match b.build() {
+            Err(AssemblyError::DependencyCycle(names)) => {
+                assert!(names.contains(&"x.fwd".to_string()));
+                assert!(names.contains(&"y.fwd".to_string()));
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_rejects_bad_endpoints() {
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        let out = a.output::<u32>("out");
+        let out2 = a.output::<u32>("out2");
+        let inp = a.input::<u32>("in");
+        drop(a);
+        let mut c = b.reactor("c", ());
+        let cin = c.input::<u32>("in");
+        drop(c);
+
+        assert!(matches!(
+            b.connect(inp, cin),
+            Err(AssemblyError::SourceNotOutput { .. })
+        ));
+        assert!(matches!(
+            b.connect(out, out2),
+            Err(AssemblyError::TargetNotInput { .. })
+        ));
+        b.connect(out, cin).unwrap();
+        assert!(matches!(
+            b.connect(out2, cin),
+            Err(AssemblyError::MultipleSources { .. })
+        ));
+        assert!(matches!(
+            b.connect(out, out),
+            Err(AssemblyError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn fan_out_is_allowed() {
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        let out = a.output::<u32>("out");
+        a.reaction("produce")
+            .triggered_by(Startup)
+            .effects(out)
+            .body(move |_, ctx| ctx.set(out, 1));
+        drop(a);
+        let mut ids = Vec::new();
+        let mut inputs = Vec::new();
+        for i in 0..3 {
+            let mut c = b.reactor(&format!("c{i}"), ());
+            let inp = c.input::<u32>("in");
+            ids.push(c.reaction("consume").triggered_by(inp).body(|_, _| {}));
+            inputs.push(inp);
+            drop(c);
+        }
+        for inp in &inputs {
+            b.connect(out, *inp).unwrap();
+        }
+        let p = b.build().unwrap();
+        for id in ids {
+            assert_eq!(p.reaction_level(id), 1);
+        }
+    }
+
+    #[test]
+    fn diamond_levels() {
+        // src -> (left, right) -> join
+        let mut b = ProgramBuilder::new();
+        let mut s = b.reactor("src", ());
+        let so = s.output::<u32>("o");
+        s.reaction("emit")
+            .triggered_by(Startup)
+            .effects(so)
+            .body(move |_, ctx| ctx.set(so, 0));
+        drop(s);
+
+        let mut mk_stage = |name: &str| {
+            let mut r = b.reactor(name, ());
+            let i = r.input::<u32>("i");
+            let o = r.output::<u32>("o");
+            let id = r
+                .reaction("fwd")
+                .triggered_by(i)
+                .effects(o)
+                .body(move |_, ctx| {
+                    let v = *ctx.get(i).unwrap();
+                    ctx.set(o, v + 1)
+                });
+            drop(r);
+            (i, o, id)
+        };
+        let (li, lo, lid) = mk_stage("left");
+        let (ri, ro, rid) = mk_stage("right");
+
+        let mut j = b.reactor("join", ());
+        let ja = j.input::<u32>("a");
+        let jb = j.input::<u32>("b");
+        let jid = j
+            .reaction("join")
+            .triggered_by(ja)
+            .triggered_by(jb)
+            .body(|_, _| {});
+        drop(j);
+
+        b.connect(so, li).unwrap();
+        b.connect(so, ri).unwrap();
+        b.connect(lo, ja).unwrap();
+        b.connect(ro, jb).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.reaction_level(lid), 1);
+        assert_eq!(p.reaction_level(rid), 1);
+        assert_eq!(p.reaction_level(jid), 2);
+        assert_eq!(p.level_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "timer period must be positive")]
+    fn zero_period_timer_panics() {
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        a.timer("t", Duration::ZERO, Some(Duration::ZERO));
+    }
+}

@@ -1,0 +1,668 @@
+//! The reactor runtime: event queue, tag processing, and level-parallel
+//! reaction execution.
+//!
+//! [`Runtime`] consumes a validated [`Program`] and processes tags in
+//! strictly increasing order. At each tag, triggered reactions execute in
+//! APG level order; reactions sharing a level are independent by
+//! construction and may run on parallel worker threads without affecting
+//! observable behaviour (verified by the `parallel_matches_sequential`
+//! tests and property tests).
+//!
+//! The runtime is *poll-driven*: a driver decides **when** to call
+//! [`Runtime::step`], passing the physical clock reading it observed. This
+//! one design choice lets the identical runtime run under
+//!
+//! * a real-time executor (wait until the wall clock passes the next tag —
+//!   see [`RealTimeExecutor`](crate::RealTimeExecutor)),
+//! * the discrete-event platform simulator (the federated driver in
+//!   `dear-transactors` schedules `step` calls at the simulated instant at
+//!   which the platform's local clock passes the tag), and
+//! * "fast mode" for tests ([`Runtime::step_fast`], no waiting at all).
+
+use crate::context::{ReactionCtx, ReactionOutcome};
+use crate::error::RuntimeError;
+use crate::handles::{ActionId, PhysicalAction, PortId, ReactionId, TimerId};
+use crate::program::{ActionKind, Program, Value};
+use crate::tag::Tag;
+use dear_sim::Trace;
+use dear_time::{Duration, Instant};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters describing a runtime's activity so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Tags fully processed.
+    pub processed_tags: u64,
+    /// Reaction bodies (or deadline handlers) executed.
+    pub executed_reactions: u64,
+    /// Deadline violations observed.
+    pub deadline_misses: u64,
+    /// Safe-to-process violations rejected at injection.
+    pub stp_violations: u64,
+}
+
+/// Result of one [`Runtime::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A tag was processed.
+    Processed(TagSummary),
+    /// No pending events; the runtime is alive and waiting.
+    Idle,
+    /// The runtime has shut down.
+    Stopped,
+}
+
+/// Summary of one processed tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagSummary {
+    /// The processed tag.
+    pub tag: Tag,
+    /// Reactions executed at this tag.
+    pub reactions: u32,
+    /// Deadline misses at this tag.
+    pub deadline_misses: u32,
+}
+
+#[derive(Default)]
+struct TagEntry {
+    actions: Vec<ActionId>,
+    timers: Vec<TimerId>,
+    startup: bool,
+    shutdown: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Created,
+    Running,
+    Stopped,
+}
+
+/// The reactor runtime.
+///
+/// # Examples
+///
+/// ```
+/// use dear_core::{ProgramBuilder, Runtime, Startup};
+/// use dear_time::Instant;
+///
+/// let mut b = ProgramBuilder::new();
+/// let mut r = b.reactor("hello", 0u32);
+/// r.reaction("greet")
+///     .triggered_by(Startup)
+///     .body(|count: &mut u32, _ctx| *count += 1);
+/// drop(r);
+///
+/// let mut rt = Runtime::new(b.build()?);
+/// rt.start(Instant::EPOCH);
+/// rt.run_fast(u64::MAX);
+/// assert_eq!(rt.stats().executed_reactions, 1);
+/// # Ok::<(), dear_core::AssemblyError>(())
+/// ```
+pub struct Runtime {
+    program: Program,
+    states: Vec<Option<Box<dyn Any + Send>>>,
+    port_values: Vec<Option<Value>>,
+    action_pending: Vec<BTreeMap<Tag, Value>>,
+    action_current: Vec<Option<Value>>,
+    queue: BTreeMap<Tag, TagEntry>,
+    last_processed: Option<Tag>,
+    phase: Phase,
+    workers: usize,
+    trace: Trace,
+    stats: RuntimeStats,
+    executed_log: Vec<ReactionId>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("phase", &self.phase)
+            .field("last_processed", &self.last_processed)
+            .field("pending_tags", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime for the given program (sequential execution).
+    #[must_use]
+    pub fn new(program: Program) -> Self {
+        let states = std::mem::take(
+            &mut *program.states.lock().expect("program states poisoned"),
+        )
+        .into_iter()
+        .map(Some)
+        .collect();
+        let port_values = (0..program.ports.len()).map(|_| None).collect();
+        let action_pending = (0..program.actions.len()).map(|_| BTreeMap::new()).collect();
+        let action_current = (0..program.actions.len()).map(|_| None).collect();
+        Runtime {
+            program,
+            states,
+            port_values,
+            action_pending,
+            action_current,
+            queue: BTreeMap::new(),
+            last_processed: None,
+            phase: Phase::Created,
+            workers: 1,
+            trace: Trace::disabled(),
+            stats: RuntimeStats::default(),
+            executed_log: Vec::new(),
+        }
+    }
+
+    /// The reactions executed at the most recently processed tag, in
+    /// execution order. Drivers use this to attribute modelled compute
+    /// cost to the platform (see `dear-transactors`).
+    #[must_use]
+    pub fn executed_at_last_tag(&self) -> &[ReactionId] {
+        &self.executed_log
+    }
+
+    /// Sets the number of worker threads used for same-level reactions.
+    ///
+    /// `1` (the default) executes sequentially. Any higher value enables
+    /// the level-parallel executor; observable behaviour is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn set_workers(&mut self, workers: usize) {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+    }
+
+    /// Enables trace recording of reaction executions, deadline misses and
+    /// STP violations (for determinism fingerprinting).
+    pub fn enable_tracing(&mut self) {
+        self.trace.set_enabled(true);
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn trace_log(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the recorded trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        let enabled = self.trace.is_enabled();
+        let replacement = if enabled { Trace::new() } else { Trace::disabled() };
+        std::mem::replace(&mut self.trace, replacement)
+    }
+
+    /// Runtime statistics.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// The program this runtime executes.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Starts the runtime: logical time is anchored at `now` (the platform
+    /// clock reading), startup reactions are enqueued at tag `(now, 0)`,
+    /// and timers at their offsets relative to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime was already started.
+    pub fn start(&mut self, now: Instant) {
+        assert_eq!(self.phase, Phase::Created, "runtime already started");
+        self.phase = Phase::Running;
+        let start_tag = Tag::at(now);
+        if !self.program.startup.is_empty() {
+            self.queue.entry(start_tag).or_default().startup = true;
+        }
+        for (i, timer) in self.program.timers.iter().enumerate() {
+            let tag = Tag::at(now + timer.offset);
+            self.queue
+                .entry(tag)
+                .or_default()
+                .timers
+                .push(TimerId(i as u32));
+        }
+    }
+
+    /// Returns `true` while the runtime can still process tags.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.phase == Phase::Running
+    }
+
+    /// The earliest pending tag, if any.
+    #[must_use]
+    pub fn next_tag(&self) -> Option<Tag> {
+        self.queue.keys().next().copied()
+    }
+
+    /// The most recently processed tag.
+    #[must_use]
+    pub fn current_tag(&self) -> Option<Tag> {
+        self.last_processed
+    }
+
+    /// Schedules a shutdown at the given time.
+    ///
+    /// The shutdown tag is final: shutdown reactions run at it, and any
+    /// events with later tags are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotRunning`] if the runtime is not running,
+    /// or an STP violation if `time` is not after the current tag.
+    pub fn stop_at(&mut self, time: Instant) -> Result<(), RuntimeError> {
+        if self.phase != Phase::Running {
+            return Err(RuntimeError::NotRunning);
+        }
+        let tag = Tag::at(time);
+        if let Some(last) = self.last_processed {
+            if tag <= last {
+                return Err(RuntimeError::StpViolation {
+                    requested: tag,
+                    current: last,
+                });
+            }
+        }
+        self.queue.entry(tag).or_default().shutdown = true;
+        Ok(())
+    }
+
+    /// Injects a physical action event with a tag derived from the given
+    /// physical clock reading: `(now + min_delay, 0)`, bumped to the next
+    /// microstep after the current tag if that lies in the logical past.
+    ///
+    /// Returns the tag actually assigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotRunning`] outside the running phase.
+    pub fn schedule_physical<T: Send + Sync + 'static>(
+        &mut self,
+        action: &PhysicalAction<T>,
+        value: T,
+        now: Instant,
+    ) -> Result<Tag, RuntimeError> {
+        if self.phase != Phase::Running {
+            return Err(RuntimeError::NotRunning);
+        }
+        let min_delay = self.program.actions[action.id.index()].min_delay;
+        let mut tag = Tag::at(now + min_delay);
+        if let Some(last) = self.last_processed {
+            if tag <= last {
+                tag = last.delay(Duration::ZERO);
+            }
+        }
+        self.insert_action_event(action.id, tag, Box::new(value));
+        Ok(tag)
+    }
+
+    /// Injects a physical action event at an exact tag, as the PTIDES-style
+    /// transactors do with `t + D + L + E` (paper §III.B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::StpViolation`] — and counts it — if `tag` is
+    /// not strictly after the current tag: the configured bounds were
+    /// violated, and instead of silently corrupting event order the fault
+    /// becomes observable ("the reactor semantics ... translates any
+    /// violation of one of the assumptions directly into observable
+    /// errors", §IV.B).
+    pub fn schedule_physical_at<T: Send + Sync + 'static>(
+        &mut self,
+        action: &PhysicalAction<T>,
+        value: T,
+        tag: Tag,
+    ) -> Result<(), RuntimeError> {
+        if self.phase != Phase::Running {
+            return Err(RuntimeError::NotRunning);
+        }
+        debug_assert_eq!(
+            self.program.actions[action.id.index()].kind,
+            ActionKind::Physical,
+            "schedule_physical_at requires a physical action"
+        );
+        if let Some(last) = self.last_processed {
+            if tag <= last {
+                self.stats.stp_violations += 1;
+                self.trace.record(
+                    tag.time,
+                    "stp-violation",
+                    format!(
+                        "action {} requested {tag} but current is {last}",
+                        self.program.actions[action.id.index()].name
+                    ),
+                );
+                return Err(RuntimeError::StpViolation {
+                    requested: tag,
+                    current: last,
+                });
+            }
+        }
+        self.insert_action_event(action.id, tag, Box::new(value));
+        Ok(())
+    }
+
+    /// Type-erased physical injection used by executors that carry values
+    /// through channels (see [`RealTimeExecutor`](crate::RealTimeExecutor)).
+    ///
+    /// Semantics are identical to [`Runtime::schedule_physical`].
+    pub(crate) fn schedule_physical_raw(
+        &mut self,
+        action: ActionId,
+        value: Value,
+        now: Instant,
+    ) -> Result<Tag, RuntimeError> {
+        if self.phase != Phase::Running {
+            return Err(RuntimeError::NotRunning);
+        }
+        let min_delay = self.program.actions[action.index()].min_delay;
+        let mut tag = Tag::at(now + min_delay);
+        if let Some(last) = self.last_processed {
+            if tag <= last {
+                tag = last.delay(Duration::ZERO);
+            }
+        }
+        self.insert_action_event(action, tag, value);
+        Ok(tag)
+    }
+
+    fn insert_action_event(&mut self, action: ActionId, tag: Tag, value: Value) {
+        self.action_pending[action.index()].insert(tag, value);
+        self.queue.entry(tag).or_default().actions.push(action);
+    }
+
+    /// Processes the earliest pending tag.
+    ///
+    /// `physical_now` is the driver's physical clock reading; it is used
+    /// for deadline checks and exposed to reactions via
+    /// [`ReactionCtx::physical_time`]. The runtime itself never waits —
+    /// callers enforce the "no event is handled before physical time
+    /// exceeds its tag" rule appropriate to their environment.
+    pub fn step(&mut self, physical_now: Instant) -> StepOutcome {
+        match self.phase {
+            Phase::Created => panic!("Runtime::start must be called before step"),
+            Phase::Stopped => return StepOutcome::Stopped,
+            Phase::Running => {}
+        }
+        let Some((tag, entry)) = self.queue.pop_first() else {
+            return StepOutcome::Idle;
+        };
+        debug_assert!(
+            self.last_processed.is_none_or(|last| tag > last),
+            "tags must be processed in increasing order"
+        );
+        self.last_processed = Some(tag);
+        self.executed_log.clear();
+        let stopping = entry.shutdown;
+
+        // Collect triggered reactions.
+        let mut ready: BTreeSet<(u32, ReactionId)> = BTreeSet::new();
+        let insert = |ready: &mut BTreeSet<(u32, ReactionId)>, program: &Program, r: ReactionId| {
+            ready.insert((program.reactions[r.index()].level, r));
+        };
+
+        let mut current_actions = entry.actions;
+        current_actions.sort_unstable();
+        current_actions.dedup();
+        for &a in &current_actions {
+            if let Some(v) = self.action_pending[a.index()].remove(&tag) {
+                self.action_current[a.index()] = Some(v);
+            }
+            for &r in &self.program.actions[a.index()].triggered {
+                insert(&mut ready, &self.program, r);
+            }
+        }
+        for &t in &entry.timers {
+            for &r in &self.program.timers[t.index()].triggered {
+                insert(&mut ready, &self.program, r);
+            }
+            if let Some(period) = self.program.timers[t.index()].period {
+                let next = Tag::at(tag.time + period);
+                self.queue.entry(next).or_default().timers.push(t);
+            }
+        }
+        if entry.startup {
+            for &r in &self.program.startup.clone() {
+                insert(&mut ready, &self.program, r);
+            }
+        }
+        if stopping {
+            for &r in &self.program.shutdown.clone() {
+                insert(&mut ready, &self.program, r);
+            }
+        }
+
+        // Execute in level order; same-level batches may run in parallel.
+        let mut written: Vec<PortId> = Vec::new();
+        let mut reactions_run = 0u32;
+        let mut misses = 0u32;
+        let mut shutdown_requested = false;
+        while let Some(&(level, _)) = ready.iter().next() {
+            let batch: Vec<ReactionId> = ready
+                .iter()
+                .take_while(|(l, _)| *l == level)
+                .map(|&(_, r)| r)
+                .collect();
+            for &r in &batch {
+                ready.remove(&(level, r));
+            }
+            let outcomes = self.execute_batch(tag, physical_now, &batch);
+            for (rid, outcome, missed) in outcomes {
+                reactions_run += 1;
+                self.stats.executed_reactions += 1;
+                self.executed_log.push(rid);
+                if missed {
+                    misses += 1;
+                    self.stats.deadline_misses += 1;
+                    self.trace.record(
+                        tag.time,
+                        "deadline-miss",
+                        format!("{} at {tag}", self.program.reactions[rid.index()].name),
+                    );
+                } else {
+                    self.trace.record(
+                        tag.time,
+                        "reaction",
+                        format!("{} at {tag}", self.program.reactions[rid.index()].name),
+                    );
+                }
+                shutdown_requested |= outcome.shutdown;
+                for (port, value) in outcome.writes {
+                    let root = port.index();
+                    if self.port_values[root].is_none() {
+                        written.push(port);
+                    }
+                    self.port_values[root] = Some(value);
+                    for &r in &self.program.ports[root].sinks_trigger {
+                        debug_assert!(self.program.reactions[r.index()].level > level);
+                        ready.insert((self.program.reactions[r.index()].level, r));
+                    }
+                }
+                for (action, atag, value) in outcome.schedules {
+                    debug_assert!(atag > tag);
+                    self.insert_action_event(action, atag, value);
+                }
+            }
+        }
+
+        // Post-tag cleanup.
+        for p in written {
+            self.port_values[p.index()] = None;
+        }
+        for a in current_actions {
+            self.action_current[a.index()] = None;
+        }
+        if stopping {
+            self.phase = Phase::Stopped;
+            self.queue.clear();
+        } else if shutdown_requested {
+            self.queue
+                .entry(tag.delay(Duration::ZERO))
+                .or_default()
+                .shutdown = true;
+        }
+        self.stats.processed_tags += 1;
+        StepOutcome::Processed(TagSummary {
+            tag,
+            reactions: reactions_run,
+            deadline_misses: misses,
+        })
+    }
+
+    /// Processes the next tag with zero physical lag ("fast mode": the
+    /// physical clock is assumed to read exactly the tag's time).
+    pub fn step_fast(&mut self) -> StepOutcome {
+        match self.next_tag() {
+            Some(tag) => self.step(tag.time),
+            None => self.step(Instant::EPOCH),
+        }
+    }
+
+    /// Runs in fast mode until idle, stopped, or `max_tags` processed.
+    ///
+    /// Returns the number of tags processed.
+    pub fn run_fast(&mut self, max_tags: u64) -> u64 {
+        let mut n = 0;
+        while n < max_tags {
+            match self.step_fast() {
+                StepOutcome::Processed(_) => n += 1,
+                StepOutcome::Idle | StepOutcome::Stopped => break,
+            }
+        }
+        n
+    }
+
+    fn execute_batch(
+        &mut self,
+        tag: Tag,
+        physical: Instant,
+        batch: &[ReactionId],
+    ) -> Vec<(ReactionId, ReactionOutcome, bool)> {
+        // Take each involved reactor's state out of the arena. Two
+        // reactions of the same reactor can never share a level (they are
+        // ordered by priority), so every take must succeed.
+        let work: Vec<(ReactionId, Box<dyn Any + Send>)> = batch
+            .iter()
+            .map(|&rid| {
+                let reactor = self.program.reactions[rid.index()].reactor;
+                let state = self.states[reactor.index()]
+                    .take()
+                    .expect("reactor state aliased within a level");
+                (rid, state)
+            })
+            .collect();
+
+        let program = &self.program;
+        let ports: &[Option<Value>] = &self.port_values;
+        let actions: &[Option<Value>] = &self.action_current;
+
+        let results: Vec<(ReactionId, Box<dyn Any + Send>, ReactionOutcome, bool)> =
+            if self.workers > 1 && work.len() > 1 {
+                // Partition the batch into at most `workers` contiguous
+                // chunks; one scoped thread runs each chunk sequentially.
+                let workers = self.workers.min(work.len());
+                let chunk_size = work.len().div_ceil(workers);
+                let mut chunks: Vec<Vec<(ReactionId, Box<dyn Any + Send>)>> = Vec::new();
+                let mut work = work;
+                while !work.is_empty() {
+                    let rest = work.split_off(work.len().min(chunk_size));
+                    chunks.push(std::mem::replace(&mut work, rest));
+                }
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk
+                                    .into_iter()
+                                    .map(|(rid, mut state)| {
+                                        let (outcome, missed) = run_reaction(
+                                            program,
+                                            rid,
+                                            state.as_mut(),
+                                            tag,
+                                            physical,
+                                            ports,
+                                            actions,
+                                        );
+                                        (rid, state, outcome, missed)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("reaction panicked"))
+                        .collect()
+                })
+            } else {
+                work.into_iter()
+                    .map(|(rid, mut state)| {
+                        let (outcome, missed) = run_reaction(
+                            program,
+                            rid,
+                            state.as_mut(),
+                            tag,
+                            physical,
+                            ports,
+                            actions,
+                        );
+                        (rid, state, outcome, missed)
+                    })
+                    .collect()
+            };
+
+        let mut out = Vec::with_capacity(results.len());
+        for (rid, state, outcome, missed) in results {
+            let reactor = self.program.reactions[rid.index()].reactor;
+            self.states[reactor.index()] = Some(state);
+            out.push((rid, outcome, missed));
+        }
+        // Apply outcomes in deterministic reaction-id order.
+        out.sort_by_key(|(rid, _, _)| *rid);
+        out
+    }
+}
+
+fn run_reaction(
+    program: &Program,
+    rid: ReactionId,
+    state: &mut (dyn Any + Send),
+    tag: Tag,
+    physical: Instant,
+    ports: &[Option<Value>],
+    actions: &[Option<Value>],
+) -> (ReactionOutcome, bool) {
+    let meta = &program.reactions[rid.index()];
+    let missed = meta
+        .deadline
+        .is_some_and(|d| physical > tag.time + d);
+    let mut ctx = ReactionCtx {
+        tag,
+        physical,
+        program,
+        reaction: rid,
+        ports,
+        actions,
+        outcome: ReactionOutcome::default(),
+    };
+    if missed {
+        let handler = meta
+            .deadline_handler
+            .as_ref()
+            .expect("deadline implies handler");
+        (handler.lock().expect("deadline handler poisoned"))(state, &mut ctx);
+    } else {
+        (meta.body.lock().expect("reaction body poisoned"))(state, &mut ctx);
+    }
+    (ctx.outcome, missed)
+}

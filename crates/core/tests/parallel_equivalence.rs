@@ -1,0 +1,160 @@
+//! The central determinism claim: the level-parallel executor produces
+//! exactly the observable behaviour of the sequential executor, for every
+//! topology and any number of workers.
+
+use dear_core::{ProgramBuilder, Runtime, Startup};
+use dear_time::{Duration, Instant};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Builds a layered fan-out/fan-in program:
+/// one source -> `width` parallel stages (each adds its index) -> one sink
+/// that sums. Driven by a periodic timer for `ticks` rounds.
+fn build_fanout(width: usize, ticks: u32, workers: usize) -> (u64, u64) {
+    let sums = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let mut b = ProgramBuilder::new();
+
+    let mut src = b.reactor("src", 0u64);
+    let t = src.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let src_out = src.output::<u64>("o");
+    src.reaction("emit")
+        .triggered_by(t)
+        .effects(src_out)
+        .body(move |n: &mut u64, ctx| {
+            *n += 1;
+            ctx.set(src_out, *n);
+        });
+    drop(src);
+
+    let mut stage_outs = Vec::new();
+    for i in 0..width {
+        let mut stage = b.reactor(&format!("stage{i}"), ());
+        let inp = stage.input::<u64>("i");
+        let out = stage.output::<u64>("o");
+        stage
+            .reaction("work")
+            .triggered_by(inp)
+            .effects(out)
+            .body(move |_, ctx| {
+                let v = *ctx.get(inp).unwrap();
+                ctx.set(out, v * 31 + i as u64);
+            });
+        drop(stage);
+        b.connect(src_out, inp).unwrap();
+        stage_outs.push(out);
+    }
+
+    let mut sink = b.reactor("sink", 0u32);
+    let mut sink_ins = Vec::new();
+    for i in 0..width {
+        sink_ins.push(sink.input::<u64>(&format!("i{i}")));
+    }
+    let ins = sink_ins.clone();
+    let sums2 = sums.clone();
+    let mut decl = sink.reaction("sum");
+    for &i in &sink_ins {
+        decl = decl.triggered_by(i);
+    }
+    decl.body(move |rounds: &mut u32, ctx| {
+        let total: u64 = ins.iter().map(|&i| *ctx.get(i).unwrap()).sum();
+        sums2.lock().unwrap().push(total);
+        *rounds += 1;
+        if *rounds >= ticks {
+            ctx.request_shutdown();
+        }
+    });
+    drop(sink);
+    for (i, out) in stage_outs.into_iter().enumerate() {
+        b.connect(out, sink_ins[i]).unwrap();
+    }
+
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.set_workers(workers);
+    rt.enable_tracing();
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    let fp = rt.trace_log().fingerprint();
+    let digest: u64 = sums
+        .lock()
+        .unwrap()
+        .iter()
+        .fold(0u64, |acc, &v| acc.wrapping_mul(1099511628211).wrapping_add(v));
+    (fp, digest)
+}
+
+#[test]
+fn parallel_matches_sequential_small() {
+    let seq = build_fanout(4, 10, 1);
+    for workers in [2, 4, 8] {
+        let par = build_fanout(4, 10, workers);
+        assert_eq!(seq, par, "workers={workers}");
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_wide() {
+    let seq = build_fanout(16, 5, 1);
+    let par = build_fanout(16, 5, 8);
+    assert_eq!(seq, par);
+}
+
+/// Stateful per-stage accumulation: parallel workers mutate distinct
+/// reactor states; results must still be identical.
+fn build_stateful(width: usize, ticks: u32, workers: usize) -> Vec<u64> {
+    let finals = Arc::new(Mutex::new(vec![0u64; width]));
+    let mut b = ProgramBuilder::new();
+
+    let mut src = b.reactor("src", 0u64);
+    let t = src.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let src_out = src.output::<u64>("o");
+    src.reaction("emit")
+        .triggered_by(t)
+        .effects(src_out)
+        .body(move |n: &mut u64, ctx| {
+            *n += 1;
+            ctx.set(src_out, *n);
+            if *n >= ticks as u64 {
+                ctx.request_shutdown();
+            }
+        });
+    drop(src);
+
+    for i in 0..width {
+        let mut stage = b.reactor(&format!("acc{i}"), 0u64);
+        let inp = stage.input::<u64>("i");
+        let finals2 = finals.clone();
+        stage
+            .reaction("accumulate")
+            .triggered_by(inp)
+            .body(move |acc: &mut u64, ctx| {
+                *acc = acc.wrapping_mul(6364136223846793005).wrapping_add(*ctx.get(inp).unwrap() + i as u64);
+                finals2.lock().unwrap()[i] = *acc;
+            });
+        drop(stage);
+        b.connect(src_out, inp).unwrap();
+    }
+
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.set_workers(workers);
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    let v = finals.lock().unwrap().clone();
+    v
+}
+
+#[test]
+fn stateful_parallel_matches_sequential() {
+    let seq = build_stateful(8, 20, 1);
+    let par = build_stateful(8, 20, 4);
+    assert_eq!(seq, par);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_parallel_equivalence(width in 1usize..12, ticks in 1u32..8, workers in 2usize..6) {
+        let seq = build_fanout(width, ticks, 1);
+        let par = build_fanout(width, ticks, workers);
+        prop_assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,115 @@
+//! Tests of the real-time driver (timers against the wall clock, physical
+//! action injection from other threads). Tolerances are deliberately loose
+//! to stay robust on loaded CI machines.
+
+use dear_core::{ProgramBuilder, RealTimeExecutor, Startup};
+use dear_time::Duration;
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn timer_driven_program_runs_in_real_time() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("ticker", 0u32);
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(2)));
+    r.reaction("tick").triggered_by(t).body(|n: &mut u32, ctx| {
+        *n += 1;
+        if *n == 5 {
+            ctx.request_shutdown();
+        }
+    });
+    drop(r);
+    let started = std::time::Instant::now();
+    let mut exec = RealTimeExecutor::new(b.build().unwrap());
+    let stats = exec.run();
+    let elapsed = started.elapsed();
+    assert_eq!(stats.executed_reactions, 5);
+    // Four 2 ms periods must have elapsed (>= 8 ms), with generous upper slack.
+    assert!(elapsed >= std::time::Duration::from_millis(8));
+    assert!(elapsed < std::time::Duration::from_secs(5));
+}
+
+#[test]
+fn physical_injection_from_another_thread() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("sensor", 0u32);
+    let act = r.physical_action::<u32>("sample", Duration::ZERO);
+    let s = seen.clone();
+    r.reaction("observe")
+        .triggered_by(act)
+        .body(move |count: &mut u32, ctx| {
+            s.lock().unwrap().push(*ctx.get_action(&act).unwrap());
+            *count += 1;
+            if *count == 3 {
+                ctx.request_shutdown();
+            }
+        });
+    drop(r);
+
+    let mut exec = RealTimeExecutor::new(b.build().unwrap());
+    let injector = exec.injector(&act);
+    let producer = std::thread::spawn(move || {
+        for i in 0..3 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert!(injector.inject(i));
+        }
+    });
+    let stats = exec.run();
+    producer.join().unwrap();
+    assert_eq!(stats.executed_reactions, 3);
+    assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2]);
+}
+
+#[test]
+fn executor_terminates_when_all_injectors_drop() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("sensor", ());
+    let act = r.physical_action::<u32>("sample", Duration::ZERO);
+    r.reaction("observe").triggered_by(act).body(|_, _| {});
+    drop(r);
+    let mut exec = RealTimeExecutor::new(b.build().unwrap());
+    // No injector created; queue is empty after startup, all senders are
+    // dropped at run() entry, so run() must return promptly.
+    let stats = exec.run();
+    assert_eq!(stats.executed_reactions, 0);
+}
+
+#[test]
+fn stop_handle_interrupts_run() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("ticker", 0u64);
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    r.reaction("tick").triggered_by(t).body(|n: &mut u64, _| *n += 1);
+    drop(r);
+    let mut exec = RealTimeExecutor::new(b.build().unwrap());
+    let stop = exec.stop_handle();
+    let stopper = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(stop.stop());
+    });
+    let stats = exec.run();
+    stopper.join().unwrap();
+    assert!(stats.executed_reactions >= 1, "ticked at least once");
+    assert!(
+        stats.executed_reactions < 5000,
+        "stopped well before forever"
+    );
+}
+
+#[test]
+fn startup_reaction_observes_small_lag() {
+    let lag_ns = Arc::new(Mutex::new(None));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let sink = lag_ns.clone();
+    r.reaction("up").triggered_by(Startup).body(move |_, ctx| {
+        *sink.lock().unwrap() = Some(ctx.lag().as_nanos());
+        ctx.request_shutdown();
+    });
+    drop(r);
+    let mut exec = RealTimeExecutor::new(b.build().unwrap());
+    exec.run();
+    let lag = lag_ns.lock().unwrap().unwrap();
+    assert!(lag >= 0, "physical never behind logical at startup");
+    assert!(lag < 2_000_000_000, "startup lag below 2s, got {lag}ns");
+}

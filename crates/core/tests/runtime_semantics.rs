@@ -1,0 +1,515 @@
+//! Behavioural tests of the reactor runtime: tag order, actions, timers,
+//! deadlines, shutdown, physical actions, and STP violations.
+
+use dear_core::{
+    ProgramBuilder, Runtime, RuntimeError, Shutdown, Startup, StepOutcome, Tag,
+};
+use dear_time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+
+type Log = Arc<Mutex<Vec<String>>>;
+
+fn log() -> Log {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+fn push(log: &Log, s: impl Into<String>) {
+    log.lock().unwrap().push(s.into());
+}
+
+#[test]
+fn startup_then_shutdown_order() {
+    let events = log();
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let l = events.clone();
+    r.reaction("up")
+        .triggered_by(Startup)
+        .body(move |_, ctx| {
+            push(&l, format!("startup@{}", ctx.tag()));
+            ctx.request_shutdown();
+        });
+    let l = events.clone();
+    r.reaction("down")
+        .triggered_by(Shutdown)
+        .body(move |_, ctx| push(&l, format!("shutdown@{}", ctx.tag())));
+    drop(r);
+
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    let got = events.lock().unwrap().clone();
+    // Shutdown happens one microstep after the request.
+    assert_eq!(
+        got,
+        vec![
+            "startup@(0.000000000s, 0)".to_string(),
+            "shutdown@(0.000000000s, 1)".to_string()
+        ]
+    );
+    assert!(!rt.is_running());
+}
+
+#[test]
+fn logical_action_ping_pong_advances_tags() {
+    // A reactor schedules an action with 1 ms delay, 5 times.
+    let events = log();
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("pinger", 0u32);
+    let act = r.logical_action::<u32>("ping", Duration::from_millis(1));
+    let l = events.clone();
+    let a2 = act;
+    r.reaction("kick")
+        .triggered_by(Startup)
+        .schedules(act)
+        .body(move |_, ctx| ctx.schedule(a2, Duration::ZERO, 0));
+    let l2 = l;
+    r.reaction("pong")
+        .triggered_by(act)
+        .schedules(act)
+        .body(move |count: &mut u32, ctx| {
+            let v = *ctx.get_action(&act).unwrap();
+            push(&l2, format!("{v}@{}", ctx.logical_time().as_millis_f64()));
+            *count += 1;
+            if *count < 5 {
+                ctx.schedule(act, Duration::ZERO, v + 1);
+            } else {
+                ctx.request_shutdown();
+            }
+        });
+    drop(r);
+
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    let got = events.lock().unwrap().clone();
+    assert_eq!(got, vec!["0@1", "1@2", "2@3", "3@4", "4@5"]);
+}
+
+#[test]
+fn zero_delay_action_bumps_microstep() {
+    let tags = Arc::new(Mutex::new(Vec::<Tag>::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", 0u32);
+    let act = r.logical_action::<()>("a", Duration::ZERO);
+    r.reaction("kick")
+        .triggered_by(Startup)
+        .schedules(act)
+        .body(move |_, ctx| ctx.schedule(act, Duration::ZERO, ()));
+    let t = tags.clone();
+    r.reaction("observe")
+        .triggered_by(act)
+        .schedules(act)
+        .body(move |count: &mut u32, ctx| {
+            t.lock().unwrap().push(ctx.tag());
+            *count += 1;
+            if *count < 3 {
+                ctx.schedule(act, Duration::ZERO, ());
+            }
+        });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    let got = tags.lock().unwrap().clone();
+    assert_eq!(
+        got,
+        vec![
+            Tag::new(Instant::EPOCH, 1),
+            Tag::new(Instant::EPOCH, 2),
+            Tag::new(Instant::EPOCH, 3),
+        ]
+    );
+}
+
+#[test]
+fn periodic_timer_fires_on_schedule() {
+    let times = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t = r.timer(
+        "t",
+        Duration::from_millis(5),
+        Some(Duration::from_millis(10)),
+    );
+    let sink = times.clone();
+    r.reaction("tick").triggered_by(t).body(move |_, ctx| {
+        sink.lock().unwrap().push(ctx.logical_time());
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::from_millis(40)).unwrap();
+    rt.run_fast(u64::MAX);
+    assert_eq!(
+        *times.lock().unwrap(),
+        vec![
+            Instant::from_millis(5),
+            Instant::from_millis(15),
+            Instant::from_millis(25),
+            Instant::from_millis(35),
+        ]
+    );
+}
+
+#[test]
+fn stop_tag_is_final_later_events_are_dropped() {
+    let count = Arc::new(Mutex::new(0u32));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(10)));
+    let c = count.clone();
+    r.reaction("tick").triggered_by(t).body(move |_, _| {
+        *c.lock().unwrap() += 1;
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::from_millis(25)).unwrap();
+    rt.run_fast(u64::MAX);
+    // Fires at 0, 10, 20 — then stop at 25 discards everything else.
+    assert_eq!(*count.lock().unwrap(), 3);
+    assert_eq!(rt.step_fast(), StepOutcome::Stopped);
+}
+
+#[test]
+fn deadline_handler_runs_instead_of_body_on_late_launch() {
+    let events = log();
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t = r.timer("t", Duration::from_millis(10), None);
+    let l_ok = events.clone();
+    let l_miss = events.clone();
+    r.reaction("work")
+        .triggered_by(t)
+        .with_deadline(Duration::from_millis(5), move |_, ctx| {
+            push(&l_miss, format!("miss lag={}", ctx.lag()));
+        })
+        .body(move |_, ctx| push(&l_ok, format!("ok lag={}", ctx.lag())));
+    drop(r);
+
+    // Case 1: physical time only slightly behind -> body runs.
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    // physical 12ms for tag at 10ms: lag 2ms < 5ms deadline
+    rt.step(Instant::from_millis(12));
+    assert_eq!(*events.lock().unwrap(), vec!["ok lag=2ms"]);
+    assert_eq!(rt.stats().deadline_misses, 0);
+}
+
+#[test]
+fn deadline_miss_is_counted_and_handled() {
+    let events = log();
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t = r.timer("t", Duration::from_millis(10), None);
+    let l_ok = events.clone();
+    let l_miss = events.clone();
+    r.reaction("work")
+        .triggered_by(t)
+        .with_deadline(Duration::from_millis(5), move |_, ctx| {
+            push(&l_miss, format!("miss lag={}", ctx.lag()));
+        })
+        .body(move |_, ctx| push(&l_ok, format!("ok lag={}", ctx.lag())));
+    drop(r);
+
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    // physical 20ms for tag at 10ms: lag 10ms > 5ms deadline
+    rt.step(Instant::from_millis(20));
+    assert_eq!(*events.lock().unwrap(), vec!["miss lag=10ms"]);
+    assert_eq!(rt.stats().deadline_misses, 1);
+}
+
+#[test]
+fn physical_action_tagged_with_clock_reading() {
+    let tags = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("sensor", ());
+    let act = r.physical_action::<u8>("reading", Duration::ZERO);
+    let sink = tags.clone();
+    r.reaction("observe").triggered_by(act).body(move |_, ctx| {
+        let v = *ctx.get_action(&act).unwrap();
+        sink.lock().unwrap().push((ctx.tag(), v));
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    let tag = rt
+        .schedule_physical(&act, 42, Instant::from_millis(3))
+        .unwrap();
+    assert_eq!(tag, Tag::at(Instant::from_millis(3)));
+    rt.run_fast(u64::MAX);
+    assert_eq!(
+        *tags.lock().unwrap(),
+        vec![(Tag::at(Instant::from_millis(3)), 42u8)]
+    );
+}
+
+#[test]
+fn physical_action_in_logical_past_is_bumped_forward() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("sensor", ());
+    let act = r.physical_action::<u8>("reading", Duration::ZERO);
+    let t = r.timer("t", Duration::from_millis(10), None);
+    r.reaction("tick").triggered_by(t).body(|_, _| {});
+    r.reaction("observe").triggered_by(act).body(|_, _| {});
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(1); // processes the 10 ms timer tag
+    // Clock reading 5 ms is before the current tag (10 ms): bump.
+    let tag = rt
+        .schedule_physical(&act, 1, Instant::from_millis(5))
+        .unwrap();
+    assert_eq!(tag, Tag::new(Instant::from_millis(10), 1));
+}
+
+#[test]
+fn schedule_physical_at_rejects_past_tags_as_stp_violation() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("net", ());
+    let act = r.physical_action::<u8>("msg", Duration::ZERO);
+    let t = r.timer("t", Duration::from_millis(10), None);
+    r.reaction("tick").triggered_by(t).body(|_, _| {});
+    r.reaction("observe").triggered_by(act).body(|_, _| {});
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(1);
+    let err = rt
+        .schedule_physical_at(&act, 9, Tag::at(Instant::from_millis(5)))
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::StpViolation { .. }));
+    assert_eq!(rt.stats().stp_violations, 1);
+    // A future tag is accepted.
+    rt.schedule_physical_at(&act, 9, Tag::at(Instant::from_millis(15)))
+        .unwrap();
+    rt.run_fast(u64::MAX);
+    assert_eq!(rt.stats().stp_violations, 1);
+}
+
+#[test]
+fn values_fan_out_to_all_connected_inputs() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut src = b.reactor("src", ());
+    let out = src.output::<String>("o");
+    src.reaction("emit")
+        .triggered_by(Startup)
+        .effects(out)
+        .body(move |_, ctx| ctx.set(out, "hello".to_string()));
+    drop(src);
+    let mut inputs = Vec::new();
+    for i in 0..3 {
+        let mut c = b.reactor(&format!("sink{i}"), ());
+        let inp = c.input::<String>("i");
+        let s = seen.clone();
+        c.reaction("recv").triggered_by(inp).body(move |_, ctx| {
+            s.lock()
+                .unwrap()
+                .push(format!("{i}:{}", ctx.get(inp).unwrap()));
+        });
+        inputs.push(inp);
+        drop(c);
+    }
+    for inp in inputs {
+        b.connect(out, inp).unwrap();
+    }
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    let mut got = seen.lock().unwrap().clone();
+    got.sort();
+    assert_eq!(got, vec!["0:hello", "1:hello", "2:hello"]);
+}
+
+#[test]
+fn ports_are_cleared_between_tags() {
+    let observations = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", 0u32);
+    let out = r.output::<u32>("o");
+    let inp = r.input::<u32>("i");
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let obs = observations.clone();
+    // Reaction 1: writes only on the first firing.
+    r.reaction("maybe_write")
+        .triggered_by(t)
+        .effects(out)
+        .body(move |n: &mut u32, ctx| {
+            if *n == 0 {
+                ctx.set(out, 7);
+            }
+            *n += 1;
+        });
+    // Reaction 2: observes presence of the loop-connected input.
+    r.reaction("check")
+        .triggered_by(t)
+        .uses(inp)
+        .body(move |_, ctx| {
+            obs.lock().unwrap().push(ctx.get(inp).copied());
+        });
+    drop(r);
+    b.connect(out, inp).unwrap();
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::from_micros(2500)).unwrap();
+    rt.run_fast(u64::MAX);
+    assert_eq!(*observations.lock().unwrap(), vec![Some(7), None, None]);
+}
+
+#[test]
+fn two_timers_same_tag_fire_together() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t1 = r.timer("t1", Duration::from_millis(5), None);
+    let t2 = r.timer("t2", Duration::from_millis(5), None);
+    let s = seen.clone();
+    r.reaction("a").triggered_by(t1).body(move |_, ctx| {
+        s.lock().unwrap().push(("a", ctx.tag()));
+    });
+    let s = seen.clone();
+    r.reaction("b").triggered_by(t2).body(move |_, ctx| {
+        s.lock().unwrap().push(("b", ctx.tag()));
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    let got = seen.lock().unwrap().clone();
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].1, got[1].1, "same tag");
+    assert_eq!((got[0].0, got[1].0), ("a", "b"), "priority order");
+    // One tag processed for both timers.
+    assert_eq!(rt.stats().processed_tags, 1);
+}
+
+#[test]
+fn reaction_reads_back_its_own_write() {
+    let got = Arc::new(Mutex::new(None));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let out = r.output::<u32>("o");
+    let g = got.clone();
+    r.reaction("w")
+        .triggered_by(Startup)
+        .effects(out)
+        .body(move |_, ctx| {
+            ctx.set(out, 5);
+            *g.lock().unwrap() = ctx.get(out).copied();
+        });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    assert_eq!(*got.lock().unwrap(), Some(5));
+}
+
+#[test]
+#[should_panic(expected = "without declaring it as an effect")]
+fn undeclared_write_panics() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let out = r.output::<u32>("o");
+    r.reaction("w")
+        .triggered_by(Startup)
+        .body(move |_, ctx| ctx.set(out, 5)); // no .effects(out)
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+}
+
+#[test]
+#[should_panic(expected = "without declaring it as a trigger or use")]
+fn undeclared_read_panics() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let out = r.output::<u32>("o");
+    let inp = r.input::<u32>("i");
+    r.reaction("w")
+        .triggered_by(Startup)
+        .effects(out)
+        .body(move |_, ctx| {
+            ctx.set(out, 1);
+            let _ = ctx.get(inp); // undeclared read
+        });
+    drop(r);
+    b.connect(out, inp).unwrap();
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+}
+
+#[test]
+fn stats_track_processed_tags_and_reactions() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    r.reaction("tick").triggered_by(t).body(|_, _| {});
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::from_micros(4500)).unwrap();
+    rt.run_fast(u64::MAX);
+    let stats = rt.stats();
+    assert_eq!(stats.executed_reactions, 5); // ticks at 0..4 ms
+    assert_eq!(stats.processed_tags, 6); // five ticks + shutdown tag
+}
+
+#[test]
+fn idle_runtime_reports_idle_then_accepts_more_events() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let act = r.physical_action::<()>("a", Duration::ZERO);
+    r.reaction("o").triggered_by(act).body(|_, _| {});
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    assert_eq!(rt.step_fast(), StepOutcome::Idle);
+    rt.schedule_physical(&act, (), Instant::from_millis(1))
+        .unwrap();
+    assert!(matches!(rt.step_fast(), StepOutcome::Processed(_)));
+}
+
+#[test]
+fn injection_before_start_is_rejected() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let act = r.physical_action::<()>("a", Duration::ZERO);
+    r.reaction("o").triggered_by(act).body(|_, _| {});
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    let err = rt
+        .schedule_physical(&act, (), Instant::EPOCH)
+        .unwrap_err();
+    assert_eq!(err, RuntimeError::NotRunning);
+}
+
+#[test]
+fn trace_fingerprint_identical_across_runs() {
+    fn run() -> u64 {
+        let mut b = ProgramBuilder::new();
+        let mut r = b.reactor("r", 0u32);
+        let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+        let act = r.logical_action::<u32>("a", Duration::from_micros(100));
+        r.reaction("tick")
+            .triggered_by(t)
+            .schedules(act)
+            .body(move |n: &mut u32, ctx| {
+                *n += 1;
+                ctx.schedule(act, Duration::ZERO, *n);
+            });
+        r.reaction("obs").triggered_by(act).body(|_, _| {});
+        drop(r);
+        let mut rt = Runtime::new(b.build().unwrap());
+        rt.enable_tracing();
+        rt.start(Instant::EPOCH);
+        rt.stop_at(Instant::from_millis(10)).unwrap();
+        rt.run_fast(u64::MAX);
+        rt.trace_log().fingerprint()
+    }
+    assert_eq!(run(), run());
+}

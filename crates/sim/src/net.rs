@@ -1,0 +1,496 @@
+//! Simulated network: nodes, links, latency, loss, and (re)ordering.
+//!
+//! The paper's evaluation platform is two boards connected through an
+//! Ethernet switch; message transport time is one of the three identified
+//! nondeterminism sources ("the time required for message transport is
+//! still unpredictable", §II.B). [`Network`] models point-to-point links
+//! with a configurable [`LatencyModel`], optional FIFO enforcement
+//! (in-order delivery, which AP does *not* formally require), and optional
+//! frame loss.
+//!
+//! Frames are raw byte payloads addressed by [`NodeId`]; the SOME/IP crate
+//! layers its wire format on top.
+
+use crate::rng::{LatencyModel, SimRng};
+use crate::sim::Simulation;
+use dear_time::{Duration, Instant};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies a node (platform/ECU) on the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A raw frame in flight on the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Opaque payload (the SOME/IP layer serializes into this).
+    pub payload: Vec<u8>,
+}
+
+/// Configuration of a directed link between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Per-frame transport latency distribution.
+    pub latency: LatencyModel,
+    /// If `true`, frames on this link never overtake each other.
+    ///
+    /// AP does not formally require in-order delivery (nondeterminism
+    /// source 3); set to `false` to model reordering transports.
+    pub fifo: bool,
+    /// Probability that a frame is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl LinkConfig {
+    /// An ideal link: constant latency, FIFO, no loss.
+    #[must_use]
+    pub fn ideal(latency: Duration) -> Self {
+        LinkConfig {
+            latency: LatencyModel::constant(latency),
+            fifo: true,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// A link with the given latency model, FIFO, no loss.
+    #[must_use]
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        LinkConfig {
+            latency,
+            fifo: true,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// Disables FIFO ordering on this link (frames may overtake).
+    #[must_use]
+    pub fn reordering(mut self) -> Self {
+        self.fifo = false;
+        self
+    }
+
+    /// Sets the drop probability.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_probability = p;
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    /// Default: 100 µs constant latency, FIFO, lossless (a quiet switched
+    /// LAN segment).
+    fn default() -> Self {
+        LinkConfig::ideal(Duration::from_micros(100))
+    }
+}
+
+/// Delivery statistics for a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Frames submitted for transmission.
+    pub sent: u64,
+    /// Frames delivered to a registered receiver.
+    pub delivered: u64,
+    /// Frames dropped by loss models.
+    pub dropped: u64,
+    /// Frames addressed to a node with no registered receiver.
+    pub unroutable: u64,
+}
+
+type Receiver = Rc<dyn Fn(&mut Simulation, Frame)>;
+
+struct LinkState {
+    config: LinkConfig,
+    /// Earliest time the next FIFO delivery may occur.
+    next_free: Instant,
+}
+
+/// The simulated network fabric.
+///
+/// Usually accessed through the cheap-to-clone [`NetworkHandle`], which can
+/// be captured by simulation event closures.
+pub struct Network {
+    default_link: LinkConfig,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    receivers: HashMap<NodeId, Receiver>,
+    rng: SimRng,
+    stats: NetStats,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("links", &self.links.len())
+            .field("receivers", &self.receivers.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network whose unspecified links use `default_link`.
+    ///
+    /// The RNG stream should be forked from the simulation master seed,
+    /// e.g. `sim.fork_rng("network")`.
+    #[must_use]
+    pub fn new(default_link: LinkConfig, rng: SimRng) -> Self {
+        Network {
+            default_link,
+            links: HashMap::new(),
+            receivers: HashMap::new(),
+            rng,
+            stats: NetStats::default(),
+        }
+    }
+
+    fn link_state(&mut self, src: NodeId, dst: NodeId) -> &mut LinkState {
+        let default = &self.default_link;
+        self.links.entry((src, dst)).or_insert_with(|| LinkState {
+            config: default.clone(),
+            next_free: Instant::EPOCH,
+        })
+    }
+}
+
+/// A shared, clonable handle to a [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::{Frame, LinkConfig, NetworkHandle, NodeId, Simulation};
+/// use dear_time::Duration;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new(1);
+/// let net = NetworkHandle::new(LinkConfig::ideal(Duration::from_micros(100)), sim.fork_rng("net"));
+///
+/// let got = Rc::new(RefCell::new(Vec::new()));
+/// let sink = got.clone();
+/// net.set_receiver(NodeId(2), move |_sim, frame| {
+///     sink.borrow_mut().push(frame.payload);
+/// });
+///
+/// net.send(&mut sim, Frame { src: NodeId(1), dst: NodeId(2), payload: vec![0xAB] });
+/// sim.run_to_completion();
+/// assert_eq!(*got.borrow(), vec![vec![0xAB]]);
+/// ```
+#[derive(Clone)]
+pub struct NetworkHandle(Rc<RefCell<Network>>);
+
+impl fmt::Debug for NetworkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.borrow().fmt(f)
+    }
+}
+
+impl NetworkHandle {
+    /// Creates a new network behind a shared handle.
+    #[must_use]
+    pub fn new(default_link: LinkConfig, rng: SimRng) -> Self {
+        NetworkHandle(Rc::new(RefCell::new(Network::new(default_link, rng))))
+    }
+
+    /// Configures the directed link `src -> dst`.
+    pub fn configure_link(&self, src: NodeId, dst: NodeId, config: LinkConfig) {
+        self.0.borrow_mut().links.insert(
+            (src, dst),
+            LinkState {
+                config,
+                next_free: Instant::EPOCH,
+            },
+        );
+    }
+
+    /// Configures both directions between two nodes symmetrically.
+    pub fn configure_duplex(&self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.configure_link(a, b, config.clone());
+        self.configure_link(b, a, config);
+    }
+
+    /// Registers the frame receiver for a node, replacing any previous one.
+    pub fn set_receiver(&self, node: NodeId, receiver: impl Fn(&mut Simulation, Frame) + 'static) {
+        self.0.borrow_mut().receivers.insert(node, Rc::new(receiver));
+    }
+
+    /// Removes the receiver for a node (frames to it become unroutable).
+    pub fn clear_receiver(&self, node: NodeId) {
+        self.0.borrow_mut().receivers.remove(&node);
+    }
+
+    /// Submits a frame for transmission at the current simulation time.
+    ///
+    /// Latency is sampled from the link's model; FIFO links additionally
+    /// guarantee that this frame is delivered strictly after any frame
+    /// previously sent on the same link.
+    pub fn send(&self, sim: &mut Simulation, frame: Frame) {
+        let deliver_at = {
+            let mut net = self.0.borrow_mut();
+            net.stats.sent += 1;
+            // Sample everything we need while holding the borrow.
+            let latency = {
+                let cfg = net.link_state(frame.src, frame.dst).config.latency.clone();
+                cfg.sample(&mut net.rng)
+            };
+            let drop_p = net.link_state(frame.src, frame.dst).config.drop_probability;
+            if drop_p > 0.0 && net.rng.chance(drop_p) {
+                net.stats.dropped += 1;
+                None
+            } else {
+                let now = sim.now();
+                let state = net.link_state(frame.src, frame.dst);
+                let mut at = now + latency;
+                if state.config.fifo {
+                    at = at.max(state.next_free);
+                    state.next_free = at + Duration::from_nanos(1);
+                }
+                Some(at)
+            }
+        };
+        let Some(at) = deliver_at else { return };
+        let handle = self.clone();
+        sim.schedule_at(at, move |sim| handle.deliver(sim, frame));
+    }
+
+    fn deliver(&self, sim: &mut Simulation, frame: Frame) {
+        // Clone the receiver out so the network is not borrowed while the
+        // receiver runs (receivers commonly send further frames).
+        let receiver = self.0.borrow().receivers.get(&frame.dst).cloned();
+        match receiver {
+            Some(r) => {
+                self.0.borrow_mut().stats.delivered += 1;
+                r(sim, frame);
+            }
+            None => {
+                self.0.borrow_mut().stats.unroutable += 1;
+            }
+        }
+    }
+
+    /// Current delivery statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.0.borrow().stats
+    }
+
+    /// The worst-case latency bound of the `src -> dst` link (the paper's
+    /// `L` for that hop). Unconfigured links report the default bound.
+    #[must_use]
+    pub fn latency_bound(&self, src: NodeId, dst: NodeId) -> Duration {
+        let net = self.0.borrow();
+        net.links
+            .get(&(src, dst))
+            .map(|l| l.config.latency.upper_bound())
+            .unwrap_or_else(|| net.default_link.latency.upper_bound())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn frame(src: u16, dst: u16, byte: u8) -> Frame {
+        Frame {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            payload: vec![byte],
+        }
+    }
+
+    #[test]
+    fn delivers_after_constant_latency() {
+        let mut sim = Simulation::new(0);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_millis(5)),
+            sim.fork_rng("net"),
+        );
+        let at = Rc::new(RefCell::new(None));
+        let sink = at.clone();
+        net.set_receiver(NodeId(2), move |sim, _| {
+            *sink.borrow_mut() = Some(sim.now());
+        });
+        net.send(&mut sim, frame(1, 2, 7));
+        sim.run_to_completion();
+        assert_eq!(*at.borrow(), Some(Instant::from_millis(5)));
+        let stats = net.stats();
+        assert_eq!((stats.sent, stats.delivered), (1, 1));
+    }
+
+    #[test]
+    fn fifo_link_preserves_order_despite_jitter() {
+        let mut sim = Simulation::new(3);
+        let net = NetworkHandle::new(
+            LinkConfig::with_latency(LatencyModel::uniform(
+                Duration::from_micros(10),
+                Duration::from_millis(10),
+            )),
+            sim.fork_rng("net"),
+        );
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let sink = order.clone();
+        net.set_receiver(NodeId(2), move |_, f| sink.borrow_mut().push(f.payload[0]));
+        for i in 0..50u8 {
+            net.send(&mut sim, frame(1, 2, i));
+        }
+        sim.run_to_completion();
+        assert_eq!(*order.borrow(), (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn reordering_link_can_reorder() {
+        let mut sim = Simulation::new(3);
+        let net = NetworkHandle::new(
+            LinkConfig::with_latency(LatencyModel::uniform(
+                Duration::from_micros(10),
+                Duration::from_millis(10),
+            ))
+            .reordering(),
+            sim.fork_rng("net"),
+        );
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let sink = order.clone();
+        net.set_receiver(NodeId(2), move |_, f| sink.borrow_mut().push(f.payload[0]));
+        for i in 0..50u8 {
+            net.send(&mut sim, frame(1, 2, i));
+        }
+        sim.run_to_completion();
+        let received = order.borrow().clone();
+        assert_eq!(received.len(), 50);
+        assert_ne!(received, (0..50).collect::<Vec<u8>>(), "expected reordering");
+    }
+
+    #[test]
+    fn lossy_link_drops_frames() {
+        let mut sim = Simulation::new(5);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_micros(1)).with_drop_probability(0.5),
+            sim.fork_rng("net"),
+        );
+        let count = Rc::new(RefCell::new(0u32));
+        let sink = count.clone();
+        net.set_receiver(NodeId(2), move |_, _| *sink.borrow_mut() += 1);
+        for i in 0..200u8 {
+            net.send(&mut sim, frame(1, 2, i));
+        }
+        sim.run_to_completion();
+        let delivered = *count.borrow();
+        assert!(delivered > 50 && delivered < 150, "delivered {delivered}");
+        let stats = net.stats();
+        assert_eq!(stats.sent, 200);
+        assert_eq!(stats.delivered + stats.dropped, 200);
+    }
+
+    #[test]
+    fn unroutable_frames_are_counted() {
+        let mut sim = Simulation::new(0);
+        let net = NetworkHandle::new(LinkConfig::default(), sim.fork_rng("net"));
+        net.send(&mut sim, frame(1, 9, 0));
+        sim.run_to_completion();
+        assert_eq!(net.stats().unroutable, 1);
+    }
+
+    #[test]
+    fn per_link_configuration_overrides_default() {
+        let mut sim = Simulation::new(0);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_millis(100)),
+            sim.fork_rng("net"),
+        );
+        net.configure_link(
+            NodeId(1),
+            NodeId(2),
+            LinkConfig::ideal(Duration::from_millis(1)),
+        );
+        let at = Rc::new(RefCell::new(Vec::new()));
+        let sink = at.clone();
+        net.set_receiver(NodeId(2), move |sim, _| sink.borrow_mut().push(sim.now()));
+        let sink = at.clone();
+        net.set_receiver(NodeId(3), move |sim, _| sink.borrow_mut().push(sim.now()));
+        net.send(&mut sim, frame(1, 2, 0)); // fast configured link
+        net.send(&mut sim, frame(1, 3, 0)); // default slow link
+        sim.run_to_completion();
+        assert_eq!(
+            *at.borrow(),
+            vec![Instant::from_millis(1), Instant::from_millis(100)]
+        );
+        assert_eq!(
+            net.latency_bound(NodeId(1), NodeId(2)),
+            Duration::from_millis(1)
+        );
+        assert_eq!(
+            net.latency_bound(NodeId(1), NodeId(3)),
+            Duration::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn receivers_can_send_replies() {
+        let mut sim = Simulation::new(0);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_millis(1)),
+            sim.fork_rng("net"),
+        );
+        let reply_net = net.clone();
+        net.set_receiver(NodeId(2), move |sim, f| {
+            reply_net.send(
+                sim,
+                Frame {
+                    src: f.dst,
+                    dst: f.src,
+                    payload: vec![f.payload[0] + 1],
+                },
+            );
+        });
+        let got = Rc::new(RefCell::new(None));
+        let sink = got.clone();
+        net.set_receiver(NodeId(1), move |sim, f| {
+            *sink.borrow_mut() = Some((sim.now(), f.payload[0]));
+        });
+        net.send(&mut sim, frame(1, 2, 10));
+        sim.run_to_completion();
+        assert_eq!(*got.borrow(), Some((Instant::from_millis(2), 11)));
+    }
+
+    #[test]
+    fn same_seed_same_delivery_schedule() {
+        fn run(seed: u64) -> Vec<u8> {
+            let mut sim = Simulation::new(seed);
+            let net = NetworkHandle::new(
+                LinkConfig::with_latency(LatencyModel::uniform(
+                    Duration::from_micros(10),
+                    Duration::from_millis(20),
+                ))
+                .reordering(),
+                sim.fork_rng("net"),
+            );
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let sink = order.clone();
+            net.set_receiver(NodeId(2), move |_, f| sink.borrow_mut().push(f.payload[0]));
+            for i in 0..30u8 {
+                net.send(&mut sim, frame(1, 2, i));
+            }
+            sim.run_to_completion();
+            let v = order.borrow().clone();
+            v
+        }
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

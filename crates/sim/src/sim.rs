@@ -1,0 +1,443 @@
+//! The discrete-event simulation executive.
+//!
+//! [`Simulation`] owns a calendar of timestamped events and executes them in
+//! strict `(time, insertion-sequence)` order, which makes every run with the
+//! same seed and the same schedule calls bit-identical. All stochastic
+//! behaviour in the workspace (network latency, dispatch jitter, clock skew)
+//! is injected *through* events and [`SimRng`](crate::SimRng) streams, so
+//! nondeterminism of the modelled system is explicit and replayable — the
+//! property that lets us reproduce the paper's Figure 5 error distributions
+//! without the original two-board hardware setup.
+
+use crate::rng::SimRng;
+use crate::trace::Trace;
+use dear_time::{Duration, Instant};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: a boxed closure run at a simulated instant.
+type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+struct CalEntry {
+    at: Instant,
+    seq: u64,
+    event: EventFn,
+}
+
+impl PartialEq for CalEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for CalEntry {}
+impl PartialOrd for CalEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CalEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we need earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Statistics about an executed simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Number of events executed so far.
+    pub executed_events: u64,
+    /// Number of events currently pending in the calendar.
+    pub pending_events: usize,
+}
+
+/// A seeded discrete-event simulation.
+///
+/// Events are closures scheduled at absolute or relative virtual times and
+/// executed in deterministic order. Components typically live in
+/// `Rc<RefCell<...>>` cells captured by the event closures.
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::Simulation;
+/// use dear_time::{Duration, Instant};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new(42);
+/// let hits = Rc::new(RefCell::new(Vec::new()));
+///
+/// let h = hits.clone();
+/// sim.schedule_in(Duration::from_millis(2), move |sim| {
+///     h.borrow_mut().push(sim.now());
+/// });
+/// let h = hits.clone();
+/// sim.schedule_in(Duration::from_millis(1), move |sim| {
+///     h.borrow_mut().push(sim.now());
+/// });
+///
+/// sim.run_to_completion();
+/// assert_eq!(*hits.borrow(), vec![Instant::from_millis(1), Instant::from_millis(2)]);
+/// ```
+pub struct Simulation {
+    now: Instant,
+    calendar: BinaryHeap<CalEntry>,
+    seq: u64,
+    master_seed: u64,
+    rng_root: SimRng,
+    trace: Trace,
+    executed: u64,
+    stop_requested: bool,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.calendar.len())
+            .field("executed", &self.executed)
+            .field("master_seed", &self.master_seed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation at `t = 0` with the given master seed.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Self {
+        Simulation {
+            now: Instant::EPOCH,
+            calendar: BinaryHeap::new(),
+            seq: 0,
+            master_seed,
+            rng_root: SimRng::seed_from_u64(master_seed),
+            trace: Trace::disabled(),
+            executed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// The current virtual time ("true time" of the modelled world).
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The master seed this simulation was created with.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Derives a named, reproducible RNG stream from the master seed.
+    ///
+    /// Streams with different labels are statistically independent; the
+    /// same label always yields the same stream for a given master seed.
+    #[must_use]
+    pub fn fork_rng(&self, label: &str) -> SimRng {
+        self.rng_root.fork(label)
+    }
+
+    /// Derives an indexed RNG stream (e.g. one per component instance).
+    #[must_use]
+    pub fn fork_rng_indexed(&self, label: &str, index: u64) -> SimRng {
+        self.rng_root.fork_indexed(label, index)
+    }
+
+    /// Schedules `event` at the absolute virtual time `at`.
+    ///
+    /// Events scheduled for the current instant run after the currently
+    /// executing event returns (FIFO among equal times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: Instant, event: impl FnOnce(&mut Simulation) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.calendar.push(CalEntry {
+            at,
+            seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` after the given non-negative delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn schedule_in(&mut self, delay: Duration, event: impl FnOnce(&mut Simulation) + 'static) {
+        assert!(!delay.is_negative(), "delay must be non-negative: {delay}");
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// The time of the earliest pending event, if any.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<Instant> {
+        self.calendar.peek().map(|e| e.at)
+    }
+
+    /// Executes the earliest pending event; returns `false` if none remain.
+    pub fn step(&mut self) -> bool {
+        match self.calendar.pop() {
+            Some(entry) => {
+                debug_assert!(entry.at >= self.now, "calendar went backwards");
+                self.now = entry.at;
+                self.executed += 1;
+                (entry.event)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the calendar is empty or a stop is requested.
+    ///
+    /// Returns the number of events executed by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let before = self.executed;
+        while !self.stop_requested && self.step() {}
+        self.stop_requested = false;
+        self.executed - before
+    }
+
+    /// Runs all events with `time <= until`, then advances `now` to `until`.
+    ///
+    /// Returns the number of events executed by this call.
+    pub fn run_until(&mut self, until: Instant) -> u64 {
+        let before = self.executed;
+        while !self.stop_requested {
+            match self.next_event_time() {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.stop_requested = false;
+        if self.now < until {
+            self.now = until;
+        }
+        self.executed - before
+    }
+
+    /// Runs at most `max_events` events.
+    ///
+    /// Returns the number of events executed (less than `max_events` if the
+    /// calendar drained first).
+    pub fn run_events(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && !self.stop_requested && self.step() {
+            n += 1;
+        }
+        self.stop_requested = false;
+        n
+    }
+
+    /// Requests that the current `run_*` call return after the current event.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            executed_events: self.executed,
+            pending_events: self.calendar.len(),
+        }
+    }
+
+    /// Enables trace recording (disabled by default for speed).
+    pub fn enable_tracing(&mut self) {
+        self.trace.set_enabled(true);
+    }
+
+    /// Records a trace event at the current virtual time.
+    pub fn trace(&mut self, category: &'static str, detail: impl Into<String>) {
+        let now = self.now;
+        self.trace.record(now, category, detail);
+    }
+
+    /// Read access to the recorded trace.
+    #[must_use]
+    pub fn trace_log(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the recorded trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        let replacement = if self.trace.is_enabled() {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
+        std::mem::replace(&mut self.trace, replacement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_execute_in_time_order() {
+        let mut sim = Simulation::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, ms) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let order = order.clone();
+            sim.schedule_at(Instant::from_millis(ms), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(*order.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), Instant::from_millis(30));
+    }
+
+    #[test]
+    fn equal_times_execute_fifo() {
+        let mut sim = Simulation::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for label in ["first", "second", "third"] {
+            let order = order.clone();
+            sim.schedule_at(Instant::from_millis(5), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(*order.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulation::new(0);
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(sim: &mut Simulation, count: Rc<RefCell<u32>>, remaining: u32) {
+            *count.borrow_mut() += 1;
+            if remaining > 0 {
+                sim.schedule_in(Duration::from_millis(1), move |sim| {
+                    tick(sim, count, remaining - 1)
+                });
+            }
+        }
+        let c = count.clone();
+        sim.schedule_at(Instant::EPOCH, move |sim| tick(sim, c, 9));
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(sim.now(), Instant::from_millis(9));
+    }
+
+    #[test]
+    fn run_until_advances_time_even_without_events() {
+        let mut sim = Simulation::new(0);
+        sim.run_until(Instant::from_secs(5));
+        assert_eq!(sim.now(), Instant::from_secs(5));
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_pending() {
+        let mut sim = Simulation::new(0);
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        sim.schedule_at(Instant::from_secs(10), move |_| *f.borrow_mut() = true);
+        sim.run_until(Instant::from_secs(5));
+        assert!(!*fired.borrow());
+        assert_eq!(sim.stats().pending_events, 1);
+        sim.run_until(Instant::from_secs(10));
+        assert!(*fired.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(0);
+        sim.schedule_at(Instant::from_secs(1), |sim| {
+            sim.schedule_at(Instant::EPOCH, |_| {});
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn request_stop_halts_run() {
+        let mut sim = Simulation::new(0);
+        let count = Rc::new(RefCell::new(0));
+        for i in 0..10u64 {
+            let count = count.clone();
+            sim.schedule_at(Instant::from_millis(i), move |sim| {
+                *count.borrow_mut() += 1;
+                if i == 4 {
+                    sim.request_stop();
+                }
+            });
+        }
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 5);
+        // A subsequent run resumes.
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    fn run_events_bounds_execution() {
+        let mut sim = Simulation::new(0);
+        for i in 0..10u64 {
+            sim.schedule_at(Instant::from_millis(i), |_| {});
+        }
+        assert_eq!(sim.run_events(3), 3);
+        assert_eq!(sim.stats().pending_events, 7);
+        assert_eq!(sim.run_events(100), 7);
+    }
+
+    #[test]
+    fn forked_rng_reproducible_across_sims() {
+        let sim_a = Simulation::new(7);
+        let sim_b = Simulation::new(7);
+        let mut ra = sim_a.fork_rng("net");
+        let mut rb = sim_b.fork_rng("net");
+        assert_eq!(ra.next_u64(), rb.next_u64());
+        let mut rc = sim_a.fork_rng("other");
+        assert_ne!(ra.next_u64(), rc.next_u64());
+    }
+
+    #[test]
+    fn tracing_records_at_current_time() {
+        let mut sim = Simulation::new(0);
+        sim.enable_tracing();
+        sim.schedule_at(Instant::from_millis(3), |sim| {
+            sim.trace("test", "hello");
+        });
+        sim.run_to_completion();
+        let trace = sim.trace_log();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.iter().next().unwrap().at, Instant::from_millis(3));
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        fn run(seed: u64) -> u64 {
+            let mut sim = Simulation::new(seed);
+            sim.enable_tracing();
+            let mut rng = sim.fork_rng("jitter");
+            for i in 0..100u64 {
+                let d = rng.uniform_duration(Duration::ZERO, Duration::from_millis(10));
+                sim.schedule_in(d * (i as i64 + 1), move |sim| {
+                    sim.trace("evt", format!("event {i}"));
+                });
+            }
+            sim.run_to_completion();
+            sim.trace_log().fingerprint()
+        }
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace recording for determinism checks and figure harnesses.
+//!
+//! A [`Trace`] is an append-only log of `(time, category, detail)` records.
+//! Two runs of a *deterministic* system must produce byte-identical traces;
+//! the integration tests compare [`Trace::fingerprint`] values across seeds
+//! and executor back-ends to verify exactly that (the central claim of the
+//! paper's §III).
+
+use dear_time::Instant;
+use std::borrow::Cow;
+use std::fmt;
+
+/// One record in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Time at which the event was recorded (epoch depends on the recorder).
+    pub at: Instant,
+    /// Coarse category, e.g. `"net"`, `"reaction"`, `"error"`.
+    pub category: Cow<'static, str>,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.category, self.detail)
+    }
+}
+
+/// An append-only event log with a deterministic fingerprint.
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::Trace;
+/// use dear_time::Instant;
+///
+/// let mut t = Trace::new();
+/// t.record(Instant::from_millis(1), "net", "frame 0 delivered");
+/// assert_eq!(t.len(), 1);
+/// let fp = t.fingerprint();
+/// let mut t2 = Trace::new();
+/// t2.record(Instant::from_millis(1), "net", "frame 0 delivered");
+/// assert_eq!(fp, t2.fingerprint());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an empty, enabled trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace that drops all records (zero overhead mode).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Returns whether recording is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record if recording is enabled.
+    pub fn record(
+        &mut self,
+        at: Instant,
+        category: impl Into<Cow<'static, str>>,
+        detail: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                category: category.into(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the recorded events in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Returns the events recorded under a given category.
+    #[must_use]
+    pub fn in_category(&self, category: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.category == category)
+            .collect()
+    }
+
+    /// Removes all recorded events (the enabled flag is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// A deterministic 64-bit FNV-1a fingerprint over all records.
+    ///
+    /// Two traces have equal fingerprints iff (with overwhelming
+    /// probability) they contain the same records in the same order —
+    /// the workhorse of the determinism assertions in this workspace.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for e in &self.events {
+            eat(&e.at.as_nanos().to_le_bytes());
+            eat(e.category.as_bytes());
+            eat(&[0xFF]);
+            eat(e.detail.as_bytes());
+            eat(&[0xFE]);
+        }
+        hash
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new();
+        t.record(Instant::from_millis(1), "a", "one");
+        t.record(Instant::from_millis(2), "b", "two");
+        let cats: Vec<_> = t.iter().map(|e| e.category.as_ref()).collect();
+        assert_eq!(cats, vec!["a", "b"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn disabled_trace_drops_records() {
+        let mut t = Trace::disabled();
+        t.record(Instant::EPOCH, "a", "x");
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(Instant::EPOCH, "a", "x");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_order_and_content() {
+        let mut a = Trace::new();
+        a.record(Instant::from_millis(1), "x", "one");
+        a.record(Instant::from_millis(2), "x", "two");
+        let mut b = Trace::new();
+        b.record(Instant::from_millis(2), "x", "two");
+        b.record(Instant::from_millis(1), "x", "one");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        let mut c = Trace::new();
+        c.record(Instant::from_millis(1), "x", "one");
+        c.record(Instant::from_millis(2), "x", "twO");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Trace::new();
+        t.record(Instant::EPOCH, "err", "bad");
+        t.record(Instant::EPOCH, "ok", "good");
+        t.record(Instant::EPOCH, "err", "worse");
+        assert_eq!(t.in_category("err").len(), 2);
+        assert_eq!(t.in_category("ok").len(), 1);
+        assert_eq!(t.in_category("none").len(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at: Instant::from_secs(1),
+            category: "net".into(),
+            detail: "hello".into(),
+        };
+        assert_eq!(e.to_string(), "[1.000000000s] net: hello");
+    }
+}

@@ -1,0 +1,734 @@
+//! The SOME/IP binding: per-node endpoint for requests, responses and
+//! event notifications — including the DEAR tag extension.
+//!
+//! One [`Binding`] models the middleware library linked into an AP process.
+//! It owns the node's pending-request table, method handler registry and
+//! event handler registry, and is registered as the node's network frame
+//! receiver.
+//!
+//! **Timestamp bypass** (paper §III.B, Figure 3): the DEAR transactors
+//! communicate tags to the binding out-of-band. Before invoking a regular,
+//! tag-agnostic proxy/skeleton call, a transactor deposits the tag via
+//! [`Binding::set_outgoing_tag`]; the modified binding pops it and appends
+//! it to the outgoing message (steps 2→5 and 13→16). On reception, the
+//! binding pushes the received tag into the incoming bypass *before*
+//! dispatching the payload (steps 7/18), where the receiving transactor
+//! picks it up with [`Binding::take_incoming_tag`] (steps 10/21).
+
+use crate::sd::{Offer, SdRegistry, ServiceInstance};
+use crate::wire::{MessageId, MessageType, RequestId, ReturnCode, SomeIpMessage, WireTag};
+use dear_sim::{Frame, NetworkHandle, NodeId, Simulation};
+use dear_time::Duration;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors surfaced by binding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindingError {
+    /// No valid offer for the requested service instance was found.
+    ServiceNotFound {
+        /// Requested service id.
+        service: u16,
+        /// Requested instance id (possibly `ANY_INSTANCE`).
+        instance: u16,
+    },
+}
+
+impl fmt::Display for BindingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingError::ServiceNotFound { service, instance } => {
+                write!(f, "no offer found for service {service:04x} instance {instance:04x}")
+            }
+        }
+    }
+}
+
+impl Error for BindingError {}
+
+/// Statistics for one binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BindingStats {
+    /// Requests sent.
+    pub requests_sent: u64,
+    /// Responses (including errors) received.
+    pub responses_received: u64,
+    /// Notifications sent (one per subscriber).
+    pub notifications_sent: u64,
+    /// Notifications received and dispatched.
+    pub notifications_received: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+}
+
+type ResponseCallback = Box<dyn FnOnce(&mut Simulation, SomeIpMessage)>;
+type MethodHandler = Rc<dyn Fn(&mut Simulation, SomeIpMessage, Responder)>;
+type EventHandler = Rc<dyn Fn(&mut Simulation, SomeIpMessage)>;
+
+struct BindingInner {
+    node: NodeId,
+    net: NetworkHandle,
+    sd: SdRegistry,
+    client_id: u16,
+    next_session: u16,
+    pending: HashMap<RequestId, ResponseCallback>,
+    methods: HashMap<(u16, u16), MethodHandler>,
+    event_handlers: HashMap<(u16, u16), EventHandler>,
+    outgoing_tags: VecDeque<WireTag>,
+    incoming_tags: VecDeque<WireTag>,
+    stats: BindingStats,
+}
+
+/// A shared handle to a node's SOME/IP binding.
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::{LinkConfig, NetworkHandle, NodeId, Simulation};
+/// use dear_someip::{Binding, SdRegistry, ServiceInstance};
+/// use dear_time::Duration;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new(1);
+/// let net = NetworkHandle::new(LinkConfig::ideal(Duration::from_micros(100)), sim.fork_rng("net"));
+/// let sd = SdRegistry::new();
+///
+/// // Server on node 1 offering service 0x50, method 0x01 = "double".
+/// let server = Binding::new(&net, &sd, NodeId(1), 0x11);
+/// server.register_method(0x50, 0x01, |sim, req, responder| {
+///     let v = req.payload[0];
+///     responder.reply(sim, vec![v * 2]);
+/// });
+/// server.offer(&mut sim, ServiceInstance::new(0x50, 1), Duration::from_secs(10));
+///
+/// // Client on node 2.
+/// let client = Binding::new(&net, &sd, NodeId(2), 0x22);
+/// let got = Rc::new(RefCell::new(None));
+/// let sink = got.clone();
+/// client.call(&mut sim, 0x50, dear_someip::ANY_INSTANCE, 0x01, vec![21], move |_sim, resp| {
+///     *sink.borrow_mut() = Some(resp.payload[0]);
+/// }).unwrap();
+///
+/// sim.run_to_completion();
+/// assert_eq!(*got.borrow(), Some(42));
+/// ```
+#[derive(Clone)]
+pub struct Binding(Rc<RefCell<BindingInner>>);
+
+impl fmt::Debug for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("Binding")
+            .field("node", &inner.node)
+            .field("client_id", &inner.client_id)
+            .field("pending", &inner.pending.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl Binding {
+    /// Creates a binding for `node` and registers it as the node's frame
+    /// receiver.
+    ///
+    /// `client_id` is the SOME/IP client id used in outgoing request ids.
+    #[must_use]
+    pub fn new(net: &NetworkHandle, sd: &SdRegistry, node: NodeId, client_id: u16) -> Self {
+        let binding = Binding(Rc::new(RefCell::new(BindingInner {
+            node,
+            net: net.clone(),
+            sd: sd.clone(),
+            client_id,
+            next_session: 1,
+            pending: HashMap::new(),
+            methods: HashMap::new(),
+            event_handlers: HashMap::new(),
+            outgoing_tags: VecDeque::new(),
+            incoming_tags: VecDeque::new(),
+            stats: BindingStats::default(),
+        })));
+        let recv = binding.clone();
+        net.set_receiver(node, move |sim, frame| recv.on_frame(sim, frame));
+        binding
+    }
+
+    /// The node this binding serves.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.0.borrow().node
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> BindingStats {
+        self.0.borrow().stats
+    }
+
+    // --- DEAR timestamp bypass -------------------------------------------
+
+    /// Deposits a tag to be attached to the *next* outgoing message
+    /// (transactor → binding direction of the timestamp bypass).
+    pub fn set_outgoing_tag(&self, tag: WireTag) {
+        self.0.borrow_mut().outgoing_tags.push_back(tag);
+    }
+
+    /// Retrieves the tag of the most recently received tagged message
+    /// (binding → transactor direction of the timestamp bypass).
+    #[must_use]
+    pub fn take_incoming_tag(&self) -> Option<WireTag> {
+        self.0.borrow_mut().incoming_tags.pop_front()
+    }
+
+    /// Discards one deposited outgoing tag (used when the operation the
+    /// tag was deposited for failed before transmission).
+    pub fn discard_outgoing_tag(&self) {
+        self.0.borrow_mut().outgoing_tags.pop_front();
+    }
+
+    // ---
+
+    /// Offers a service instance hosted on this node.
+    pub fn offer(&self, sim: &mut Simulation, instance: ServiceInstance, ttl: Duration) {
+        let (sd, node) = {
+            let inner = self.0.borrow();
+            (inner.sd.clone(), inner.node)
+        };
+        sd.offer(sim, instance, node, ttl);
+    }
+
+    /// Registers the handler for a served method.
+    ///
+    /// The handler receives the request message and a [`Responder`] that
+    /// may reply immediately or be stored and used later (the AP skeleton
+    /// promise/future pattern).
+    pub fn register_method(
+        &self,
+        service: u16,
+        method: u16,
+        handler: impl Fn(&mut Simulation, SomeIpMessage, Responder) + 'static,
+    ) {
+        self.0
+            .borrow_mut()
+            .methods
+            .insert((service, method), Rc::new(handler));
+    }
+
+    /// Registers the handler for a subscribed event.
+    pub fn on_event(
+        &self,
+        service: u16,
+        event: u16,
+        handler: impl Fn(&mut Simulation, SomeIpMessage) + 'static,
+    ) {
+        self.0
+            .borrow_mut()
+            .event_handlers
+            .insert((service, event), Rc::new(handler));
+    }
+
+    /// Subscribes this node to an eventgroup of a service instance.
+    pub fn subscribe(&self, instance: ServiceInstance, eventgroup: u16) {
+        let (sd, node) = {
+            let inner = self.0.borrow();
+            (inner.sd.clone(), inner.node)
+        };
+        sd.subscribe(instance, eventgroup, node);
+    }
+
+    /// Sends a method call; `on_response` fires when the response (or
+    /// error response) arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindingError::ServiceNotFound`] if discovery has no valid
+    /// offer.
+    pub fn call(
+        &self,
+        sim: &mut Simulation,
+        service: u16,
+        instance: u16,
+        method: u16,
+        payload: Vec<u8>,
+        on_response: impl FnOnce(&mut Simulation, SomeIpMessage) + 'static,
+    ) -> Result<RequestId, BindingError> {
+        let offer = self.resolve(sim, service, instance)?;
+        let (frame, request_id) = {
+            let mut inner = self.0.borrow_mut();
+            let request_id = inner.alloc_request_id();
+            let mut msg =
+                SomeIpMessage::request(MessageId::new(service, method), request_id, payload);
+            if let Some(tag) = inner.outgoing_tags.pop_front() {
+                msg = msg.with_tag(tag);
+            }
+            inner.pending.insert(request_id, Box::new(on_response));
+            inner.stats.requests_sent += 1;
+            (
+                Frame {
+                    src: inner.node,
+                    dst: offer.node,
+                    payload: msg.encode(),
+                },
+                request_id,
+            )
+        };
+        let net = self.0.borrow().net.clone();
+        net.send(sim, frame);
+        Ok(request_id)
+    }
+
+    /// Sends a fire-and-forget method call (`REQUEST_NO_RETURN`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindingError::ServiceNotFound`] if discovery has no valid
+    /// offer.
+    pub fn call_no_return(
+        &self,
+        sim: &mut Simulation,
+        service: u16,
+        instance: u16,
+        method: u16,
+        payload: Vec<u8>,
+    ) -> Result<(), BindingError> {
+        let offer = self.resolve(sim, service, instance)?;
+        let frame = {
+            let mut inner = self.0.borrow_mut();
+            let request_id = inner.alloc_request_id();
+            let mut msg =
+                SomeIpMessage::request(MessageId::new(service, method), request_id, payload);
+            msg.message_type = MessageType::RequestNoReturn;
+            if let Some(tag) = inner.outgoing_tags.pop_front() {
+                msg = msg.with_tag(tag);
+            }
+            inner.stats.requests_sent += 1;
+            Frame {
+                src: inner.node,
+                dst: offer.node,
+                payload: msg.encode(),
+            }
+        };
+        let net = self.0.borrow().net.clone();
+        net.send(sim, frame);
+        Ok(())
+    }
+
+    /// Sends an event notification to every subscriber of the eventgroup.
+    ///
+    /// An outgoing bypass tag, if set, is attached to all copies (it is
+    /// one event occurrence).
+    pub fn notify(
+        &self,
+        sim: &mut Simulation,
+        instance: ServiceInstance,
+        eventgroup: u16,
+        event: u16,
+        payload: Vec<u8>,
+    ) {
+        let (subscribers, frames) = {
+            let mut inner = self.0.borrow_mut();
+            let subscribers = inner.sd.subscribers(instance, eventgroup);
+            let tag = inner.outgoing_tags.pop_front();
+            let mut msg =
+                SomeIpMessage::notification(MessageId::new(instance.service, event), payload);
+            if let Some(tag) = tag {
+                msg = msg.with_tag(tag);
+            }
+            let bytes = msg.encode();
+            let frames: Vec<Frame> = subscribers
+                .iter()
+                .map(|&dst| Frame {
+                    src: inner.node,
+                    dst,
+                    payload: bytes.clone(),
+                })
+                .collect();
+            inner.stats.notifications_sent += frames.len() as u64;
+            (subscribers, frames)
+        };
+        let _ = subscribers;
+        let net = self.0.borrow().net.clone();
+        for frame in frames {
+            net.send(sim, frame);
+        }
+    }
+
+    fn resolve(
+        &self,
+        sim: &Simulation,
+        service: u16,
+        instance: u16,
+    ) -> Result<Offer, BindingError> {
+        let sd = self.0.borrow().sd.clone();
+        sd.find(sim, service, instance)
+            .ok_or(BindingError::ServiceNotFound { service, instance })
+    }
+
+    fn on_frame(&self, sim: &mut Simulation, frame: Frame) {
+        let msg = match SomeIpMessage::decode(&frame.payload) {
+            Ok(m) => m,
+            Err(_) => {
+                self.0.borrow_mut().stats.decode_errors += 1;
+                return;
+            }
+        };
+        // Feed the incoming timestamp bypass before dispatching (Fig. 3
+        // steps 7 and 18).
+        if let Some(tag) = msg.tag {
+            self.0.borrow_mut().incoming_tags.push_back(tag);
+        }
+        match msg.message_type {
+            MessageType::Request | MessageType::RequestNoReturn => {
+                let wants_response = msg.message_type == MessageType::Request;
+                let handler = self
+                    .0
+                    .borrow()
+                    .methods
+                    .get(&(msg.message_id.service, msg.message_id.method))
+                    .cloned();
+                let responder = Responder {
+                    binding: self.clone(),
+                    reply_to: frame.src,
+                    request: msg.clone(),
+                    wants_response,
+                };
+                match handler {
+                    Some(h) => h(sim, msg, responder),
+                    None if wants_response => {
+                        let has_service = self
+                            .0
+                            .borrow()
+                            .methods
+                            .keys()
+                            .any(|&(s, _)| s == msg.message_id.service);
+                        let code = if has_service {
+                            ReturnCode::UnknownMethod
+                        } else {
+                            ReturnCode::UnknownService
+                        };
+                        responder.reply_error(sim, code);
+                    }
+                    None => {}
+                }
+            }
+            MessageType::Response | MessageType::Error => {
+                let cb = self.0.borrow_mut().pending.remove(&msg.request_id);
+                if let Some(cb) = cb {
+                    self.0.borrow_mut().stats.responses_received += 1;
+                    cb(sim, msg);
+                }
+            }
+            MessageType::Notification => {
+                let handler = self
+                    .0
+                    .borrow()
+                    .event_handlers
+                    .get(&(msg.message_id.service, msg.message_id.method))
+                    .cloned();
+                if let Some(h) = handler {
+                    self.0.borrow_mut().stats.notifications_received += 1;
+                    h(sim, msg);
+                }
+            }
+        }
+    }
+}
+
+impl BindingInner {
+    fn alloc_request_id(&mut self) -> RequestId {
+        let id = RequestId::new(self.client_id, self.next_session);
+        self.next_session = self.next_session.wrapping_add(1);
+        if self.next_session == 0 {
+            self.next_session = 1;
+        }
+        id
+    }
+}
+
+/// Replies to one received method call.
+///
+/// Implements the AP skeleton pattern where the method implementation
+/// returns a future: the responder can be captured and resolved later
+/// (e.g. after simulated compute time).
+pub struct Responder {
+    binding: Binding,
+    reply_to: NodeId,
+    request: SomeIpMessage,
+    wants_response: bool,
+}
+
+impl fmt::Debug for Responder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Responder(to={}, req={})",
+            self.reply_to, self.request.request_id
+        )
+    }
+}
+
+impl Responder {
+    /// Sends a successful response carrying `payload`.
+    ///
+    /// An outgoing bypass tag, if deposited, is attached (Fig. 3 step 16).
+    /// No-op for fire-and-forget requests.
+    pub fn reply(self, sim: &mut Simulation, payload: Vec<u8>) {
+        if !self.wants_response {
+            return;
+        }
+        let frame = {
+            let mut inner = self.binding.0.borrow_mut();
+            let mut msg = SomeIpMessage::response_to(&self.request, payload);
+            if let Some(tag) = inner.outgoing_tags.pop_front() {
+                msg = msg.with_tag(tag);
+            }
+            Frame {
+                src: inner.node,
+                dst: self.reply_to,
+                payload: msg.encode(),
+            }
+        };
+        let net = self.binding.0.borrow().net.clone();
+        net.send(sim, frame);
+    }
+
+    /// Sends an error response with the given return code.
+    pub fn reply_error(self, sim: &mut Simulation, code: ReturnCode) {
+        if !self.wants_response {
+            return;
+        }
+        let frame = {
+            let inner = self.binding.0.borrow();
+            let msg = SomeIpMessage::error_to(&self.request, code);
+            Frame {
+                src: inner.node,
+                dst: self.reply_to,
+                payload: msg.encode(),
+            }
+        };
+        let net = self.binding.0.borrow().net.clone();
+        net.send(sim, frame);
+    }
+
+    /// The request being answered.
+    #[must_use]
+    pub fn request(&self) -> &SomeIpMessage {
+        &self.request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sd::ANY_INSTANCE;
+    use dear_sim::LinkConfig;
+    use dear_time::Instant;
+
+    fn setup(seed: u64) -> (Simulation, NetworkHandle, SdRegistry) {
+        let sim = Simulation::new(seed);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_micros(500)),
+            sim.fork_rng("net"),
+        );
+        (sim, net, SdRegistry::new())
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let (mut sim, net, sd) = setup(1);
+        let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+        server.register_method(0x50, 1, |sim, req, responder| {
+            let v = req.payload[0];
+            responder.reply(sim, vec![v + 1]);
+        });
+        server.offer(&mut sim, ServiceInstance::new(0x50, 1), Duration::from_secs(10));
+
+        let client = Binding::new(&net, &sd, NodeId(2), 0x20);
+        let got = Rc::new(RefCell::new(None));
+        let sink = got.clone();
+        client
+            .call(&mut sim, 0x50, ANY_INSTANCE, 1, vec![41], move |sim, resp| {
+                *sink.borrow_mut() = Some((sim.now(), resp.payload[0], resp.return_code));
+            })
+            .unwrap();
+        sim.run_to_completion();
+        let (at, v, rc) = got.borrow().unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(rc, ReturnCode::Ok);
+        assert_eq!(at, Instant::from_millis(1), "two 500us hops");
+        assert_eq!(client.stats().requests_sent, 1);
+        assert_eq!(client.stats().responses_received, 1);
+    }
+
+    #[test]
+    fn unknown_service_and_method_errors() {
+        let (mut sim, net, sd) = setup(2);
+        let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+        server.register_method(0x50, 1, |sim, _req, responder| {
+            responder.reply(sim, vec![]);
+        });
+        server.offer(&mut sim, ServiceInstance::new(0x50, 1), Duration::from_secs(10));
+        // Also offer a service id the server has no handlers for.
+        server.offer(&mut sim, ServiceInstance::new(0x51, 1), Duration::from_secs(10));
+
+        let client = Binding::new(&net, &sd, NodeId(2), 0x20);
+        let codes = Rc::new(RefCell::new(Vec::new()));
+        let sink = codes.clone();
+        client
+            .call(&mut sim, 0x50, 1, 99, vec![], move |_s, resp| {
+                sink.borrow_mut().push(resp.return_code);
+            })
+            .unwrap();
+        let sink = codes.clone();
+        client
+            .call(&mut sim, 0x51, 1, 1, vec![], move |_s, resp| {
+                sink.borrow_mut().push(resp.return_code);
+            })
+            .unwrap();
+        sim.run_to_completion();
+        assert_eq!(
+            *codes.borrow(),
+            vec![ReturnCode::UnknownMethod, ReturnCode::UnknownService]
+        );
+    }
+
+    #[test]
+    fn call_without_offer_fails_fast() {
+        let (mut sim, net, sd) = setup(3);
+        let client = Binding::new(&net, &sd, NodeId(2), 0x20);
+        let err = client
+            .call(&mut sim, 0x99, ANY_INSTANCE, 1, vec![], |_, _| {})
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BindingError::ServiceNotFound {
+                service: 0x99,
+                instance: ANY_INSTANCE
+            }
+        );
+    }
+
+    #[test]
+    fn notifications_fan_out_to_subscribers() {
+        let (mut sim, net, sd) = setup(4);
+        let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+        let inst = ServiceInstance::new(0x60, 1);
+        server.offer(&mut sim, inst, Duration::from_secs(10));
+
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let mut clients = Vec::new();
+        for i in 2..4u16 {
+            let c = Binding::new(&net, &sd, NodeId(i), 0x20 + i);
+            c.subscribe(inst, 1);
+            let sink = hits.clone();
+            c.on_event(0x60, 0x8001, move |_, msg| {
+                sink.borrow_mut().push((i, msg.payload.clone()));
+            });
+            clients.push(c);
+        }
+        server.notify(&mut sim, inst, 1, 0x8001, vec![7, 8]);
+        sim.run_to_completion();
+        let mut got = hits.borrow().clone();
+        got.sort();
+        assert_eq!(got, vec![(2, vec![7, 8]), (3, vec![7, 8])]);
+        assert_eq!(server.stats().notifications_sent, 2);
+    }
+
+    #[test]
+    fn timestamp_bypass_carries_tags_end_to_end() {
+        let (mut sim, net, sd) = setup(5);
+        let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+        let inst = ServiceInstance::new(0x50, 1);
+        let server2 = server.clone();
+        server.register_method(0x50, 1, move |sim, _req, responder| {
+            // Server-side transactor behaviour: read the incoming tag,
+            // deposit a response tag, reply.
+            let got = server2.take_incoming_tag();
+            assert_eq!(got, Some(WireTag::new(1_000_000, 2)));
+            server2.set_outgoing_tag(WireTag::new(2_000_000, 0));
+            responder.reply(sim, vec![1]);
+        });
+        server.offer(&mut sim, inst, Duration::from_secs(10));
+
+        let client = Binding::new(&net, &sd, NodeId(2), 0x20);
+        let got_tag = Rc::new(RefCell::new(None));
+        let sink = got_tag.clone();
+        let client2 = client.clone();
+        // Client-side transactor: deposit tag, then make the plain call.
+        client.set_outgoing_tag(WireTag::new(1_000_000, 2));
+        client
+            .call(&mut sim, 0x50, 1, 1, vec![], move |_s, resp| {
+                assert_eq!(resp.tag, Some(WireTag::new(2_000_000, 0)));
+                *sink.borrow_mut() = client2.take_incoming_tag();
+            })
+            .unwrap();
+        sim.run_to_completion();
+        assert_eq!(*got_tag.borrow(), Some(WireTag::new(2_000_000, 0)));
+    }
+
+    #[test]
+    fn untagged_messages_have_no_incoming_tag() {
+        let (mut sim, net, sd) = setup(6);
+        let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+        let inst = ServiceInstance::new(0x50, 1);
+        server.register_method(0x50, 1, |sim, _req, r| r.reply(sim, vec![]));
+        server.offer(&mut sim, inst, Duration::from_secs(10));
+        let client = Binding::new(&net, &sd, NodeId(2), 0x20);
+        client
+            .call(&mut sim, 0x50, 1, 1, vec![], |_, _| {})
+            .unwrap();
+        sim.run_to_completion();
+        assert_eq!(server.take_incoming_tag(), None);
+        assert_eq!(client.take_incoming_tag(), None);
+    }
+
+    #[test]
+    fn fire_and_forget_reaches_handler_without_response() {
+        let (mut sim, net, sd) = setup(7);
+        let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+        let inst = ServiceInstance::new(0x50, 1);
+        let hits = Rc::new(RefCell::new(0));
+        let sink = hits.clone();
+        server.register_method(0x50, 2, move |_s, _req, _r| {
+            *sink.borrow_mut() += 1;
+        });
+        server.offer(&mut sim, inst, Duration::from_secs(10));
+        let client = Binding::new(&net, &sd, NodeId(2), 0x20);
+        client
+            .call_no_return(&mut sim, 0x50, 1, 2, vec![1])
+            .unwrap();
+        sim.run_to_completion();
+        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(client.stats().responses_received, 0);
+    }
+
+    #[test]
+    fn deferred_reply_supports_future_pattern() {
+        let (mut sim, net, sd) = setup(8);
+        let server = Binding::new(&net, &sd, NodeId(1), 0x10);
+        let inst = ServiceInstance::new(0x50, 1);
+        server.register_method(0x50, 1, |sim, _req, responder| {
+            // Simulate 5 ms of server-side compute before resolving the
+            // promise.
+            sim.schedule_in(Duration::from_millis(5), move |sim| {
+                responder.reply(sim, vec![99]);
+            });
+        });
+        server.offer(&mut sim, inst, Duration::from_secs(10));
+        let client = Binding::new(&net, &sd, NodeId(2), 0x20);
+        let got = Rc::new(RefCell::new(None));
+        let sink = got.clone();
+        client
+            .call(&mut sim, 0x50, 1, 1, vec![], move |sim, resp| {
+                *sink.borrow_mut() = Some((sim.now(), resp.payload[0]));
+            })
+            .unwrap();
+        sim.run_to_completion();
+        let (at, v) = got.borrow().unwrap();
+        assert_eq!(v, 99);
+        assert_eq!(at, Instant::from_millis(6), "2 hops + 5ms compute");
+    }
+}

@@ -1,0 +1,35 @@
+//! # dear-someip — SOME/IP middleware simulation with the DEAR tag extension
+//!
+//! AUTOSAR AP suggests SOME/IP as its communication middleware (paper
+//! §II.A). This crate implements, over the `dear-sim` network:
+//!
+//! * the SOME/IP **wire format** ([`SomeIpMessage`], 16-byte header,
+//!   big-endian payloads) including request/response correlation and
+//!   error return codes;
+//! * **service discovery** ([`SdRegistry`]): offer/find/subscribe with
+//!   TTLs — the dynamic binding that makes AP "adaptive";
+//! * the per-node **binding** ([`Binding`]): pending-request tables,
+//!   method/event handler dispatch, fan-out notifications;
+//! * the paper's **modified binding** (§III.B): an optional logical
+//!   timestamp ([`WireTag`]) appended to outgoing messages and recovered
+//!   on reception, fed through the **timestamp bypass**
+//!   ([`Binding::set_outgoing_tag`] / [`Binding::take_incoming_tag`]) so
+//!   that the standard proxy/skeleton interfaces remain unchanged.
+//!
+//! See the [`Binding`] example for a complete client/server round trip.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod binding;
+mod payload;
+mod sd;
+mod wire;
+
+pub use binding::{Binding, BindingError, BindingStats, Responder};
+pub use payload::{PayloadError, PayloadReader, PayloadWriter};
+pub use sd::{Offer, SdRegistry, ServiceInstance, ANY_INSTANCE};
+pub use wire::{
+    MessageId, MessageType, RequestId, ReturnCode, SomeIpMessage, WireError, WireTag, HEADER_LEN,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_DEAR, TAG_MAGIC, TAG_TRAILER_LEN,
+};

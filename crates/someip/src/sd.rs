@@ -1,0 +1,348 @@
+//! SOME/IP service discovery (SOME/IP-SD), simplified.
+//!
+//! "SWCs provide or request services as needed; the binding between
+//! clients and servers is determined at runtime by the middleware through
+//! service discovery. The dynamic binding of services is the core
+//! mechanism for providing adaptivity in AP" (paper §II.A).
+//!
+//! [`SdRegistry`] models the discovery domain one multicast segment would
+//! span: servers *offer* `(service, instance)` pairs with a TTL, clients
+//! *find* instances (optionally asynchronously — the callback fires when a
+//! matching offer appears) and *subscribe* to eventgroups.
+
+use dear_sim::{NodeId, Simulation};
+use dear_time::{Duration, Instant};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies a concrete instance of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceInstance {
+    /// Service interface id.
+    pub service: u16,
+    /// Instance id (`ANY_INSTANCE` matches any in find operations).
+    pub instance: u16,
+}
+
+/// Wildcard instance id accepted by find/subscribe operations.
+pub const ANY_INSTANCE: u16 = 0xFFFF;
+
+impl ServiceInstance {
+    /// Creates a service-instance id.
+    #[must_use]
+    pub const fn new(service: u16, instance: u16) -> Self {
+        ServiceInstance { service, instance }
+    }
+}
+
+impl fmt::Display for ServiceInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}:{:04x}", self.service, self.instance)
+    }
+}
+
+/// An active service offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offer {
+    /// The offered instance.
+    pub instance: ServiceInstance,
+    /// Node hosting the server.
+    pub node: NodeId,
+    /// Offer expiry (true simulation time).
+    pub valid_until: Instant,
+}
+
+type FindCallback = Box<dyn FnOnce(&mut Simulation, Offer)>;
+
+#[derive(Default)]
+struct SdInner {
+    offers: HashMap<ServiceInstance, Offer>,
+    /// Pending async finds: (service, instance-pattern, callback).
+    waiting: Vec<(u16, u16, FindCallback)>,
+    /// Subscriptions: (service, instance, eventgroup) -> subscriber nodes.
+    subscriptions: HashMap<(u16, u16, u16), Vec<NodeId>>,
+}
+
+/// A shared handle to the discovery domain.
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::{NodeId, Simulation};
+/// use dear_someip::{SdRegistry, ServiceInstance};
+/// use dear_time::Duration;
+///
+/// let mut sim = Simulation::new(0);
+/// let sd = SdRegistry::new();
+/// sd.offer(&mut sim, ServiceInstance::new(0x1234, 1), NodeId(2), Duration::from_secs(5));
+/// let offer = sd.find(&sim, 0x1234, dear_someip::ANY_INSTANCE).unwrap();
+/// assert_eq!(offer.node, NodeId(2));
+/// ```
+#[derive(Clone, Default)]
+pub struct SdRegistry(Rc<RefCell<SdInner>>);
+
+impl fmt::Debug for SdRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("SdRegistry")
+            .field("offers", &inner.offers.len())
+            .field("waiting_finds", &inner.waiting.len())
+            .field("subscriptions", &inner.subscriptions.len())
+            .finish()
+    }
+}
+
+impl SdRegistry {
+    /// Creates an empty discovery domain.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a service instance from `node` for `ttl`.
+    ///
+    /// Pending asynchronous finds matching the offer fire immediately
+    /// (at the current simulation time).
+    pub fn offer(
+        &self,
+        sim: &mut Simulation,
+        instance: ServiceInstance,
+        node: NodeId,
+        ttl: Duration,
+    ) {
+        let offer = Offer {
+            instance,
+            node,
+            valid_until: sim.now().saturating_add(ttl),
+        };
+        let ready: Vec<FindCallback> = {
+            let mut inner = self.0.borrow_mut();
+            inner.offers.insert(instance, offer);
+            let mut ready = Vec::new();
+            let mut remaining = Vec::new();
+            for (service, pattern, cb) in inner.waiting.drain(..) {
+                if service == instance.service
+                    && (pattern == ANY_INSTANCE || pattern == instance.instance)
+                {
+                    ready.push(cb);
+                } else {
+                    remaining.push((service, pattern, cb));
+                }
+            }
+            inner.waiting = remaining;
+            ready
+        };
+        for cb in ready {
+            cb(sim, offer);
+        }
+    }
+
+    /// Withdraws an offer (SOME/IP-SD StopOffer).
+    pub fn stop_offer(&self, instance: ServiceInstance) {
+        self.0.borrow_mut().offers.remove(&instance);
+    }
+
+    /// Finds a currently valid offer. `instance` may be [`ANY_INSTANCE`].
+    #[must_use]
+    pub fn find(&self, sim: &Simulation, service: u16, instance: u16) -> Option<Offer> {
+        let inner = self.0.borrow();
+        let mut candidates: Vec<&Offer> = inner
+            .offers
+            .values()
+            .filter(|o| {
+                o.instance.service == service
+                    && (instance == ANY_INSTANCE || o.instance.instance == instance)
+                    && o.valid_until >= sim.now()
+            })
+            .collect();
+        // Deterministic choice: lowest instance id wins.
+        candidates.sort_by_key(|o| o.instance);
+        candidates.first().map(|&&o| o)
+    }
+
+    /// Finds asynchronously: `callback` fires now if a matching offer
+    /// exists, or as soon as one appears.
+    pub fn find_async(
+        &self,
+        sim: &mut Simulation,
+        service: u16,
+        instance: u16,
+        callback: impl FnOnce(&mut Simulation, Offer) + 'static,
+    ) {
+        if let Some(offer) = self.find(sim, service, instance) {
+            callback(sim, offer);
+        } else {
+            self.0
+                .borrow_mut()
+                .waiting
+                .push((service, instance, Box::new(callback)));
+        }
+    }
+
+    /// Subscribes `subscriber` to an eventgroup of a service instance.
+    ///
+    /// Duplicate subscriptions are idempotent.
+    pub fn subscribe(&self, instance: ServiceInstance, eventgroup: u16, subscriber: NodeId) {
+        let mut inner = self.0.borrow_mut();
+        let subs = inner
+            .subscriptions
+            .entry((instance.service, instance.instance, eventgroup))
+            .or_default();
+        if !subs.contains(&subscriber) {
+            subs.push(subscriber);
+            subs.sort_unstable();
+        }
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&self, instance: ServiceInstance, eventgroup: u16, subscriber: NodeId) {
+        if let Some(subs) = self
+            .0
+            .borrow_mut()
+            .subscriptions
+            .get_mut(&(instance.service, instance.instance, eventgroup))
+        {
+            subs.retain(|&n| n != subscriber);
+        }
+    }
+
+    /// Current subscribers of an eventgroup (sorted, deterministic).
+    #[must_use]
+    pub fn subscribers(&self, instance: ServiceInstance, eventgroup: u16) -> Vec<NodeId> {
+        self.0
+            .borrow()
+            .subscriptions
+            .get(&(instance.service, instance.instance, eventgroup))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of currently stored offers (including possibly expired ones
+    /// that have not been purged).
+    #[must_use]
+    pub fn offer_count(&self) -> usize {
+        self.0.borrow().offers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_then_find() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        assert!(sd.find(&sim, 7, ANY_INSTANCE).is_none());
+        sd.offer(
+            &mut sim,
+            ServiceInstance::new(7, 1),
+            NodeId(3),
+            Duration::from_secs(1),
+        );
+        assert_eq!(sd.find(&sim, 7, ANY_INSTANCE).unwrap().node, NodeId(3));
+        assert_eq!(sd.find(&sim, 7, 1).unwrap().node, NodeId(3));
+        assert!(sd.find(&sim, 7, 2).is_none());
+        assert!(sd.find(&sim, 8, ANY_INSTANCE).is_none());
+    }
+
+    #[test]
+    fn offers_expire_by_ttl() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        sd.offer(
+            &mut sim,
+            ServiceInstance::new(7, 1),
+            NodeId(3),
+            Duration::from_millis(10),
+        );
+        sim.run_until(Instant::from_millis(5));
+        assert!(sd.find(&sim, 7, 1).is_some());
+        sim.run_until(Instant::from_millis(11));
+        assert!(sd.find(&sim, 7, 1).is_none(), "expired");
+    }
+
+    #[test]
+    fn stop_offer_withdraws() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        let inst = ServiceInstance::new(7, 1);
+        sd.offer(&mut sim, inst, NodeId(3), Duration::from_secs(1));
+        sd.stop_offer(inst);
+        assert!(sd.find(&sim, 7, 1).is_none());
+    }
+
+    #[test]
+    fn find_async_fires_on_later_offer() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        let hit = Rc::new(RefCell::new(None));
+        let sink = hit.clone();
+        sd.find_async(&mut sim, 9, ANY_INSTANCE, move |sim, offer| {
+            *sink.borrow_mut() = Some((sim.now(), offer.node));
+        });
+        assert!(hit.borrow().is_none());
+        let sd2 = sd.clone();
+        sim.schedule_at(Instant::from_millis(5), move |sim| {
+            sd2.offer(
+                sim,
+                ServiceInstance::new(9, 0),
+                NodeId(1),
+                Duration::from_secs(1),
+            );
+        });
+        sim.run_to_completion();
+        assert_eq!(*hit.borrow(), Some((Instant::from_millis(5), NodeId(1))));
+    }
+
+    #[test]
+    fn find_async_fires_immediately_when_offered() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        sd.offer(
+            &mut sim,
+            ServiceInstance::new(9, 0),
+            NodeId(1),
+            Duration::from_secs(1),
+        );
+        let hit = Rc::new(RefCell::new(false));
+        let sink = hit.clone();
+        sd.find_async(&mut sim, 9, 0, move |_, _| *sink.borrow_mut() = true);
+        assert!(*hit.borrow());
+    }
+
+    #[test]
+    fn deterministic_choice_among_multiple_offers() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        sd.offer(
+            &mut sim,
+            ServiceInstance::new(7, 2),
+            NodeId(5),
+            Duration::from_secs(1),
+        );
+        sd.offer(
+            &mut sim,
+            ServiceInstance::new(7, 1),
+            NodeId(4),
+            Duration::from_secs(1),
+        );
+        // Lowest instance id wins regardless of offer order.
+        assert_eq!(sd.find(&sim, 7, ANY_INSTANCE).unwrap().node, NodeId(4));
+    }
+
+    #[test]
+    fn subscriptions_are_idempotent_and_sorted() {
+        let sd = SdRegistry::new();
+        let inst = ServiceInstance::new(7, 1);
+        sd.subscribe(inst, 1, NodeId(5));
+        sd.subscribe(inst, 1, NodeId(2));
+        sd.subscribe(inst, 1, NodeId(5));
+        assert_eq!(sd.subscribers(inst, 1), vec![NodeId(2), NodeId(5)]);
+        sd.unsubscribe(inst, 1, NodeId(2));
+        assert_eq!(sd.subscribers(inst, 1), vec![NodeId(5)]);
+        assert!(sd.subscribers(inst, 2).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Robustness: the SOME/IP decoder must never panic, whatever bytes the
+//! network delivers — malformed frames become `Err`, not crashes.
+
+use dear_someip::{MessageId, RequestId, SomeIpMessage, WireTag};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SomeIpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_of_mutated_valid_frame_never_panics(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        tagged in any::<bool>(),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let mut msg = SomeIpMessage::request(
+            MessageId::new(0x1234, 0x01),
+            RequestId::new(0x11, 0x22),
+            payload,
+        );
+        if tagged {
+            msg = msg.with_tag(WireTag::new(42, 7));
+        }
+        let mut bytes = msg.encode();
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_bits;
+        // Either it still decodes (the flip hit the payload) or it errors
+        // cleanly; both are fine, panicking is not.
+        let _ = SomeIpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn valid_frames_always_roundtrip_even_with_extreme_fields(
+        service in any::<u16>(), method in any::<u16>(),
+        client in any::<u16>(), session in any::<u16>(),
+        payload_len in 0usize..1024,
+    ) {
+        let msg = SomeIpMessage::request(
+            MessageId::new(service, method),
+            RequestId::new(client, session),
+            vec![0x5A; payload_len],
+        );
+        let decoded = SomeIpMessage::decode(&msg.encode()).expect("own frames decode");
+        prop_assert_eq!(decoded, msg);
+    }
+}

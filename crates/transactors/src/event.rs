@@ -1,0 +1,144 @@
+//! Event transactors: publisher (server) and subscriber (client) roles.
+//!
+//! "Analogous to methods, a similar pair of transactors for interacting
+//! with AP events in the role of clients and servers exists" (paper
+//! §III.B). Events are one-way: the server emits, subscribed clients
+//! receive. The brake-assistant pipeline (Fig. 4) is a chain of exactly
+//! these transactors.
+
+use crate::config::{tag_to_wire, DearConfig, EventSpec};
+use crate::outbox::{Outbox, OutboundMsg, OutboxSender};
+use crate::platform::FederatedPlatform;
+use crate::stats::TransactorStats;
+use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx};
+use dear_someip::{Binding, ServiceInstance};
+use dear_time::Duration;
+
+fn forward_fn(
+    sender: OutboxSender,
+    route: u32,
+    deadline: Duration,
+    port: Port<Vec<u8>>,
+) -> impl FnMut(&mut (), &mut ReactionCtx<'_>) + Send + 'static {
+    move |_, ctx| {
+        let payload = ctx.get(port).cloned().unwrap_or_default();
+        let out_tag = ctx.tag().delay(deadline);
+        sender.push(OutboundMsg {
+            route,
+            payload,
+            tag: tag_to_wire(out_tag),
+        });
+    }
+}
+
+/// Server-side (publisher) event transactor.
+///
+/// Wire the publishing logic's output port to [`event`](Self::event);
+/// each value is sent as a tagged notification to all subscribers.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerEventTransactor {
+    /// Input port: event payloads from the publishing logic.
+    pub event: Port<Vec<u8>>,
+    route: u32,
+    /// The sender-side deadline `D`.
+    pub deadline: Duration,
+}
+
+impl ServerEventTransactor {
+    /// Declares the transactor reactor in a program under assembly.
+    #[must_use]
+    pub fn declare(
+        b: &mut ProgramBuilder,
+        outbox: &Outbox,
+        name: &str,
+        deadline: Duration,
+    ) -> Self {
+        let route = outbox.allocate_route();
+        let mut r = b.reactor(&format!("{name}.server_event_transactor"), ());
+        let event = r.input::<Vec<u8>>("event");
+        r.reaction("forward_event")
+            .triggered_by(event)
+            .with_deadline(deadline, forward_fn(outbox.sender(), route, deadline, event))
+            .body(forward_fn(outbox.sender(), route, deadline, event));
+        drop(r);
+        ServerEventTransactor {
+            event,
+            route,
+            deadline,
+        }
+    }
+
+    /// Binds the transactor to the publisher's middleware binding.
+    pub fn bind(&self, platform: &FederatedPlatform, binding: &Binding, spec: EventSpec) {
+        let binding = binding.clone();
+        platform.register_route(self.route, move |sim, msg| {
+            binding.set_outgoing_tag(msg.tag);
+            binding.notify(
+                sim,
+                ServiceInstance::new(spec.service, spec.instance),
+                spec.eventgroup,
+                spec.event,
+                msg.payload,
+            );
+        });
+    }
+}
+
+/// Client-side (subscriber) event transactor.
+///
+/// Wire the consuming logic's input port from [`event`](Self::event);
+/// received notifications are released into the reactor network at
+/// `t_sender + L + E`.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientEventTransactor {
+    /// Output port: event payloads to the consuming logic.
+    pub event: Port<Vec<u8>>,
+    evt_action: PhysicalAction<Vec<u8>>,
+}
+
+impl ClientEventTransactor {
+    /// Declares the transactor reactor in a program under assembly.
+    #[must_use]
+    pub fn declare(b: &mut ProgramBuilder, name: &str) -> Self {
+        let mut r = b.reactor(&format!("{name}.client_event_transactor"), ());
+        let event = r.output::<Vec<u8>>("event");
+        let evt_action = r.physical_action::<Vec<u8>>("event_arrived", Duration::ZERO);
+        r.reaction("deliver_event")
+            .triggered_by(evt_action)
+            .effects(event)
+            .body(move |_, ctx| {
+                let v = ctx
+                    .get_action(&evt_action)
+                    .cloned()
+                    .expect("action value present");
+                ctx.set(event, v);
+            });
+        drop(r);
+        ClientEventTransactor { event, evt_action }
+    }
+
+    /// Binds the transactor: subscribes on the middleware and routes
+    /// received notifications into the reactor network.
+    pub fn bind(
+        &self,
+        platform: &FederatedPlatform,
+        binding: &Binding,
+        spec: EventSpec,
+        cfg: DearConfig,
+    ) -> TransactorStats {
+        let stats = TransactorStats::new();
+        binding.subscribe(
+            ServiceInstance::new(spec.service, spec.instance),
+            spec.eventgroup,
+        );
+        let action = self.evt_action;
+        let platform = platform.clone();
+        let binding_cb = binding.clone();
+        let stats_cb = stats.clone();
+        binding.on_event(spec.service, spec.event, move |sim, msg| {
+            let wire_tag = binding_cb.take_incoming_tag().or(msg.tag);
+            platform.deliver(sim, &action, msg.payload, wire_tag, &cfg, &stats_cb);
+        });
+        stats
+    }
+}

@@ -1,0 +1,160 @@
+//! Field transactors.
+//!
+//! "Since fields are composed of a get method, a set method and an event,
+//! interaction with fields requires the use of one event and two method
+//! transactors" (paper §III.B). These types bundle exactly that
+//! composition for the client and server roles.
+
+use crate::config::{DearConfig, EventSpec, MethodSpec};
+use crate::event::{ClientEventTransactor, ServerEventTransactor};
+use crate::method::{ClientMethodTransactor, ServerMethodTransactor};
+use crate::outbox::Outbox;
+use crate::platform::FederatedPlatform;
+use crate::stats::TransactorStats;
+use dear_ara::FieldIds;
+use dear_core::ProgramBuilder;
+use dear_someip::Binding;
+use dear_time::Duration;
+
+/// Client-side field transactor bundle: get + set + update notifications.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldClientTransactor {
+    /// Transactor for the field getter.
+    pub get: ClientMethodTransactor,
+    /// Transactor for the field setter.
+    pub set: ClientMethodTransactor,
+    /// Transactor receiving change notifications.
+    pub updates: ClientEventTransactor,
+}
+
+impl FieldClientTransactor {
+    /// Declares the three constituent transactors.
+    #[must_use]
+    pub fn declare(
+        b: &mut ProgramBuilder,
+        outbox: &Outbox,
+        name: &str,
+        deadline: Duration,
+    ) -> Self {
+        FieldClientTransactor {
+            get: ClientMethodTransactor::declare(b, outbox, &format!("{name}.get"), deadline),
+            set: ClientMethodTransactor::declare(b, outbox, &format!("{name}.set"), deadline),
+            updates: ClientEventTransactor::declare(b, &format!("{name}.updates")),
+        }
+    }
+
+    /// Binds all three transactors against a field's wire identifiers.
+    pub fn bind(
+        &self,
+        platform: &FederatedPlatform,
+        binding: &Binding,
+        service: u16,
+        instance: u16,
+        ids: FieldIds,
+        cfg: DearConfig,
+    ) -> [TransactorStats; 3] {
+        let get_stats = self.get.bind(
+            platform,
+            binding,
+            MethodSpec {
+                service,
+                instance,
+                method: ids.get_method,
+            },
+            cfg,
+        );
+        let set_stats = self.set.bind(
+            platform,
+            binding,
+            MethodSpec {
+                service,
+                instance,
+                method: ids.set_method,
+            },
+            cfg,
+        );
+        let update_stats = self.updates.bind(
+            platform,
+            binding,
+            EventSpec {
+                service,
+                instance,
+                eventgroup: ids.eventgroup,
+                event: ids.notifier_event,
+            },
+            cfg,
+        );
+        [get_stats, set_stats, update_stats]
+    }
+}
+
+/// Server-side field transactor bundle.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldServerTransactor {
+    /// Transactor serving the field getter.
+    pub get: ServerMethodTransactor,
+    /// Transactor serving the field setter.
+    pub set: ServerMethodTransactor,
+    /// Transactor publishing change notifications.
+    pub updates: ServerEventTransactor,
+}
+
+impl FieldServerTransactor {
+    /// Declares the three constituent transactors.
+    #[must_use]
+    pub fn declare(
+        b: &mut ProgramBuilder,
+        outbox: &Outbox,
+        name: &str,
+        deadline: Duration,
+    ) -> Self {
+        FieldServerTransactor {
+            get: ServerMethodTransactor::declare(b, outbox, &format!("{name}.get"), deadline),
+            set: ServerMethodTransactor::declare(b, outbox, &format!("{name}.set"), deadline),
+            updates: ServerEventTransactor::declare(b, outbox, &format!("{name}.updates"), deadline),
+        }
+    }
+
+    /// Binds all three transactors against a field's wire identifiers.
+    pub fn bind(
+        &self,
+        platform: &FederatedPlatform,
+        binding: &Binding,
+        service: u16,
+        instance: u16,
+        ids: FieldIds,
+        cfg: DearConfig,
+    ) -> [TransactorStats; 2] {
+        let get_stats = self.get.bind(
+            platform,
+            binding,
+            MethodSpec {
+                service,
+                instance,
+                method: ids.get_method,
+            },
+            cfg,
+        );
+        let set_stats = self.set.bind(
+            platform,
+            binding,
+            MethodSpec {
+                service,
+                instance,
+                method: ids.set_method,
+            },
+            cfg,
+        );
+        self.updates.bind(
+            platform,
+            binding,
+            EventSpec {
+                service,
+                instance,
+                eventgroup: ids.eventgroup,
+                event: ids.notifier_event,
+            },
+        );
+        [get_stats, set_stats]
+    }
+}

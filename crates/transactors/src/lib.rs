@@ -1,0 +1,47 @@
+//! # dear-transactors — the DEAR integration layer
+//!
+//! This crate is the heart of the paper's proposal (§III.B): it connects
+//! deterministic reactor programs (`dear-core`) to standard AUTOSAR AP
+//! service interfaces (`dear-ara` / `dear-someip`) without breaking the
+//! standard, by interposing **transactors** — special reactors that
+//! "translate between the service-oriented interfaces of SWCs and the
+//! event-based input and output ports of reactors".
+//!
+//! The pieces:
+//!
+//! * [`ClientMethodTransactor`] / [`ServerMethodTransactor`] — the
+//!   two-way method path of Figure 3 with the full 22-step tag algebra
+//!   (`tc + Dc`, `+ L + E`, `ts + Ds`, `+ L + E`);
+//! * [`ClientEventTransactor`] / [`ServerEventTransactor`] — the one-way
+//!   event path (the brake-assistant pipeline);
+//! * [`FieldClientTransactor`] / [`FieldServerTransactor`] — fields as
+//!   one event plus two method transactors;
+//! * [`FederatedPlatform`] — per-platform driver enforcing the PTIDES
+//!   safe-to-process rule against the platform's local (skewed) clock,
+//!   with modelled per-reaction compute cost so that deadlines are
+//!   meaningful in simulation;
+//! * [`Outbox`] — the deterministic reaction→middleware queue;
+//! * [`TransactorStats`] — observable fault counters (untagged drops,
+//!   safe-to-process violations).
+//!
+//! See `tests/fig3_roundtrip.rs` for the full Figure 3 sequence driven
+//! end to end with exact tag assertions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod event;
+mod field;
+mod method;
+mod outbox;
+mod platform;
+mod stats;
+
+pub use config::{tag_to_wire, wire_to_tag, DearConfig, EventSpec, MethodSpec, UntaggedPolicy};
+pub use event::{ClientEventTransactor, ServerEventTransactor};
+pub use field::{FieldClientTransactor, FieldServerTransactor};
+pub use method::{ClientMethodTransactor, ServerMethodTransactor};
+pub use outbox::{Outbox, OutboundMsg, OutboxSender};
+pub use platform::FederatedPlatform;
+pub use stats::TransactorStats;

@@ -1,0 +1,142 @@
+//! The outbox: how reactions talk to the middleware.
+//!
+//! Reaction bodies execute inside the reactor runtime and must be `Send`
+//! (the level-parallel executor may run them on worker threads), so they
+//! cannot capture the single-threaded middleware handles directly.
+//! Instead, a transactor reaction pushes a plain-data [`OutboundMsg`] into
+//! its platform's [`Outbox`]; after each processed tag, the federated
+//! platform driver drains the outbox *in push order* and dispatches each
+//! message to the route handler registered for it (which then performs
+//! the actual proxy/skeleton call on the binding).
+//!
+//! This preserves the paper's architecture — the reaction logically
+//! "invokes the method call on the service proxy object" (Fig. 3 step 3) —
+//! while keeping the runtime thread-safe.
+
+use dear_someip::WireTag;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A middleware operation requested by a transactor reaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutboundMsg {
+    /// The route (registered interpreter) this message belongs to.
+    pub route: u32,
+    /// Serialized payload.
+    pub payload: Vec<u8>,
+    /// The tag to attach on the wire (already includes the sender
+    /// deadline, i.e. `t + D`).
+    pub tag: WireTag,
+}
+
+/// A shared, thread-safe queue of outbound middleware operations.
+#[derive(Clone, Default)]
+pub struct Outbox {
+    queue: Arc<Mutex<Vec<OutboundMsg>>>,
+    next_route: Arc<Mutex<u32>>,
+}
+
+impl fmt::Debug for Outbox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Outbox")
+            .field("pending", &self.queue.lock().expect("outbox poisoned").len())
+            .finish()
+    }
+}
+
+impl Outbox {
+    /// Creates an empty outbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh route id for a transactor.
+    #[must_use]
+    pub fn allocate_route(&self) -> u32 {
+        let mut next = self.next_route.lock().expect("outbox poisoned");
+        let id = *next;
+        *next += 1;
+        id
+    }
+
+    /// Returns the sendable queue handle for capture in reaction bodies.
+    #[must_use]
+    pub fn sender(&self) -> OutboxSender {
+        OutboxSender(self.queue.clone())
+    }
+
+    /// Drains all pending messages in push order.
+    #[must_use]
+    pub fn drain(&self) -> Vec<OutboundMsg> {
+        std::mem::take(&mut *self.queue.lock().expect("outbox poisoned"))
+    }
+
+    /// Number of queued messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("outbox poisoned").len()
+    }
+
+    /// Whether the outbox is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The `Send + Sync` half of an [`Outbox`], capturable by reactions.
+#[derive(Clone)]
+pub struct OutboxSender(Arc<Mutex<Vec<OutboundMsg>>>);
+
+impl fmt::Debug for OutboxSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OutboxSender")
+    }
+}
+
+impl OutboxSender {
+    /// Enqueues a message.
+    pub fn push(&self, msg: OutboundMsg) {
+        self.0.lock().expect("outbox poisoned").push(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain_preserve_order() {
+        let outbox = Outbox::new();
+        let sender = outbox.sender();
+        for i in 0..5u8 {
+            sender.push(OutboundMsg {
+                route: u32::from(i),
+                payload: vec![i],
+                tag: WireTag::new(u64::from(i), 0),
+            });
+        }
+        assert_eq!(outbox.len(), 5);
+        let drained = outbox.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(outbox.is_empty());
+        for (i, msg) in drained.iter().enumerate() {
+            assert_eq!(msg.route, i as u32);
+        }
+    }
+
+    #[test]
+    fn route_ids_are_unique() {
+        let outbox = Outbox::new();
+        let a = outbox.allocate_route();
+        let b = outbox.allocate_route();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sender_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OutboxSender>();
+    }
+}

@@ -1,0 +1,304 @@
+//! The federated platform driver: one reactor runtime per platform,
+//! coordinated through the discrete-event simulation.
+//!
+//! A [`FederatedPlatform`] owns a [`Runtime`] and the platform's
+//! [`VirtualClock`]. It enforces the reactor rule that no event is
+//! processed before the *local physical clock* passes the event's tag:
+//! for the earliest pending tag `g`, it schedules a simulation wake-up at
+//! the true time at which the local clock reads `g.time` (or later, if
+//! the platform is still busy with modelled compute). Combined with the
+//! transactors' `t + D + L + E` tag arithmetic this yields the
+//! decentralized PTIDES-style coordination of the paper's §III.A —
+//! deterministic distributed execution without a central coordinator.
+
+use crate::config::{DearConfig, UntaggedPolicy};
+use crate::outbox::{Outbox, OutboundMsg};
+use crate::stats::TransactorStats;
+use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeStats, StepOutcome, Tag};
+use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
+use dear_someip::WireTag;
+use dear_time::Instant;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+type RouteHandler = Rc<dyn Fn(&mut Simulation, OutboundMsg)>;
+
+struct PlatformInner {
+    name: String,
+    runtime: Runtime,
+    clock: VirtualClock,
+    outbox: Outbox,
+    routes: HashMap<u32, RouteHandler>,
+    costs: HashMap<ReactionId, LatencyModel>,
+    cost_rng: SimRng,
+    /// True time until which the platform's processor is busy.
+    busy_until: Instant,
+    generation: u64,
+    started: bool,
+}
+
+/// A platform participating in a federated DEAR deployment.
+///
+/// Cheap to clone; clones share the platform.
+#[derive(Clone)]
+pub struct FederatedPlatform(Rc<RefCell<PlatformInner>>);
+
+impl fmt::Debug for FederatedPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("FederatedPlatform")
+            .field("name", &inner.name)
+            .field("started", &inner.started)
+            .field("busy_until", &inner.busy_until)
+            .finish()
+    }
+}
+
+impl FederatedPlatform {
+    /// Creates a platform around a built runtime.
+    ///
+    /// `outbox` must be the same outbox the platform's transactors were
+    /// declared with; `cost_rng` drives the compute-time models.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+    ) -> Self {
+        FederatedPlatform(Rc::new(RefCell::new(PlatformInner {
+            name: name.into(),
+            runtime,
+            clock,
+            outbox,
+            routes: HashMap::new(),
+            costs: HashMap::new(),
+            cost_rng,
+            busy_until: Instant::EPOCH,
+            generation: 0,
+            started: false,
+        })))
+    }
+
+    /// The platform's name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// Registers the interpreter for an outbox route.
+    pub fn register_route(
+        &self,
+        route: u32,
+        handler: impl Fn(&mut Simulation, OutboundMsg) + 'static,
+    ) {
+        self.0.borrow_mut().routes.insert(route, Rc::new(handler));
+    }
+
+    /// Attaches a modelled compute cost to a reaction: each execution of
+    /// the reaction occupies the platform's processor for a sampled
+    /// duration, delaying subsequent tag processing — which is what makes
+    /// deadlines meaningful in simulation.
+    pub fn set_reaction_cost(&self, reaction: ReactionId, model: LatencyModel) {
+        self.0.borrow_mut().costs.insert(reaction, model);
+    }
+
+    /// The platform's local clock reading at the current simulation time.
+    #[must_use]
+    pub fn local_now(&self, sim: &Simulation) -> Instant {
+        self.0.borrow().clock.local_time(sim.now())
+    }
+
+    /// Runs a closure with mutable access to the runtime (tracing,
+    /// workers, statistics).
+    pub fn with_runtime<R>(&self, f: impl FnOnce(&mut Runtime) -> R) -> R {
+        f(&mut self.0.borrow_mut().runtime)
+    }
+
+    /// Runtime statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.0.borrow().runtime.stats()
+    }
+
+    /// Starts the runtime (anchored at the platform's local clock) and
+    /// arms the first wake-up.
+    pub fn start(&self, sim: &mut Simulation) {
+        {
+            let mut inner = self.0.borrow_mut();
+            assert!(!inner.started, "platform already started");
+            inner.started = true;
+            let local_now = inner.clock.local_time(sim.now());
+            inner.runtime.start(local_now);
+        }
+        self.arm(sim);
+    }
+
+    /// Requests runtime shutdown at the given local time.
+    pub fn stop_at_local(&self, sim: &mut Simulation, local: Instant) {
+        {
+            let mut inner = self.0.borrow_mut();
+            let _ = inner.runtime.stop_at(local);
+        }
+        self.arm(sim);
+    }
+
+    /// Injects a payload into a physical action at an exact tag — the
+    /// PTIDES "schedule an action with tag `t + D + L + E`" step.
+    ///
+    /// STP violations are counted in the runtime statistics and reported
+    /// to the caller; the event is dropped (observable error, paper
+    /// §IV.B).
+    pub fn inject_at<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+        tag: Tag,
+    ) -> Result<(), dear_core::RuntimeError> {
+        let result = {
+            let mut inner = self.0.borrow_mut();
+            inner.runtime.schedule_physical_at(action, value, tag)
+        };
+        if result.is_ok() {
+            self.arm(sim);
+        }
+        result
+    }
+
+    /// Injects a payload tagged with the local physical arrival time (the
+    /// "sporadic sensor" path used for untagged messages and the
+    /// brake-assistant video adapter).
+    pub fn inject_now<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+    ) -> Result<Tag, dear_core::RuntimeError> {
+        let result = {
+            let mut inner = self.0.borrow_mut();
+            let local_now = inner.clock.local_time(sim.now());
+            inner.runtime.schedule_physical(action, value, local_now)
+        };
+        if result.is_ok() {
+            self.arm(sim);
+        }
+        result
+    }
+
+    /// Delivers a received message to a physical action according to the
+    /// DEAR rules: tagged messages are released at `wire_tag + L + E`;
+    /// untagged messages follow the configured [`UntaggedPolicy`].
+    pub fn deliver(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<Vec<u8>>,
+        payload: Vec<u8>,
+        wire_tag: Option<WireTag>,
+        cfg: &DearConfig,
+        stats: &TransactorStats,
+    ) {
+        match wire_tag {
+            Some(w) => {
+                let base = crate::config::wire_to_tag(w);
+                let release = Tag::new(base.time + cfg.stp_offset(), base.microstep);
+                if self.inject_at(sim, action, payload, release).is_err() {
+                    stats.record_stp_violation();
+                }
+            }
+            None => match cfg.untagged {
+                UntaggedPolicy::Fail => stats.record_untagged_dropped(),
+                UntaggedPolicy::PhysicalTime => {
+                    if self.inject_now(sim, action, payload).is_err() {
+                        stats.record_stp_violation();
+                    }
+                }
+            },
+        }
+    }
+
+    /// Schedules the next wake-up for the earliest pending tag.
+    fn arm(&self, sim: &mut Simulation) {
+        let (wake_at, generation) = {
+            let mut inner = self.0.borrow_mut();
+            if !inner.started || !inner.runtime.is_running() {
+                return;
+            }
+            let Some(tag) = inner.runtime.next_tag() else {
+                return;
+            };
+            let tag_true = inner.clock.true_time_at_local(tag.time);
+            let wake = tag_true.max(inner.busy_until).max(sim.now());
+            inner.generation += 1;
+            (wake, inner.generation)
+        };
+        let platform = self.clone();
+        sim.schedule_at(wake_at, move |sim| platform.on_wake(sim, generation));
+    }
+
+    fn on_wake(&self, sim: &mut Simulation, generation: u64) {
+        // Process one tag, attribute its compute cost, drain the outbox,
+        // then re-arm. Superseded wake-ups (a newer arm happened) no-op.
+        {
+            let inner = self.0.borrow();
+            if generation != inner.generation || !inner.started {
+                return;
+            }
+        }
+        let (outcome, drain_at) = {
+            let mut inner = self.0.borrow_mut();
+            let local_now = inner.clock.local_time(sim.now());
+            let outcome = inner.runtime.step(local_now);
+            let mut drain_at = sim.now();
+            if let StepOutcome::Processed(_) = outcome {
+                // Accumulate modelled compute time of executed reactions.
+                let executed: Vec<ReactionId> =
+                    inner.runtime.executed_at_last_tag().to_vec();
+                let mut total = dear_time::Duration::ZERO;
+                for rid in executed {
+                    if let Some(model) = inner.costs.get(&rid) {
+                        let model = model.clone();
+                        total += model.sample(&mut inner.cost_rng);
+                    }
+                }
+                let busy_from = inner.busy_until.max(sim.now());
+                inner.busy_until = busy_from + total;
+                // Outputs leave the platform when the modelled compute
+                // finishes (the skeleton promise resolves then), not when
+                // the tag starts.
+                drain_at = inner.busy_until;
+            }
+            (outcome, drain_at)
+        };
+        if let StepOutcome::Processed(_) = outcome {
+            if drain_at > sim.now() {
+                let platform = self.clone();
+                sim.schedule_at(drain_at, move |sim| platform.drain_outbox(sim));
+            } else {
+                self.drain_outbox(sim);
+            }
+        }
+        self.arm(sim);
+    }
+
+    fn drain_outbox(&self, sim: &mut Simulation) {
+        let msgs = {
+            let inner = self.0.borrow();
+            inner.outbox.drain()
+        };
+        for msg in msgs {
+            let handler = self.0.borrow().routes.get(&msg.route).cloned();
+            match handler {
+                Some(h) => h(sim, msg),
+                None => panic!(
+                    "outbox message for unregistered route {} on platform {}",
+                    msg.route,
+                    self.0.borrow().name
+                ),
+            }
+        }
+    }
+}

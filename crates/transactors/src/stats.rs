@@ -1,0 +1,88 @@
+//! Observable fault counters for transactors.
+//!
+//! The DEAR philosophy is that violated assumptions become *observable
+//! errors* rather than silent reordering (paper §IV.B). These counters
+//! are where the faults surface.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct StatsInner {
+    untagged_dropped: Cell<u64>,
+    stp_violations: Cell<u64>,
+    send_failures: Cell<u64>,
+}
+
+/// Shared fault counters for one transactor binding.
+#[derive(Clone, Default)]
+pub struct TransactorStats(Rc<StatsInner>);
+
+impl fmt::Debug for TransactorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransactorStats")
+            .field("untagged_dropped", &self.untagged_dropped())
+            .field("stp_violations", &self.stp_violations())
+            .field("send_failures", &self.send_failures())
+            .finish()
+    }
+}
+
+impl TransactorStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Untagged messages dropped under [`UntaggedPolicy::Fail`].
+    ///
+    /// [`UntaggedPolicy::Fail`]: crate::UntaggedPolicy::Fail
+    #[must_use]
+    pub fn untagged_dropped(&self) -> u64 {
+        self.0.untagged_dropped.get()
+    }
+
+    /// Messages whose release tag was no longer safe to process.
+    #[must_use]
+    pub fn stp_violations(&self) -> u64 {
+        self.0.stp_violations.get()
+    }
+
+    /// Outgoing operations that failed (e.g. service not discovered).
+    #[must_use]
+    pub fn send_failures(&self) -> u64 {
+        self.0.send_failures.get()
+    }
+
+    pub(crate) fn record_untagged_dropped(&self) {
+        self.0.untagged_dropped.set(self.0.untagged_dropped.get() + 1);
+    }
+
+    pub(crate) fn record_stp_violation(&self) {
+        self.0.stp_violations.set(self.0.stp_violations.get() + 1);
+    }
+
+    pub(crate) fn record_send_failure(&self) {
+        self.0.send_failures.set(self.0.send_failures.get() + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let stats = TransactorStats::new();
+        let other = stats.clone();
+        stats.record_untagged_dropped();
+        stats.record_stp_violation();
+        stats.record_stp_violation();
+        stats.record_send_failure();
+        assert_eq!(other.untagged_dropped(), 1);
+        assert_eq!(other.stp_violations(), 2);
+        assert_eq!(other.send_failures(), 1);
+    }
+}

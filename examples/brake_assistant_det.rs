@@ -1,0 +1,46 @@
+//! The deterministic DEAR brake assistant (paper §IV.B).
+//!
+//! Same pipeline and logic as `brake_assistant_nondet`, coordinated by
+//! reactors and tagged SOME/IP messages instead of one-slot buffers and
+//! periodic callbacks.
+//!
+//! ```sh
+//! cargo run --release --example brake_assistant_det
+//! ```
+
+use dear::apd::{run_det, DetParams};
+
+fn main() {
+    let params = DetParams {
+        frames: 2_000,
+        ..DetParams::default()
+    };
+    println!("deterministic brake assistant (DEAR): reactors + transactors + tagged SOME/IP");
+    println!(
+        "deadlines 5/25/25/5 ms, L = {}, E = {}, {} frames per instance\n",
+        params.latency_bound, params.clock_error, params.frames
+    );
+    println!("seed | decisions | mismatches | stp | deadline misses | e2e latency | fingerprint");
+    println!("-----+-----------+------------+-----+-----------------+-------------+-----------------");
+    for seed in 0..8 {
+        let r = run_det(seed, &params);
+        let e2e = r
+            .end_to_end
+            .first()
+            .map_or("n/a".to_string(), |l| l.to_string());
+        println!(
+            "{seed:4} | {:9} | {:10} | {:3} | {:15} | {:>11} | {:016x}",
+            r.decisions.len(),
+            r.mismatches_cv,
+            r.stp_violations,
+            r.deadline_misses,
+            e2e,
+            r.decision_fingerprint()
+        );
+    }
+    println!();
+    println!("every instance processes every frame, in order, with zero errors and an");
+    println!("identical decision sequence (same fingerprint) — determinism at the cost of");
+    println!("a fixed 70 ms logical end-to-end latency that accounts for worst-case");
+    println!("compute and communication delays.");
+}

@@ -1,0 +1,110 @@
+//! Quickstart: build and run a small deterministic reactor program.
+//!
+//! A periodic sensor reactor emits readings; a monitor reactor filters
+//! them and raises an alarm event through a logical action; a logger
+//! collects everything. Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dear::reactor::{ProgramBuilder, Runtime, Startup};
+use dear::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+
+    // A sensor producing a sawtooth reading every 10 ms.
+    let mut sensor = b.reactor("sensor", 0i64);
+    let tick = sensor.timer("tick", Duration::ZERO, Some(Duration::from_millis(10)));
+    let reading = sensor.output::<i64>("reading");
+    sensor
+        .reaction("sample")
+        .triggered_by(tick)
+        .effects(reading)
+        .body(move |state: &mut i64, ctx| {
+            *state = (*state + 7) % 20;
+            ctx.set(reading, *state);
+        });
+    drop(sensor);
+
+    // A monitor that raises an alarm (via a logical action with a 1 ms
+    // delay) whenever the reading exceeds a threshold.
+    let mut monitor = b.reactor("monitor", ());
+    let m_in = monitor.input::<i64>("reading");
+    let alarm = monitor.logical_action::<i64>("alarm", Duration::from_millis(1));
+    let alarm_out = monitor.output::<String>("alarm_msg");
+    monitor
+        .reaction("check")
+        .triggered_by(m_in)
+        .schedules(alarm)
+        .body(move |_, ctx| {
+            let v = *ctx.get(m_in).expect("triggered by reading");
+            if v > 15 {
+                ctx.schedule(alarm, Duration::ZERO, v);
+            }
+        });
+    monitor
+        .reaction("raise")
+        .triggered_by(alarm)
+        .effects(alarm_out)
+        .body(move |_, ctx| {
+            let v = ctx.get_action(&alarm).expect("alarm payload");
+            ctx.set(alarm_out, format!("reading {v} exceeded threshold"));
+        });
+    drop(monitor);
+
+    // A logger collecting readings and alarms.
+    let mut logger = b.reactor("logger", ());
+    let l_reading = logger.input::<i64>("reading");
+    let l_alarm = logger.input::<String>("alarm");
+    let log1 = log.clone();
+    logger
+        .reaction("log_reading")
+        .triggered_by(l_reading)
+        .body(move |_, ctx| {
+            log1.lock().unwrap().push(format!(
+                "[{}] reading = {}",
+                ctx.logical_time(),
+                ctx.get(l_reading).expect("present")
+            ));
+        });
+    let log2 = log.clone();
+    logger
+        .reaction("log_alarm")
+        .triggered_by(l_alarm)
+        .body(move |_, ctx| {
+            log2.lock().unwrap().push(format!(
+                "[{}] ALARM: {}",
+                ctx.logical_time(),
+                ctx.get(l_alarm).expect("present")
+            ));
+        });
+    let log3 = log.clone();
+    logger
+        .reaction("hello")
+        .triggered_by(Startup)
+        .body(move |_, _| log3.lock().unwrap().push("logger up".into()));
+    drop(logger);
+
+    b.connect(reading, m_in)?;
+    b.connect(reading, l_reading)?;
+    b.connect(alarm_out, l_alarm)?;
+
+    let mut rt = Runtime::new(b.build()?);
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::from_millis(60))?;
+    rt.run_fast(u64::MAX);
+
+    for line in log.lock().unwrap().iter() {
+        println!("{line}");
+    }
+    let stats = rt.stats();
+    println!(
+        "processed {} tags, {} reactions, {} deadline misses",
+        stats.processed_tags, stats.executed_reactions, stats.deadline_misses
+    );
+    Ok(())
+}
