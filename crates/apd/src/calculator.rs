@@ -113,20 +113,30 @@ pub fn run_trial(seed: u64, config: &CalculatorConfig) -> i64 {
     let value = Rc::new(RefCell::new(0i64));
     {
         let v = value.clone();
-        skeleton.provide_method(METHOD_SET, config.exec_time.clone(), move |_sim, payload| {
-            *v.borrow_mut() = decode_i64(&payload);
-            encode_i64(*v.borrow())
-        });
+        skeleton.provide_method(
+            METHOD_SET,
+            config.exec_time.clone(),
+            move |_sim, payload| {
+                *v.borrow_mut() = decode_i64(&payload);
+                encode_i64(*v.borrow())
+            },
+        );
         let v = value.clone();
-        skeleton.provide_method(METHOD_ADD, config.exec_time.clone(), move |_sim, payload| {
-            let mut v = v.borrow_mut();
-            *v += decode_i64(&payload);
-            encode_i64(*v)
-        });
+        skeleton.provide_method(
+            METHOD_ADD,
+            config.exec_time.clone(),
+            move |_sim, payload| {
+                let mut v = v.borrow_mut();
+                *v += decode_i64(&payload);
+                encode_i64(*v)
+            },
+        );
         let v = value.clone();
-        skeleton.provide_method(METHOD_GET, config.exec_time.clone(), move |_sim, _payload| {
-            encode_i64(*v.borrow())
-        });
+        skeleton.provide_method(
+            METHOD_GET,
+            config.exec_time.clone(),
+            move |_sim, _payload| encode_i64(*v.borrow()),
+        );
     }
     skeleton.offer(&mut sim, Duration::from_secs(3600));
 

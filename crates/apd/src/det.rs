@@ -28,8 +28,8 @@ use dear_sim::{LinkConfig, NetworkHandle, Simulation, VirtualClock};
 use dear_someip::{Binding, SdRegistry, ServiceInstance};
 use dear_time::{Duration, Instant};
 use dear_transactors::{
-    ClientEventTransactor, DearConfig, EventSpec, FederatedPlatform, Outbox,
-    ServerEventTransactor, TransactorStats,
+    ClientEventTransactor, DearConfig, EventSpec, FederatedPlatform, Outbox, ServerEventTransactor,
+    TransactorStats,
 };
 use std::sync::{Arc, Mutex};
 
@@ -124,12 +124,7 @@ impl DetReport {
     pub fn decision_fingerprint(&self) -> u64 {
         let mut hash = 0xCBF2_9CE4_8422_2325u64;
         for d in &self.decisions {
-            for b in d
-                .frame_id
-                .to_le_bytes()
-                .iter()
-                .chain(&[u8::from(d.brake)])
-            {
+            for b in d.frame_id.to_le_bytes().iter().chain(&[u8::from(d.brake)]) {
                 hash ^= u64::from(*b);
                 hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
             }
@@ -148,8 +143,7 @@ struct Stage {
 #[allow(clippy::too_many_lines)]
 pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
     use services::{
-        ADAPTER, COMPUTER_VISION, EVENTGROUP, EVENT_AUX, EVENT_MAIN, INSTANCE, PREPROCESSING,
-        VIDEO,
+        ADAPTER, COMPUTER_VISION, EVENTGROUP, EVENT_AUX, EVENT_MAIN, INSTANCE, PREPROCESSING, VIDEO,
     };
 
     let mut sim = Simulation::new(seed);
@@ -202,11 +196,7 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
         );
         platform.set_reaction_cost(logic_rid, params.timings.adapter.clone());
         let binding = Binding::new(&net, &sd, nodes::ADAPTER, 0x20);
-        binding.offer(
-            &mut sim,
-            ServiceInstance::new(ADAPTER, INSTANCE),
-            offer_ttl,
-        );
+        binding.offer(&mut sim, ServiceInstance::new(ADAPTER, INSTANCE), offer_ttl);
         let s1 = camera.bind(&platform, &binding, spec(VIDEO, EVENT_MAIN), sensor_cfg);
         publish.bind(&platform, &binding, spec(ADAPTER, EVENT_MAIN));
         Stage {
@@ -220,12 +210,8 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
         let outbox = Outbox::new();
         let mut b = ProgramBuilder::new();
         let input = ClientEventTransactor::declare(&mut b, "frames");
-        let publish_lane = ServerEventTransactor::declare(
-            &mut b,
-            &outbox,
-            "lane",
-            params.deadlines.preprocessing,
-        );
+        let publish_lane =
+            ServerEventTransactor::declare(&mut b, &outbox, "lane", params.deadlines.preprocessing);
         let publish_frame = ServerEventTransactor::declare(
             &mut b,
             &outbox,
@@ -243,8 +229,8 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
                 .effects(lane_out)
                 .effects(frame_out)
                 .body(move |_, ctx| {
-                    let frame = Frame::from_payload(ctx.get(input.event).unwrap())
-                        .expect("frame payload");
+                    let frame =
+                        Frame::from_payload(ctx.get(input.event).unwrap()).expect("frame payload");
                     let lane = crate::logic::preprocess(&frame);
                     ctx.set(lane_out, lane.to_payload());
                     ctx.set(frame_out, frame.to_payload());
@@ -559,8 +545,7 @@ mod tests {
         params.deadlines.preprocessing = Duration::from_millis(2);
         params.deadlines.computer_vision = Duration::from_millis(2);
         let report = run_det(1, &params);
-        let observable =
-            report.mismatches_cv + report.stp_violations + report.deadline_misses;
+        let observable = report.mismatches_cv + report.stp_violations + report.deadline_misses;
         assert!(
             observable > 0,
             "deadlines far below stage compute must produce observable errors: {report:?}"

@@ -153,8 +153,7 @@ pub fn run_det_trial(seed: u64, latency_bound: Duration) -> DetCalcOutcome {
             .reaction("print")
             .triggered_by(cmt_get.response)
             .body(move |_, ctx| {
-                *sink.lock().unwrap() =
-                    Some(decode_i64(ctx.get(cmt_get.response).unwrap()));
+                *sink.lock().unwrap() = Some(decode_i64(ctx.get(cmt_get.response).unwrap()));
             });
         drop(logic);
         bc.connect(set_req, cmt_set.request).unwrap();

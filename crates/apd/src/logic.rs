@@ -152,7 +152,10 @@ mod tests {
         let decisions: Vec<bool> = (0..200).map(reference_decision).collect();
         let brakes = decisions.iter().filter(|&&b| b).count();
         assert!(brakes > 10, "some frames must trigger braking ({brakes})");
-        assert!(brakes < 190, "not all frames may trigger braking ({brakes})");
+        assert!(
+            brakes < 190,
+            "not all frames may trigger braking ({brakes})"
+        );
     }
 
     #[test]

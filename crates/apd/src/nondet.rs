@@ -207,12 +207,7 @@ impl NondetReport {
     pub fn decision_fingerprint(&self) -> u64 {
         let mut hash = 0xCBF2_9CE4_8422_2325u64;
         for d in &self.decisions {
-            for b in d
-                .frame_id
-                .to_le_bytes()
-                .iter()
-                .chain(&[u8::from(d.brake)])
-            {
+            for b in d.frame_id.to_le_bytes().iter().chain(&[u8::from(d.brake)]) {
                 hash ^= u64::from(*b);
                 hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
             }
@@ -225,6 +220,7 @@ impl NondetReport {
 /// each activation displaced by gaussian OS dispatch jitter. The jitter is
 /// non-cumulative (anchors stay on the nominal grid, as an OS periodic
 /// timer does).
+#[allow(clippy::too_many_arguments)]
 fn schedule_periodic_jittered(
     sim: &mut Simulation,
     offset: Duration,
@@ -255,13 +251,12 @@ fn schedule_periodic_jittered(
             let j = st.rng.gaussian() * st.jitter_std.as_nanos() as f64;
             Duration::from_nanos(j as i64).max(-(st.period / 2))
         };
-        if st.spike_prob > 0.0
-            && st.spike_max > Duration::ZERO
-            && st.rng.chance(st.spike_prob)
-        {
+        if st.spike_prob > 0.0 && st.spike_max > Duration::ZERO && st.rng.chance(st.spike_prob) {
             jitter += st.rng.uniform_duration(Duration::ZERO, st.spike_max);
         }
-        let at = anchor.saturating_add(jitter).max(sim.now() + Duration::from_nanos(1));
+        let at = anchor
+            .saturating_add(jitter)
+            .max(sim.now() + Duration::from_nanos(1));
         sim.schedule_at(at, move |sim| tick(sim, st));
     }
     let start = sim.now() + offset;
@@ -286,8 +281,7 @@ fn schedule_periodic_jittered(
 #[must_use]
 pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
     use services::{
-        ADAPTER, COMPUTER_VISION, EVENTGROUP, EVENT_AUX, EVENT_MAIN, INSTANCE, PREPROCESSING,
-        VIDEO,
+        ADAPTER, COMPUTER_VISION, EVENTGROUP, EVENT_AUX, EVENT_MAIN, INSTANCE, PREPROCESSING, VIDEO,
     };
 
     let mut sim = Simulation::new(seed);
@@ -420,15 +414,24 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
         let rng = Rc::new(RefCell::new(sim.fork_rng("adapter-compute")));
         let offset = random_offset();
         let cb_rng = sim.fork_rng("adapter-callback");
-        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
-            if let Some(payload) = buf.take() {
-                let d = timing.sample(&mut rng.borrow_mut());
-                let skel = skel.clone();
-                sim.schedule_in(d, move |sim| {
-                    skel.notify(sim, EVENTGROUP, EVENT_MAIN, payload);
-                });
-            }
-        });
+        schedule_periodic_jittered(
+            &mut sim,
+            offset,
+            period,
+            params.callback_jitter_std,
+            params.callback_spike_prob,
+            params.callback_spike_max,
+            cb_rng,
+            move |sim| {
+                if let Some(payload) = buf.take() {
+                    let d = timing.sample(&mut rng.borrow_mut());
+                    let skel = skel.clone();
+                    sim.schedule_in(d, move |sim| {
+                        skel.notify(sim, EVENTGROUP, EVENT_MAIN, payload);
+                    });
+                }
+            },
+        );
     }
 
     // Preprocessing: compute the lane box, publish lane + forwarded frame.
@@ -439,18 +442,27 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
         let rng = Rc::new(RefCell::new(sim.fork_rng("preproc-compute")));
         let offset = random_offset();
         let cb_rng = sim.fork_rng("preproc-callback");
-        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
-            if let Some(payload) = buf.take() {
-                let frame = Frame::from_payload(&payload).expect("frame payload");
-                let d = timing.sample(&mut rng.borrow_mut());
-                let skel = skel.clone();
-                sim.schedule_in(d, move |sim| {
-                    let lane = preprocess(&frame);
-                    skel.notify(sim, EVENTGROUP, EVENT_MAIN, lane.to_payload());
-                    skel.notify(sim, EVENTGROUP, EVENT_AUX, frame.to_payload());
-                });
-            }
-        });
+        schedule_periodic_jittered(
+            &mut sim,
+            offset,
+            period,
+            params.callback_jitter_std,
+            params.callback_spike_prob,
+            params.callback_spike_max,
+            cb_rng,
+            move |sim| {
+                if let Some(payload) = buf.take() {
+                    let frame = Frame::from_payload(&payload).expect("frame payload");
+                    let d = timing.sample(&mut rng.borrow_mut());
+                    let skel = skel.clone();
+                    sim.schedule_in(d, move |sim| {
+                        let lane = preprocess(&frame);
+                        skel.notify(sim, EVENTGROUP, EVENT_MAIN, lane.to_payload());
+                        skel.notify(sim, EVENTGROUP, EVENT_AUX, frame.to_payload());
+                    });
+                }
+            },
+        );
     }
 
     // Computer Vision: join lane + frame, detect vehicles.
@@ -464,28 +476,39 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
         let mismatches = mismatches.clone();
         let offset = random_offset();
         let cb_rng = sim.fork_rng("cv-callback");
-        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
-            let lane = lane_buf.take().map(|p| LaneBox::from_payload(&p).expect("lane"));
-            let frame = frame_buf
-                .take()
-                .map(|p| Frame::from_payload(&p).expect("frame"));
-            match (lane, frame) {
-                (Some(lane), Some(frame)) if lane.frame_id == frame.id => {
-                    let d = timing.sample(&mut rng.borrow_mut());
-                    let skel = skel.clone();
-                    sim.schedule_in(d, move |sim| {
-                        let vehicles = detect_vehicles(&frame, &lane);
-                        skel.notify(sim, EVENTGROUP, EVENT_MAIN, vehicles.to_payload());
-                    });
+        schedule_periodic_jittered(
+            &mut sim,
+            offset,
+            period,
+            params.callback_jitter_std,
+            params.callback_spike_prob,
+            params.callback_spike_max,
+            cb_rng,
+            move |sim| {
+                let lane = lane_buf
+                    .take()
+                    .map(|p| LaneBox::from_payload(&p).expect("lane"));
+                let frame = frame_buf
+                    .take()
+                    .map(|p| Frame::from_payload(&p).expect("frame"));
+                match (lane, frame) {
+                    (Some(lane), Some(frame)) if lane.frame_id == frame.id => {
+                        let d = timing.sample(&mut rng.borrow_mut());
+                        let skel = skel.clone();
+                        sim.schedule_in(d, move |sim| {
+                            let vehicles = detect_vehicles(&frame, &lane);
+                            skel.notify(sim, EVENTGROUP, EVENT_MAIN, vehicles.to_payload());
+                        });
+                    }
+                    (Some(_), Some(_)) | (Some(_), None) | (None, Some(_)) => {
+                        // Misaligned inputs: either the pair disagrees or only
+                        // one half arrived in time.
+                        *mismatches.borrow_mut() += 1;
+                    }
+                    (None, None) => {} // silently wait for the next trigger
                 }
-                (Some(_), Some(_)) | (Some(_), None) | (None, Some(_)) => {
-                    // Misaligned inputs: either the pair disagrees or only
-                    // one half arrived in time.
-                    *mismatches.borrow_mut() += 1;
-                }
-                (None, None) => {} // silently wait for the next trigger
-            }
-        });
+            },
+        );
     }
 
     // EBA: decide on the latest vehicle list.
@@ -499,24 +522,33 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
         let wrong = wrong.clone();
         let offset = random_offset();
         let cb_rng = sim.fork_rng("eba-callback");
-        schedule_periodic_jittered(&mut sim, offset, period, params.callback_jitter_std, params.callback_spike_prob, params.callback_spike_max, cb_rng, move |sim| {
-            if let Some(payload) = buf.take() {
-                let vehicles = VehicleList::from_payload(&payload).expect("vehicles");
-                let d = timing.sample(&mut rng.borrow_mut());
-                let decisions = decisions.clone();
-                let wrong = wrong.clone();
-                sim.schedule_in(d, move |_sim| {
-                    let brake = eba_decide(&vehicles);
-                    if brake != crate::logic::reference_decision(vehicles.frame_id) {
-                        *wrong.borrow_mut() += 1;
-                    }
-                    decisions.borrow_mut().push(BrakeDecision {
-                        frame_id: vehicles.frame_id,
-                        brake,
+        schedule_periodic_jittered(
+            &mut sim,
+            offset,
+            period,
+            params.callback_jitter_std,
+            params.callback_spike_prob,
+            params.callback_spike_max,
+            cb_rng,
+            move |sim| {
+                if let Some(payload) = buf.take() {
+                    let vehicles = VehicleList::from_payload(&payload).expect("vehicles");
+                    let d = timing.sample(&mut rng.borrow_mut());
+                    let decisions = decisions.clone();
+                    let wrong = wrong.clone();
+                    sim.schedule_in(d, move |_sim| {
+                        let brake = eba_decide(&vehicles);
+                        if brake != crate::logic::reference_decision(vehicles.frame_id) {
+                            *wrong.borrow_mut() += 1;
+                        }
+                        decisions.borrow_mut().push(BrakeDecision {
+                            frame_id: vehicles.frame_id,
+                            brake,
+                        });
                     });
-                });
-            }
-        });
+                }
+            },
+        );
     }
 
     // Run long enough for the last frame to drain through the pipeline.
@@ -573,7 +605,9 @@ mod tests {
     #[test]
     fn error_rate_varies_across_seeds() {
         let params = small_params();
-        let rates: Vec<f64> = (0..12).map(|s| run_nondet(s, &params).prevalence_pct()).collect();
+        let rates: Vec<f64> = (0..12)
+            .map(|s| run_nondet(s, &params).prevalence_pct())
+            .collect();
         let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = rates.iter().cloned().fold(0.0, f64::max);
         assert!(
@@ -604,8 +638,7 @@ mod tests {
             distinct_errors.len() > 1,
             "expected varying error counts across seeds: {runs:?}"
         );
-        let distinct_fp: std::collections::HashSet<u64> =
-            runs.iter().map(|&(fp, _)| fp).collect();
+        let distinct_fp: std::collections::HashSet<u64> = runs.iter().map(|&(fp, _)| fp).collect();
         assert!(
             distinct_fp.len() > 1,
             "all seeds produced identical decisions: {runs:?}"

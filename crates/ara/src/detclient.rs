@@ -221,7 +221,11 @@ mod tests {
         let mut sim = Simulation::new(0);
         let client = DeterministicClient::new("c", sim.fork_rng("det"));
         client.register_task("noop", |_| {});
-        client.start(&mut sim, Duration::from_millis(5), Duration::from_millis(10));
+        client.start(
+            &mut sim,
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+        );
         sim.run_until(Instant::from_millis(36));
         assert_eq!(client.cycles(), 4); // at 5, 15, 25, 35
     }

@@ -218,10 +218,7 @@ mod tests {
             sink.borrow_mut().push(("get", r.unwrap()));
         });
         sim.run_to_completion();
-        assert_eq!(
-            *got.borrow(),
-            vec![("set", vec![9]), ("get", vec![9])]
-        );
+        assert_eq!(*got.borrow(), vec![("set", vec![9]), ("get", vec![9])]);
     }
 
     #[test]
@@ -235,12 +232,8 @@ mod tests {
         );
         let skel = server.skeleton(&sim, 0x42, 1);
         let ids = FieldIds::conventional(0x200);
-        let field = FieldSkeleton::provide(
-            &skel,
-            ids,
-            vec![1],
-            LatencyModel::constant(Duration::ZERO),
-        );
+        let field =
+            FieldSkeleton::provide(&skel, ids, vec![1], LatencyModel::constant(Duration::ZERO));
         skel.offer(&mut sim, DEFAULT_FIELD_TTL);
         let client = SoftwareComponent::launch(
             &sim,

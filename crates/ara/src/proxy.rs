@@ -226,11 +226,14 @@ impl ServiceProxy {
     pub fn subscribe_buffered(&self, eventgroup: u16, event: u16) -> EventBuffer {
         let buffer = EventBuffer::new();
         let sink = buffer.clone();
+        self.binding.subscribe(
+            ServiceInstance::new(self.service, self.instance),
+            eventgroup,
+        );
         self.binding
-            .subscribe(ServiceInstance::new(self.service, self.instance), eventgroup);
-        self.binding.on_event(self.service, event, move |_sim, msg| {
-            sink.put(msg.payload);
-        });
+            .on_event(self.service, event, move |_sim, msg| {
+                sink.put(msg.payload);
+            });
         buffer
     }
 
@@ -241,10 +244,13 @@ impl ServiceProxy {
         event: u16,
         handler: impl Fn(&mut Simulation, Vec<u8>) + 'static,
     ) {
-        self.binding
-            .subscribe(ServiceInstance::new(self.service, self.instance), eventgroup);
-        self.binding
-            .on_event(self.service, event, move |sim, msg| handler(sim, msg.payload));
+        self.binding.subscribe(
+            ServiceInstance::new(self.service, self.instance),
+            eventgroup,
+        );
+        self.binding.on_event(self.service, event, move |sim, msg| {
+            handler(sim, msg.payload)
+        });
     }
 
     /// The underlying binding (used by the DEAR transactors).

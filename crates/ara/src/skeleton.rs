@@ -86,8 +86,10 @@ impl ServiceSkeleton {
         let pool = self.pool.clone();
         let rng = self.rng.clone();
         let handler = Rc::new(RefCell::new(handler));
-        self.binding
-            .register_method(self.service, method, move |sim, req: SomeIpMessage, responder| {
+        self.binding.register_method(
+            self.service,
+            method,
+            move |sim, req: SomeIpMessage, responder| {
                 let duration = exec_time.sample(&mut rng.borrow_mut());
                 let handler = handler.clone();
                 let payload = req.payload;
@@ -105,7 +107,8 @@ impl ServiceSkeleton {
                         responder.reply(sim, out);
                     },
                 );
-            });
+            },
+        );
     }
 
     /// Registers a method whose handler replies through an explicit
@@ -166,7 +169,11 @@ mod tests {
             SwcConfig::single_threaded("server", NodeId(1), 0x10),
         );
         let skel = server.skeleton(&sim, 0x42, 1);
-        skel.provide_method(1, LatencyModel::constant(Duration::from_millis(5)), |_, p| p);
+        skel.provide_method(
+            1,
+            LatencyModel::constant(Duration::from_millis(5)),
+            |_, p| p,
+        );
         skel.offer(&mut sim, Duration::from_secs(100));
 
         let client = SoftwareComponent::launch(
@@ -178,9 +185,11 @@ mod tests {
         let proxy = client.proxy(0x42, 1);
         let got = Rc::new(RefCell::new(None));
         let sink = got.clone();
-        proxy.call(&mut sim, 1, vec![7]).then(&mut sim, move |sim, r| {
-            *sink.borrow_mut() = Some((sim.now(), r.unwrap()));
-        });
+        proxy
+            .call(&mut sim, 1, vec![7])
+            .then(&mut sim, move |sim, r| {
+                *sink.borrow_mut() = Some((sim.now(), r.unwrap()));
+            });
         sim.run_to_completion();
         let (at, v) = got.borrow().clone().unwrap();
         assert_eq!(v, vec![7]);

@@ -40,8 +40,7 @@ fn main() {
         params.deadlines.preprocessing = d;
         params.deadlines.computer_vision = d;
         let report = run_det(42, &params);
-        let observable =
-            report.mismatches_cv + report.stp_violations + report.deadline_misses;
+        let observable = report.mismatches_cv + report.stp_violations + report.deadline_misses;
         // More than one observable error event can arise per frame
         // (e.g. a mismatch plus two STP rejections), so this is an event
         // rate, not a frame fraction.

@@ -19,7 +19,10 @@ fn main() {
 
     header("Figure 1: printed value of the nondeterministic client/server app");
     println!("client: set_value(1); add(2); get_value()  [non-blocking]");
-    println!("server: {} worker threads, per-invocation dispatch jitter", 4);
+    println!(
+        "server: {} worker threads, per-invocation dispatch jitter",
+        4
+    );
     println!("trials: {trials} (seeded 0..{trials})");
     println!();
 

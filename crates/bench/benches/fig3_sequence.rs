@@ -61,7 +61,9 @@ fn main() {
             .triggered_by(t)
             .effects(req)
             .body(move |_, ctx| {
-                log.lock().unwrap().push(("client sends request".into(), ctx.tag()));
+                log.lock()
+                    .unwrap()
+                    .push(("client sends request".into(), ctx.tag()));
                 ctx.set(req, vec![7]);
             });
         let log = client_tags.clone();
@@ -102,7 +104,9 @@ fn main() {
             .triggered_by(smt.request)
             .effects(resp)
             .body(move |_, ctx| {
-                log.lock().unwrap().push(("server handles request".into(), ctx.tag()));
+                log.lock()
+                    .unwrap()
+                    .push(("server handles request".into(), ctx.tag()));
                 let v = ctx.get(smt.request).unwrap()[0];
                 ctx.set(resp, vec![v + 1]);
             });
@@ -175,8 +179,10 @@ fn main() {
     all &= row("tc+Dc+L+E (server release)", release_req, observed_serve);
     all &= row("ts+Ds+L+E (client release)", release_resp, observed_recv);
     println!();
-    println!("wire tags: request {} -> {}, response {} -> {}",
-        tc, wire_req, ts, wire_resp);
+    println!(
+        "wire tags: request {} -> {}, response {} -> {}",
+        tc, wire_req, ts, wire_resp
+    );
 
     header("Reaction traces");
     for (name, platform) in [("client", &client), ("server", &server)] {

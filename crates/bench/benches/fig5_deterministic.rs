@@ -68,7 +68,10 @@ fn main() {
 
     let all_equal = fingerprints.windows(2).all(|w| w[0] == w[1]);
     println!();
-    println!("zero errors in every instance:            {}", if all_ok { "YES" } else { "NO" });
+    println!(
+        "zero errors in every instance:            {}",
+        if all_ok { "YES" } else { "NO" }
+    );
     println!(
         "identical decision sequence across seeds: {} (fingerprint {:016x})",
         if all_equal { "YES" } else { "NO" },
@@ -92,12 +95,8 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "paper: \"we achieve correct and deterministic execution ... at the cost of an",
-    );
-    println!(
-        "extra physical time delay as each SWC needs to account for worst case",
-    );
+    println!("paper: \"we achieve correct and deterministic execution ... at the cost of an",);
+    println!("extra physical time delay as each SWC needs to account for worst case",);
     println!("computation and communication delays.\"");
     println!();
     println!("{instances} instances in {:.1}s", elapsed.as_secs_f64());

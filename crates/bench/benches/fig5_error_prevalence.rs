@@ -33,7 +33,11 @@ fn main() {
     let mut rows: Vec<(u64, f64, [f64; 4])> = (0..instances)
         .map(|seed| {
             let report = run_nondet(seed, &params);
-            (seed, report.prevalence_pct(), report.prevalence_by_type_pct())
+            (
+                seed,
+                report.prevalence_pct(),
+                report.prevalence_by_type_pct(),
+            )
         })
         .collect();
     let elapsed = started.elapsed();
@@ -71,7 +75,11 @@ fn main() {
     println!();
     println!(
         "shape checks: rate spans orders of magnitude: {} | dominant type varies: {}",
-        if maxv / min.max(0.001) > 50.0 { "YES" } else { "NO" },
+        if maxv / min.max(0.001) > 50.0 {
+            "YES"
+        } else {
+            "NO"
+        },
         {
             let dominant: std::collections::HashSet<usize> = rows
                 .iter()
@@ -84,7 +92,11 @@ fn main() {
                         .unwrap_or(0)
                 })
                 .collect();
-            if dominant.len() >= 2 { "YES" } else { "NO" }
+            if dominant.len() >= 2 {
+                "YES"
+            } else {
+                "NO"
+            }
         }
     );
     println!(

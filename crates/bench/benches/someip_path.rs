@@ -60,7 +60,11 @@ fn bench_method_roundtrip(c: &mut Criterion) {
                 SwcConfig::single_threaded("server", NodeId(1), 0x10),
             );
             let skel = server.skeleton(&sim, 0x42, 1);
-            skel.provide_method(1, LatencyModel::constant(Duration::from_micros(10)), |_, p| p);
+            skel.provide_method(
+                1,
+                LatencyModel::constant(Duration::from_micros(10)),
+                |_, p| p,
+            );
             skel.offer(&mut sim, Duration::from_secs(10));
             let client = SoftwareComponent::launch(
                 &sim,

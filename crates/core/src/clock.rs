@@ -96,7 +96,10 @@ mod tests {
         let clock = RealClock::starting_at(Instant::from_secs(7));
         assert_eq!(clock.origin(), Instant::from_secs(7));
         assert!(clock.now() >= Instant::from_secs(7));
-        assert!(clock.now() < Instant::from_secs(8), "reading far from origin");
+        assert!(
+            clock.now() < Instant::from_secs(8),
+            "reading far from origin"
+        );
     }
 
     #[test]

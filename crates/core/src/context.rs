@@ -126,13 +126,7 @@ impl<'a> ReactionCtx<'a> {
         self.assert_readable(port.id, "get");
         let root = self.program.ports[port.id.index()].root;
         // A reaction may read back what it wrote itself this tag.
-        if let Some((_, v)) = self
-            .outcome
-            .writes
-            .iter()
-            .rev()
-            .find(|(p, _)| *p == root)
-        {
+        if let Some((_, v)) = self.outcome.writes.iter().rev().find(|(p, _)| *p == root) {
             return Some(v.downcast_ref::<T>().expect("port value type mismatch"));
         }
         self.ports[root.index()]
@@ -219,7 +213,9 @@ impl<'a> ReactionCtx<'a> {
         );
         let min_delay = self.program.actions[action.id.index()].min_delay;
         let tag = self.tag.delay(min_delay + delay);
-        self.outcome.schedules.push((action.id, tag, Box::new(value)));
+        self.outcome
+            .schedules
+            .push((action.id, tag, Box::new(value)));
     }
 
     /// Requests a graceful shutdown: shutdown reactions run at the next

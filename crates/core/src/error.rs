@@ -57,7 +57,11 @@ impl fmt::Display for AssemblyError {
                 write!(f, "input port `{name}` already has a source connection")
             }
             AssemblyError::DependencyCycle(names) => {
-                write!(f, "zero-delay dependency cycle through: {}", names.join(" -> "))
+                write!(
+                    f,
+                    "zero-delay dependency cycle through: {}",
+                    names.join(" -> ")
+                )
             }
             AssemblyError::SelfLoop { name, .. } => {
                 write!(f, "port `{name}` cannot be connected to itself")
@@ -118,7 +122,10 @@ mod tests {
             current: Tag::ORIGIN,
         };
         assert!(e.to_string().contains("safe-to-process violation"));
-        assert_eq!(RuntimeError::NotRunning.to_string(), "runtime is not running");
+        assert_eq!(
+            RuntimeError::NotRunning.to_string(),
+            "runtime is not running"
+        );
     }
 
     #[test]

@@ -258,11 +258,7 @@ impl ProgramBuilder {
     /// Returns an [`AssemblyError`] if the source is not an output, the
     /// target is not an input, the target already has a source, or the
     /// ports are identical.
-    pub fn connect<T: 'static>(
-        &mut self,
-        from: Port<T>,
-        to: Port<T>,
-    ) -> Result<(), AssemblyError> {
+    pub fn connect<T: 'static>(&mut self, from: Port<T>, to: Port<T>) -> Result<(), AssemblyError> {
         if from.id == to.id {
             return Err(AssemblyError::SelfLoop {
                 port: from.id,
@@ -312,7 +308,10 @@ impl ProgramBuilder {
         to: Port<T>,
         delay: Duration,
     ) -> Result<(), AssemblyError> {
-        assert!(!delay.is_negative(), "connection delay must be non-negative");
+        assert!(
+            !delay.is_negative(),
+            "connection delay must be non-negative"
+        );
         let name = format!("__delay_{}_{}", from.id, to.id);
         let mut r = self.reactor(&name, ());
         let din = r.input::<T>("in");
@@ -322,20 +321,18 @@ impl ProgramBuilder {
         // priority edge points release -> capture; the reverse order would
         // close a zero-delay cycle when the connection is used as a
         // feedback path.
-        r.reaction("release")
-            .triggered_by(act)
-            .effects(dout)
-            .body(move |_, ctx: &mut ReactionCtx<'_>| {
+        r.reaction("release").triggered_by(act).effects(dout).body(
+            move |_, ctx: &mut ReactionCtx<'_>| {
                 let v = ctx.get_action(&act).cloned().expect("action present");
                 ctx.set(dout, v);
-            });
-        r.reaction("capture")
-            .triggered_by(din)
-            .schedules(act)
-            .body(move |_, ctx: &mut ReactionCtx<'_>| {
+            },
+        );
+        r.reaction("capture").triggered_by(din).schedules(act).body(
+            move |_, ctx: &mut ReactionCtx<'_>| {
                 let v = ctx.get(din).cloned().expect("triggering port present");
                 ctx.schedule(act, Duration::ZERO, v);
-            });
+            },
+        );
         drop(r);
         self.connect(from, din)?;
         self.connect(dout, to)
@@ -384,10 +381,11 @@ impl ProgramBuilder {
         // intra-reactor priority chain (declaration order).
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indegree: Vec<usize> = vec![0; n];
-        let add_edge = |succs: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
-            succs[a].push(b);
-            indegree[b] += 1;
-        };
+        let add_edge =
+            |succs: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
+                succs[a].push(b);
+                indegree[b] += 1;
+            };
         for (i, r) in self.reactions.iter().enumerate() {
             for p in &r.effects {
                 let root = roots[p.index()];
@@ -573,12 +571,7 @@ impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
         self.add_port(name, PortKind::Output)
     }
 
-    fn add_action<T: Send + Sync + 'static>(
-        &mut self,
-        name: &str,
-        kind: ActionKind,
-        min_delay: Duration,
-    ) -> ActionId {
+    fn add_action(&mut self, name: &str, kind: ActionKind, min_delay: Duration) -> ActionId {
         assert!(
             !min_delay.is_negative(),
             "action min_delay must be non-negative"
@@ -602,7 +595,7 @@ impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
         min_delay: Duration,
     ) -> LogicalAction<T> {
         LogicalAction {
-            id: self.add_action::<T>(name, ActionKind::Logical, min_delay),
+            id: self.add_action(name, ActionKind::Logical, min_delay),
             _marker: PhantomData,
         }
     }
@@ -618,7 +611,7 @@ impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
         min_delay: Duration,
     ) -> PhysicalAction<T> {
         PhysicalAction {
-            id: self.add_action::<T>(name, ActionKind::Physical, min_delay),
+            id: self.add_action(name, ActionKind::Physical, min_delay),
             _marker: PhantomData,
         }
     }
@@ -753,11 +746,9 @@ impl<'r, S: Send + 'static> ReactionDeclaration<'r, S> {
     }
 
     /// Finishes the declaration with the reaction body and registers it.
-    pub fn body(
-        self,
-        f: impl FnMut(&mut S, &mut ReactionCtx<'_>) + Send + 'static,
-    ) -> ReactionId {
-        let id = ReactionId(u32::try_from(self.builder.reactions.len()).expect("too many reactions"));
+    pub fn body(self, f: impl FnMut(&mut S, &mut ReactionCtx<'_>) + Send + 'static) -> ReactionId {
+        let id =
+            ReactionId(u32::try_from(self.builder.reactions.len()).expect("too many reactions"));
         let body = wrap_body(self.name.clone(), f);
         self.builder.reactions.push(ReactionBuild {
             name: self.name,
@@ -820,11 +811,7 @@ mod tests {
         let mut c = b.reactor("c", ());
         let inp = c.input::<u32>("in");
         let t = c.timer("t", dear_time::Duration::ZERO, None);
-        let r = c
-            .reaction("peek")
-            .triggered_by(t)
-            .uses(inp)
-            .body(|_, _| {});
+        let r = c.reaction("peek").triggered_by(t).uses(inp).body(|_, _| {});
         drop(c);
         b.connect(out, inp).unwrap();
         let p = b.build().unwrap();

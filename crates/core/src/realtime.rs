@@ -156,9 +156,7 @@ impl RealTimeExecutor {
             match cmd {
                 Command::Inject(action, value) => {
                     let now = self.clock.now();
-                    self.runtime
-                        .schedule_physical_raw(action, value, now)
-                        .ok();
+                    self.runtime.schedule_physical_raw(action, value, now).ok();
                 }
                 Command::Stop => stop = true,
             }
@@ -178,7 +176,9 @@ impl RealTimeExecutor {
         self.runtime.start(self.clock.now());
         loop {
             if self.drain() {
-                let _ = self.runtime.stop_at(self.clock.now() + Duration::from_nanos(1));
+                let _ = self
+                    .runtime
+                    .stop_at(self.clock.now() + Duration::from_nanos(1));
             }
             match self.runtime.next_tag() {
                 Some(tag) => {
@@ -225,9 +225,7 @@ impl RealTimeExecutor {
         match cmd {
             Command::Inject(action, value) => {
                 let now = self.clock.now();
-                self.runtime
-                    .schedule_physical_raw(action, value, now)
-                    .ok();
+                self.runtime.schedule_physical_raw(action, value, now).ok();
             }
             Command::Stop => {
                 let _ = self

@@ -130,14 +130,14 @@ impl Runtime {
     /// Creates a runtime for the given program (sequential execution).
     #[must_use]
     pub fn new(program: Program) -> Self {
-        let states = std::mem::take(
-            &mut *program.states.lock().expect("program states poisoned"),
-        )
-        .into_iter()
-        .map(Some)
-        .collect();
+        let states = std::mem::take(&mut *program.states.lock().expect("program states poisoned"))
+            .into_iter()
+            .map(Some)
+            .collect();
         let port_values = (0..program.ports.len()).map(|_| None).collect();
-        let action_pending = (0..program.actions.len()).map(|_| BTreeMap::new()).collect();
+        let action_pending = (0..program.actions.len())
+            .map(|_| BTreeMap::new())
+            .collect();
         let action_current = (0..program.actions.len()).map(|_| None).collect();
         Runtime {
             program,
@@ -191,7 +191,11 @@ impl Runtime {
     /// Takes the recorded trace, leaving an empty one.
     pub fn take_trace(&mut self) -> Trace {
         let enabled = self.trace.is_enabled();
-        let replacement = if enabled { Trace::new() } else { Trace::disabled() };
+        let replacement = if enabled {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
         std::mem::replace(&mut self.trace, replacement)
     }
 
@@ -564,62 +568,57 @@ impl Runtime {
         let ports: &[Option<Value>] = &self.port_values;
         let actions: &[Option<Value>] = &self.action_current;
 
-        let results: Vec<(ReactionId, Box<dyn Any + Send>, ReactionOutcome, bool)> =
-            if self.workers > 1 && work.len() > 1 {
-                // Partition the batch into at most `workers` contiguous
-                // chunks; one scoped thread runs each chunk sequentially.
-                let workers = self.workers.min(work.len());
-                let chunk_size = work.len().div_ceil(workers);
-                let mut chunks: Vec<Vec<(ReactionId, Box<dyn Any + Send>)>> = Vec::new();
-                let mut work = work;
-                while !work.is_empty() {
-                    let rest = work.split_off(work.len().min(chunk_size));
-                    chunks.push(std::mem::replace(&mut work, rest));
-                }
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = chunks
-                        .into_iter()
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk
-                                    .into_iter()
-                                    .map(|(rid, mut state)| {
-                                        let (outcome, missed) = run_reaction(
-                                            program,
-                                            rid,
-                                            state.as_mut(),
-                                            tag,
-                                            physical,
-                                            ports,
-                                            actions,
-                                        );
-                                        (rid, state, outcome, missed)
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
+        let results: Vec<(ReactionId, Box<dyn Any + Send>, ReactionOutcome, bool)> = if self.workers
+            > 1
+            && work.len() > 1
+        {
+            // Partition the batch into at most `workers` contiguous
+            // chunks; one scoped thread runs each chunk sequentially.
+            let workers = self.workers.min(work.len());
+            let chunk_size = work.len().div_ceil(workers);
+            let mut chunks: Vec<Vec<(ReactionId, Box<dyn Any + Send>)>> = Vec::new();
+            let mut work = work;
+            while !work.is_empty() {
+                let rest = work.split_off(work.len().min(chunk_size));
+                chunks.push(std::mem::replace(&mut work, rest));
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .into_iter()
+                                .map(|(rid, mut state)| {
+                                    let (outcome, missed) = run_reaction(
+                                        program,
+                                        rid,
+                                        state.as_mut(),
+                                        tag,
+                                        physical,
+                                        ports,
+                                        actions,
+                                    );
+                                    (rid, state, outcome, missed)
+                                })
+                                .collect::<Vec<_>>()
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("reaction panicked"))
-                        .collect()
-                })
-            } else {
-                work.into_iter()
-                    .map(|(rid, mut state)| {
-                        let (outcome, missed) = run_reaction(
-                            program,
-                            rid,
-                            state.as_mut(),
-                            tag,
-                            physical,
-                            ports,
-                            actions,
-                        );
-                        (rid, state, outcome, missed)
                     })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("reaction panicked"))
                     .collect()
-            };
+            })
+        } else {
+            work.into_iter()
+                .map(|(rid, mut state)| {
+                    let (outcome, missed) =
+                        run_reaction(program, rid, state.as_mut(), tag, physical, ports, actions);
+                    (rid, state, outcome, missed)
+                })
+                .collect()
+        };
 
         let mut out = Vec::with_capacity(results.len());
         for (rid, state, outcome, missed) in results {
@@ -643,9 +642,7 @@ fn run_reaction(
     actions: &[Option<Value>],
 ) -> (ReactionOutcome, bool) {
     let meta = &program.reactions[rid.index()];
-    let missed = meta
-        .deadline
-        .is_some_and(|d| physical > tag.time + d);
+    let missed = meta.deadline.is_some_and(|d| physical > tag.time + d);
     let mut ctx = ReactionCtx {
         tag,
         physical,

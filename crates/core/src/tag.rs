@@ -73,10 +73,7 @@ impl Tag {
         if delay.is_zero() {
             Tag {
                 time: self.time,
-                microstep: self
-                    .microstep
-                    .checked_add(1)
-                    .expect("microstep overflow"),
+                microstep: self.microstep.checked_add(1).expect("microstep overflow"),
             }
         } else {
             Tag {
@@ -142,7 +139,10 @@ mod tests {
     fn positive_delay_resets_microstep() {
         let t = Tag::new(Instant::from_millis(3), 7);
         let d = t.delay(Duration::from_micros(1));
-        assert_eq!(d, Tag::new(Instant::from_millis(3) + Duration::from_micros(1), 0));
+        assert_eq!(
+            d,
+            Tag::new(Instant::from_millis(3) + Duration::from_micros(1), 0)
+        );
     }
 
     #[test]
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_delay_panics() {
-        Tag::ORIGIN.delay(Duration::from_nanos(-1));
+        let _ = Tag::ORIGIN.delay(Duration::from_nanos(-1));
     }
 
     proptest! {

@@ -25,7 +25,8 @@ fn delayed_connection_shifts_logical_time() {
             .push((ctx.tag(), *ctx.get(inp).unwrap()));
     });
     drop(sink);
-    b.connect_delayed(out, inp, Duration::from_millis(7)).unwrap();
+    b.connect_delayed(out, inp, Duration::from_millis(7))
+        .unwrap();
 
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
@@ -95,7 +96,12 @@ fn feedback_loop_with_delay_is_legal_and_converges() {
     rt.run_fast(u64::MAX);
     let values: Vec<u64> = history.lock().unwrap().iter().map(|&(_, v)| v).collect();
     assert_eq!(values, vec![1, 2, 4, 8, 16, 32]);
-    let tags: Vec<Instant> = history.lock().unwrap().iter().map(|&(t, _)| t.time).collect();
+    let tags: Vec<Instant> = history
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|&(t, _)| t.time)
+        .collect();
     assert_eq!(
         tags,
         (1..=6).map(Instant::from_millis).collect::<Vec<_>>(),
@@ -115,10 +121,7 @@ fn direct_feedback_loop_is_still_rejected() {
         .body(|_, _| {});
     drop(node);
     b.connect(fb_out, fb_in).unwrap();
-    assert!(matches!(
-        b.build(),
-        Err(AssemblyError::DependencyCycle(_))
-    ));
+    assert!(matches!(b.build(), Err(AssemblyError::DependencyCycle(_))));
 }
 
 #[test]
@@ -147,7 +150,8 @@ fn delayed_values_preserve_per_tag_ordering() {
             .push((ctx.logical_time(), *ctx.get(inp).unwrap()));
     });
     drop(sink);
-    b.connect_delayed(out, inp, Duration::from_millis(5)).unwrap();
+    b.connect_delayed(out, inp, Duration::from_millis(5))
+        .unwrap();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.stop_at(Instant::from_millis(12)).unwrap();

@@ -2,7 +2,7 @@
 //! exactly the observable behaviour of the sequential executor, for every
 //! topology and any number of workers.
 
-use dear_core::{ProgramBuilder, Runtime, Startup};
+use dear_core::{ProgramBuilder, Runtime};
 use dear_time::{Duration, Instant};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
@@ -74,11 +74,9 @@ fn build_fanout(width: usize, ticks: u32, workers: usize) -> (u64, u64) {
     rt.start(Instant::EPOCH);
     rt.run_fast(u64::MAX);
     let fp = rt.trace_log().fingerprint();
-    let digest: u64 = sums
-        .lock()
-        .unwrap()
-        .iter()
-        .fold(0u64, |acc, &v| acc.wrapping_mul(1099511628211).wrapping_add(v));
+    let digest: u64 = sums.lock().unwrap().iter().fold(0u64, |acc, &v| {
+        acc.wrapping_mul(1099511628211).wrapping_add(v)
+    });
     (fp, digest)
 }
 
@@ -127,7 +125,9 @@ fn build_stateful(width: usize, ticks: u32, workers: usize) -> Vec<u64> {
             .reaction("accumulate")
             .triggered_by(inp)
             .body(move |acc: &mut u64, ctx| {
-                *acc = acc.wrapping_mul(6364136223846793005).wrapping_add(*ctx.get(inp).unwrap() + i as u64);
+                *acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(*ctx.get(inp).unwrap() + i as u64);
                 finals2.lock().unwrap()[i] = *acc;
             });
         drop(stage);

@@ -79,7 +79,9 @@ fn stop_handle_interrupts_run() {
     let mut b = ProgramBuilder::new();
     let mut r = b.reactor("ticker", 0u64);
     let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
-    r.reaction("tick").triggered_by(t).body(|n: &mut u64, _| *n += 1);
+    r.reaction("tick")
+        .triggered_by(t)
+        .body(|n: &mut u64, _| *n += 1);
     drop(r);
     let mut exec = RealTimeExecutor::new(b.build().unwrap());
     let stop = exec.stop_handle();

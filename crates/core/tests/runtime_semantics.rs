@@ -1,9 +1,7 @@
 //! Behavioural tests of the reactor runtime: tag order, actions, timers,
 //! deadlines, shutdown, physical actions, and STP violations.
 
-use dear_core::{
-    ProgramBuilder, Runtime, RuntimeError, Shutdown, Startup, StepOutcome, Tag,
-};
+use dear_core::{ProgramBuilder, Runtime, RuntimeError, Shutdown, Startup, StepOutcome, Tag};
 use dear_time::{Duration, Instant};
 use std::sync::{Arc, Mutex};
 
@@ -23,12 +21,10 @@ fn startup_then_shutdown_order() {
     let mut b = ProgramBuilder::new();
     let mut r = b.reactor("r", ());
     let l = events.clone();
-    r.reaction("up")
-        .triggered_by(Startup)
-        .body(move |_, ctx| {
-            push(&l, format!("startup@{}", ctx.tag()));
-            ctx.request_shutdown();
-        });
+    r.reaction("up").triggered_by(Startup).body(move |_, ctx| {
+        push(&l, format!("startup@{}", ctx.tag()));
+        ctx.request_shutdown();
+    });
     let l = events.clone();
     r.reaction("down")
         .triggered_by(Shutdown)
@@ -258,7 +254,7 @@ fn physical_action_in_logical_past_is_bumped_forward() {
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(1); // processes the 10 ms timer tag
-    // Clock reading 5 ms is before the current tag (10 ms): bump.
+                    // Clock reading 5 ms is before the current tag (10 ms): bump.
     let tag = rt
         .schedule_physical(&act, 1, Instant::from_millis(5))
         .unwrap();
@@ -482,9 +478,7 @@ fn injection_before_start_is_rejected() {
     r.reaction("o").triggered_by(act).body(|_, _| {});
     drop(r);
     let mut rt = Runtime::new(b.build().unwrap());
-    let err = rt
-        .schedule_physical(&act, (), Instant::EPOCH)
-        .unwrap_err();
+    let err = rt.schedule_physical(&act, (), Instant::EPOCH).unwrap_err();
     assert_eq!(err, RuntimeError::NotRunning);
 }
 

@@ -125,8 +125,8 @@ impl VirtualClock {
     /// An upper bound on `|local(t) - t|` for `t` in `[0, horizon]`.
     #[must_use]
     pub fn max_error_within(&self, horizon: Instant) -> Duration {
-        let drift_part = horizon.as_nanos() as i128 * self.drift_ppb.unsigned_abs() as i128
-            / 1_000_000_000;
+        let drift_part =
+            horizon.as_nanos() as i128 * self.drift_ppb.unsigned_abs() as i128 / 1_000_000_000;
         Duration::from_nanos(self.offset.as_nanos().unsigned_abs() as i64 + drift_part as i64)
     }
 }
@@ -204,8 +204,7 @@ impl ClockModel {
     /// to plug into the safe-to-process offset `t + D + L + E`.
     #[must_use]
     pub fn error_bound(&self, horizon: Instant) -> Duration {
-        let drift_part =
-            horizon.as_nanos() as i128 * self.max_drift_ppb as i128 / 1_000_000_000;
+        let drift_part = horizon.as_nanos() as i128 * self.max_drift_ppb as i128 / 1_000_000_000;
         self.max_offset + Duration::from_nanos(drift_part as i64)
     }
 }

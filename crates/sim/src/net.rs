@@ -225,7 +225,10 @@ impl NetworkHandle {
 
     /// Registers the frame receiver for a node, replacing any previous one.
     pub fn set_receiver(&self, node: NodeId, receiver: impl Fn(&mut Simulation, Frame) + 'static) {
-        self.0.borrow_mut().receivers.insert(node, Rc::new(receiver));
+        self.0
+            .borrow_mut()
+            .receivers
+            .insert(node, Rc::new(receiver));
     }
 
     /// Removes the receiver for a node (frames to it become unroutable).
@@ -373,7 +376,11 @@ mod tests {
         sim.run_to_completion();
         let received = order.borrow().clone();
         assert_eq!(received.len(), 50);
-        assert_ne!(received, (0..50).collect::<Vec<u8>>(), "expected reordering");
+        assert_ne!(
+            received,
+            (0..50).collect::<Vec<u8>>(),
+            "expected reordering"
+        );
     }
 
     #[test]

@@ -102,10 +102,7 @@ impl SimRng {
     /// Returns the next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -304,9 +301,7 @@ impl LatencyModel {
         match *self {
             LatencyModel::Constant(d) => d,
             LatencyModel::Uniform { min, max } => rng.uniform_duration(min, max),
-            LatencyModel::Normal { mean, std_dev, min } => {
-                rng.normal_duration(mean, std_dev, min)
-            }
+            LatencyModel::Normal { mean, std_dev, min } => rng.normal_duration(mean, std_dev, min),
         }
     }
 

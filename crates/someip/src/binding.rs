@@ -41,7 +41,10 @@ impl fmt::Display for BindingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BindingError::ServiceNotFound { service, instance } => {
-                write!(f, "no offer found for service {service:04x} instance {instance:04x}")
+                write!(
+                    f,
+                    "no offer found for service {service:04x} instance {instance:04x}"
+                )
             }
         }
     }
@@ -544,15 +547,26 @@ mod tests {
             let v = req.payload[0];
             responder.reply(sim, vec![v + 1]);
         });
-        server.offer(&mut sim, ServiceInstance::new(0x50, 1), Duration::from_secs(10));
+        server.offer(
+            &mut sim,
+            ServiceInstance::new(0x50, 1),
+            Duration::from_secs(10),
+        );
 
         let client = Binding::new(&net, &sd, NodeId(2), 0x20);
         let got = Rc::new(RefCell::new(None));
         let sink = got.clone();
         client
-            .call(&mut sim, 0x50, ANY_INSTANCE, 1, vec![41], move |sim, resp| {
-                *sink.borrow_mut() = Some((sim.now(), resp.payload[0], resp.return_code));
-            })
+            .call(
+                &mut sim,
+                0x50,
+                ANY_INSTANCE,
+                1,
+                vec![41],
+                move |sim, resp| {
+                    *sink.borrow_mut() = Some((sim.now(), resp.payload[0], resp.return_code));
+                },
+            )
             .unwrap();
         sim.run_to_completion();
         let (at, v, rc) = got.borrow().unwrap();
@@ -570,9 +584,17 @@ mod tests {
         server.register_method(0x50, 1, |sim, _req, responder| {
             responder.reply(sim, vec![]);
         });
-        server.offer(&mut sim, ServiceInstance::new(0x50, 1), Duration::from_secs(10));
+        server.offer(
+            &mut sim,
+            ServiceInstance::new(0x50, 1),
+            Duration::from_secs(10),
+        );
         // Also offer a service id the server has no handlers for.
-        server.offer(&mut sim, ServiceInstance::new(0x51, 1), Duration::from_secs(10));
+        server.offer(
+            &mut sim,
+            ServiceInstance::new(0x51, 1),
+            Duration::from_secs(10),
+        );
 
         let client = Binding::new(&net, &sd, NodeId(2), 0x20);
         let codes = Rc::new(RefCell::new(Vec::new()));

@@ -29,7 +29,10 @@ impl fmt::Display for PayloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PayloadError::UnexpectedEnd { needed, remaining } => {
-                write!(f, "payload ended: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "payload ended: needed {needed} bytes, {remaining} remaining"
+                )
             }
             PayloadError::InvalidUtf8 => write!(f, "string field is not valid utf-8"),
             PayloadError::TrailingBytes(n) => write!(f, "{n} unconsumed payload bytes"),
@@ -349,7 +352,10 @@ mod tests {
         let mut r = PayloadReader::new(&[1, 2]);
         assert!(matches!(
             r.read_u32(),
-            Err(PayloadError::UnexpectedEnd { needed: 4, remaining: 2 })
+            Err(PayloadError::UnexpectedEnd {
+                needed: 4,
+                remaining: 2
+            })
         ));
     }
 

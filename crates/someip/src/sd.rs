@@ -198,12 +198,11 @@ impl SdRegistry {
 
     /// Removes a subscription.
     pub fn unsubscribe(&self, instance: ServiceInstance, eventgroup: u16, subscriber: NodeId) {
-        if let Some(subs) = self
-            .0
-            .borrow_mut()
-            .subscriptions
-            .get_mut(&(instance.service, instance.instance, eventgroup))
-        {
+        if let Some(subs) = self.0.borrow_mut().subscriptions.get_mut(&(
+            instance.service,
+            instance.instance,
+            eventgroup,
+        )) {
             subs.retain(|&n| n != subscriber);
         }
     }

@@ -219,7 +219,10 @@ impl fmt::Display for WireError {
                 write!(f, "truncated frame: needed {needed} bytes, got {got}")
             }
             WireError::LengthMismatch { declared, actual } => {
-                write!(f, "length field {declared} disagrees with body size {actual}")
+                write!(
+                    f,
+                    "length field {declared} disagrees with body size {actual}"
+                )
             }
             WireError::UnknownMessageType(v) => write!(f, "unknown message type 0x{v:02x}"),
             WireError::UnknownReturnCode(v) => write!(f, "unknown return code 0x{v:02x}"),
@@ -318,12 +321,20 @@ impl SomeIpMessage {
     /// Serializes the message to wire bytes.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let trailer = if self.tag.is_some() { TAG_TRAILER_LEN } else { 0 };
+        let trailer = if self.tag.is_some() {
+            TAG_TRAILER_LEN
+        } else {
+            0
+        };
         let length = 8 + self.payload.len() + trailer;
         let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len() + trailer);
         buf.extend_from_slice(&self.message_id.service.to_be_bytes());
         buf.extend_from_slice(&self.message_id.method.to_be_bytes());
-        buf.extend_from_slice(&u32::try_from(length).expect("payload too large").to_be_bytes());
+        buf.extend_from_slice(
+            &u32::try_from(length)
+                .expect("payload too large")
+                .to_be_bytes(),
+        );
         buf.extend_from_slice(&self.request_id.client.to_be_bytes());
         buf.extend_from_slice(&self.request_id.session.to_be_bytes());
         buf.push(if self.tag.is_some() {
@@ -369,10 +380,12 @@ impl SomeIpMessage {
         let return_code = ReturnCode::from_u8(bytes[15])?;
 
         let body = &bytes[HEADER_LEN..];
-        let declared_body = (length as usize).checked_sub(8).ok_or(WireError::LengthMismatch {
-            declared: length,
-            actual: body.len(),
-        })?;
+        let declared_body = (length as usize)
+            .checked_sub(8)
+            .ok_or(WireError::LengthMismatch {
+                declared: length,
+                actual: body.len(),
+            })?;
         if body.len() < declared_body {
             return Err(WireError::Truncated {
                 needed: HEADER_LEN + declared_body,
@@ -468,11 +481,7 @@ mod tests {
 
     #[test]
     fn untagged_messages_are_standard_someip() {
-        let msg = SomeIpMessage::request(
-            MessageId::new(1, 2),
-            RequestId::new(3, 4),
-            vec![1, 2, 3],
-        );
+        let msg = SomeIpMessage::request(MessageId::new(1, 2), RequestId::new(3, 4), vec![1, 2, 3]);
         let bytes = msg.encode();
         assert_eq!(bytes[12], PROTOCOL_VERSION, "standard protocol version");
         assert_eq!(bytes.len(), HEADER_LEN + 3, "no trailer");
@@ -526,8 +535,8 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_tag_magic() {
-        let msg = SomeIpMessage::notification(MessageId::new(1, 2), vec![])
-            .with_tag(WireTag::new(5, 0));
+        let msg =
+            SomeIpMessage::notification(MessageId::new(1, 2), vec![]).with_tag(WireTag::new(5, 0));
         let mut bytes = msg.encode();
         let magic_at = bytes.len() - TAG_TRAILER_LEN;
         bytes[magic_at] = b'X';

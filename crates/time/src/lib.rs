@@ -549,20 +549,14 @@ mod tests {
         let t = Instant::from_millis(100);
         assert_eq!(t + Duration::from_millis(50), Instant::from_millis(150));
         assert_eq!(t - Duration::from_millis(50), Instant::from_millis(50));
-        assert_eq!(
-            Instant::from_millis(150) - t,
-            Duration::from_millis(50)
-        );
+        assert_eq!(Instant::from_millis(150) - t, Duration::from_millis(50));
         assert_eq!(t + Duration::from_millis(-50), Instant::from_millis(50));
     }
 
     #[test]
     fn instant_saturates_at_epoch() {
         let t = Instant::from_nanos(5);
-        assert_eq!(
-            t.saturating_add(Duration::from_nanos(-10)),
-            Instant::EPOCH
-        );
+        assert_eq!(t.saturating_add(Duration::from_nanos(-10)), Instant::EPOCH);
         assert_eq!(t.checked_add(Duration::from_nanos(-10)), None);
     }
 

@@ -7,7 +7,7 @@
 //! these transactors.
 
 use crate::config::{tag_to_wire, DearConfig, EventSpec};
-use crate::outbox::{Outbox, OutboundMsg, OutboxSender};
+use crate::outbox::{OutboundMsg, Outbox, OutboxSender};
 use crate::platform::FederatedPlatform;
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx};
@@ -58,7 +58,10 @@ impl ServerEventTransactor {
         let event = r.input::<Vec<u8>>("event");
         r.reaction("forward_event")
             .triggered_by(event)
-            .with_deadline(deadline, forward_fn(outbox.sender(), route, deadline, event))
+            .with_deadline(
+                deadline,
+                forward_fn(outbox.sender(), route, deadline, event),
+            )
             .body(forward_fn(outbox.sender(), route, deadline, event));
         drop(r);
         ServerEventTransactor {

@@ -111,7 +111,12 @@ impl FieldServerTransactor {
         FieldServerTransactor {
             get: ServerMethodTransactor::declare(b, outbox, &format!("{name}.get"), deadline),
             set: ServerMethodTransactor::declare(b, outbox, &format!("{name}.set"), deadline),
-            updates: ServerEventTransactor::declare(b, outbox, &format!("{name}.updates"), deadline),
+            updates: ServerEventTransactor::declare(
+                b,
+                outbox,
+                &format!("{name}.updates"),
+                deadline,
+            ),
         }
     }
 

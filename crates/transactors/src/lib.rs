@@ -42,6 +42,6 @@ pub use config::{tag_to_wire, wire_to_tag, DearConfig, EventSpec, MethodSpec, Un
 pub use event::{ClientEventTransactor, ServerEventTransactor};
 pub use field::{FieldClientTransactor, FieldServerTransactor};
 pub use method::{ClientMethodTransactor, ServerMethodTransactor};
-pub use outbox::{Outbox, OutboundMsg, OutboxSender};
+pub use outbox::{OutboundMsg, Outbox, OutboxSender};
 pub use platform::FederatedPlatform;
 pub use stats::TransactorStats;

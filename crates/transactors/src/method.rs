@@ -16,7 +16,7 @@
 //! * client response interrupt: release at `ts + Ds + L + E` (18–22).
 
 use crate::config::{tag_to_wire, DearConfig, MethodSpec, UntaggedPolicy};
-use crate::outbox::{Outbox, OutboundMsg, OutboxSender};
+use crate::outbox::{OutboundMsg, Outbox, OutboxSender};
 use crate::platform::FederatedPlatform;
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx, Tag};
@@ -117,31 +117,33 @@ impl ClientMethodTransactor {
         let platform = platform.clone();
         let binding = binding.clone();
         let stats_out = stats.clone();
-        platform.clone().register_route(self.route, move |sim, msg| {
-            // Fig. 3 step 2: deposit tc+Dc in the bypass, then step 3: the
-            // plain (tag-agnostic) proxy call.
-            binding.set_outgoing_tag(msg.tag);
-            let platform = platform.clone();
-            let binding_cb = binding.clone();
-            let stats = stats_out.clone();
-            let result = binding.call(
-                sim,
-                spec.service,
-                spec.instance,
-                spec.method,
-                msg.payload,
-                move |sim, resp| {
-                    // Steps 18–22: pick ts+Ds from the bypass and release
-                    // the response at ts+Ds+L+E.
-                    let wire_tag = binding_cb.take_incoming_tag().or(resp.tag);
-                    platform.deliver(sim, &action, resp.payload, wire_tag, &cfg, &stats);
-                },
-            );
-            if result.is_err() {
-                binding.discard_outgoing_tag();
-                stats_out.record_send_failure();
-            }
-        });
+        platform
+            .clone()
+            .register_route(self.route, move |sim, msg| {
+                // Fig. 3 step 2: deposit tc+Dc in the bypass, then step 3: the
+                // plain (tag-agnostic) proxy call.
+                binding.set_outgoing_tag(msg.tag);
+                let platform = platform.clone();
+                let binding_cb = binding.clone();
+                let stats = stats_out.clone();
+                let result = binding.call(
+                    sim,
+                    spec.service,
+                    spec.instance,
+                    spec.method,
+                    msg.payload,
+                    move |sim, resp| {
+                        // Steps 18–22: pick ts+Ds from the bypass and release
+                        // the response at ts+Ds+L+E.
+                        let wire_tag = binding_cb.take_incoming_tag().or(resp.tag);
+                        platform.deliver(sim, &action, resp.payload, wire_tag, &cfg, &stats);
+                    },
+                );
+                if result.is_err() {
+                    binding.discard_outgoing_tag();
+                    stats_out.record_send_failure();
+                }
+            });
         stats
     }
 }

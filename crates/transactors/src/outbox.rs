@@ -39,7 +39,10 @@ pub struct Outbox {
 impl fmt::Debug for Outbox {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Outbox")
-            .field("pending", &self.queue.lock().expect("outbox poisoned").len())
+            .field(
+                "pending",
+                &self.queue.lock().expect("outbox poisoned").len(),
+            )
             .finish()
     }
 }

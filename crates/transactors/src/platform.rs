@@ -12,7 +12,7 @@
 //! deterministic distributed execution without a central coordinator.
 
 use crate::config::{DearConfig, UntaggedPolicy};
-use crate::outbox::{Outbox, OutboundMsg};
+use crate::outbox::{OutboundMsg, Outbox};
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeStats, StepOutcome, Tag};
 use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
@@ -255,8 +255,7 @@ impl FederatedPlatform {
             let mut drain_at = sim.now();
             if let StepOutcome::Processed(_) = outcome {
                 // Accumulate modelled compute time of executed reactions.
-                let executed: Vec<ReactionId> =
-                    inner.runtime.executed_at_last_tag().to_vec();
+                let executed: Vec<ReactionId> = inner.runtime.executed_at_last_tag().to_vec();
                 let mut total = dear_time::Duration::ZERO;
                 for rid in executed {
                     if let Some(model) = inner.costs.get(&rid) {

@@ -57,7 +57,9 @@ impl TransactorStats {
     }
 
     pub(crate) fn record_untagged_dropped(&self) {
-        self.0.untagged_dropped.set(self.0.untagged_dropped.get() + 1);
+        self.0
+            .untagged_dropped
+            .set(self.0.untagged_dropped.get() + 1);
     }
 
     pub(crate) fn record_stp_violation(&self) {

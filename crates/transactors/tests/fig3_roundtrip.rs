@@ -28,10 +28,7 @@ type TagLog = Arc<Mutex<Vec<(Tag, Vec<u8>)>>>;
 /// Returns (client log, server log, client platform, server platform).
 fn run_roundtrip(seed: u64, net_latency: LatencyModel) -> (TagLog, TagLog) {
     let mut sim = Simulation::new(seed);
-    let net = NetworkHandle::new(
-        LinkConfig::with_latency(net_latency),
-        sim.fork_rng("net"),
-    );
+    let net = NetworkHandle::new(LinkConfig::with_latency(net_latency), sim.fork_rng("net"));
     let sd = SdRegistry::new();
     let cfg = DearConfig::new(L, E);
 
@@ -234,11 +231,7 @@ fn stp_violation_is_observable_when_latency_bound_is_wrong() {
     let received = Arc::new(Mutex::new(0u32));
     {
         let mut logic = bs.reactor("subscriber", ());
-        let t = logic.timer(
-            "local_work",
-            Duration::ZERO,
-            Some(Duration::from_millis(5)),
-        );
+        let t = logic.timer("local_work", Duration::ZERO, Some(Duration::from_millis(5)));
         logic.reaction("tick").triggered_by(t).body(|_, _| {});
         let rec = received.clone();
         logic
@@ -335,7 +328,11 @@ fn untagged_messages_follow_policy() {
             expect_delivered,
             "policy {policy:?}"
         );
-        assert_eq!(stats.untagged_dropped(), expect_dropped, "policy {policy:?}");
+        assert_eq!(
+            stats.untagged_dropped(),
+            expect_dropped,
+            "policy {policy:?}"
+        );
     }
 }
 

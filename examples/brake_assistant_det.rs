@@ -21,7 +21,9 @@ fn main() {
         params.latency_bound, params.clock_error, params.frames
     );
     println!("seed | decisions | mismatches | stp | deadline misses | e2e latency | fingerprint");
-    println!("-----+-----------+------------+-----+-----------------+-------------+-----------------");
+    println!(
+        "-----+-----------+------------+-----+-----------------+-------------+-----------------"
+    );
     for seed in 0..8 {
         let r = run_det(seed, &params);
         let e2e = r

@@ -14,7 +14,9 @@ fn main() {
         frames: 2_000,
         ..NondetParams::default()
     };
-    println!("nondeterministic brake assistant: 5 SWCs, one-slot buffers, 50 ms periodic callbacks");
+    println!(
+        "nondeterministic brake assistant: 5 SWCs, one-slot buffers, 50 ms periodic callbacks"
+    );
     println!("{} frames per instance\n", params.frames);
     println!("seed | decisions | dropped@pre | dropped@cv | mismatches | dropped@eba | total %");
     println!("-----+-----------+-------------+------------+------------+-------------+--------");

@@ -50,7 +50,8 @@ fn run(seed: u64, latency_bound: Duration) -> (Vec<(Duration, u8)>, Option<Tag>,
     let results: Arc<Mutex<Vec<(Tag, u8)>>> = Arc::new(Mutex::new(Vec::new()));
     let outbox_c = Outbox::new();
     let mut bc = ProgramBuilder::new();
-    let cmt = ClientMethodTransactor::declare(&mut bc, &outbox_c, "square", Duration::from_millis(1));
+    let cmt =
+        ClientMethodTransactor::declare(&mut bc, &outbox_c, "square", Duration::from_millis(1));
     {
         let mut logic = bc.reactor("client", 0u8);
         let req = logic.output::<Vec<u8>>("req");
@@ -96,7 +97,8 @@ fn run(seed: u64, latency_bound: Duration) -> (Vec<(Duration, u8)>, Option<Tag>,
     // Server: squares the input.
     let outbox_s = Outbox::new();
     let mut bs = ProgramBuilder::new();
-    let smt = ServerMethodTransactor::declare(&mut bs, &outbox_s, "square", Duration::from_millis(1));
+    let smt =
+        ServerMethodTransactor::declare(&mut bs, &outbox_s, "square", Duration::from_millis(1));
     {
         let mut logic = bs.reactor("server", ());
         let resp = logic.output::<Vec<u8>>("resp");

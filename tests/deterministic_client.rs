@@ -62,7 +62,11 @@ fn run(seed: u64) -> Vec<u8> {
         });
         det.register_task("post", |_| {});
     }
-    det.start(&mut sim, Duration::from_millis(10), Duration::from_millis(10));
+    det.start(
+        &mut sim,
+        Duration::from_millis(10),
+        Duration::from_millis(10),
+    );
 
     // Two clients on different nodes, firing "simultaneously".
     for (node, value) in [(2u16, 1u8), (3u16, 2u8)] {
