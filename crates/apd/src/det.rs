@@ -24,12 +24,13 @@ use crate::logic::{detect_vehicles, eba_decide, StageTimings};
 use crate::nondet::{nodes, services};
 use crate::types::{BrakeDecision, Frame, LaneBox, VehicleList};
 use dear_core::{ProgramBuilder, Runtime};
-use dear_sim::{LinkConfig, NetworkHandle, Simulation, VirtualClock};
+use dear_federation::{CoordinatedPlatform, Rti};
+use dear_sim::{LinkConfig, NetworkHandle, SimRng, Simulation, VirtualClock};
 use dear_someip::{Binding, SdRegistry, ServiceInstance};
 use dear_time::{Duration, Instant};
 use dear_transactors::{
-    ClientEventTransactor, DearConfig, EventSpec, FederatedPlatform, Outbox, ServerEventTransactor,
-    TransactorStats,
+    ClientEventTransactor, Coordination, DearConfig, EventSpec, FederatedPlatform, Outbox,
+    PlatformDriver, ServerEventTransactor, TransactorStats,
 };
 use std::sync::{Arc, Mutex};
 
@@ -78,6 +79,18 @@ pub struct DetParams {
     pub ethernet: LinkConfig,
     /// Links between processes on platform 2.
     pub loopback: LinkConfig,
+    /// Coordination strategy (the pipeline logic is identical under
+    /// both; see `tests/federation_equivalence.rs`).
+    pub coordination: Coordination,
+    /// Link model of the dedicated coordination network (RTI traffic
+    /// only, so control messages never perturb data-plane latencies).
+    /// Must deliver in order (the default; see [`Rti::new`]).
+    pub coord_link: LinkConfig,
+    /// Record per-stage runtime event traces and report their
+    /// fingerprints in [`DetReport::stage_traces`]. Off by default: the
+    /// figure benches call `run_det` in measured loops and tracing costs
+    /// O(events) time and memory.
+    pub record_traces: bool,
 }
 
 impl Default for DetParams {
@@ -93,6 +106,9 @@ impl Default for DetParams {
             clock_error: Duration::ZERO,
             ethernet: nd.ethernet,
             loopback: nd.loopback,
+            coordination: Coordination::Decentralized,
+            coord_link: LinkConfig::ideal(Duration::from_micros(10)),
+            record_traces: false,
         }
     }
 }
@@ -116,6 +132,34 @@ pub struct DetReport {
     pub untagged_dropped: u64,
     /// Decisions disagreeing with the reference logic (must be zero).
     pub wrong_decisions: u64,
+    /// Per-stage runtime trace fingerprints, in pipeline order (empty
+    /// unless [`DetParams::record_traces`] is set). Two runs are
+    /// observably identical iff these match.
+    pub stage_traces: Vec<(String, u64)>,
+    /// Coordination-layer counters (all zero under decentralized
+    /// coordination).
+    pub coordination: CoordReport,
+}
+
+/// Aggregated coordination-message counters of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoordReport {
+    /// NET reports sent by all stages.
+    pub nets_sent: u64,
+    /// LTC reports sent by all stages.
+    pub ltcs_sent: u64,
+    /// Grants received by all stages.
+    pub grants_received: u64,
+    /// Provisional (PTAG) grants among them.
+    pub ptags_received: u64,
+    /// Tags processed beyond a granted bound (must stay zero).
+    pub bound_breaches: u64,
+    /// Total time stages spent blocked waiting for grants.
+    pub grant_wait: Duration,
+    /// Whether every stage's greatest processed tag stayed strictly
+    /// below its final granted bound (vacuously true when no bounds are
+    /// in play).
+    pub within_bound: bool,
 }
 
 impl DetReport {
@@ -133,15 +177,198 @@ impl DetReport {
     }
 }
 
-struct Stage {
-    platform: FederatedPlatform,
+struct Stage<D> {
+    platform: D,
     stats: Vec<TransactorStats>,
 }
 
-/// Runs one seeded instance of the deterministic brake assistant.
+/// One coordination strategy's way of constructing stage drivers.
+trait DriverFactory {
+    type Driver: PlatformDriver;
+
+    /// Called once the simulation exists, before any stage is built.
+    fn init(&mut self, sim: &mut Simulation);
+
+    /// Builds the driver for one pipeline stage.
+    #[allow(clippy::too_many_arguments)]
+    fn make(
+        &mut self,
+        sim: &mut Simulation,
+        name: &'static str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+        data_binding: &Binding,
+    ) -> Self::Driver;
+
+    /// Called after every stage exists (topology declarations).
+    fn finish(&mut self, sim: &mut Simulation);
+
+    /// Coordination-layer report at the end of the run.
+    fn report(&self) -> CoordReport;
+}
+
+/// Decentralized coordination: plain `FederatedPlatform`s, no control
+/// traffic.
+struct DecentralizedFactory;
+
+impl DriverFactory for DecentralizedFactory {
+    type Driver = FederatedPlatform;
+
+    fn init(&mut self, _sim: &mut Simulation) {}
+
+    fn make(
+        &mut self,
+        _sim: &mut Simulation,
+        name: &'static str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+        _data_binding: &Binding,
+    ) -> FederatedPlatform {
+        FederatedPlatform::new(name, runtime, clock, outbox, cost_rng)
+    }
+
+    fn finish(&mut self, _sim: &mut Simulation) {}
+
+    fn report(&self) -> CoordReport {
+        CoordReport {
+            within_bound: true,
+            ..CoordReport::default()
+        }
+    }
+}
+
+/// Centralized coordination: an RTI on a dedicated coordination network
+/// grants every stage its tag advances. The data plane is untouched, so
+/// traces stay bit-identical to the decentralized build.
+struct CentralizedFactory {
+    coord_link: LinkConfig,
+    edges: [(&'static str, &'static str, Duration); 3],
+    coord_net: Option<NetworkHandle>,
+    coord_sd: SdRegistry,
+    rti: Option<Rti>,
+    platforms: Vec<(&'static str, CoordinatedPlatform)>,
+}
+
+impl CentralizedFactory {
+    fn new(params: &DetParams) -> Self {
+        let stp = params.latency_bound + params.clock_error;
+        CentralizedFactory {
+            coord_link: params.coord_link.clone(),
+            edges: [
+                ("adapter", "preprocessing", params.deadlines.adapter + stp),
+                (
+                    "preprocessing",
+                    "computer_vision",
+                    params.deadlines.preprocessing + stp,
+                ),
+                (
+                    "computer_vision",
+                    "eba",
+                    params.deadlines.computer_vision + stp,
+                ),
+            ],
+            coord_net: None,
+            coord_sd: SdRegistry::new(),
+            rti: None,
+            platforms: Vec::new(),
+        }
+    }
+
+    fn federate(&self, name: &str) -> dear_federation::FederateId {
+        self.platforms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p.federate_id())
+            .expect("stage registered")
+    }
+}
+
+impl DriverFactory for CentralizedFactory {
+    type Driver = CoordinatedPlatform;
+
+    fn init(&mut self, sim: &mut Simulation) {
+        let coord_net = NetworkHandle::new(self.coord_link.clone(), sim.fork_rng("coord-net"));
+        self.rti = Some(Rti::new(sim, &coord_net, &self.coord_sd, nodes::RTI));
+        self.coord_net = Some(coord_net);
+    }
+
+    fn make(
+        &mut self,
+        _sim: &mut Simulation,
+        name: &'static str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+        data_binding: &Binding,
+    ) -> CoordinatedPlatform {
+        let coord_binding = Binding::new(
+            self.coord_net.as_ref().expect("init first"),
+            &self.coord_sd,
+            data_binding.node(),
+            0x70 + u16::try_from(self.platforms.len()).expect("stage count"),
+        );
+        // Only the adapter takes physical inputs from outside the
+        // federation (the legacy video provider).
+        let external = name == "adapter";
+        let platform = CoordinatedPlatform::new(
+            name,
+            runtime,
+            clock,
+            outbox,
+            cost_rng,
+            self.rti.as_ref().expect("init first"),
+            &coord_binding,
+            external,
+        );
+        self.platforms.push((name, platform.clone()));
+        platform
+    }
+
+    fn finish(&mut self, _sim: &mut Simulation) {
+        let rti = self.rti.as_ref().expect("init first");
+        for (up, down, delay) in self.edges {
+            rti.connect(self.federate(up), self.federate(down), delay);
+        }
+    }
+
+    fn report(&self) -> CoordReport {
+        let mut report = CoordReport {
+            within_bound: true,
+            ..CoordReport::default()
+        };
+        for (_, p) in &self.platforms {
+            let cs = p.coordination_stats();
+            report.nets_sent += cs.nets_sent();
+            report.ltcs_sent += cs.ltcs_sent();
+            report.grants_received += cs.grants_received();
+            report.ptags_received += cs.ptags_received();
+            report.bound_breaches += cs.bound_breaches();
+            report.grant_wait += cs.grant_wait();
+            if let (Some(max), Some(bound)) = (p.max_processed_tag(), p.granted_bound()) {
+                report.within_bound &= max < bound;
+            }
+        }
+        report
+    }
+}
+
+/// Runs one seeded instance of the deterministic brake assistant under
+/// the configured coordination strategy.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
+    match params.coordination {
+        Coordination::Decentralized => run_det_with(seed, params, DecentralizedFactory),
+        Coordination::Centralized => run_det_with(seed, params, CentralizedFactory::new(params)),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F) -> DetReport {
     use services::{
         ADAPTER, COMPUTER_VISION, EVENTGROUP, EVENT_AUX, EVENT_MAIN, INSTANCE, PREPROCESSING, VIDEO,
     };
@@ -150,6 +377,7 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
     let net = NetworkHandle::new(params.loopback.clone(), sim.fork_rng("net"));
     net.configure_link(nodes::PROVIDER, nodes::ADAPTER, params.ethernet.clone());
     let sd = SdRegistry::new();
+    factory.init(&mut sim);
     let offer_ttl = Duration::from_secs(1 << 30);
     let cfg = DearConfig::new(params.latency_bound, params.clock_error);
     let sensor_cfg = cfg.accept_untagged();
@@ -187,15 +415,18 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
             drop(logic);
             b.connect(out, publish.event).unwrap();
         }
-        let platform = FederatedPlatform::new(
+        let binding = Binding::new(&net, &sd, nodes::ADAPTER, 0x20);
+        let cost_rng = sim.fork_rng("adapter-costs");
+        let platform = factory.make(
+            &mut sim,
             "adapter",
             Runtime::new(b.build().expect("adapter program")),
             VirtualClock::ideal(),
             outbox,
-            sim.fork_rng("adapter-costs"),
+            cost_rng,
+            &binding,
         );
         platform.set_reaction_cost(logic_rid, params.timings.adapter.clone());
-        let binding = Binding::new(&net, &sd, nodes::ADAPTER, 0x20);
         binding.offer(&mut sim, ServiceInstance::new(ADAPTER, INSTANCE), offer_ttl);
         let s1 = camera.bind(&platform, &binding, spec(VIDEO, EVENT_MAIN), sensor_cfg);
         publish.bind(&platform, &binding, spec(ADAPTER, EVENT_MAIN));
@@ -239,15 +470,18 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
             b.connect(lane_out, publish_lane.event).unwrap();
             b.connect(frame_out, publish_frame.event).unwrap();
         }
-        let platform = FederatedPlatform::new(
+        let binding = Binding::new(&net, &sd, nodes::PREPROCESSING, 0x30);
+        let cost_rng = sim.fork_rng("preproc-costs");
+        let platform = factory.make(
+            &mut sim,
             "preprocessing",
             Runtime::new(b.build().expect("preprocessing program")),
             VirtualClock::ideal(),
             outbox,
-            sim.fork_rng("preproc-costs"),
+            cost_rng,
+            &binding,
         );
         platform.set_reaction_cost(logic_rid, params.timings.preprocessing.clone());
-        let binding = Binding::new(&net, &sd, nodes::PREPROCESSING, 0x30);
         binding.offer(
             &mut sim,
             ServiceInstance::new(PREPROCESSING, INSTANCE),
@@ -305,15 +539,18 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
             drop(logic);
             b.connect(out, publish.event).unwrap();
         }
-        let platform = FederatedPlatform::new(
+        let binding = Binding::new(&net, &sd, nodes::COMPUTER_VISION, 0x40);
+        let cost_rng = sim.fork_rng("cv-costs");
+        let platform = factory.make(
+            &mut sim,
             "computer_vision",
             Runtime::new(b.build().expect("cv program")),
             VirtualClock::ideal(),
             outbox,
-            sim.fork_rng("cv-costs"),
+            cost_rng,
+            &binding,
         );
         platform.set_reaction_cost(logic_rid, params.timings.computer_vision.clone());
-        let binding = Binding::new(&net, &sd, nodes::COMPUTER_VISION, 0x40);
         binding.offer(
             &mut sim,
             ServiceInstance::new(COMPUTER_VISION, INSTANCE),
@@ -373,15 +610,18 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
                 });
             drop(logic);
         }
-        let platform = FederatedPlatform::new(
+        let binding = Binding::new(&net, &sd, nodes::EBA, 0x50);
+        let cost_rng = sim.fork_rng("eba-costs");
+        let platform = factory.make(
+            &mut sim,
             "eba",
             Runtime::new(b.build().expect("eba program")),
             VirtualClock::ideal(),
             outbox,
-            sim.fork_rng("eba-costs"),
+            cost_rng,
+            &binding,
         );
         platform.set_reaction_cost(logic_rid, params.timings.eba.clone());
-        let binding = Binding::new(&net, &sd, nodes::EBA, 0x50);
         let s1 = input.bind(&platform, &binding, spec(COMPUTER_VISION, EVENT_MAIN), cfg);
         Stage {
             platform,
@@ -433,8 +673,12 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
     }
 
     // --- Run ---------------------------------------------------------------
+    factory.finish(&mut sim);
     let all_stages = [adapter, preprocessing, cv, eba];
     for stage in &all_stages {
+        if params.record_traces {
+            stage.platform.with_runtime(|rt| rt.enable_tracing());
+        }
         stage.platform.start(&mut sim);
     }
     let horizon = Instant::EPOCH
@@ -447,7 +691,7 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
     let mut misses = 0;
     let mut untagged = 0;
     for stage in &all_stages {
-        let rt = stage.platform.stats();
+        let rt = stage.platform.runtime_stats();
         stp += rt.stp_violations;
         misses += rt.deadline_misses;
         for s in &stage.stats {
@@ -455,6 +699,22 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
             untagged += s.untagged_dropped();
         }
     }
+
+    let stage_traces: Vec<(String, u64)> = if params.record_traces {
+        all_stages
+            .iter()
+            .map(|stage| {
+                let fingerprint = stage
+                    .platform
+                    .with_runtime(|rt| rt.take_trace())
+                    .fingerprint();
+                (stage.platform.driver_name(), fingerprint)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let coordination = factory.report();
 
     let mismatches_cv = *mismatches.lock().expect("mismatch counter");
     let collected = std::mem::take(&mut *decisions.lock().expect("decisions"));
@@ -480,6 +740,8 @@ pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
         deadline_misses: misses,
         untagged_dropped: untagged,
         wrong_decisions: wrong,
+        stage_traces,
+        coordination,
     }
 }
 
@@ -528,6 +790,25 @@ mod tests {
         for f in &fp[1..] {
             assert_eq!(*f, fp[0], "decision sequence must not depend on seed");
         }
+    }
+
+    #[test]
+    fn centralized_coordination_is_observably_identical() {
+        let mut params = small_params();
+        params.frames = 50;
+        params.record_traces = true;
+        let dec = run_det(2, &params);
+        params.coordination = Coordination::Centralized;
+        let cen = run_det(2, &params);
+        assert_eq!(dec.stage_traces, cen.stage_traces, "event traces");
+        assert_eq!(dec.decision_fingerprint(), cen.decision_fingerprint());
+        assert_eq!(cen.stp_violations, 0);
+        // The grant machinery ran and was never outrun.
+        assert!(cen.coordination.grants_received > 0);
+        assert!(cen.coordination.within_bound);
+        assert_eq!(cen.coordination.bound_breaches, 0);
+        // Decentralized runs carry no coordination traffic at all.
+        assert_eq!(dec.coordination.grants_received, 0);
     }
 
     #[test]

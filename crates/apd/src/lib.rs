@@ -25,7 +25,7 @@ pub mod logic;
 pub mod nondet;
 pub mod types;
 
-pub use det::{run_det, DetParams, DetReport, StageDeadlines};
+pub use det::{run_det, CoordReport, DetParams, DetReport, StageDeadlines};
 pub use logic::{detect_vehicles, eba_decide, preprocess, reference_decision, StageTimings};
 pub use nondet::{run_nondet, NondetParams, NondetReport};
 pub use types::{BrakeDecision, Frame, LaneBox, Vehicle, VehicleList};

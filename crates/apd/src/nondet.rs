@@ -54,6 +54,9 @@ pub mod nodes {
     pub const COMPUTER_VISION: NodeId = NodeId(4);
     /// EBA (platform 2).
     pub const EBA: NodeId = NodeId(5);
+    /// The RTI, when the deterministic build runs under centralized
+    /// coordination (lives on the coordination network).
+    pub const RTI: NodeId = NodeId(6);
 }
 
 /// Service ids and event ids used along the pipeline.

@@ -40,6 +40,23 @@ pub struct RuntimeStats {
     pub deadline_misses: u64,
     /// Safe-to-process violations rejected at injection.
     pub stp_violations: u64,
+    /// Steps deferred because the earliest pending tag lay at or beyond
+    /// the externally granted tag bound (centralized coordination).
+    pub bound_deferrals: u64,
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tags={} reactions={} deadline_misses={} stp_violations={} bound_deferrals={}",
+            self.processed_tags,
+            self.executed_reactions,
+            self.deadline_misses,
+            self.stp_violations,
+            self.bound_deferrals
+        )
+    }
 }
 
 /// Result of one [`Runtime::step`] call.
@@ -107,6 +124,7 @@ pub struct Runtime {
     action_pending: Vec<BTreeMap<Tag, Value>>,
     action_current: Vec<Option<Value>>,
     queue: BTreeMap<Tag, TagEntry>,
+    tag_bound: Option<Tag>,
     last_processed: Option<Tag>,
     phase: Phase,
     workers: usize,
@@ -146,6 +164,7 @@ impl Runtime {
             action_pending,
             action_current,
             queue: BTreeMap::new(),
+            tag_bound: None,
             last_processed: None,
             phase: Phase::Created,
             workers: 1,
@@ -251,6 +270,41 @@ impl Runtime {
     #[must_use]
     pub fn current_tag(&self) -> Option<Tag> {
         self.last_processed
+    }
+
+    /// Grants an *exclusive* upper bound on tag processing: [`step`] only
+    /// processes tags strictly before `bound`.
+    ///
+    /// This is the hook through which a centralized coordinator (an RTI)
+    /// gates the runtime. Bounds are monotone — a grant below the current
+    /// bound is ignored, so out-of-order grant delivery is harmless. A
+    /// runtime without a bound (the default, and every decentralized
+    /// driver) is unrestricted.
+    ///
+    /// [`step`]: Runtime::step
+    pub fn set_tag_bound(&mut self, bound: Tag) {
+        match self.tag_bound {
+            Some(current) if bound <= current => {}
+            _ => self.tag_bound = Some(bound),
+        }
+    }
+
+    /// The currently granted exclusive tag bound, if any.
+    #[must_use]
+    pub fn tag_bound(&self) -> Option<Tag> {
+        self.tag_bound
+    }
+
+    /// The earliest pending tag that lies within the granted bound, if any.
+    ///
+    /// Equals [`next_tag`](Runtime::next_tag) when no bound is set.
+    #[must_use]
+    pub fn next_releasable_tag(&self) -> Option<Tag> {
+        let head = self.next_tag()?;
+        match self.tag_bound {
+            Some(bound) if head >= bound => None,
+            _ => Some(head),
+        }
     }
 
     /// Schedules a shutdown at the given time.
@@ -395,6 +449,12 @@ impl Runtime {
             Phase::Created => panic!("Runtime::start must be called before step"),
             Phase::Stopped => return StepOutcome::Stopped,
             Phase::Running => {}
+        }
+        if let (Some(head), Some(bound)) = (self.next_tag(), self.tag_bound) {
+            if head >= bound {
+                self.stats.bound_deferrals += 1;
+                return StepOutcome::Idle;
+            }
         }
         let Some((tag, entry)) = self.queue.pop_first() else {
             return StepOutcome::Idle;

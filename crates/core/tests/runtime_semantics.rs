@@ -507,3 +507,71 @@ fn trace_fingerprint_identical_across_runs() {
     }
     assert_eq!(run(), run());
 }
+
+#[test]
+fn tag_bound_gates_step_and_counts_deferrals() {
+    let events = log();
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let sink = events.clone();
+    r.reaction("tick").triggered_by(t).body(move |_, ctx| {
+        push(&sink, format!("{}", ctx.logical_time().as_millis_f64()));
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+
+    // Exclusive bound at 2ms: only the 0ms and 1ms tags may be processed.
+    rt.set_tag_bound(Tag::at(Instant::from_millis(2)));
+    assert_eq!(rt.run_fast(u64::MAX), 2);
+    assert_eq!(events.lock().unwrap().len(), 2);
+    assert_eq!(rt.next_releasable_tag(), None);
+    assert_eq!(rt.next_tag(), Some(Tag::at(Instant::from_millis(2))));
+    assert_eq!(rt.stats().bound_deferrals, 1, "run_fast deferred once");
+    assert!(matches!(rt.step_fast(), StepOutcome::Idle));
+    assert_eq!(rt.stats().bound_deferrals, 2);
+
+    // Bounds are monotone: a stale (lower) grant is ignored.
+    rt.set_tag_bound(Tag::at(Instant::from_millis(1)));
+    assert_eq!(rt.tag_bound(), Some(Tag::at(Instant::from_millis(2))));
+
+    // Raising the bound releases exactly the newly covered tags.
+    rt.set_tag_bound(Tag::at(Instant::from_millis(4)));
+    assert_eq!(rt.run_fast(u64::MAX), 2);
+    assert_eq!(events.lock().unwrap().len(), 4);
+    assert_eq!(rt.stats().processed_tags, 4);
+}
+
+#[test]
+fn succ_bound_grants_exactly_one_tag_inclusive() {
+    // A provisional grant for tag g is modelled as the exclusive bound
+    // g.delay(ZERO): the runtime may process g itself and nothing later.
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    r.reaction("tick").triggered_by(t).body(|_, _| {});
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    let g = Tag::at(Instant::EPOCH);
+    rt.set_tag_bound(g.delay(Duration::ZERO));
+    assert_eq!(rt.run_fast(u64::MAX), 1);
+    assert_eq!(rt.current_tag(), Some(g));
+    assert_eq!(rt.stats().bound_deferrals, 1, "second tag deferred");
+}
+
+#[test]
+fn runtime_stats_display_is_complete() {
+    let stats = dear_core::RuntimeStats {
+        processed_tags: 1,
+        executed_reactions: 2,
+        deadline_misses: 3,
+        stp_violations: 4,
+        bound_deferrals: 5,
+    };
+    assert_eq!(
+        stats.to_string(),
+        "tags=1 reactions=2 deadline_misses=3 stp_violations=4 bound_deferrals=5"
+    );
+}

@@ -1,0 +1,520 @@
+//! The coordinated platform driver: `FederatedPlatform` semantics plus
+//! RTI-granted tag advances.
+//!
+//! A [`CoordinatedPlatform`] gates tag processing on **both** conditions:
+//!
+//! 1. the platform's local physical clock has passed the tag (the same
+//!    rule the decentralized driver enforces — this keeps deadline
+//!    behaviour and therefore event traces bit-identical), and
+//! 2. the tag lies strictly below the bound granted by the [`Rti`]
+//!    (inclusively below for a provisional PTAG).
+//!
+//! After every processed tag the platform reports LTC, and whenever its
+//! queue head or physical fence changes it reports NET; grants arrive as
+//! coordination-service notifications and widen the runtime's tag bound.
+//! All coordination counters land in the shared
+//! [`TransactorStats`], so centralized and decentralized runs report
+//! comparable numbers.
+
+use crate::rti::{tag_succ, FederateId, Rti, TAG_MAX};
+use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeStats, StepOutcome, Tag};
+use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
+use dear_someip::{
+    coord_eventgroup, Binding, CoordKind, CoordMsg, ServiceInstance, WireTag, COORD_EVENT,
+    COORD_INSTANCE, COORD_METHOD, COORD_SERVICE, TAG_NEVER,
+};
+use dear_time::Instant;
+use dear_transactors::{
+    tag_to_wire, wire_to_tag, OutboundMsg, Outbox, PlatformDriver, TransactorStats,
+};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+type RouteHandler = Rc<dyn Fn(&mut Simulation, OutboundMsg)>;
+
+struct PlatformInner {
+    name: String,
+    runtime: Runtime,
+    clock: VirtualClock,
+    outbox: Outbox,
+    routes: BTreeMap<u32, RouteHandler>,
+    costs: BTreeMap<ReactionId, LatencyModel>,
+    cost_rng: SimRng,
+    busy_until: Instant,
+    generation: u64,
+    started: bool,
+    resigned: bool,
+    federate: FederateId,
+    binding: Binding,
+    stats: TransactorStats,
+    /// Last (head, fence) pair reported to the RTI, to suppress repeats.
+    last_net: Option<(WireTag, WireTag)>,
+    /// True time at which the current grant wait began, if blocked.
+    blocked_since: Option<Instant>,
+    /// True time of the currently armed wake-up, if one is pending.
+    ///
+    /// Re-arms that would not change the wake time are suppressed so
+    /// that grant arrivals never reshuffle same-instant event order —
+    /// that is what keeps centralized traces bit-identical to
+    /// decentralized ones.
+    armed_wake: Option<Instant>,
+    /// Greatest tag processed so far (for the never-beyond-bound check).
+    max_processed: Option<Tag>,
+}
+
+/// A platform participating in a centrally coordinated federation.
+///
+/// Cheap to clone; clones share the platform.
+#[derive(Clone)]
+pub struct CoordinatedPlatform(Rc<RefCell<PlatformInner>>);
+
+impl fmt::Debug for CoordinatedPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("CoordinatedPlatform")
+            .field("name", &inner.name)
+            .field("federate", &inner.federate)
+            .field("started", &inner.started)
+            .field("granted", &inner.runtime.tag_bound())
+            .finish()
+    }
+}
+
+impl CoordinatedPlatform {
+    /// Creates a platform around a built runtime and registers it with
+    /// the RTI as a federate hosted on `binding`'s node.
+    ///
+    /// `external` declares physical inputs from outside the federation
+    /// (see [`Rti::register`]). The binding is also used to exchange
+    /// coordination messages with the RTI, alongside its data traffic.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+        rti: &Rti,
+        binding: &Binding,
+        external: bool,
+    ) -> Self {
+        let federate = rti.register(name, binding.node(), external);
+        let platform = CoordinatedPlatform(Rc::new(RefCell::new(PlatformInner {
+            name: name.into(),
+            runtime,
+            clock,
+            outbox,
+            routes: BTreeMap::new(),
+            costs: BTreeMap::new(),
+            cost_rng,
+            busy_until: Instant::EPOCH,
+            generation: 0,
+            started: false,
+            resigned: false,
+            federate,
+            binding: binding.clone(),
+            stats: TransactorStats::new(),
+            last_net: None,
+            blocked_since: None,
+            armed_wake: None,
+            max_processed: None,
+        })));
+        binding.subscribe(
+            ServiceInstance::new(COORD_SERVICE, COORD_INSTANCE),
+            coord_eventgroup(federate.0),
+        );
+        let hook = platform.clone();
+        binding.on_event(COORD_SERVICE, COORD_EVENT, move |sim, msg| {
+            if let Ok(m) = CoordMsg::decode(&msg.payload) {
+                hook.on_grant(sim, m);
+            }
+        });
+        platform
+    }
+
+    /// The platform's name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// The federate id assigned by the RTI (for topology declarations).
+    #[must_use]
+    pub fn federate_id(&self) -> FederateId {
+        self.0.borrow().federate
+    }
+
+    /// The coordination counters (shared handle).
+    #[must_use]
+    pub fn coordination_stats(&self) -> TransactorStats {
+        self.0.borrow().stats.clone()
+    }
+
+    /// The greatest tag processed so far.
+    #[must_use]
+    pub fn max_processed_tag(&self) -> Option<Tag> {
+        self.0.borrow().max_processed
+    }
+
+    /// The currently granted exclusive tag bound.
+    #[must_use]
+    pub fn granted_bound(&self) -> Option<Tag> {
+        self.0.borrow().runtime.tag_bound()
+    }
+
+    /// Registers the interpreter for an outbox route.
+    pub fn register_route(
+        &self,
+        route: u32,
+        handler: impl Fn(&mut Simulation, OutboundMsg) + 'static,
+    ) {
+        self.0.borrow_mut().routes.insert(route, Rc::new(handler));
+    }
+
+    /// Attaches a modelled compute cost to a reaction.
+    pub fn set_reaction_cost(&self, reaction: ReactionId, model: LatencyModel) {
+        self.0.borrow_mut().costs.insert(reaction, model);
+    }
+
+    /// The platform's local clock reading at the current simulation time.
+    #[must_use]
+    pub fn local_now(&self, sim: &Simulation) -> Instant {
+        self.0.borrow().clock.local_time(sim.now())
+    }
+
+    /// Runs a closure with mutable access to the runtime.
+    pub fn with_runtime<R>(&self, f: impl FnOnce(&mut Runtime) -> R) -> R {
+        f(&mut self.0.borrow_mut().runtime)
+    }
+
+    /// Runtime statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.0.borrow().runtime.stats()
+    }
+
+    /// Starts the runtime, announces the federate to the RTI and arms the
+    /// first wake-up.
+    pub fn start(&self, sim: &mut Simulation) {
+        let federate = {
+            let mut inner = self.0.borrow_mut();
+            assert!(!inner.started, "platform already started");
+            inner.started = true;
+            let local_now = inner.clock.local_time(sim.now());
+            inner.runtime.start(local_now);
+            inner.federate
+        };
+        self.send_to_rti(sim, CoordMsg::new(CoordKind::Join, federate.0, TAG_NEVER));
+        self.report_status(sim);
+        self.arm(sim);
+    }
+
+    /// Requests runtime shutdown at the given local time.
+    pub fn stop_at_local(&self, sim: &mut Simulation, local: Instant) {
+        {
+            let mut inner = self.0.borrow_mut();
+            let _ = inner.runtime.stop_at(local);
+        }
+        self.report_status(sim);
+        self.arm(sim);
+    }
+
+    /// Injects a payload into a physical action at an exact tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runtime's safe-to-process or not-running errors.
+    pub fn inject_at<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+        tag: Tag,
+    ) -> Result<(), dear_core::RuntimeError> {
+        let result = {
+            let mut inner = self.0.borrow_mut();
+            inner.runtime.schedule_physical_at(action, value, tag)
+        };
+        if result.is_ok() {
+            self.report_status(sim);
+            self.arm(sim);
+        }
+        result
+    }
+
+    /// Injects a payload tagged with the local physical arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runtime's not-running error.
+    pub fn inject_now<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+    ) -> Result<Tag, dear_core::RuntimeError> {
+        let result = {
+            let mut inner = self.0.borrow_mut();
+            let local_now = inner.clock.local_time(sim.now());
+            inner.runtime.schedule_physical(action, value, local_now)
+        };
+        if result.is_ok() {
+            self.report_status(sim);
+            self.arm(sim);
+        }
+        result
+    }
+
+    fn send_to_rti(&self, sim: &mut Simulation, msg: CoordMsg) {
+        let binding = self.0.borrow().binding.clone();
+        binding
+            .call_no_return(
+                sim,
+                COORD_SERVICE,
+                COORD_INSTANCE,
+                COORD_METHOD,
+                msg.encode(),
+            )
+            .expect("RTI coordination service not offered — construct the Rti first");
+    }
+
+    /// Reports NET (queue head + physical fence) when it changed.
+    fn report_status(&self, sim: &mut Simulation) {
+        let msg = {
+            let mut inner = self.0.borrow_mut();
+            if !inner.started || inner.resigned {
+                None
+            } else {
+                let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
+                let local_now = inner.clock.local_time(sim.now());
+                let fence = tag_to_wire(Tag::at(local_now));
+                if inner.last_net == Some((head, fence)) {
+                    None
+                } else {
+                    inner.last_net = Some((head, fence));
+                    inner.stats.record_net_sent();
+                    Some(CoordMsg::net(inner.federate.0, head, fence))
+                }
+            }
+        };
+        if let Some(msg) = msg {
+            self.send_to_rti(sim, msg);
+        }
+    }
+
+    fn on_grant(&self, sim: &mut Simulation, msg: CoordMsg) {
+        {
+            let mut inner = self.0.borrow_mut();
+            if msg.federate != inner.federate.0 {
+                return;
+            }
+            match msg.kind {
+                CoordKind::Tag => {
+                    inner.runtime.set_tag_bound(wire_to_tag(msg.tag));
+                    inner.stats.record_grant_received(false);
+                }
+                CoordKind::Ptag => {
+                    // Provisional: process up to and including the tag.
+                    inner.runtime.set_tag_bound(tag_succ(wire_to_tag(msg.tag)));
+                    inner.stats.record_grant_received(true);
+                }
+                _ => return,
+            }
+        }
+        self.arm(sim);
+    }
+
+    /// Schedules the next wake-up for the earliest *granted* pending tag.
+    fn arm(&self, sim: &mut Simulation) {
+        let (wake_at, generation) = {
+            let mut inner = self.0.borrow_mut();
+            if !inner.started || !inner.runtime.is_running() {
+                return;
+            }
+            if inner.runtime.next_tag().is_none() {
+                return;
+            }
+            let Some(tag) = inner.runtime.next_releasable_tag() else {
+                // Head exists but lies beyond the granted bound: wait for
+                // the RTI. The grant handler re-arms.
+                inner.armed_wake = None;
+                if inner.blocked_since.is_none() {
+                    inner.blocked_since = Some(sim.now());
+                }
+                return;
+            };
+            if let Some(since) = inner.blocked_since.take() {
+                inner.stats.add_grant_wait(sim.now() - since);
+            }
+            let tag_true = inner.clock.true_time_at_local(tag.time);
+            let wake = tag_true.max(inner.busy_until).max(sim.now());
+            if inner.armed_wake == Some(wake) {
+                // A wake-up for this instant is already pending; keep its
+                // calendar position.
+                return;
+            }
+            inner.armed_wake = Some(wake);
+            inner.generation += 1;
+            (wake, inner.generation)
+        };
+        let platform = self.clone();
+        sim.schedule_at(wake_at, move |sim| platform.on_wake(sim, generation));
+    }
+
+    fn on_wake(&self, sim: &mut Simulation, generation: u64) {
+        {
+            let mut inner = self.0.borrow_mut();
+            if generation != inner.generation || !inner.started {
+                return;
+            }
+            inner.armed_wake = None;
+        }
+        let (outcome, drain_at, ltc) = {
+            let mut inner = self.0.borrow_mut();
+            let local_now = inner.clock.local_time(sim.now());
+            let outcome = inner.runtime.step(local_now);
+            let mut drain_at = sim.now();
+            let mut ltc = None;
+            if let StepOutcome::Processed(summary) = outcome {
+                // The acceptance invariant: a processed tag must lie
+                // within the granted bound (exclusive).
+                if inner.runtime.tag_bound().is_some_and(|b| summary.tag >= b) {
+                    inner.stats.record_bound_breach();
+                }
+                inner.max_processed = Some(
+                    inner
+                        .max_processed
+                        .map_or(summary.tag, |m| m.max(summary.tag)),
+                );
+                let executed: Vec<ReactionId> = inner.runtime.executed_at_last_tag().to_vec();
+                let mut total = dear_time::Duration::ZERO;
+                for rid in executed {
+                    if let Some(model) = inner.costs.get(&rid) {
+                        let model = model.clone();
+                        total += model.sample(&mut inner.cost_rng);
+                    }
+                }
+                let busy_from = inner.busy_until.max(sim.now());
+                inner.busy_until = busy_from + total;
+                drain_at = inner.busy_until;
+                ltc = Some(CoordMsg::new(
+                    CoordKind::Ltc,
+                    inner.federate.0,
+                    tag_to_wire(summary.tag),
+                ));
+                inner.stats.record_ltc_sent();
+            }
+            (outcome, drain_at, ltc)
+        };
+        if let Some(msg) = ltc {
+            self.send_to_rti(sim, msg);
+        }
+        match outcome {
+            StepOutcome::Processed(_) => {
+                if drain_at > sim.now() {
+                    let platform = self.clone();
+                    sim.schedule_at(drain_at, move |sim| platform.drain_outbox(sim));
+                } else {
+                    self.drain_outbox(sim);
+                }
+            }
+            StepOutcome::Stopped => {
+                self.resign(sim);
+                return;
+            }
+            StepOutcome::Idle => {}
+        }
+        self.report_status(sim);
+        self.arm(sim);
+    }
+
+    fn resign(&self, sim: &mut Simulation) {
+        let msg = {
+            let mut inner = self.0.borrow_mut();
+            if inner.resigned {
+                None
+            } else {
+                inner.resigned = true;
+                Some(CoordMsg::new(
+                    CoordKind::Resign,
+                    inner.federate.0,
+                    TAG_NEVER,
+                ))
+            }
+        };
+        if let Some(msg) = msg {
+            self.send_to_rti(sim, msg);
+        }
+    }
+
+    fn drain_outbox(&self, sim: &mut Simulation) {
+        let msgs = {
+            let inner = self.0.borrow();
+            inner.outbox.drain()
+        };
+        for msg in msgs {
+            let handler = self.0.borrow().routes.get(&msg.route).cloned();
+            match handler {
+                Some(h) => h(sim, msg),
+                None => panic!(
+                    "outbox message for unregistered route {} on platform {}",
+                    msg.route,
+                    self.0.borrow().name
+                ),
+            }
+        }
+    }
+}
+
+impl PlatformDriver for CoordinatedPlatform {
+    fn driver_name(&self) -> String {
+        self.name()
+    }
+
+    fn register_route(&self, route: u32, handler: impl Fn(&mut Simulation, OutboundMsg) + 'static) {
+        CoordinatedPlatform::register_route(self, route, handler);
+    }
+
+    fn set_reaction_cost(&self, reaction: ReactionId, model: LatencyModel) {
+        CoordinatedPlatform::set_reaction_cost(self, reaction, model);
+    }
+
+    fn with_runtime<R>(&self, f: impl FnOnce(&mut Runtime) -> R) -> R {
+        CoordinatedPlatform::with_runtime(self, f)
+    }
+
+    fn start(&self, sim: &mut Simulation) {
+        CoordinatedPlatform::start(self, sim);
+    }
+
+    fn inject_at<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+        tag: Tag,
+    ) -> Result<(), dear_core::RuntimeError> {
+        CoordinatedPlatform::inject_at(self, sim, action, value, tag)
+    }
+
+    fn inject_now<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+    ) -> Result<Tag, dear_core::RuntimeError> {
+        CoordinatedPlatform::inject_now(self, sim, action, value)
+    }
+}
+
+/// The unconstrained sentinel a source federate receives as its first
+/// grant round-trips to [`TAG_MAX`].
+#[allow(dead_code)]
+const _ASSERT_SENTINEL: () = {
+    // Compile-time reminder that TAG_NEVER and TAG_MAX are twins.
+    assert!(TAG_NEVER.nanos == u64::MAX);
+    assert!(TAG_MAX.microstep == u32::MAX);
+};

@@ -1,0 +1,379 @@
+//! The RTI (run-time infrastructure): a centralized logical-time
+//! coordinator for federated DEAR deployments.
+//!
+//! The RTI tracks, per federate, the last completed tag (LTC), the
+//! earliest pending event tag plus a physical-time fence (NET), and the
+//! declared inter-federate topology with per-edge minimum tag delays
+//! (`D + L + E` for a DEAR transactor edge). From these it computes each
+//! federate's **LBTS** (least bound on incoming tags) — a tag below which
+//! no further message can possibly arrive — and grants tag advances:
+//!
+//! * **TAG(b)** — the federate may process all tags *strictly before* `b`;
+//! * **PTAG(g)** — provisional grant for exactly tag `g`, issued to break
+//!   zero-delay cycles where no strict bound can advance.
+//!
+//! The computation is a Chandy–Misra-style fixpoint: a federate's *floor*
+//! (the earliest tag it may still process or send at) is
+//! `max(succ(completed), min(head, arrival_floor))`, where the arrival
+//! floor is the federate's own LBTS (plus, for federates with physical
+//! inputs from outside the federation, the reported fence). Floors
+//! propagate along edges shifted by the edge delay until stable.
+//!
+//! All control traffic rides the SOME/IP coordination service defined in
+//! `dear-someip::coord`; the RTI is itself just a node with a binding, so
+//! grant latency is governed by the simulated network like any other
+//! message — which is exactly what the `coordination_lag` bench measures.
+
+use dear_core::Tag;
+use dear_sim::{NetworkHandle, NodeId, Simulation};
+use dear_someip::{
+    coord_eventgroup, Binding, CoordKind, CoordMsg, SdRegistry, ServiceInstance, COORD_EVENT,
+    COORD_INSTANCE, COORD_METHOD, COORD_SERVICE,
+};
+use dear_time::{Duration, Instant};
+use dear_transactors::{tag_to_wire, wire_to_tag};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The greatest representable tag, used as the "no constraint" sentinel.
+/// Round-trips through the wire encoding as `dear_someip::TAG_NEVER`.
+pub const TAG_MAX: Tag = Tag::new(Instant::MAX, u32::MAX);
+
+/// The strict successor of a tag (saturating at [`TAG_MAX`]).
+#[must_use]
+pub fn tag_succ(tag: Tag) -> Tag {
+    if tag >= TAG_MAX {
+        TAG_MAX
+    } else {
+        tag.delay(Duration::ZERO)
+    }
+}
+
+/// The earliest tag a message processed at `tag` can carry after an edge
+/// with minimum delay `delay` (a DEAR edge preserves the microstep and
+/// adds `D + L + E` to the time point; a zero-delay edge is the identity).
+#[must_use]
+pub fn edge_add(tag: Tag, delay: Duration) -> Tag {
+    if delay.is_zero() || tag >= TAG_MAX {
+        tag
+    } else {
+        Tag::new(tag.time.saturating_add(delay), tag.microstep)
+    }
+}
+
+/// Identifies one federate within a federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FederateId(pub u16);
+
+impl fmt::Display for FederateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fed{}", self.0)
+    }
+}
+
+/// Counters describing the RTI's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RtiStats {
+    /// Registered federates.
+    pub federates: u64,
+    /// NET reports received.
+    pub nets_received: u64,
+    /// LTC reports received.
+    pub ltcs_received: u64,
+    /// TAG grants issued.
+    pub tags_issued: u64,
+    /// PTAG (provisional) grants issued.
+    pub ptags_issued: u64,
+}
+
+impl fmt::Display for RtiStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "federates={} nets={} ltcs={} tags={} ptags={}",
+            self.federates,
+            self.nets_received,
+            self.ltcs_received,
+            self.tags_issued,
+            self.ptags_issued
+        )
+    }
+}
+
+struct FederateEntry {
+    name: String,
+    #[allow(dead_code)]
+    node: NodeId,
+    /// Whether the federate takes physical inputs from outside the
+    /// federation (sensors, legacy AP components). Such federates bound
+    /// their future event tags by the reported fence; pure federates are
+    /// bounded transitively through their upstream LBTS.
+    external: bool,
+    connected: bool,
+    resigned: bool,
+    /// Last completed tag (monotone max over LTC reports).
+    completed: Option<Tag>,
+    /// Earliest pending event tag from the latest NET ([`TAG_MAX`] when
+    /// idle; starts at origin = "unknown, assume anything").
+    head: Tag,
+    /// Physical-time fence from NET reports (monotone max).
+    fence: Tag,
+    /// Exclusive bound of the last TAG grant.
+    last_granted: Option<Tag>,
+    /// Tag of the last PTAG grant.
+    last_ptag: Option<Tag>,
+    /// Incoming edges: (upstream federate, minimum tag delay).
+    upstream: Vec<(FederateId, Duration)>,
+}
+
+struct RtiInner {
+    binding: Binding,
+    federates: Vec<FederateEntry>,
+    stats: RtiStats,
+}
+
+/// A shared handle to the centralized coordinator.
+///
+/// Cheap to clone; clones share the coordinator.
+#[derive(Clone)]
+pub struct Rti(Rc<RefCell<RtiInner>>);
+
+impl fmt::Debug for Rti {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("Rti")
+            .field("node", &inner.binding.node())
+            .field("federates", &inner.federates.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl Rti {
+    /// Creates the RTI on `node`, offers the coordination service and
+    /// starts listening for control messages.
+    ///
+    /// The coordination channel must deliver messages **in order** per
+    /// link (the default for every [`LinkConfig`](dear_sim::LinkConfig)
+    /// constructor; the analogue of Lingua Franca's TCP connections to
+    /// its RTI). NET reports carry no sequence numbers, so a link
+    /// configured with `.reordering()` could deliver a stale head last
+    /// and stall grants until the next report.
+    #[must_use]
+    pub fn new(sim: &mut Simulation, net: &NetworkHandle, sd: &SdRegistry, node: NodeId) -> Self {
+        let binding = Binding::new(net, sd, node, 0x0052);
+        binding.offer(
+            sim,
+            ServiceInstance::new(COORD_SERVICE, COORD_INSTANCE),
+            Duration::from_secs(1 << 30),
+        );
+        let rti = Rti(Rc::new(RefCell::new(RtiInner {
+            binding: binding.clone(),
+            federates: Vec::new(),
+            stats: RtiStats::default(),
+        })));
+        let hook = rti.clone();
+        binding.register_method(COORD_SERVICE, COORD_METHOD, move |sim, req, _responder| {
+            if let Ok(msg) = CoordMsg::decode(&req.payload) {
+                hook.on_msg(sim, msg);
+            }
+        });
+        rti
+    }
+
+    /// Registers a federate hosted on `node`.
+    ///
+    /// `external` declares whether the federate receives physical inputs
+    /// from outside the federation (see the module docs); when in doubt,
+    /// `true` is always sound, merely more conservative.
+    pub fn register(&self, name: &str, node: NodeId, external: bool) -> FederateId {
+        let mut inner = self.0.borrow_mut();
+        let id = FederateId(u16::try_from(inner.federates.len()).expect("federate count"));
+        inner.federates.push(FederateEntry {
+            name: name.into(),
+            node,
+            external,
+            connected: false,
+            resigned: false,
+            completed: None,
+            head: Tag::ORIGIN,
+            fence: Tag::ORIGIN,
+            last_granted: None,
+            last_ptag: None,
+            upstream: Vec::new(),
+        });
+        inner.stats.federates += 1;
+        id
+    }
+
+    /// Declares a coordination edge: messages caused by `upstream`
+    /// processing tag `t` reach `downstream` with a tag of at least
+    /// `edge_add(t, min_delay)`. For a DEAR transactor edge the delay is
+    /// the sender deadline plus the network and clock bounds, `D + L + E`.
+    pub fn connect(&self, upstream: FederateId, downstream: FederateId, min_delay: Duration) {
+        assert!(!min_delay.is_negative(), "edge delays must be non-negative");
+        let mut inner = self.0.borrow_mut();
+        inner.federates[downstream.0 as usize]
+            .upstream
+            .push((upstream, min_delay));
+    }
+
+    /// The federate's name (for reports).
+    #[must_use]
+    pub fn federate_name(&self, fed: FederateId) -> String {
+        self.0.borrow().federates[fed.0 as usize].name.clone()
+    }
+
+    /// The exclusive bound most recently granted to `fed`, if any.
+    #[must_use]
+    pub fn last_granted(&self, fed: FederateId) -> Option<Tag> {
+        self.0.borrow().federates[fed.0 as usize].last_granted
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> RtiStats {
+        self.0.borrow().stats
+    }
+
+    fn on_msg(&self, sim: &mut Simulation, msg: CoordMsg) {
+        {
+            let mut inner = self.0.borrow_mut();
+            let Some(entry) = inner.federates.get_mut(msg.federate as usize) else {
+                return;
+            };
+            match msg.kind {
+                CoordKind::Join => entry.connected = true,
+                CoordKind::Net => {
+                    entry.head = wire_to_tag(msg.tag);
+                    entry.fence = entry.fence.max(wire_to_tag(msg.fence));
+                    inner.stats.nets_received += 1;
+                }
+                CoordKind::Ltc => {
+                    let tag = wire_to_tag(msg.tag);
+                    entry.completed = Some(entry.completed.map_or(tag, |c| c.max(tag)));
+                    inner.stats.ltcs_received += 1;
+                }
+                CoordKind::Resign => entry.resigned = true,
+                // Grants are RTI → federate only; ignore echoes.
+                CoordKind::Tag | CoordKind::Ptag => return,
+            }
+        }
+        self.recompute(sim);
+    }
+
+    /// The non-transitive part of a federate's floor: what its own
+    /// reports promise about its future processing, with `arrival` (the
+    /// transitive bound on its future message arrivals) plugged in.
+    fn floor(entry: &FederateEntry, arrival: Tag) -> Tag {
+        if entry.resigned {
+            return TAG_MAX;
+        }
+        let arrival_floor = if entry.external {
+            arrival.min(entry.fence)
+        } else {
+            arrival
+        };
+        let reported = entry.head.min(arrival_floor);
+        entry
+            .completed
+            .map_or(reported, |c| tag_succ(c).max(reported))
+    }
+
+    /// Recomputes every federate's LBTS and sends out newly justified
+    /// grants.
+    fn recompute(&self, sim: &mut Simulation) {
+        let grants: Vec<(FederateId, CoordKind, Tag)> = {
+            let mut inner = self.0.borrow_mut();
+            let n = inner.federates.len();
+
+            // Fixpoint: lbts[f] = min over upstream edges (u, d) of
+            // edge_add(floor(u), d), where floor(u) itself uses lbts[u].
+            // Values start at TAG_MAX and only decrease; simple paths
+            // bound the result, so n rounds suffice.
+            let mut lbts = vec![TAG_MAX; n];
+            for _ in 0..=n {
+                let mut changed = false;
+                for f in 0..n {
+                    if inner.federates[f].upstream.is_empty() {
+                        continue;
+                    }
+                    let mut new = TAG_MAX;
+                    for &(u, d) in &inner.federates[f].upstream {
+                        let uf = Self::floor(&inner.federates[u.0 as usize], lbts[u.0 as usize]);
+                        new = new.min(edge_add(uf, d));
+                    }
+                    if new != lbts[f] {
+                        lbts[f] = new;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+
+            let mut grants = Vec::new();
+            // TAG pass: strict bounds that advanced.
+            for (f, &bound) in lbts.iter().enumerate() {
+                let entry = &inner.federates[f];
+                if !entry.connected || entry.resigned {
+                    continue;
+                }
+                if entry.last_granted.is_none_or(|g| bound > g) {
+                    grants.push((FederateId(f as u16), CoordKind::Tag, bound));
+                    inner.federates[f].last_granted = Some(bound);
+                    inner.stats.tags_issued += 1;
+                }
+            }
+            // PTAG pass: break a zero-delay stall. A federate whose own
+            // pending head *equals* its LBTS can never be released by a
+            // strict bound; if every binding upstream edge is zero-delay
+            // and stuck at or beyond the same tag, processing exactly the
+            // head is safe, so grant it provisionally. One grant per
+            // round keeps ties deterministic; the resulting LTC advances
+            // the rest.
+            let mut candidate: Option<(Tag, usize)> = None;
+            for f in 0..n {
+                let entry = &inner.federates[f];
+                if !entry.connected
+                    || entry.resigned
+                    || entry.upstream.is_empty()
+                    || entry.head >= TAG_MAX
+                    || entry.head != lbts[f]
+                    || entry.last_ptag.is_some_and(|p| entry.head <= p)
+                {
+                    continue;
+                }
+                let justified = entry.upstream.iter().all(|&(u, d)| {
+                    let up = &inner.federates[u.0 as usize];
+                    let uf = Self::floor(up, lbts[u.0 as usize]);
+                    edge_add(uf, d) > entry.head || (d.is_zero() && up.head >= entry.head)
+                });
+                // Deterministic tie-break: minimal (tag, index) wins.
+                if justified && candidate.is_none_or(|(t, i)| (entry.head, f) < (t, i)) {
+                    candidate = Some((entry.head, f));
+                }
+            }
+            if let Some((tag, f)) = candidate {
+                grants.push((FederateId(f as u16), CoordKind::Ptag, tag));
+                inner.federates[f].last_ptag = Some(tag);
+                inner.stats.ptags_issued += 1;
+            }
+            grants
+        };
+
+        let binding = self.0.borrow().binding.clone();
+        for (fed, kind, tag) in grants {
+            let msg = CoordMsg::new(kind, fed.0, tag_to_wire(tag));
+            binding.notify(
+                sim,
+                ServiceInstance::new(COORD_SERVICE, COORD_INSTANCE),
+                coord_eventgroup(fed.0),
+                COORD_EVENT,
+                msg.encode(),
+            );
+        }
+    }
+}

@@ -167,7 +167,7 @@ impl Network {
     }
 }
 
-/// A shared, clonable handle to a [`Network`].
+/// A shared, clonable handle to the simulated network.
 ///
 /// # Examples
 ///

@@ -20,7 +20,7 @@ use crate::wire::{MessageId, MessageType, RequestId, ReturnCode, SomeIpMessage, 
 use dear_sim::{Frame, NetworkHandle, NodeId, Simulation};
 use dear_time::Duration;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
@@ -77,9 +77,11 @@ struct BindingInner {
     sd: SdRegistry,
     client_id: u16,
     next_session: u16,
-    pending: HashMap<RequestId, ResponseCallback>,
-    methods: HashMap<(u16, u16), MethodHandler>,
-    event_handlers: HashMap<(u16, u16), EventHandler>,
+    // BTreeMaps keep every registry's iteration order independent of
+    // hasher state (determinism hardening; see `SdInner`).
+    pending: BTreeMap<RequestId, ResponseCallback>,
+    methods: BTreeMap<(u16, u16), MethodHandler>,
+    event_handlers: BTreeMap<(u16, u16), EventHandler>,
     outgoing_tags: VecDeque<WireTag>,
     incoming_tags: VecDeque<WireTag>,
     stats: BindingStats,
@@ -147,9 +149,9 @@ impl Binding {
             sd: sd.clone(),
             client_id,
             next_session: 1,
-            pending: HashMap::new(),
-            methods: HashMap::new(),
-            event_handlers: HashMap::new(),
+            pending: BTreeMap::new(),
+            methods: BTreeMap::new(),
+            event_handlers: BTreeMap::new(),
             outgoing_tags: VecDeque::new(),
             incoming_tags: VecDeque::new(),
             stats: BindingStats::default(),

@@ -1,0 +1,255 @@
+//! The centralized-coordination service: wire messages exchanged between
+//! federates and an RTI (run-time infrastructure) over SOME/IP.
+//!
+//! The decentralized DEAR transactors coordinate purely through the
+//! `t + D + L + E` tag algebra. The Lingua Franca ecosystem the paper
+//! builds on also defines a *centralized* coordinator that exchanges
+//! NET/TAG/PTAG/LTC control messages with every federate. This module
+//! defines those control messages and their SOME/IP carriage:
+//!
+//! * federate → RTI messages travel as fire-and-forget method calls on
+//!   [`COORD_SERVICE`] / [`COORD_METHOD`];
+//! * RTI → federate grants travel as event notifications on
+//!   [`COORD_EVENT`], unicast through a per-federate eventgroup
+//!   ([`coord_eventgroup`]).
+//!
+//! The payload encoding is a fixed 27-byte big-endian record so that
+//! encode→decode is a bijection (property-tested in
+//! `tests/coord_roundtrip.rs`).
+
+use crate::wire::WireTag;
+use std::error::Error;
+use std::fmt;
+
+/// Service id of the coordination service offered by the RTI.
+pub const COORD_SERVICE: u16 = 0xFEDE;
+/// Instance id of the coordination service.
+pub const COORD_INSTANCE: u16 = 0x0001;
+/// Method id used for federate → RTI control messages.
+pub const COORD_METHOD: u16 = 0x0001;
+/// Event id used for RTI → federate grant notifications.
+pub const COORD_EVENT: u16 = 0x8001;
+/// Base of the per-federate unicast eventgroup range.
+pub const COORD_EVENTGROUP_BASE: u16 = 0x4000;
+
+/// Encoded size of every coordination payload in bytes.
+pub const COORD_PAYLOAD_LEN: usize = 27;
+
+/// Sentinel tag meaning "no pending event" in NET reports.
+pub const TAG_NEVER: WireTag = WireTag::new(u64::MAX, u32::MAX);
+
+/// The eventgroup through which one federate receives its grants.
+#[must_use]
+pub const fn coord_eventgroup(federate: u16) -> u16 {
+    COORD_EVENTGROUP_BASE + federate
+}
+
+/// Discriminant of a coordination message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CoordKind {
+    /// Federate → RTI: the federate has started and is reachable.
+    Join = 1,
+    /// Federate → RTI: next-event tag report (plus a fence, see
+    /// [`CoordMsg::fence`]).
+    Net = 2,
+    /// Federate → RTI: logical tag complete.
+    Ltc = 3,
+    /// RTI → federate: tag advance grant (exclusive bound).
+    Tag = 4,
+    /// RTI → federate: provisional tag advance grant (inclusive, breaks
+    /// zero-delay cycles).
+    Ptag = 5,
+    /// Federate → RTI: the federate has shut down and imposes no further
+    /// constraints.
+    Resign = 6,
+}
+
+impl CoordKind {
+    /// Parses a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordError::UnknownKind`] for unassigned values.
+    pub fn from_u8(v: u8) -> Result<Self, CoordError> {
+        match v {
+            1 => Ok(CoordKind::Join),
+            2 => Ok(CoordKind::Net),
+            3 => Ok(CoordKind::Ltc),
+            4 => Ok(CoordKind::Tag),
+            5 => Ok(CoordKind::Ptag),
+            6 => Ok(CoordKind::Resign),
+            other => Err(CoordError::UnknownKind(other)),
+        }
+    }
+}
+
+/// Errors produced while decoding coordination payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordError {
+    /// The payload is not exactly [`COORD_PAYLOAD_LEN`] bytes.
+    BadLength(usize),
+    /// Unknown message kind byte.
+    UnknownKind(u8),
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::BadLength(got) => {
+                write!(
+                    f,
+                    "coordination payload must be {COORD_PAYLOAD_LEN} bytes, got {got}"
+                )
+            }
+            CoordError::UnknownKind(v) => write!(f, "unknown coordination kind 0x{v:02x}"),
+        }
+    }
+}
+
+impl Error for CoordError {}
+
+/// One coordination control message.
+///
+/// All kinds share the same record layout; fields irrelevant to a kind are
+/// zero on the wire and ignored on reception:
+///
+/// ```text
+/// +------+-------------+-----------------------+-----------------------+
+/// | kind | federate u16| tag (u64 ns, u32 step)| fence (u64 ns, u32)   |
+/// +------+-------------+-----------------------+-----------------------+
+/// ```
+///
+/// * `tag` — NET: the earliest pending event tag ([`TAG_NEVER`] if idle);
+///   LTC: the completed tag; TAG/PTAG: the granted bound; Join: unused.
+/// * `fence` — NET only: a promise that no *new* event (physical
+///   injection or network arrival) will be created with a tag below the
+///   fence. Together `min(tag, fence)` lower-bounds every tag the
+///   federate may still process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordMsg {
+    /// What this message means.
+    pub kind: CoordKind,
+    /// The federate this message concerns.
+    pub federate: u16,
+    /// Kind-dependent primary tag.
+    pub tag: WireTag,
+    /// NET-only fence tag (zero otherwise).
+    pub fence: WireTag,
+}
+
+impl CoordMsg {
+    /// Creates a message with a zero fence.
+    #[must_use]
+    pub const fn new(kind: CoordKind, federate: u16, tag: WireTag) -> Self {
+        CoordMsg {
+            kind,
+            federate,
+            tag,
+            fence: WireTag::new(0, 0),
+        }
+    }
+
+    /// Creates a NET report carrying both the pending head and the fence.
+    #[must_use]
+    pub const fn net(federate: u16, head: WireTag, fence: WireTag) -> Self {
+        CoordMsg {
+            kind: CoordKind::Net,
+            federate,
+            tag: head,
+            fence,
+        }
+    }
+
+    /// Serializes the payload record.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(COORD_PAYLOAD_LEN);
+        buf.push(self.kind as u8);
+        buf.extend_from_slice(&self.federate.to_be_bytes());
+        buf.extend_from_slice(&self.tag.nanos.to_be_bytes());
+        buf.extend_from_slice(&self.tag.microstep.to_be_bytes());
+        buf.extend_from_slice(&self.fence.nanos.to_be_bytes());
+        buf.extend_from_slice(&self.fence.microstep.to_be_bytes());
+        buf
+    }
+
+    /// Parses a payload record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoordError`] on wrong length or unknown kind.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CoordError> {
+        if bytes.len() != COORD_PAYLOAD_LEN {
+            return Err(CoordError::BadLength(bytes.len()));
+        }
+        let kind = CoordKind::from_u8(bytes[0])?;
+        let be16 = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+        let be64 = |i: usize| u64::from_be_bytes(bytes[i..i + 8].try_into().expect("slice len"));
+        let be32 = |i: usize| u32::from_be_bytes(bytes[i..i + 4].try_into().expect("slice len"));
+        Ok(CoordMsg {
+            kind,
+            federate: be16(1),
+            tag: WireTag::new(be64(3), be32(11)),
+            fence: WireTag::new(be64(15), be32(23)),
+        })
+    }
+}
+
+impl fmt::Display for CoordMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}(fed={}, tag={})",
+            self.kind, self.federate, self.tag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_fixed_size_and_roundtrips() {
+        let msg = CoordMsg::net(7, WireTag::new(1_000_000, 3), WireTag::new(900_000, 0));
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), COORD_PAYLOAD_LEN);
+        assert_eq!(CoordMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in [
+            CoordKind::Join,
+            CoordKind::Net,
+            CoordKind::Ltc,
+            CoordKind::Tag,
+            CoordKind::Ptag,
+            CoordKind::Resign,
+        ] {
+            let msg = CoordMsg::new(kind, 42, WireTag::new(5, 1));
+            assert_eq!(CoordMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_length_and_kind() {
+        assert_eq!(CoordMsg::decode(&[]), Err(CoordError::BadLength(0)));
+        let mut bytes = CoordMsg::new(CoordKind::Net, 1, TAG_NEVER).encode();
+        bytes.push(0);
+        assert_eq!(
+            CoordMsg::decode(&bytes),
+            Err(CoordError::BadLength(COORD_PAYLOAD_LEN + 1))
+        );
+        let mut bytes = CoordMsg::new(CoordKind::Net, 1, TAG_NEVER).encode();
+        bytes[0] = 0x7F;
+        assert_eq!(CoordMsg::decode(&bytes), Err(CoordError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn eventgroups_are_per_federate() {
+        assert_ne!(coord_eventgroup(0), coord_eventgroup(1));
+        assert_eq!(coord_eventgroup(3), COORD_EVENTGROUP_BASE + 3);
+    }
+}

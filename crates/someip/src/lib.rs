@@ -14,7 +14,11 @@
 //!   timestamp ([`WireTag`]) appended to outgoing messages and recovered
 //!   on reception, fed through the **timestamp bypass**
 //!   ([`Binding::set_outgoing_tag`] / [`Binding::take_incoming_tag`]) so
-//!   that the standard proxy/skeleton interfaces remain unchanged.
+//!   that the standard proxy/skeleton interfaces remain unchanged;
+//! * the **coordination service** ([`CoordMsg`]): the NET/TAG/PTAG/LTC
+//!   control messages a centralized coordinator (`dear-federation`'s RTI)
+//!   exchanges with federates, carried as ordinary SOME/IP methods and
+//!   event notifications.
 //!
 //! See the [`Binding`] example for a complete client/server round trip.
 
@@ -22,11 +26,16 @@
 #![forbid(unsafe_code)]
 
 mod binding;
+mod coord;
 mod payload;
 mod sd;
 mod wire;
 
 pub use binding::{Binding, BindingError, BindingStats, Responder};
+pub use coord::{
+    coord_eventgroup, CoordError, CoordKind, CoordMsg, COORD_EVENT, COORD_EVENTGROUP_BASE,
+    COORD_INSTANCE, COORD_METHOD, COORD_PAYLOAD_LEN, COORD_SERVICE, TAG_NEVER,
+};
 pub use payload::{PayloadError, PayloadReader, PayloadWriter};
 pub use sd::{Offer, SdRegistry, ServiceInstance, ANY_INSTANCE};
 pub use wire::{

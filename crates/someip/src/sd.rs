@@ -13,7 +13,7 @@
 use dear_sim::{NodeId, Simulation};
 use dear_time::{Duration, Instant};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -58,11 +58,14 @@ type FindCallback = Box<dyn FnOnce(&mut Simulation, Offer)>;
 
 #[derive(Default)]
 struct SdInner {
-    offers: HashMap<ServiceInstance, Offer>,
+    // BTreeMaps, not HashMaps: registry iteration order feeds find() and
+    // notification fan-out, so it must not depend on hasher state — a
+    // latent determinism hazard in a determinism repo.
+    offers: BTreeMap<ServiceInstance, Offer>,
     /// Pending async finds: (service, instance-pattern, callback).
     waiting: Vec<(u16, u16, FindCallback)>,
     /// Subscriptions: (service, instance, eventgroup) -> subscriber nodes.
-    subscriptions: HashMap<(u16, u16, u16), Vec<NodeId>>,
+    subscriptions: BTreeMap<(u16, u16, u16), Vec<NodeId>>,
 }
 
 /// A shared handle to the discovery domain.
@@ -147,19 +150,18 @@ impl SdRegistry {
     /// Finds a currently valid offer. `instance` may be [`ANY_INSTANCE`].
     #[must_use]
     pub fn find(&self, sim: &Simulation, service: u16, instance: u16) -> Option<Offer> {
+        // Deterministic choice: the registry iterates in (service,
+        // instance) order, so the first match is the lowest instance id.
         let inner = self.0.borrow();
-        let mut candidates: Vec<&Offer> = inner
+        inner
             .offers
             .values()
-            .filter(|o| {
+            .find(|o| {
                 o.instance.service == service
                     && (instance == ANY_INSTANCE || o.instance.instance == instance)
                     && o.valid_until >= sim.now()
             })
-            .collect();
-        // Deterministic choice: lowest instance id wins.
-        candidates.sort_by_key(|o| o.instance);
-        candidates.first().map(|&&o| o)
+            .copied()
     }
 
     /// Finds asynchronously: `callback` fires now if a matching offer

@@ -1,0 +1,145 @@
+//! The pluggable coordination layer: a platform-driver abstraction that
+//! lets the same transactors and scenarios run under either of DEAR's two
+//! coordination strategies.
+//!
+//! * **Decentralized** (paper §III.A): each platform locally gates tags
+//!   against its physical clock; safety comes from the `t + D + L + E`
+//!   safe-to-process offset. Implemented by [`FederatedPlatform`].
+//! * **Centralized**: a run-time infrastructure (RTI) tracks every
+//!   federate's next-event tag and explicitly grants tag advances
+//!   (NET/TAG/PTAG/LTC). Implemented by `dear-federation`'s
+//!   `CoordinatedPlatform`, which layers the grant protocol *on top of*
+//!   the same clock gating, so both drivers produce bit-identical event
+//!   traces.
+//!
+//! Transactor `bind` methods accept any [`PlatformDriver`], which is what
+//! makes the coordination layer pluggable: scenario code chooses a
+//! [`Coordination`] strategy and constructs the matching driver; nothing
+//! else changes.
+//!
+//! [`FederatedPlatform`]: crate::FederatedPlatform
+
+use crate::config::{DearConfig, UntaggedPolicy};
+use crate::outbox::OutboundMsg;
+use crate::stats::TransactorStats;
+use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeError, RuntimeStats, Tag};
+use dear_sim::{LatencyModel, Simulation};
+use dear_someip::WireTag;
+use std::fmt;
+
+/// Which coordination strategy a scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Coordination {
+    /// PTIDES-style local gating via the `t + D + L + E` offset.
+    #[default]
+    Decentralized,
+    /// RTI-granted tag advances (NET/TAG/PTAG/LTC protocol).
+    Centralized,
+}
+
+impl fmt::Display for Coordination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Coordination::Decentralized => f.write_str("decentralized"),
+            Coordination::Centralized => f.write_str("centralized"),
+        }
+    }
+}
+
+/// A platform driver a transactor can bind to.
+///
+/// Implementors own a reactor [`Runtime`] plus the platform's clock and
+/// outbox, and decide *when* the runtime may process tags (that is the
+/// coordination strategy). Handles are cheap to clone and shared.
+pub trait PlatformDriver: Clone + 'static {
+    /// The platform's name.
+    fn driver_name(&self) -> String;
+
+    /// Registers the interpreter for an outbox route.
+    fn register_route(&self, route: u32, handler: impl Fn(&mut Simulation, OutboundMsg) + 'static);
+
+    /// Attaches a modelled compute cost to a reaction.
+    fn set_reaction_cost(&self, reaction: ReactionId, model: LatencyModel);
+
+    /// Runs a closure with mutable access to the runtime (tracing,
+    /// workers, statistics).
+    fn with_runtime<R>(&self, f: impl FnOnce(&mut Runtime) -> R) -> R;
+
+    /// Runtime statistics snapshot.
+    fn runtime_stats(&self) -> RuntimeStats {
+        self.with_runtime(|rt| rt.stats())
+    }
+
+    /// Starts the runtime and arms the first wake-up.
+    fn start(&self, sim: &mut Simulation);
+
+    /// Injects a payload into a physical action at an exact tag — the
+    /// PTIDES "schedule an action with tag `t + D + L + E`" step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runtime's error when the tag is no longer safe to
+    /// process (counted by the runtime) or the runtime is not running.
+    fn inject_at<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+        tag: Tag,
+    ) -> Result<(), RuntimeError>;
+
+    /// Injects a payload tagged with the local physical arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the runtime's error when the runtime is not running.
+    fn inject_now<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+    ) -> Result<Tag, RuntimeError>;
+
+    /// Delivers a received message to a physical action according to the
+    /// DEAR rules: tagged messages are released at `wire_tag + L + E`;
+    /// untagged messages follow the configured [`UntaggedPolicy`].
+    fn deliver(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<Vec<u8>>,
+        payload: Vec<u8>,
+        wire_tag: Option<WireTag>,
+        cfg: &DearConfig,
+        stats: &TransactorStats,
+    ) {
+        match wire_tag {
+            Some(w) => {
+                let base = crate::config::wire_to_tag(w);
+                let release = Tag::new(base.time + cfg.stp_offset(), base.microstep);
+                if self.inject_at(sim, action, payload, release).is_err() {
+                    stats.record_stp_violation();
+                }
+            }
+            None => match cfg.untagged {
+                UntaggedPolicy::Fail => stats.record_untagged_dropped(),
+                UntaggedPolicy::PhysicalTime => {
+                    if self.inject_now(sim, action, payload).is_err() {
+                        stats.record_stp_violation();
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordination_default_and_display() {
+        assert_eq!(Coordination::default(), Coordination::Decentralized);
+        assert_eq!(Coordination::Decentralized.to_string(), "decentralized");
+        assert_eq!(Coordination::Centralized.to_string(), "centralized");
+    }
+}

@@ -7,8 +7,8 @@
 //! these transactors.
 
 use crate::config::{tag_to_wire, DearConfig, EventSpec};
+use crate::driver::PlatformDriver;
 use crate::outbox::{OutboundMsg, Outbox, OutboxSender};
-use crate::platform::FederatedPlatform;
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx};
 use dear_someip::{Binding, ServiceInstance};
@@ -72,7 +72,7 @@ impl ServerEventTransactor {
     }
 
     /// Binds the transactor to the publisher's middleware binding.
-    pub fn bind(&self, platform: &FederatedPlatform, binding: &Binding, spec: EventSpec) {
+    pub fn bind(&self, platform: &impl PlatformDriver, binding: &Binding, spec: EventSpec) {
         let binding = binding.clone();
         platform.register_route(self.route, move |sim, msg| {
             binding.set_outgoing_tag(msg.tag);
@@ -124,7 +124,7 @@ impl ClientEventTransactor {
     /// received notifications into the reactor network.
     pub fn bind(
         &self,
-        platform: &FederatedPlatform,
+        platform: &impl PlatformDriver,
         binding: &Binding,
         spec: EventSpec,
         cfg: DearConfig,

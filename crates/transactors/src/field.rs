@@ -6,10 +6,10 @@
 //! composition for the client and server roles.
 
 use crate::config::{DearConfig, EventSpec, MethodSpec};
+use crate::driver::PlatformDriver;
 use crate::event::{ClientEventTransactor, ServerEventTransactor};
 use crate::method::{ClientMethodTransactor, ServerMethodTransactor};
 use crate::outbox::Outbox;
-use crate::platform::FederatedPlatform;
 use crate::stats::TransactorStats;
 use dear_ara::FieldIds;
 use dear_core::ProgramBuilder;
@@ -46,7 +46,7 @@ impl FieldClientTransactor {
     /// Binds all three transactors against a field's wire identifiers.
     pub fn bind(
         &self,
-        platform: &FederatedPlatform,
+        platform: &impl PlatformDriver,
         binding: &Binding,
         service: u16,
         instance: u16,
@@ -123,7 +123,7 @@ impl FieldServerTransactor {
     /// Binds all three transactors against a field's wire identifiers.
     pub fn bind(
         &self,
-        platform: &FederatedPlatform,
+        platform: &impl PlatformDriver,
         binding: &Binding,
         service: u16,
         instance: u16,

@@ -20,6 +20,10 @@
 //!   safe-to-process rule against the platform's local (skewed) clock,
 //!   with modelled per-reaction compute cost so that deadlines are
 //!   meaningful in simulation;
+//! * [`PlatformDriver`] / [`Coordination`] — the pluggable coordination
+//!   layer: transactors bind to any driver, so the same scenario runs
+//!   decentralized (this crate) or centralized (`dear-federation`'s RTI)
+//!   unchanged;
 //! * [`Outbox`] — the deterministic reaction→middleware queue;
 //! * [`TransactorStats`] — observable fault counters (untagged drops,
 //!   safe-to-process violations).
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod driver;
 mod event;
 mod field;
 mod method;
@@ -39,6 +44,7 @@ mod platform;
 mod stats;
 
 pub use config::{tag_to_wire, wire_to_tag, DearConfig, EventSpec, MethodSpec, UntaggedPolicy};
+pub use driver::{Coordination, PlatformDriver};
 pub use event::{ClientEventTransactor, ServerEventTransactor};
 pub use field::{FieldClientTransactor, FieldServerTransactor};
 pub use method::{ClientMethodTransactor, ServerMethodTransactor};

@@ -16,8 +16,8 @@
 //! * client response interrupt: release at `ts + Ds + L + E` (18–22).
 
 use crate::config::{tag_to_wire, DearConfig, MethodSpec, UntaggedPolicy};
+use crate::driver::PlatformDriver;
 use crate::outbox::{OutboundMsg, Outbox, OutboxSender};
-use crate::platform::FederatedPlatform;
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx, Tag};
 use dear_someip::{Binding, Responder, ReturnCode};
@@ -107,7 +107,7 @@ impl ClientMethodTransactor {
     /// Binds the transactor to a platform and its middleware binding.
     pub fn bind(
         &self,
-        platform: &FederatedPlatform,
+        platform: &impl PlatformDriver,
         binding: &Binding,
         spec: MethodSpec,
         cfg: DearConfig,
@@ -212,7 +212,7 @@ impl ServerMethodTransactor {
     /// the tag order the reactor network processes requests in.
     pub fn bind(
         &self,
-        platform: &FederatedPlatform,
+        platform: &impl PlatformDriver,
         binding: &Binding,
         spec: MethodSpec,
         cfg: DearConfig,

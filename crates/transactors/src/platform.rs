@@ -10,16 +10,21 @@
 //! transactors' `t + D + L + E` tag arithmetic this yields the
 //! decentralized PTIDES-style coordination of the paper's §III.A —
 //! deterministic distributed execution without a central coordinator.
+//!
+//! **Lock-step mirror:** `dear-federation`'s `CoordinatedPlatform`
+//! reimplements this driver's scheduling core (arm/wake generations,
+//! cost sampling order, busy-time accounting, outbox draining) with
+//! grant gating layered on top. Behavioural changes here must be
+//! mirrored there, or the two drivers' traces diverge — the
+//! `federation_equivalence` integration test is the guard.
 
-use crate::config::{DearConfig, UntaggedPolicy};
+use crate::driver::PlatformDriver;
 use crate::outbox::{OutboundMsg, Outbox};
-use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeStats, StepOutcome, Tag};
 use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
-use dear_someip::WireTag;
 use dear_time::Instant;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -30,8 +35,11 @@ struct PlatformInner {
     runtime: Runtime,
     clock: VirtualClock,
     outbox: Outbox,
-    routes: HashMap<u32, RouteHandler>,
-    costs: HashMap<ReactionId, LatencyModel>,
+    // BTreeMaps so that no observable behaviour can ever depend on hasher
+    // state (the route table is only keyed lookups today, but this is a
+    // determinism repo — iteration order must be boring by construction).
+    routes: BTreeMap<u32, RouteHandler>,
+    costs: BTreeMap<ReactionId, LatencyModel>,
     cost_rng: SimRng,
     /// True time until which the platform's processor is busy.
     busy_until: Instant,
@@ -74,8 +82,8 @@ impl FederatedPlatform {
             runtime,
             clock,
             outbox,
-            routes: HashMap::new(),
-            costs: HashMap::new(),
+            routes: BTreeMap::new(),
+            costs: BTreeMap::new(),
             cost_rng,
             busy_until: Instant::EPOCH,
             generation: 0,
@@ -189,37 +197,6 @@ impl FederatedPlatform {
         result
     }
 
-    /// Delivers a received message to a physical action according to the
-    /// DEAR rules: tagged messages are released at `wire_tag + L + E`;
-    /// untagged messages follow the configured [`UntaggedPolicy`].
-    pub fn deliver(
-        &self,
-        sim: &mut Simulation,
-        action: &PhysicalAction<Vec<u8>>,
-        payload: Vec<u8>,
-        wire_tag: Option<WireTag>,
-        cfg: &DearConfig,
-        stats: &TransactorStats,
-    ) {
-        match wire_tag {
-            Some(w) => {
-                let base = crate::config::wire_to_tag(w);
-                let release = Tag::new(base.time + cfg.stp_offset(), base.microstep);
-                if self.inject_at(sim, action, payload, release).is_err() {
-                    stats.record_stp_violation();
-                }
-            }
-            None => match cfg.untagged {
-                UntaggedPolicy::Fail => stats.record_untagged_dropped(),
-                UntaggedPolicy::PhysicalTime => {
-                    if self.inject_now(sim, action, payload).is_err() {
-                        stats.record_stp_violation();
-                    }
-                }
-            },
-        }
-    }
-
     /// Schedules the next wake-up for the earliest pending tag.
     fn arm(&self, sim: &mut Simulation) {
         let (wake_at, generation) = {
@@ -299,5 +276,46 @@ impl FederatedPlatform {
                 ),
             }
         }
+    }
+}
+
+impl PlatformDriver for FederatedPlatform {
+    fn driver_name(&self) -> String {
+        self.name()
+    }
+
+    fn register_route(&self, route: u32, handler: impl Fn(&mut Simulation, OutboundMsg) + 'static) {
+        FederatedPlatform::register_route(self, route, handler);
+    }
+
+    fn set_reaction_cost(&self, reaction: ReactionId, model: LatencyModel) {
+        FederatedPlatform::set_reaction_cost(self, reaction, model);
+    }
+
+    fn with_runtime<R>(&self, f: impl FnOnce(&mut Runtime) -> R) -> R {
+        FederatedPlatform::with_runtime(self, f)
+    }
+
+    fn start(&self, sim: &mut Simulation) {
+        FederatedPlatform::start(self, sim);
+    }
+
+    fn inject_at<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+        tag: Tag,
+    ) -> Result<(), dear_core::RuntimeError> {
+        FederatedPlatform::inject_at(self, sim, action, value, tag)
+    }
+
+    fn inject_now<T: Send + Sync + 'static>(
+        &self,
+        sim: &mut Simulation,
+        action: &PhysicalAction<T>,
+        value: T,
+    ) -> Result<Tag, dear_core::RuntimeError> {
+        FederatedPlatform::inject_now(self, sim, action, value)
     }
 }

@@ -4,6 +4,7 @@
 //! errors* rather than silent reordering (paper §IV.B). These counters
 //! are where the faults surface.
 
+use dear_time::Duration;
 use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
@@ -13,6 +14,15 @@ struct StatsInner {
     untagged_dropped: Cell<u64>,
     stp_violations: Cell<u64>,
     send_failures: Cell<u64>,
+    // Coordination-message counters, recorded by the centralized driver
+    // (`dear-federation`); they stay zero under decentralized coordination
+    // so both drivers report comparable numbers.
+    nets_sent: Cell<u64>,
+    ltcs_sent: Cell<u64>,
+    grants_received: Cell<u64>,
+    ptags_received: Cell<u64>,
+    bound_breaches: Cell<u64>,
+    grant_wait_nanos: Cell<u64>,
 }
 
 /// Shared fault counters for one transactor binding.
@@ -25,6 +35,12 @@ impl fmt::Debug for TransactorStats {
             .field("untagged_dropped", &self.untagged_dropped())
             .field("stp_violations", &self.stp_violations())
             .field("send_failures", &self.send_failures())
+            .field("nets_sent", &self.nets_sent())
+            .field("ltcs_sent", &self.ltcs_sent())
+            .field("grants_received", &self.grants_received())
+            .field("ptags_received", &self.ptags_received())
+            .field("bound_breaches", &self.bound_breaches())
+            .field("grant_wait", &self.grant_wait())
             .finish()
     }
 }
@@ -54,6 +70,76 @@ impl TransactorStats {
     #[must_use]
     pub fn send_failures(&self) -> u64 {
         self.0.send_failures.get()
+    }
+
+    /// NET (next-event tag) reports sent to the RTI.
+    #[must_use]
+    pub fn nets_sent(&self) -> u64 {
+        self.0.nets_sent.get()
+    }
+
+    /// LTC (logical tag complete) reports sent to the RTI.
+    #[must_use]
+    pub fn ltcs_sent(&self) -> u64 {
+        self.0.ltcs_sent.get()
+    }
+
+    /// TAG grants received from the RTI (including provisional ones).
+    #[must_use]
+    pub fn grants_received(&self) -> u64 {
+        self.0.grants_received.get()
+    }
+
+    /// PTAG (provisional) grants among the received grants.
+    #[must_use]
+    pub fn ptags_received(&self) -> u64 {
+        self.0.ptags_received.get()
+    }
+
+    /// Tags processed beyond the last granted bound (must stay zero; a
+    /// breach would mean the coordination layer failed to gate the
+    /// runtime).
+    #[must_use]
+    pub fn bound_breaches(&self) -> u64 {
+        self.0.bound_breaches.get()
+    }
+
+    /// Total true time spent blocked waiting for a grant to release the
+    /// earliest pending tag.
+    #[must_use]
+    pub fn grant_wait(&self) -> Duration {
+        Duration::from_nanos(i64::try_from(self.0.grant_wait_nanos.get()).unwrap_or(i64::MAX))
+    }
+
+    /// Records a NET report (centralized drivers only).
+    pub fn record_net_sent(&self) {
+        self.0.nets_sent.set(self.0.nets_sent.get() + 1);
+    }
+
+    /// Records an LTC report (centralized drivers only).
+    pub fn record_ltc_sent(&self) {
+        self.0.ltcs_sent.set(self.0.ltcs_sent.get() + 1);
+    }
+
+    /// Records a received grant; `provisional` marks a PTAG.
+    pub fn record_grant_received(&self, provisional: bool) {
+        self.0.grants_received.set(self.0.grants_received.get() + 1);
+        if provisional {
+            self.0.ptags_received.set(self.0.ptags_received.get() + 1);
+        }
+    }
+
+    /// Records a tag processed beyond the granted bound (never expected).
+    pub fn record_bound_breach(&self) {
+        self.0.bound_breaches.set(self.0.bound_breaches.get() + 1);
+    }
+
+    /// Accumulates time spent blocked on a grant.
+    pub fn add_grant_wait(&self, wait: Duration) {
+        let nanos = u64::try_from(wait.as_nanos().max(0)).unwrap_or(0);
+        self.0
+            .grant_wait_nanos
+            .set(self.0.grant_wait_nanos.get().saturating_add(nanos));
     }
 
     pub(crate) fn record_untagged_dropped(&self) {
@@ -86,5 +172,23 @@ mod tests {
         assert_eq!(other.untagged_dropped(), 1);
         assert_eq!(other.stp_violations(), 2);
         assert_eq!(other.send_failures(), 1);
+    }
+
+    #[test]
+    fn coordination_counters_accumulate() {
+        let stats = TransactorStats::new();
+        stats.record_net_sent();
+        stats.record_net_sent();
+        stats.record_ltc_sent();
+        stats.record_grant_received(false);
+        stats.record_grant_received(true);
+        stats.add_grant_wait(Duration::from_micros(30));
+        stats.add_grant_wait(Duration::from_micros(12));
+        assert_eq!(stats.nets_sent(), 2);
+        assert_eq!(stats.ltcs_sent(), 1);
+        assert_eq!(stats.grants_received(), 2);
+        assert_eq!(stats.ptags_received(), 1);
+        assert_eq!(stats.bound_breaches(), 0);
+        assert_eq!(stats.grant_wait(), Duration::from_micros(42));
     }
 }

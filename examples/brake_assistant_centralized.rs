@@ -1,0 +1,72 @@
+//! The deterministic brake assistant under **centralized** coordination:
+//! an RTI grants every stage its tag advances over a dedicated SOME/IP
+//! coordination channel, instead of each stage gating locally via the
+//! `t + D + L + E` offset alone.
+//!
+//! The headline: both coordination strategies produce **byte-identical
+//! per-stage event traces** — the coordination layer is pluggable without
+//! observable consequences — while the centralized build additionally
+//! reports its NET/TAG/LTC traffic and grant-wait time.
+//!
+//! ```sh
+//! cargo run --release --example brake_assistant_centralized
+//! ```
+
+use dear::apd::{run_det, DetParams};
+use dear::transactors::Coordination;
+
+fn params(coordination: Coordination) -> DetParams {
+    DetParams {
+        frames: 500,
+        coordination,
+        record_traces: true,
+        ..DetParams::default()
+    }
+}
+
+fn main() {
+    println!("brake assistant, decentralized vs centralized coordination, 500 frames\n");
+    println!(
+        "seed | strategy      | decisions | stp | misses | fingerprint      | grants | NETs | LTCs | grant wait"
+    );
+    println!(
+        "-----+---------------+-----------+-----+--------+------------------+--------+------+------+-----------"
+    );
+
+    let mut all_identical = true;
+    for seed in 0..4 {
+        let dec = run_det(seed, &params(Coordination::Decentralized));
+        let cen = run_det(seed, &params(Coordination::Centralized));
+        for (label, r) in [("decentralized", &dec), ("centralized", &cen)] {
+            let c = &r.coordination;
+            println!(
+                "{seed:4} | {label:13} | {:9} | {:3} | {:6} | {:016x} | {:6} | {:4} | {:4} | {}",
+                r.decisions.len(),
+                r.stp_violations,
+                r.deadline_misses,
+                r.decision_fingerprint(),
+                c.grants_received,
+                c.nets_sent,
+                c.ltcs_sent,
+                c.grant_wait,
+            );
+        }
+        let identical = dec.stage_traces == cen.stage_traces
+            && dec.decision_fingerprint() == cen.decision_fingerprint();
+        all_identical &= identical;
+        assert!(
+            cen.coordination.within_bound && cen.coordination.bound_breaches == 0,
+            "centralized run processed a tag beyond its granted bound"
+        );
+    }
+
+    println!();
+    println!(
+        "per-stage event traces byte-identical across strategies: {}",
+        if all_identical { "YES" } else { "NO" }
+    );
+    println!("the RTI's grants gate every stage (zero bound breaches), yet the");
+    println!("observable execution — every reaction, tag and decision — is exactly");
+    println!("the one the decentralized PTIDES-style driver produces.");
+    assert!(all_identical);
+}

@@ -13,6 +13,7 @@
 //! | [`someip`] | `dear-someip` | SOME/IP middleware + tag extension |
 //! | [`ara`] | `dear-ara` | AP runtime: SWCs, proxies, skeletons |
 //! | [`transactors`] | `dear-transactors` | DEAR integration layer |
+//! | [`federation`] | `dear-federation` | centralized coordinator (RTI) |
 //! | [`apd`] | `dear-apd` | brake-assistant case study |
 //!
 //! See `README.md` for the quickstart and `EXPERIMENTS.md` for the
@@ -24,6 +25,7 @@
 pub use dear_apd as apd;
 pub use dear_ara as ara;
 pub use dear_core as reactor;
+pub use dear_federation as federation;
 pub use dear_sim as sim;
 pub use dear_someip as someip;
 pub use dear_time as time;
