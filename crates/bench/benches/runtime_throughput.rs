@@ -1,0 +1,236 @@
+//! **Runtime ablation** — executor hot-path throughput and allocation
+//! profile after the PR 3 overhaul (persistent worker pool, binary-heap
+//! event queue with recycled entries, lazy tracing).
+//!
+//! Three questions, three harnesses:
+//!
+//! 1. *Allocation profile*: how many heap allocations does one reaction
+//!    cost in steady state? A counting global allocator measures a
+//!    timer-driven fan-out after warmup. Expected: **zero** per reaction
+//!    with tracing disabled (the lazy `record_with` path never formats),
+//!    a small constant with tracing enabled.
+//! 2. *Tracing cost*: wall-time of the same program traced vs untraced.
+//! 3. *Pool vs spawn*: wall-time of the level-parallel executor on light
+//!    and heavy reaction bodies. Compare against the pre-overhaul
+//!    `scheduler_throughput` numbers in EXPERIMENTS.md — the old executor
+//!    spawned fresh scoped threads per batch; the pool reuses its threads
+//!    across all batches and tags.
+//!
+//! Run with `cargo bench -p dear-bench --bench runtime_throughput`
+//! (append `-- --test` for a single-pass smoke run).
+
+// The counting allocator is the one place this workspace touches `unsafe`:
+// `GlobalAlloc` is an unsafe trait, and simply delegating to `System`
+// while bumping atomic counters is the standard, auditable pattern for
+// measuring allocation behaviour without external tooling.
+#![allow(unsafe_code)]
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use dear_core::{ProgramBuilder, Runtime};
+use dear_time::{Duration, Instant};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: pure delegation to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// `width` independent reactors, each driven by its own 1 ms timer, each
+/// reaction pure arithmetic on local state: no ports, no actions — the
+/// minimal steady-state hot loop.
+fn build_timer_fanout(width: usize) -> Runtime {
+    let mut b = ProgramBuilder::new();
+    for i in 0..width {
+        let mut r = b.reactor(&format!("w{i}"), 0u64);
+        let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+        r.reaction("work")
+            .triggered_by(t)
+            .body(move |acc: &mut u64, _ctx| {
+                *acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + i as u64);
+            });
+        drop(r);
+    }
+    Runtime::new(b.build().expect("fanout builds"))
+}
+
+/// Measures allocations per reaction over `tags` steady-state tags.
+fn alloc_per_reaction(traced: bool, tags: u64) -> f64 {
+    let mut rt = build_timer_fanout(32);
+    if traced {
+        rt.enable_tracing();
+    }
+    rt.start(Instant::EPOCH);
+    // Warmup: let every buffer (heap, free list, ready levels, scratch,
+    // trace vec) reach its steady-state capacity.
+    rt.run_fast(256);
+    if traced {
+        // Start the measured window from a fresh, empty log. The new
+        // trace's buffer grows by doubling, so its reallocations amortize
+        // to ~0 per reaction over the window; the traced figure is
+        // dominated by the per-record `format!` + event push.
+        let _ = rt.take_trace();
+    }
+    let reactions_before = rt.stats().executed_reactions;
+    let allocs_before = allocations();
+    rt.run_fast(tags);
+    let allocs = allocations() - allocs_before;
+    let reactions = rt.stats().executed_reactions - reactions_before;
+    allocs as f64 / reactions as f64
+}
+
+fn alloc_report(test_mode: bool) {
+    let tags = if test_mode { 64 } else { 2048 };
+    let untraced = alloc_per_reaction(false, tags);
+    let traced = alloc_per_reaction(true, tags);
+    dear_bench::header("runtime_throughput — allocations per reaction (steady state)");
+    println!("  untraced hot path : {untraced:.4} allocs/reaction");
+    println!("  traced hot path   : {traced:.4} allocs/reaction");
+    println!(
+        "  tracing delta     : {:.4} allocs/reaction",
+        traced - untraced
+    );
+    assert_eq!(
+        untraced, 0.0,
+        "disabled-trace hot path must perform zero per-reaction allocations"
+    );
+}
+
+/// One source fanning out to `width` reactors over ports (the same
+/// topology the pre-overhaul `scheduler_throughput` bench used, for a
+/// before/after comparison of the parallel executor).
+fn run_port_fanout(width: usize, ticks: u64, workers: usize, work_iters: u64) -> u64 {
+    let mut b = ProgramBuilder::new();
+    let mut src = b.reactor("src", 0u64);
+    let t = src.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let out = src.output::<u64>("o");
+    src.reaction("emit")
+        .triggered_by(t)
+        .effects(out)
+        .body(move |n: &mut u64, ctx| {
+            *n += 1;
+            ctx.set(out, *n);
+        });
+    drop(src);
+    for i in 0..width {
+        let mut stage = b.reactor(&format!("w{i}"), 0u64);
+        let inp = stage.input::<u64>("i");
+        stage
+            .reaction("work")
+            .triggered_by(inp)
+            .body(move |acc: &mut u64, ctx| {
+                let mut v = *ctx.get(inp).unwrap() + i as u64;
+                for _ in 0..work_iters {
+                    v = black_box(
+                        v.wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407),
+                    );
+                }
+                *acc ^= v;
+            });
+        drop(stage);
+        b.connect(out, inp).unwrap();
+    }
+    let mut rt = Runtime::new(b.build().expect("fanout builds"));
+    rt.set_workers(workers);
+    rt.start(Instant::EPOCH);
+    rt.stop_at(Instant::EPOCH + Duration::from_millis(ticks as i64))
+        .expect("stop scheduled");
+    rt.run_fast(u64::MAX);
+    rt.stats().executed_reactions
+}
+
+/// Timer fan-out driven for `ticks` tags, traced or untraced.
+fn run_tracing_workload(traced: bool, ticks: u64) -> u64 {
+    let mut rt = build_timer_fanout(32);
+    if traced {
+        rt.enable_tracing();
+    }
+    rt.start(Instant::EPOCH);
+    rt.run_fast(ticks);
+    rt.stats().executed_reactions
+}
+
+fn bench_tracing_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/tracing_width32x200");
+    group.bench_function("untraced", |b| {
+        b.iter(|| black_box(run_tracing_workload(false, 200)))
+    });
+    group.bench_function("traced", |b| {
+        b.iter(|| black_box(run_tracing_workload(true, 200)))
+    });
+    group.finish();
+}
+
+fn bench_pool_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/fanout_width32");
+    // Light bodies: the old spawn-per-batch executor paid ~9x over
+    // sequential here; the persistent pool pays only channel traffic.
+    group.bench_function("light_seq", |b| {
+        b.iter(|| black_box(run_port_fanout(32, 50, 1, 1)))
+    });
+    group.bench_function("light_pool4", |b| {
+        b.iter(|| black_box(run_port_fanout(32, 50, 4, 1)))
+    });
+    // Heavy bodies: worker scaling (bounded by the machine's cores).
+    group.bench_function("heavy_seq", |b| {
+        b.iter(|| black_box(run_port_fanout(32, 10, 1, 200_000)))
+    });
+    group.bench_function("heavy_pool4", |b| {
+        b.iter(|| black_box(run_port_fanout(32, 10, 4, 200_000)))
+    });
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/light_pool_workers");
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| black_box(run_port_fanout(32, 50, workers, 1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tracing_cost,
+    bench_pool_vs_sequential,
+    bench_worker_scaling
+);
+
+fn main() {
+    // Single source of truth for flag parsing: the vendored criterion.
+    let test_mode = Criterion::default().is_test_mode();
+    alloc_report(test_mode);
+    benches();
+}

@@ -73,7 +73,9 @@ mod clock;
 mod context;
 mod error;
 mod handles;
+mod pool;
 mod program;
+mod queue;
 mod realtime;
 mod runtime;
 mod tag;

@@ -22,12 +22,16 @@
 use crate::context::{ReactionCtx, ReactionOutcome};
 use crate::error::RuntimeError;
 use crate::handles::{ActionId, PhysicalAction, PortId, ReactionId, TimerId};
+use crate::pool::WorkerPool;
 use crate::program::{ActionKind, Program, Value};
+use crate::queue::{Event, EventQueue};
 use crate::tag::Tag;
 use dear_sim::Trace;
 use dear_time::{Duration, Instant};
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
 
 /// Counters describing a runtime's activity so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,14 +85,6 @@ pub struct TagSummary {
     pub deadline_misses: u32,
 }
 
-#[derive(Default)]
-struct TagEntry {
-    actions: Vec<ActionId>,
-    timers: Vec<TimerId>,
-    startup: bool,
-    shutdown: bool,
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Created,
@@ -118,19 +114,29 @@ enum Phase {
 /// # Ok::<(), dear_core::AssemblyError>(())
 /// ```
 pub struct Runtime {
-    program: Program,
+    program: Arc<Program>,
     states: Vec<Option<Box<dyn Any + Send>>>,
     port_values: Vec<Option<Value>>,
     action_pending: Vec<BTreeMap<Tag, Value>>,
     action_current: Vec<Option<Value>>,
-    queue: BTreeMap<Tag, TagEntry>,
+    queue: EventQueue,
     tag_bound: Option<Tag>,
     last_processed: Option<Tag>,
     phase: Phase,
-    workers: usize,
+    pool: Option<WorkerPool>,
     trace: Trace,
     stats: RuntimeStats,
     executed_log: Vec<ReactionId>,
+    /// Reactions ready at the current tag, bucketed by APG level. Cleared
+    /// (capacity retained) every tag, so triggering is allocation-free in
+    /// steady state.
+    ready_levels: Vec<Vec<ReactionId>>,
+    /// Scratch buffer for the current same-level batch (reused).
+    scratch_batch: Vec<ReactionId>,
+    /// Scratch buffer for batch results (reused).
+    scratch_results: Vec<(ReactionId, ReactionOutcome, bool)>,
+    /// Scratch list of ports written at the current tag (reused).
+    written: Vec<PortId>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -138,7 +144,7 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("phase", &self.phase)
             .field("last_processed", &self.last_processed)
-            .field("pending_tags", &self.queue.len())
+            .field("pending_events", &self.queue.pending_events())
             .field("stats", &self.stats)
             .finish()
     }
@@ -157,20 +163,30 @@ impl Runtime {
             .map(|_| BTreeMap::new())
             .collect();
         let action_current = (0..program.actions.len()).map(|_| None).collect();
+        let num_levels = program
+            .reactions
+            .iter()
+            .map(|r| r.level as usize + 1)
+            .max()
+            .unwrap_or(0);
         Runtime {
-            program,
+            program: Arc::new(program),
             states,
             port_values,
             action_pending,
             action_current,
-            queue: BTreeMap::new(),
+            queue: EventQueue::default(),
             tag_bound: None,
             last_processed: None,
             phase: Phase::Created,
-            workers: 1,
+            pool: None,
             trace: Trace::disabled(),
             stats: RuntimeStats::default(),
             executed_log: Vec::new(),
+            ready_levels: (0..num_levels).map(|_| Vec::new()).collect(),
+            scratch_batch: Vec::new(),
+            scratch_results: Vec::new(),
+            written: Vec::new(),
         }
     }
 
@@ -185,14 +201,22 @@ impl Runtime {
     /// Sets the number of worker threads used for same-level reactions.
     ///
     /// `1` (the default) executes sequentially. Any higher value enables
-    /// the level-parallel executor; observable behaviour is identical.
+    /// the level-parallel executor backed by a **persistent worker pool**:
+    /// the pool's threads are spawned here, once, and reused across all
+    /// batches, levels, and tags until the runtime is dropped (or the
+    /// worker count changes). Observable behaviour is identical to
+    /// sequential execution.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn set_workers(&mut self, workers: usize) {
         assert!(workers > 0, "need at least one worker");
-        self.workers = workers;
+        match &self.pool {
+            _ if workers == 1 => self.pool = None,
+            Some(pool) if pool.threads() == workers => {}
+            _ => self.pool = Some(WorkerPool::new(workers)),
+        }
     }
 
     /// Enables trace recording of reaction executions, deadline misses and
@@ -242,15 +266,11 @@ impl Runtime {
         self.phase = Phase::Running;
         let start_tag = Tag::at(now);
         if !self.program.startup.is_empty() {
-            self.queue.entry(start_tag).or_default().startup = true;
+            self.queue.push(start_tag, Event::Startup);
         }
         for (i, timer) in self.program.timers.iter().enumerate() {
             let tag = Tag::at(now + timer.offset);
-            self.queue
-                .entry(tag)
-                .or_default()
-                .timers
-                .push(TimerId(i as u32));
+            self.queue.push(tag, Event::Timer(TimerId(i as u32)));
         }
     }
 
@@ -263,7 +283,7 @@ impl Runtime {
     /// The earliest pending tag, if any.
     #[must_use]
     pub fn next_tag(&self) -> Option<Tag> {
-        self.queue.keys().next().copied()
+        self.queue.peek_tag()
     }
 
     /// The most recently processed tag.
@@ -329,13 +349,17 @@ impl Runtime {
                 });
             }
         }
-        self.queue.entry(tag).or_default().shutdown = true;
+        self.queue.push(tag, Event::Shutdown);
         Ok(())
     }
 
     /// Injects a physical action event with a tag derived from the given
     /// physical clock reading: `(now + min_delay, 0)`, bumped to the next
-    /// microstep after the current tag if that lies in the logical past.
+    /// microstep after the current tag if that lies in the logical past,
+    /// then to the first microstep this action has no pending event at —
+    /// so no two injections ever collide (a collision would silently
+    /// overwrite the earlier value, the class of silent corruption §IV.B
+    /// requires to be impossible).
     ///
     /// Returns the tag actually assigned.
     ///
@@ -351,13 +375,7 @@ impl Runtime {
         if self.phase != Phase::Running {
             return Err(RuntimeError::NotRunning);
         }
-        let min_delay = self.program.actions[action.id.index()].min_delay;
-        let mut tag = Tag::at(now + min_delay);
-        if let Some(last) = self.last_processed {
-            if tag <= last {
-                tag = last.delay(Duration::ZERO);
-            }
-        }
+        let tag = self.next_physical_tag(action.id, now);
         self.insert_action_event(action.id, tag, Box::new(value));
         Ok(tag)
     }
@@ -390,14 +408,10 @@ impl Runtime {
         if let Some(last) = self.last_processed {
             if tag <= last {
                 self.stats.stp_violations += 1;
-                self.trace.record(
-                    tag.time,
-                    "stp-violation",
-                    format!(
-                        "action {} requested {tag} but current is {last}",
-                        self.program.actions[action.id.index()].name
-                    ),
-                );
+                let name = &self.program.actions[action.id.index()].name;
+                self.trace.record_with(tag.time, "stp-violation", || {
+                    format!("action {name} requested {tag} but current is {last}")
+                });
                 return Err(RuntimeError::StpViolation {
                     requested: tag,
                     current: last,
@@ -421,6 +435,26 @@ impl Runtime {
         if self.phase != Phase::Running {
             return Err(RuntimeError::NotRunning);
         }
+        let tag = self.next_physical_tag(action, now);
+        self.insert_action_event(action, tag, value);
+        Ok(tag)
+    }
+
+    /// Computes the tag for a physical injection observed at `now`:
+    /// `(now + min_delay, 0)`, bumped strictly past the current tag and
+    /// then to the first microstep not already occupied by a pending
+    /// event of this action.
+    ///
+    /// The occupancy scan is the lost-event guard: `action_pending` is
+    /// keyed by tag, so two injections landing between two steps — which
+    /// both used to bump to `(last, m+1)` — would have the second silently
+    /// overwrite the first. Skipping exactly the occupied microsteps keeps
+    /// every injection observable once *without* re-tagging it behind an
+    /// unrelated event already pending at a later time (e.g. a tagged
+    /// message released via [`schedule_physical_at`] in the future).
+    ///
+    /// [`schedule_physical_at`]: Runtime::schedule_physical_at
+    fn next_physical_tag(&self, action: ActionId, now: Instant) -> Tag {
         let min_delay = self.program.actions[action.index()].min_delay;
         let mut tag = Tag::at(now + min_delay);
         if let Some(last) = self.last_processed {
@@ -428,13 +462,16 @@ impl Runtime {
                 tag = last.delay(Duration::ZERO);
             }
         }
-        self.insert_action_event(action, tag, value);
-        Ok(tag)
+        let pending = &self.action_pending[action.index()];
+        while pending.contains_key(&tag) {
+            tag = tag.delay(Duration::ZERO);
+        }
+        tag
     }
 
     fn insert_action_event(&mut self, action: ActionId, tag: Tag, value: Value) {
         self.action_pending[action.index()].insert(tag, value);
-        self.queue.entry(tag).or_default().actions.push(action);
+        self.queue.push(tag, Event::Action(action));
     }
 
     /// Processes the earliest pending tag.
@@ -456,7 +493,7 @@ impl Runtime {
                 return StepOutcome::Idle;
             }
         }
-        let Some((tag, entry)) = self.queue.pop_first() else {
+        let Some((tag, mut entry)) = self.queue.pop_tag() else {
             return StepOutcome::Idle;
         };
         debug_assert!(
@@ -467,87 +504,80 @@ impl Runtime {
         self.executed_log.clear();
         let stopping = entry.shutdown;
 
-        // Collect triggered reactions.
-        let mut ready: BTreeSet<(u32, ReactionId)> = BTreeSet::new();
-        let insert = |ready: &mut BTreeSet<(u32, ReactionId)>, program: &Program, r: ReactionId| {
-            ready.insert((program.reactions[r.index()].level, r));
-        };
-
-        let mut current_actions = entry.actions;
-        current_actions.sort_unstable();
-        current_actions.dedup();
-        for &a in &current_actions {
+        // Collect triggered reactions into the per-level ready buckets
+        // (reused across tags — no allocation in steady state).
+        debug_assert!(self.ready_levels.iter().all(Vec::is_empty));
+        entry.actions.sort_unstable();
+        entry.actions.dedup();
+        for &a in &entry.actions {
             if let Some(v) = self.action_pending[a.index()].remove(&tag) {
                 self.action_current[a.index()] = Some(v);
             }
             for &r in &self.program.actions[a.index()].triggered {
-                insert(&mut ready, &self.program, r);
+                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
             }
         }
         for &t in &entry.timers {
             for &r in &self.program.timers[t.index()].triggered {
-                insert(&mut ready, &self.program, r);
+                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
             }
             if let Some(period) = self.program.timers[t.index()].period {
                 let next = Tag::at(tag.time + period);
-                self.queue.entry(next).or_default().timers.push(t);
+                self.queue.push(next, Event::Timer(t));
             }
         }
         if entry.startup {
-            for &r in &self.program.startup.clone() {
-                insert(&mut ready, &self.program, r);
+            for &r in &self.program.startup {
+                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
             }
         }
         if stopping {
-            for &r in &self.program.shutdown.clone() {
-                insert(&mut ready, &self.program, r);
+            for &r in &self.program.shutdown {
+                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
             }
         }
 
         // Execute in level order; same-level batches may run in parallel.
-        let mut written: Vec<PortId> = Vec::new();
+        // Reactions can only ever enqueue work at *higher* levels (the APG
+        // is acyclic), so one ascending sweep visits everything.
         let mut reactions_run = 0u32;
         let mut misses = 0u32;
         let mut shutdown_requested = false;
-        while let Some(&(level, _)) = ready.iter().next() {
-            let batch: Vec<ReactionId> = ready
-                .iter()
-                .take_while(|(l, _)| *l == level)
-                .map(|&(_, r)| r)
-                .collect();
-            for &r in &batch {
-                ready.remove(&(level, r));
+        for level in 0..self.ready_levels.len() {
+            if self.ready_levels[level].is_empty() {
+                continue;
             }
-            let outcomes = self.execute_batch(tag, physical_now, &batch);
-            for (rid, outcome, missed) in outcomes {
+            let mut batch = std::mem::take(&mut self.scratch_batch);
+            batch.append(&mut self.ready_levels[level]);
+            batch.sort_unstable();
+            batch.dedup();
+            let mut outcomes = std::mem::take(&mut self.scratch_results);
+            self.execute_batch(tag, physical_now, &batch, &mut outcomes);
+            for (rid, outcome, missed) in outcomes.drain(..) {
                 reactions_run += 1;
                 self.stats.executed_reactions += 1;
                 self.executed_log.push(rid);
+                let name = &self.program.reactions[rid.index()].name;
                 if missed {
                     misses += 1;
                     self.stats.deadline_misses += 1;
-                    self.trace.record(
-                        tag.time,
-                        "deadline-miss",
-                        format!("{} at {tag}", self.program.reactions[rid.index()].name),
-                    );
+                    self.trace
+                        .record_with(tag.time, "deadline-miss", || format!("{name} at {tag}"));
                 } else {
-                    self.trace.record(
-                        tag.time,
-                        "reaction",
-                        format!("{} at {tag}", self.program.reactions[rid.index()].name),
-                    );
+                    self.trace
+                        .record_with(tag.time, "reaction", || format!("{name} at {tag}"));
                 }
                 shutdown_requested |= outcome.shutdown;
                 for (port, value) in outcome.writes {
                     let root = port.index();
                     if self.port_values[root].is_none() {
-                        written.push(port);
+                        self.written.push(port);
                     }
                     self.port_values[root] = Some(value);
                     for &r in &self.program.ports[root].sinks_trigger {
-                        debug_assert!(self.program.reactions[r.index()].level > level);
-                        ready.insert((self.program.reactions[r.index()].level, r));
+                        let sink_level = self.program.reactions[r.index()].level as usize;
+                        debug_assert!(sink_level > level);
+                        self.ready_levels[sink_level].push(r);
                     }
                 }
                 for (action, atag, value) in outcome.schedules {
@@ -555,24 +585,26 @@ impl Runtime {
                     self.insert_action_event(action, atag, value);
                 }
             }
+            batch.clear();
+            self.scratch_batch = batch;
+            self.scratch_results = outcomes;
         }
 
-        // Post-tag cleanup.
-        for p in written {
+        // Post-tag cleanup (scratch buffers keep their capacity; the tag
+        // entry's buffers go back to the queue's free list).
+        for p in self.written.drain(..) {
             self.port_values[p.index()] = None;
         }
-        for a in current_actions {
+        for &a in &entry.actions {
             self.action_current[a.index()] = None;
         }
         if stopping {
             self.phase = Phase::Stopped;
             self.queue.clear();
         } else if shutdown_requested {
-            self.queue
-                .entry(tag.delay(Duration::ZERO))
-                .or_default()
-                .shutdown = true;
+            self.queue.push(tag.delay(Duration::ZERO), Event::Shutdown);
         }
+        self.queue.recycle(entry);
         self.stats.processed_tags += 1;
         StepOutcome::Processed(TagSummary {
             tag,
@@ -583,10 +615,24 @@ impl Runtime {
 
     /// Processes the next tag with zero physical lag ("fast mode": the
     /// physical clock is assumed to read exactly the tag's time).
+    ///
+    /// With an empty queue this returns [`StepOutcome::Idle`] (or
+    /// [`StepOutcome::Stopped`]) directly instead of fabricating a
+    /// physical-clock reading: handing [`step`](Runtime::step) an epoch
+    /// reading could lie before previously observed physical time, and a
+    /// runtime must never see the clock run backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime was never started, like `step`.
     pub fn step_fast(&mut self) -> StepOutcome {
         match self.next_tag() {
             Some(tag) => self.step(tag.time),
-            None => self.step(Instant::EPOCH),
+            None => match self.phase {
+                Phase::Created => panic!("Runtime::start must be called before step"),
+                Phase::Stopped => StepOutcome::Stopped,
+                Phase::Running => StepOutcome::Idle,
+            },
         }
     }
 
@@ -609,86 +655,114 @@ impl Runtime {
         tag: Tag,
         physical: Instant,
         batch: &[ReactionId],
-    ) -> Vec<(ReactionId, ReactionOutcome, bool)> {
-        // Take each involved reactor's state out of the arena. Two
-        // reactions of the same reactor can never share a level (they are
-        // ordered by priority), so every take must succeed.
-        let work: Vec<(ReactionId, Box<dyn Any + Send>)> = batch
-            .iter()
-            .map(|&rid| {
-                let reactor = self.program.reactions[rid.index()].reactor;
-                let state = self.states[reactor.index()]
-                    .take()
-                    .expect("reactor state aliased within a level");
-                (rid, state)
-            })
-            .collect();
-
-        let program = &self.program;
-        let ports: &[Option<Value>] = &self.port_values;
-        let actions: &[Option<Value>] = &self.action_current;
-
-        let results: Vec<(ReactionId, Box<dyn Any + Send>, ReactionOutcome, bool)> = if self.workers
-            > 1
-            && work.len() > 1
-        {
-            // Partition the batch into at most `workers` contiguous
-            // chunks; one scoped thread runs each chunk sequentially.
-            let workers = self.workers.min(work.len());
-            let chunk_size = work.len().div_ceil(workers);
-            let mut chunks: Vec<Vec<(ReactionId, Box<dyn Any + Send>)>> = Vec::new();
-            let mut work = work;
-            while !work.is_empty() {
-                let rest = work.split_off(work.len().min(chunk_size));
-                chunks.push(std::mem::replace(&mut work, rest));
-            }
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .into_iter()
-                                .map(|(rid, mut state)| {
-                                    let (outcome, missed) = run_reaction(
-                                        program,
-                                        rid,
-                                        state.as_mut(),
-                                        tag,
-                                        physical,
-                                        ports,
-                                        actions,
-                                    );
-                                    (rid, state, outcome, missed)
-                                })
-                                .collect::<Vec<_>>()
+        out: &mut Vec<(ReactionId, ReactionOutcome, bool)>,
+    ) {
+        match &self.pool {
+            Some(pool) if batch.len() > 1 => {
+                // Partition the batch into at most `threads` contiguous
+                // chunks and hand them to the persistent pool. The
+                // port/action value arenas move behind `Arc`s for the
+                // duration of the batch and are reclaimed exclusively once
+                // every worker has reported back. The result channel is
+                // deliberately per-batch: every job holds a sender clone,
+                // so if a reaction panics on a worker the senders drop and
+                // `recv` fails fast — a persistent channel would deadlock
+                // the runtime thread instead of surfacing the panic.
+                let workers = pool.threads().min(batch.len());
+                let chunk_size = batch.len().div_ceil(workers);
+                let ports = Arc::new(std::mem::take(&mut self.port_values));
+                let actions = Arc::new(std::mem::take(&mut self.action_current));
+                let (tx, rx) = mpsc::channel();
+                let mut jobs = 0usize;
+                for chunk_ids in batch.chunks(chunk_size) {
+                    // Take each involved reactor's state out of the arena.
+                    // Two reactions of the same reactor can never share a
+                    // level (they are ordered by priority), so every take
+                    // succeeds.
+                    let chunk: Vec<(ReactionId, Box<dyn Any + Send>)> = chunk_ids
+                        .iter()
+                        .map(|&rid| {
+                            let reactor = self.program.reactions[rid.index()].reactor;
+                            let state = self.states[reactor.index()]
+                                .take()
+                                .expect("reactor state aliased within a level");
+                            (rid, state)
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("reaction panicked"))
-                    .collect()
-            })
-        } else {
-            work.into_iter()
-                .map(|(rid, mut state)| {
-                    let (outcome, missed) =
-                        run_reaction(program, rid, state.as_mut(), tag, physical, ports, actions);
-                    (rid, state, outcome, missed)
-                })
-                .collect()
-        };
-
-        let mut out = Vec::with_capacity(results.len());
-        for (rid, state, outcome, missed) in results {
-            let reactor = self.program.reactions[rid.index()].reactor;
-            self.states[reactor.index()] = Some(state);
-            out.push((rid, outcome, missed));
+                        .collect();
+                    let program = Arc::clone(&self.program);
+                    let ports = Arc::clone(&ports);
+                    let actions = Arc::clone(&actions);
+                    let tx = tx.clone();
+                    pool.submit(Box::new(move || {
+                        let results: Vec<_> = chunk
+                            .into_iter()
+                            .map(|(rid, mut state)| {
+                                let (outcome, missed) = run_reaction(
+                                    &program,
+                                    rid,
+                                    state.as_mut(),
+                                    tag,
+                                    physical,
+                                    ports.as_slice(),
+                                    actions.as_slice(),
+                                );
+                                (rid, state, outcome, missed)
+                            })
+                            .collect();
+                        // Release the arena borrows *before* reporting
+                        // completion: the send happens-before the main
+                        // thread's recv, so once every result has arrived
+                        // the main thread holds the only Arc.
+                        drop(ports);
+                        drop(actions);
+                        tx.send(results).expect("runtime thread waiting");
+                    }));
+                    jobs += 1;
+                }
+                drop(tx);
+                let mut results = Vec::with_capacity(batch.len());
+                for _ in 0..jobs {
+                    results.extend(rx.recv().expect("reaction panicked on a pool worker"));
+                }
+                self.port_values = Arc::try_unwrap(ports)
+                    .map_err(|_| "port arena still shared")
+                    .expect("workers released the port arena");
+                self.action_current = Arc::try_unwrap(actions)
+                    .map_err(|_| "action arena still shared")
+                    .expect("workers released the action arena");
+                for (rid, state, outcome, missed) in results {
+                    let reactor = self.program.reactions[rid.index()].reactor;
+                    self.states[reactor.index()] = Some(state);
+                    out.push((rid, outcome, missed));
+                }
+                // Pool results arrive in completion order; apply outcomes
+                // in deterministic reaction-id order.
+                out.sort_by_key(|(rid, _, _)| *rid);
+            }
+            _ => {
+                // Sequential fast path: no intermediate collections — in
+                // steady state this executes a whole batch with zero heap
+                // allocations. `batch` is already sorted (and reactions
+                // run in order), so `out` needs no sort.
+                for &rid in batch {
+                    let reactor = self.program.reactions[rid.index()].reactor;
+                    let mut state = self.states[reactor.index()]
+                        .take()
+                        .expect("reactor state aliased within a level");
+                    let (outcome, missed) = run_reaction(
+                        &self.program,
+                        rid,
+                        state.as_mut(),
+                        tag,
+                        physical,
+                        &self.port_values,
+                        &self.action_current,
+                    );
+                    self.states[reactor.index()] = Some(state);
+                    out.push((rid, outcome, missed));
+                }
+            }
         }
-        // Apply outcomes in deterministic reaction-id order.
-        out.sort_by_key(|(rid, _, _)| *rid);
-        out
     }
 }
 

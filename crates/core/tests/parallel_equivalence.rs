@@ -158,3 +158,125 @@ proptest! {
         prop_assert_eq!(seq, par);
     }
 }
+
+/// Like `build_fanout`, but additionally injects physical-action events
+/// between steps (driving the runtime step by step instead of `run_fast`),
+/// so the pooled executor is exercised together with the strictly
+/// increasing physical-tag assignment.
+fn build_fanout_with_injections(
+    width: usize,
+    ticks: u32,
+    injections: u8,
+    workers: usize,
+) -> (u64, u64, u64) {
+    let sums = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let mut b = ProgramBuilder::new();
+
+    let mut src = b.reactor("src", 0u64);
+    let t = src.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let src_out = src.output::<u64>("o");
+    let act = src.physical_action::<u64>("inject", Duration::ZERO);
+    src.reaction("emit")
+        .triggered_by(t)
+        .effects(src_out)
+        .body(move |n: &mut u64, ctx| {
+            *n += 1;
+            ctx.set(src_out, *n);
+        });
+    let sums_inj = sums.clone();
+    src.reaction("absorb")
+        .triggered_by(act)
+        .body(move |_, ctx| {
+            sums_inj
+                .lock()
+                .unwrap()
+                .push(0x8000_0000_0000_0000 | *ctx.get_action(&act).unwrap());
+        });
+    drop(src);
+
+    let mut stage_outs = Vec::new();
+    for i in 0..width {
+        let mut stage = b.reactor(&format!("stage{i}"), ());
+        let inp = stage.input::<u64>("i");
+        let out = stage.output::<u64>("o");
+        stage
+            .reaction("work")
+            .triggered_by(inp)
+            .effects(out)
+            .body(move |_, ctx| {
+                let v = *ctx.get(inp).unwrap();
+                ctx.set(out, v * 31 + i as u64);
+            });
+        drop(stage);
+        b.connect(src_out, inp).unwrap();
+        stage_outs.push(out);
+    }
+
+    let mut sink = b.reactor("sink", 0u32);
+    let mut sink_ins = Vec::new();
+    for i in 0..width {
+        sink_ins.push(sink.input::<u64>(&format!("i{i}")));
+    }
+    let ins = sink_ins.clone();
+    let sums2 = sums.clone();
+    let mut decl = sink.reaction("sum");
+    for &i in &sink_ins {
+        decl = decl.triggered_by(i);
+    }
+    decl.body(move |rounds: &mut u32, ctx| {
+        let total: u64 = ins.iter().map(|&i| *ctx.get(i).unwrap()).sum();
+        sums2.lock().unwrap().push(total);
+        *rounds += 1;
+        if *rounds >= ticks {
+            ctx.request_shutdown();
+        }
+    });
+    drop(sink);
+    for (i, out) in stage_outs.into_iter().enumerate() {
+        b.connect(out, sink_ins[i]).unwrap();
+    }
+
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.set_workers(workers);
+    rt.enable_tracing();
+    rt.start(Instant::EPOCH);
+    let mut step = 0u64;
+    let mut injected = 0u64;
+    loop {
+        // Deterministic injection pattern: after every second processed
+        // tag, inject a burst that collides on the same clock reading.
+        if rt.is_running() && step % 2 == 1 && injected < u64::from(injections) {
+            let now = Instant::from_millis(step);
+            let a = rt.schedule_physical(&act, injected, now).unwrap();
+            let b2 = rt.schedule_physical(&act, injected + 100, now).unwrap();
+            assert!(b2 > a, "burst tags must be strictly increasing");
+            injected += 1;
+        }
+        match rt.step_fast() {
+            dear_core::StepOutcome::Processed(_) => step += 1,
+            _ => break,
+        }
+    }
+    let fp = rt.trace_log().fingerprint();
+    let digest: u64 = sums.lock().unwrap().iter().fold(0u64, |acc, &v| {
+        acc.wrapping_mul(1099511628211).wrapping_add(v)
+    });
+    (fp, digest, rt.stats().executed_reactions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The persistent pool with mid-run physical injections (including
+    /// same-reading bursts) must match sequential execution bit for bit.
+    #[test]
+    fn prop_pooled_injections_match_sequential(
+        width in 1usize..10,
+        ticks in 2u32..8,
+        injections in 0u8..6,
+        workers in 2usize..8,
+    ) {
+        let seq = build_fanout_with_injections(width, ticks, injections, 1);
+        let par = build_fanout_with_injections(width, ticks, injections, workers);
+        prop_assert_eq!(seq, par);
+    }
+}

@@ -575,3 +575,255 @@ fn runtime_stats_display_is_complete() {
         "tags=1 reactions=2 deadline_misses=3 stp_violations=4 bound_deferrals=5"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Regression tests: hot-path event loss + executor overhaul (PR 3).
+// ---------------------------------------------------------------------------
+
+/// Two physical injections landing *between* steps used to both bump to
+/// `(last_processed, m+1)` and collide: the second silently overwrote the
+/// first in the action's pending map. Every injection must be delivered at
+/// its own, strictly increasing tag.
+#[test]
+fn two_physical_injections_between_steps_get_distinct_tags() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("sensor", ());
+    let act = r.physical_action::<u8>("reading", Duration::ZERO);
+    let t = r.timer("t", Duration::from_millis(10), None);
+    r.reaction("tick").triggered_by(t).body(|_, _| {});
+    let sink = seen.clone();
+    r.reaction("observe").triggered_by(act).body(move |_, ctx| {
+        let v = *ctx.get_action(&act).unwrap();
+        sink.lock().unwrap().push((ctx.tag(), v));
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(1); // current tag is now (10 ms, 0)
+
+    // Both readings lie in the logical past; both must be bumped to
+    // *distinct* tags, not piled onto the same microstep.
+    let early = Instant::from_millis(5);
+    let t1 = rt.schedule_physical(&act, 1, early).unwrap();
+    let t2 = rt.schedule_physical(&act, 2, early).unwrap();
+    assert_eq!(t1, Tag::new(Instant::from_millis(10), 1));
+    assert_eq!(t2, Tag::new(Instant::from_millis(10), 2));
+    assert!(t2 > t1, "tags must be strictly increasing");
+
+    rt.run_fast(u64::MAX);
+    assert_eq!(
+        *seen.lock().unwrap(),
+        vec![(t1, 1u8), (t2, 2u8)],
+        "both injected values must be observed, in injection order"
+    );
+}
+
+/// The same collision exists *without* any processed tag: two injections
+/// with the same clock reading map to the same `(now + min_delay, 0)` tag.
+#[test]
+fn same_clock_reading_injections_never_collide() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("sensor", ());
+    let act = r.physical_action::<u8>("reading", Duration::ZERO);
+    let sink = seen.clone();
+    r.reaction("observe").triggered_by(act).body(move |_, ctx| {
+        let v = *ctx.get_action(&act).unwrap();
+        sink.lock().unwrap().push((ctx.tag(), v));
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+
+    let now = Instant::from_millis(3);
+    let mut tags = Vec::new();
+    for v in 0..5u8 {
+        tags.push(rt.schedule_physical(&act, v, now).unwrap());
+    }
+    let mut sorted = tags.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 5, "all five tags distinct: {tags:?}");
+    assert_eq!(tags, sorted, "tags assigned in increasing order");
+
+    rt.run_fast(u64::MAX);
+    let observed: Vec<u8> = seen.lock().unwrap().iter().map(|&(_, v)| v).collect();
+    assert_eq!(observed, vec![0, 1, 2, 3, 4], "no injection may be lost");
+}
+
+/// A disabled trace must stay empty — and report disabled — across a full
+/// busy run: the lazy `record_with` path must not touch it at all.
+#[test]
+fn disabled_trace_stays_empty_across_busy_run() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("busy", 0u64);
+    let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+    let out = r.output::<u64>("o");
+    let act = r.logical_action::<u64>("a", Duration::from_micros(100));
+    r.reaction("emit")
+        .triggered_by(t)
+        .effects(out)
+        .schedules(act)
+        .body(move |n: &mut u64, ctx| {
+            *n += 1;
+            ctx.set(out, *n);
+            ctx.schedule(act, Duration::ZERO, *n);
+            if *n >= 200 {
+                ctx.request_shutdown();
+            }
+        });
+    r.reaction("echo").triggered_by(act).body(|_, _| {});
+    drop(r);
+    let mut sink = b.reactor("sink", ());
+    let inp = sink.input::<u64>("i");
+    sink.reaction("recv").triggered_by(inp).body(|_, _| {});
+    drop(sink);
+    b.connect(out, inp).unwrap();
+
+    let mut rt = Runtime::new(b.build().unwrap());
+    // Tracing intentionally NOT enabled.
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    assert!(rt.stats().executed_reactions >= 590);
+    assert!(!rt.trace_log().is_enabled());
+    assert!(rt.trace_log().is_empty(), "disabled trace must stay empty");
+    assert_eq!(
+        rt.trace_log().fingerprint(),
+        dear_sim::Trace::disabled().fingerprint()
+    );
+    // And taking it hands back an untouched, still-disabled trace.
+    let taken = rt.take_trace();
+    assert!(taken.is_empty() && !taken.is_enabled());
+}
+
+/// `step_fast` with an empty queue must not fabricate a physical-clock
+/// reading (it used to call `step(Instant::EPOCH)`, a reading that may lie
+/// before previously observed physical time).
+#[test]
+fn step_fast_on_empty_queue_reports_state_without_clock_reading() {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("r", ());
+    let act = r.physical_action::<()>("a", Duration::ZERO);
+    let t = r.timer("t", Duration::from_millis(50), None);
+    r.reaction("tick").triggered_by(t).body(|_, _| {});
+    r.reaction("o").triggered_by(act).body(|_, _| {});
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX); // processes the 50 ms timer, queue now empty
+    assert_eq!(rt.step_fast(), StepOutcome::Idle);
+    assert_eq!(rt.step_fast(), StepOutcome::Idle);
+    // The physical clock has been observed at 50 ms; a late injection is
+    // still bumped correctly (EPOCH was never fed back as "now").
+    let tag = rt
+        .schedule_physical(&act, (), Instant::from_millis(1))
+        .unwrap();
+    assert_eq!(tag, Tag::new(Instant::from_millis(50), 1));
+    rt.run_fast(u64::MAX);
+
+    let mut rt2 = {
+        let mut b = ProgramBuilder::new();
+        let mut r = b.reactor("r", ());
+        r.reaction("s").triggered_by(Startup).body(|_, ctx| {
+            ctx.request_shutdown();
+        });
+        drop(r);
+        Runtime::new(b.build().unwrap())
+    };
+    rt2.start(Instant::EPOCH);
+    rt2.run_fast(u64::MAX);
+    assert_eq!(rt2.step_fast(), StepOutcome::Stopped);
+}
+
+/// The pooled executor is a persistent pool now: repeated `set_workers`
+/// calls with the same count must not tear it down, and switching between
+/// pooled and sequential execution mid-run keeps behaviour identical.
+#[test]
+fn worker_pool_survives_reconfiguration_mid_run() {
+    let run = |schedule: &[(u64, usize)]| -> u64 {
+        let mut b = ProgramBuilder::new();
+        let mut src = b.reactor("src", 0u64);
+        let t = src.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+        let out = src.output::<u64>("o");
+        src.reaction("emit")
+            .triggered_by(t)
+            .effects(out)
+            .body(move |n: &mut u64, ctx| {
+                *n += 1;
+                ctx.set(out, *n);
+                if *n >= 30 {
+                    ctx.request_shutdown();
+                }
+            });
+        drop(src);
+        for i in 0..8 {
+            let mut w = b.reactor(&format!("w{i}"), 0u64);
+            let inp = w.input::<u64>("i");
+            w.reaction("work")
+                .triggered_by(inp)
+                .body(move |acc: &mut u64, ctx| {
+                    *acc = acc
+                        .wrapping_mul(31)
+                        .wrapping_add(*ctx.get(inp).unwrap() + i);
+                });
+            drop(w);
+            b.connect(out, inp).unwrap();
+        }
+        let mut rt = Runtime::new(b.build().unwrap());
+        rt.enable_tracing();
+        rt.start(Instant::EPOCH);
+        for &(tags, workers) in schedule {
+            rt.set_workers(workers);
+            rt.run_fast(tags);
+        }
+        rt.run_fast(u64::MAX);
+        rt.trace_log().fingerprint()
+    };
+
+    let seq = run(&[(u64::MAX, 1)]);
+    let pooled = run(&[(u64::MAX, 4)]);
+    let mixed = run(&[(5, 4), (5, 1), (5, 4), (5, 2)]);
+    let re_set = run(&[(5, 4), (5, 4), (5, 4)]);
+    assert_eq!(seq, pooled);
+    assert_eq!(seq, mixed);
+    assert_eq!(seq, re_set);
+}
+
+/// An untagged physical arrival must NOT be re-tagged behind an unrelated
+/// event already pending at a *future* release tag on the same action
+/// (e.g. a tagged message inserted via `schedule_physical_at`): the bump
+/// skips only occupied microsteps, it never jumps forward in time.
+#[test]
+fn untagged_injection_is_not_delayed_behind_future_pending_event() {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor("net", ());
+    let act = r.physical_action::<u8>("msg", Duration::ZERO);
+    let sink = seen.clone();
+    r.reaction("observe").triggered_by(act).body(move |_, ctx| {
+        let v = *ctx.get_action(&act).unwrap();
+        sink.lock().unwrap().push((ctx.tag(), v));
+    });
+    drop(r);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+
+    // A tagged message with a far-future release tag T = 100 ms.
+    let future = Tag::at(Instant::from_millis(100));
+    rt.schedule_physical_at(&act, 9, future).unwrap();
+    // An untagged message physically arrives now, at 3 ms: it must be
+    // tagged (3 ms, 0), not pushed past the pending 100 ms event.
+    let tag = rt
+        .schedule_physical(&act, 1, Instant::from_millis(3))
+        .unwrap();
+    assert_eq!(tag, Tag::at(Instant::from_millis(3)));
+    assert!(tag < future);
+
+    rt.run_fast(u64::MAX);
+    assert_eq!(
+        *seen.lock().unwrap(),
+        vec![(tag, 1u8), (future, 9u8)],
+        "physical arrival order preserved; both events delivered"
+    );
+}

@@ -15,7 +15,7 @@ use crate::rng::{LatencyModel, SimRng};
 use crate::sim::Simulation;
 use dear_time::{Duration, Instant};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -126,8 +126,12 @@ struct LinkState {
 /// be captured by simulation event closures.
 pub struct Network {
     default_link: LinkConfig,
-    links: HashMap<(NodeId, NodeId), LinkState>,
-    receivers: HashMap<NodeId, Receiver>,
+    // BTreeMap rather than HashMap so that no observable behaviour (and no
+    // future iteration over links or receivers) can ever depend on hasher
+    // state — the same hardening applied to `dear-someip` and the
+    // transactor platform tables.
+    links: BTreeMap<(NodeId, NodeId), LinkState>,
+    receivers: BTreeMap<NodeId, Receiver>,
     rng: SimRng,
     stats: NetStats,
 }
@@ -151,8 +155,8 @@ impl Network {
     pub fn new(default_link: LinkConfig, rng: SimRng) -> Self {
         Network {
             default_link,
-            links: HashMap::new(),
-            receivers: HashMap::new(),
+            links: BTreeMap::new(),
+            receivers: BTreeMap::new(),
             rng,
             stats: NetStats::default(),
         }

@@ -261,9 +261,21 @@ impl Simulation {
     }
 
     /// Records a trace event at the current virtual time.
+    ///
+    /// The detail argument is built eagerly; in hot loops prefer
+    /// [`Simulation::trace_with`], which skips detail construction entirely
+    /// while tracing is disabled.
     pub fn trace(&mut self, category: &'static str, detail: impl Into<String>) {
         let now = self.now;
         self.trace.record(now, category, detail);
+    }
+
+    /// Records a trace event at the current virtual time, building the
+    /// detail line lazily (no formatting or allocation when tracing is
+    /// disabled).
+    pub fn trace_with(&mut self, category: &'static str, detail: impl FnOnce() -> String) {
+        let now = self.now;
+        self.trace.record_with(now, category, detail);
     }
 
     /// Read access to the recorded trace.
@@ -410,6 +422,19 @@ mod tests {
     }
 
     #[test]
+    fn trace_with_skips_detail_construction_when_disabled() {
+        let mut sim = Simulation::new(0);
+        // Tracing off (the default): the closure must never run.
+        sim.trace_with("evt", || {
+            unreachable!("detail built despite disabled trace")
+        });
+        assert!(sim.trace_log().is_empty());
+        sim.enable_tracing();
+        sim.trace_with("evt", || format!("n={}", 7));
+        assert_eq!(sim.trace_log().len(), 1);
+    }
+
+    #[test]
     fn tracing_records_at_current_time() {
         let mut sim = Simulation::new(0);
         sim.enable_tracing();
@@ -431,7 +456,7 @@ mod tests {
             for i in 0..100u64 {
                 let d = rng.uniform_duration(Duration::ZERO, Duration::from_millis(10));
                 sim.schedule_in(d * (i as i64 + 1), move |sim| {
-                    sim.trace("evt", format!("event {i}"));
+                    sim.trace_with("evt", || format!("event {i}"));
                 });
             }
             sim.run_to_completion();

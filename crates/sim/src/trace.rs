@@ -80,6 +80,11 @@ impl Trace {
     }
 
     /// Appends a record if recording is enabled.
+    ///
+    /// The `detail` argument is evaluated by the *caller*, so building it
+    /// with `format!` pays the formatting cost even when the trace is
+    /// disabled. Hot paths must use [`Trace::record_with`] instead, which
+    /// defers detail construction behind the enabled check.
     pub fn record(
         &mut self,
         at: Instant,
@@ -91,6 +96,43 @@ impl Trace {
                 at,
                 category: category.into(),
                 detail: detail.into(),
+            });
+        }
+    }
+
+    /// Appends a record if recording is enabled, building the detail line
+    /// lazily.
+    ///
+    /// When the trace is disabled this performs **zero formatting and zero
+    /// heap allocation**: the closure is never called and a `&'static str`
+    /// category is borrowed, not copied. This is the API the runtime hot
+    /// path uses for per-reaction records.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dear_sim::Trace;
+    /// use dear_time::Instant;
+    ///
+    /// let mut off = Trace::disabled();
+    /// off.record_with(Instant::EPOCH, "reaction", || unreachable!("never built"));
+    /// assert!(off.is_empty());
+    ///
+    /// let mut on = Trace::new();
+    /// on.record_with(Instant::EPOCH, "reaction", || format!("r{} fired", 3));
+    /// assert_eq!(on.len(), 1);
+    /// ```
+    pub fn record_with(
+        &mut self,
+        at: Instant,
+        category: impl Into<Cow<'static, str>>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                category: category.into(),
+                detail: detail(),
             });
         }
     }

@@ -59,11 +59,19 @@ impl From<String> for BenchmarkId {
 /// Timing loop handed to benchmark closures.
 pub struct Bencher {
     mean: Option<Duration>,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Calls `routine` repeatedly and records the mean wall time per call.
+    ///
+    /// In `--test` mode (`cargo bench -- --test`, the smoke mode CI uses)
+    /// the routine runs exactly once, untimed — mirroring real criterion.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm up and calibrate the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -83,25 +91,48 @@ impl Bencher {
     }
 }
 
-fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { mean: None };
+fn run_one(id: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mean: None,
+        test_mode,
+    };
     f(&mut b);
     match b.mean {
         Some(mean) => println!("{id:<50} time: [{mean:?}/iter]"),
+        None if test_mode => println!("{id:<50} test: ok"),
         None => println!("{id:<50} (no measurement recorded)"),
     }
 }
 
 /// Entry point mirroring `criterion::Criterion`.
-#[derive(Default)]
+///
+/// Honours criterion's `--test` CLI flag: each benchmark routine runs
+/// exactly once with no warmup or measurement, so CI can smoke-run a
+/// harness in seconds.
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
+    /// Whether `--test` smoke mode is active (single untimed pass per
+    /// benchmark). Exposed so harnesses with custom `main` functions can
+    /// share this parser instead of re-reading `env::args`.
+    #[must_use]
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
     /// Runs a standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        run_one(id, &mut f);
+        run_one(id, self.test_mode, &mut f);
         self
     }
 
@@ -127,7 +158,8 @@ impl BenchmarkGroup<'_> {
         id: impl Into<BenchmarkId>,
         mut f: F,
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        let test_mode = self._criterion.test_mode;
+        run_one(&format!("{}/{}", self.name, id.into()), test_mode, &mut f);
         self
     }
 
@@ -139,7 +171,8 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let mut g = |b: &mut Bencher| f(b, input);
-        run_one(&format!("{}/{}", self.name, id), &mut g);
+        let test_mode = self._criterion.test_mode;
+        run_one(&format!("{}/{}", self.name, id), test_mode, &mut g);
         self
     }
 
