@@ -399,7 +399,7 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         let logic_rid;
         {
             let mut logic = b.reactor("adapter_logic", ());
-            let out = logic.output::<Vec<u8>>("frame");
+            let out = logic.output::<dear_someip::FrameBuf>("frame");
             logic_rid = logic
                 .reaction("adapt")
                 .triggered_by(camera.event)
@@ -452,8 +452,8 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         let logic_rid;
         {
             let mut logic = b.reactor("preprocessing_logic", ());
-            let lane_out = logic.output::<Vec<u8>>("lane");
-            let frame_out = logic.output::<Vec<u8>>("frame");
+            let lane_out = logic.output::<dear_someip::FrameBuf>("lane");
+            let frame_out = logic.output::<dear_someip::FrameBuf>("frame");
             logic_rid = logic
                 .reaction("preprocess")
                 .triggered_by(input.event)
@@ -512,7 +512,7 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         let logic_rid;
         {
             let mut logic = b.reactor("computer_vision_logic", ());
-            let out = logic.output::<Vec<u8>>("vehicles");
+            let out = logic.output::<dear_someip::FrameBuf>("vehicles");
             let mm = mismatches.clone();
             logic_rid = logic
                 .reaction("detect")

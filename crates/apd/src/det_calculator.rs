@@ -13,7 +13,7 @@
 use crate::calculator::{CALC_INSTANCE, CALC_SERVICE, METHOD_ADD, METHOD_GET, METHOD_SET};
 use dear_core::{ProgramBuilder, Runtime};
 use dear_sim::{LatencyModel, LinkConfig, NetworkHandle, NodeId, Simulation, VirtualClock};
-use dear_someip::{Binding, PayloadReader, PayloadWriter, SdRegistry, ServiceInstance};
+use dear_someip::{Binding, FrameBuf, PayloadReader, PayloadWriter, SdRegistry, ServiceInstance};
 use dear_time::{Duration, Instant};
 use dear_transactors::{
     ClientMethodTransactor, DearConfig, FederatedPlatform, MethodSpec, Outbox,
@@ -21,10 +21,10 @@ use dear_transactors::{
 };
 use std::sync::{Arc, Mutex};
 
-fn encode_i64(v: i64) -> Vec<u8> {
+fn encode_i64(v: i64) -> FrameBuf {
     let mut w = PayloadWriter::new();
     w.write_i64(v);
-    w.into_bytes()
+    w.into_frame()
 }
 
 fn decode_i64(bytes: &[u8]) -> i64 {
@@ -74,9 +74,9 @@ pub fn run_det_trial(seed: u64, latency_bound: Duration) -> DetCalcOutcome {
     let smt_get = ServerMethodTransactor::declare(&mut bs, &outbox_s, "get", deadline);
     {
         let mut logic = bs.reactor("calc_server", 0i64);
-        let set_resp = logic.output::<Vec<u8>>("set_resp");
-        let add_resp = logic.output::<Vec<u8>>("add_resp");
-        let get_resp = logic.output::<Vec<u8>>("get_resp");
+        let set_resp = logic.output::<FrameBuf>("set_resp");
+        let add_resp = logic.output::<FrameBuf>("add_resp");
+        let get_resp = logic.output::<FrameBuf>("get_resp");
         logic
             .reaction("on_set")
             .triggered_by(smt_set.request)
@@ -131,9 +131,9 @@ pub fn run_det_trial(seed: u64, latency_bound: Duration) -> DetCalcOutcome {
     let cmt_get = ClientMethodTransactor::declare(&mut bc, &outbox_c, "get", deadline);
     {
         let mut logic = bc.reactor("calc_client", ());
-        let set_req = logic.output::<Vec<u8>>("set_req");
-        let add_req = logic.output::<Vec<u8>>("add_req");
-        let get_req = logic.output::<Vec<u8>>("get_req");
+        let set_req = logic.output::<FrameBuf>("set_req");
+        let add_req = logic.output::<FrameBuf>("add_req");
+        let get_req = logic.output::<FrameBuf>("get_req");
         let t = logic.timer("fire", Duration::from_millis(10), None);
         logic
             .reaction("invoke_all")
@@ -146,7 +146,7 @@ pub fn run_det_trial(seed: u64, latency_bound: Duration) -> DetCalcOutcome {
                 // yet deterministic: all three share the tag.
                 ctx.set(set_req, encode_i64(1));
                 ctx.set(add_req, encode_i64(2));
-                ctx.set(get_req, Vec::new());
+                ctx.set(get_req, FrameBuf::new());
             });
         let sink = printed.clone();
         logic

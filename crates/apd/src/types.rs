@@ -8,7 +8,7 @@
 //! frame id, so that any two correct executions must produce identical
 //! outputs — which is exactly what the determinism checks compare.
 
-use dear_someip::{PayloadError, PayloadReader, PayloadWriter};
+use dear_someip::{FrameBuf, PayloadError, PayloadReader, PayloadWriter};
 
 /// Mixes a 64-bit value (SplitMix64 finalizer); used to derive
 /// deterministic pseudo-content from frame ids.
@@ -45,12 +45,12 @@ impl Frame {
 
     /// Serializes to a SOME/IP payload.
     #[must_use]
-    pub fn to_payload(&self) -> Vec<u8> {
+    pub fn to_payload(&self) -> FrameBuf {
         let mut w = PayloadWriter::new();
         w.write_u64(self.id)
             .write_u64(self.capture_nanos)
             .write_u64(self.adapter_nanos);
-        w.into_bytes()
+        w.into_frame()
     }
 
     /// Parses from a SOME/IP payload.
@@ -88,14 +88,14 @@ pub struct LaneBox {
 impl LaneBox {
     /// Serializes to a SOME/IP payload.
     #[must_use]
-    pub fn to_payload(&self) -> Vec<u8> {
+    pub fn to_payload(&self) -> FrameBuf {
         let mut w = PayloadWriter::new();
         w.write_u64(self.frame_id)
             .write_u16(self.x0)
             .write_u16(self.y0)
             .write_u16(self.x1)
             .write_u16(self.y1);
-        w.into_bytes()
+        w.into_frame()
     }
 
     /// Parses from a SOME/IP payload.
@@ -142,7 +142,7 @@ pub struct VehicleList {
 impl VehicleList {
     /// Serializes to a SOME/IP payload.
     #[must_use]
-    pub fn to_payload(&self) -> Vec<u8> {
+    pub fn to_payload(&self) -> FrameBuf {
         let mut w = PayloadWriter::new();
         w.write_u64(self.frame_id)
             .write_u64(self.capture_nanos)
@@ -151,7 +151,7 @@ impl VehicleList {
         for v in &self.vehicles {
             w.write_u32(v.track).write_u32(v.distance_mm);
         }
-        w.into_bytes()
+        w.into_frame()
     }
 
     /// Parses from a SOME/IP payload.

@@ -11,6 +11,7 @@ use crate::future::SimFuture;
 use crate::proxy::{EventBuffer, MethodResult, ServiceProxy};
 use crate::skeleton::ServiceSkeleton;
 use dear_sim::{LatencyModel, Simulation};
+use dear_someip::FrameBuf;
 use dear_time::Duration;
 use std::cell::RefCell;
 use std::fmt;
@@ -48,7 +49,7 @@ impl FieldIds {
 pub struct FieldSkeleton {
     skeleton: ServiceSkeleton,
     ids: FieldIds,
-    value: Rc<RefCell<Vec<u8>>>,
+    value: Rc<RefCell<FrameBuf>>,
 }
 
 impl fmt::Debug for FieldSkeleton {
@@ -68,10 +69,10 @@ impl FieldSkeleton {
     pub fn provide(
         skeleton: &ServiceSkeleton,
         ids: FieldIds,
-        initial: Vec<u8>,
+        initial: impl Into<FrameBuf>,
         exec_time: LatencyModel,
     ) -> Self {
-        let value = Rc::new(RefCell::new(initial));
+        let value = Rc::new(RefCell::new(initial.into()));
 
         let v = value.clone();
         skeleton.provide_method(ids.get_method, exec_time.clone(), move |_sim, _req| {
@@ -93,14 +94,15 @@ impl FieldSkeleton {
         }
     }
 
-    /// Reads the current value (server-local access).
+    /// Reads the current value (server-local access; shares, no copy).
     #[must_use]
-    pub fn value(&self) -> Vec<u8> {
+    pub fn value(&self) -> FrameBuf {
         self.value.borrow().clone()
     }
 
     /// Server-side update: stores and notifies subscribers.
-    pub fn update(&self, sim: &mut Simulation, new_value: Vec<u8>) {
+    pub fn update(&self, sim: &mut Simulation, new_value: impl Into<FrameBuf>) {
+        let new_value = new_value.into();
         *self.value.borrow_mut() = new_value.clone();
         self.skeleton
             .notify(sim, self.ids.eventgroup, self.ids.notifier_event, new_value);
@@ -135,11 +137,11 @@ impl FieldProxy {
 
     /// Calls the field getter.
     pub fn get(&self, sim: &mut Simulation) -> SimFuture<MethodResult> {
-        self.proxy.call(sim, self.ids.get_method, Vec::new())
+        self.proxy.call(sim, self.ids.get_method, FrameBuf::new())
     }
 
     /// Calls the field setter.
-    pub fn set(&self, sim: &mut Simulation, value: Vec<u8>) -> SimFuture<MethodResult> {
+    pub fn set(&self, sim: &mut Simulation, value: impl Into<FrameBuf>) -> SimFuture<MethodResult> {
         self.proxy.call(sim, self.ids.set_method, value)
     }
 
@@ -207,15 +209,19 @@ mod tests {
         let got = Rc::new(RefCell::new(Vec::new()));
         let sink = got.clone();
         fp.set(&mut sim, vec![9]).then(&mut sim, move |_s, r| {
-            sink.borrow_mut().push(("set", r.unwrap()));
+            sink.borrow_mut().push(("set", r.unwrap().to_vec()));
         });
         sim.run_to_completion();
         assert_eq!(field.value(), vec![9]);
-        assert_eq!(updates.take(), Some(vec![9]), "notifier fired");
+        assert_eq!(
+            updates.take().map(|f| f.to_vec()),
+            Some(vec![9]),
+            "notifier fired"
+        );
 
         let sink = got.clone();
         fp.get(&mut sim).then(&mut sim, move |_s, r| {
-            sink.borrow_mut().push(("get", r.unwrap()));
+            sink.borrow_mut().push(("get", r.unwrap().to_vec()));
         });
         sim.run_to_completion();
         assert_eq!(*got.borrow(), vec![("set", vec![9]), ("get", vec![9])]);
@@ -245,7 +251,7 @@ mod tests {
         let updates = fp.subscribe_updates();
         field.update(&mut sim, vec![5]);
         sim.run_to_completion();
-        assert_eq!(updates.take(), Some(vec![5]));
+        assert_eq!(updates.take().map(|f| f.to_vec()), Some(vec![5]));
         assert_eq!(field.ids(), ids);
     }
 

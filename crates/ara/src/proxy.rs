@@ -10,7 +10,9 @@
 
 use crate::future::{promise, SimFuture};
 use dear_sim::Simulation;
-use dear_someip::{Binding, BindingError, MessageType, ReturnCode, ServiceInstance, SomeIpMessage};
+use dear_someip::{
+    Binding, BindingError, FrameBuf, MessageType, ReturnCode, ServiceInstance, SomeIpMessage,
+};
 use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
@@ -37,7 +39,10 @@ impl fmt::Display for MethodError {
 impl Error for MethodError {}
 
 /// Result type of proxy method calls.
-pub type MethodResult = Result<Vec<u8>, MethodError>;
+///
+/// A successful call yields the response payload as a [`FrameBuf`] view
+/// into the received frame (read in place, no copy).
+pub type MethodResult = Result<FrameBuf, MethodError>;
 
 /// Statistics of a one-slot event buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,7 +59,7 @@ pub struct BufferStats {
 
 #[derive(Default)]
 struct SlotInner {
-    value: Option<Vec<u8>>,
+    value: Option<FrameBuf>,
     stats: BufferStats,
 }
 
@@ -84,20 +89,20 @@ impl EventBuffer {
 
     /// Stores a value, overwriting (and counting as dropped) any unread
     /// predecessor.
-    pub fn put(&self, value: Vec<u8>) {
+    pub fn put(&self, value: impl Into<FrameBuf>) {
         let mut inner = self.0.borrow_mut();
         if inner.value.is_some() {
             inner.stats.overwrites += 1;
         }
         inner.stats.writes += 1;
-        inner.value = Some(value);
+        inner.value = Some(value.into());
     }
 
     /// Takes the current value, leaving the slot empty.
     ///
     /// An empty slot is counted (the APD components "silently stop
     /// computation" in that case).
-    pub fn take(&self) -> Option<Vec<u8>> {
+    pub fn take(&self) -> Option<FrameBuf> {
         let mut inner = self.0.borrow_mut();
         match inner.value.take() {
             Some(v) => {
@@ -111,9 +116,9 @@ impl EventBuffer {
         }
     }
 
-    /// Reads without consuming.
+    /// Reads without consuming (shares, does not copy).
     #[must_use]
-    pub fn peek(&self) -> Option<Vec<u8>> {
+    pub fn peek(&self) -> Option<FrameBuf> {
         self.0.borrow().value.clone()
     }
 
@@ -172,7 +177,7 @@ impl ServiceProxy {
         &self,
         sim: &mut Simulation,
         method: u16,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBuf>,
     ) -> SimFuture<MethodResult> {
         let (p, f) = promise();
         let result = self.binding.call(
@@ -211,7 +216,7 @@ impl ServiceProxy {
         &self,
         sim: &mut Simulation,
         method: u16,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBuf>,
     ) -> Result<(), MethodError> {
         self.binding
             .call_no_return(sim, self.service, self.instance, method, payload)
@@ -242,7 +247,7 @@ impl ServiceProxy {
         &self,
         eventgroup: u16,
         event: u16,
-        handler: impl Fn(&mut Simulation, Vec<u8>) + 'static,
+        handler: impl Fn(&mut Simulation, FrameBuf) + 'static,
     ) {
         self.binding.subscribe(
             ServiceInstance::new(self.service, self.instance),
@@ -267,14 +272,14 @@ mod tests {
     #[test]
     fn buffer_counts_overwrites_and_empty_reads() {
         let buf = EventBuffer::new();
-        assert_eq!(buf.take(), None);
+        assert_eq!(buf.take().map(|f| f.to_vec()), None);
         buf.put(vec![1]);
         buf.put(vec![2]); // overwrites unread 1
-        assert_eq!(buf.take(), Some(vec![2]));
-        assert_eq!(buf.take(), None);
+        assert_eq!(buf.take().map(|f| f.to_vec()), Some(vec![2]));
+        assert_eq!(buf.take().map(|f| f.to_vec()), None);
         buf.put(vec![3]);
-        assert_eq!(buf.peek(), Some(vec![3]));
-        assert_eq!(buf.take(), Some(vec![3]));
+        assert_eq!(buf.peek().map(|f| f.to_vec()), Some(vec![3]));
+        assert_eq!(buf.take().map(|f| f.to_vec()), Some(vec![3]));
         let stats = buf.stats();
         assert_eq!(stats.writes, 3);
         assert_eq!(stats.overwrites, 1);
@@ -287,7 +292,7 @@ mod tests {
         let buf = EventBuffer::new();
         let other = buf.clone();
         buf.put(vec![5]);
-        assert_eq!(other.take(), Some(vec![5]));
+        assert_eq!(other.take().map(|f| f.to_vec()), Some(vec![5]));
         assert_eq!(buf.stats().reads, 1);
     }
 }

@@ -10,7 +10,7 @@
 //! run to run (seed to seed).
 
 use dear_sim::{LatencyModel, SimRng, Simulation, TaskPool};
-use dear_someip::{Binding, ServiceInstance, SomeIpMessage};
+use dear_someip::{Binding, FrameBuf, ServiceInstance, SomeIpMessage};
 use dear_time::Duration;
 use std::cell::RefCell;
 use std::fmt;
@@ -77,11 +77,11 @@ impl ServiceSkeleton {
     /// drawn from `exec_time`, and replies when that duration has elapsed.
     /// Handlers run mutually exclusive on the server state they capture —
     /// the *order* in which concurrent invocations run is what varies.
-    pub fn provide_method(
+    pub fn provide_method<R: Into<FrameBuf>>(
         &self,
         method: u16,
         exec_time: LatencyModel,
-        handler: impl FnMut(&mut Simulation, Vec<u8>) -> Vec<u8> + 'static,
+        handler: impl FnMut(&mut Simulation, FrameBuf) -> R + 'static,
     ) {
         let pool = self.pool.clone();
         let rng = self.rng.clone();
@@ -93,13 +93,13 @@ impl ServiceSkeleton {
                 let duration = exec_time.sample(&mut rng.borrow_mut());
                 let handler = handler.clone();
                 let payload = req.payload;
-                let result: Rc<RefCell<Option<Vec<u8>>>> = Rc::new(RefCell::new(None));
+                let result: Rc<RefCell<Option<FrameBuf>>> = Rc::new(RefCell::new(None));
                 let result2 = result.clone();
                 pool.submit_with_completion(
                     sim,
                     duration,
                     move |sim| {
-                        let out = (handler.borrow_mut())(sim, payload);
+                        let out = (handler.borrow_mut())(sim, payload).into();
                         *result2.borrow_mut() = Some(out);
                     },
                     move |sim| {
@@ -116,7 +116,7 @@ impl ServiceSkeleton {
     pub fn provide_method_deferred(
         &self,
         method: u16,
-        handler: impl Fn(&mut Simulation, Vec<u8>, dear_someip::Responder) + 'static,
+        handler: impl Fn(&mut Simulation, FrameBuf, dear_someip::Responder) + 'static,
     ) {
         self.binding
             .register_method(self.service, method, move |sim, req, responder| {
@@ -125,7 +125,13 @@ impl ServiceSkeleton {
     }
 
     /// Sends an event notification to all subscribers.
-    pub fn notify(&self, sim: &mut Simulation, eventgroup: u16, event: u16, payload: Vec<u8>) {
+    pub fn notify(
+        &self,
+        sim: &mut Simulation,
+        eventgroup: u16,
+        event: u16,
+        payload: impl Into<FrameBuf>,
+    ) {
         self.binding.notify(
             sim,
             ServiceInstance::new(self.service, self.instance),
@@ -306,7 +312,7 @@ mod tests {
         skel.notify(&mut sim, 1, 0x8001, vec![2]);
         sim.run_to_completion();
         // Two notifications, un-consumed in between: the second overwrote.
-        assert_eq!(buf.take(), Some(vec![2]));
+        assert_eq!(buf.take().map(|f| f.to_vec()), Some(vec![2]));
         assert_eq!(buf.stats().overwrites, 1);
     }
 }

@@ -53,7 +53,7 @@ fn main() {
     let cmt = ClientMethodTransactor::declare(&mut bc, &outbox_c, "calc", DC);
     {
         let mut logic = bc.reactor("client_logic", ());
-        let req = logic.output::<Vec<u8>>("request");
+        let req = logic.output::<dear_someip::FrameBuf>("request");
         let t = logic.timer("fire", Duration::from_millis(TC_MS as i64), None);
         let log = client_tags.clone();
         logic
@@ -64,7 +64,7 @@ fn main() {
                 log.lock()
                     .unwrap()
                     .push(("client sends request".into(), ctx.tag()));
-                ctx.set(req, vec![7]);
+                ctx.set(req, vec![7].into());
             });
         let log = client_tags.clone();
         logic
@@ -97,7 +97,7 @@ fn main() {
     let smt = ServerMethodTransactor::declare(&mut bs, &outbox_s, "calc", DS);
     {
         let mut logic = bs.reactor("server_logic", ());
-        let resp = logic.output::<Vec<u8>>("response");
+        let resp = logic.output::<dear_someip::FrameBuf>("response");
         let log = server_tags.clone();
         logic
             .reaction("serve")
@@ -108,7 +108,7 @@ fn main() {
                     .unwrap()
                     .push(("server handles request".into(), ctx.tag()));
                 let v = ctx.get(smt.request).unwrap()[0];
-                ctx.set(resp, vec![v + 1]);
+                ctx.set(resp, vec![v + 1].into());
             });
         drop(logic);
         bs.connect(resp, smt.response).unwrap();

@@ -270,14 +270,12 @@ impl CoordinatedPlatform {
 
     fn send_to_rti(&self, sim: &mut Simulation, msg: CoordMsg) {
         let binding = self.0.borrow().binding.clone();
+        // Control messages ride recycled pool frames like all data-plane
+        // traffic: encode once into a headroom buffer, wire-assemble in
+        // place, zero steady-state allocations.
+        let payload = msg.encode_into(&binding.pool());
         binding
-            .call_no_return(
-                sim,
-                COORD_SERVICE,
-                COORD_INSTANCE,
-                COORD_METHOD,
-                msg.encode(),
-            )
+            .call_no_return(sim, COORD_SERVICE, COORD_INSTANCE, COORD_METHOD, payload)
             .expect("RTI coordination service not offered — construct the Rti first");
     }
 

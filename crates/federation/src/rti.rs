@@ -365,6 +365,7 @@ impl Rti {
         };
 
         let binding = self.0.borrow().binding.clone();
+        let pool = binding.pool();
         for (fed, kind, tag) in grants {
             let msg = CoordMsg::new(kind, fed.0, tag_to_wire(tag));
             binding.notify(
@@ -372,7 +373,7 @@ impl Rti {
                 ServiceInstance::new(COORD_SERVICE, COORD_INSTANCE),
                 coord_eventgroup(fed.0),
                 COORD_EVENT,
-                msg.encode(),
+                msg.encode_into(&pool),
             );
         }
     }

@@ -52,7 +52,7 @@ fn pipeline_runs_under_rti_grants() {
         let publish = ServerEventTransactor::declare(&mut b, &outbox, "ping", deadline);
         {
             let mut logic = b.reactor("producer", 0u8);
-            let out = logic.output::<Vec<u8>>("out");
+            let out = logic.output::<dear_someip::FrameBuf>("out");
             let t = logic.timer(
                 "emit",
                 Duration::from_millis(10),
@@ -65,7 +65,7 @@ fn pipeline_runs_under_rti_grants() {
                 .body(move |n: &mut u8, ctx| {
                     *n += 1;
                     if *n <= 5 {
-                        ctx.set(out, vec![*n]);
+                        ctx.set(out, vec![*n].into());
                     }
                 });
             drop(logic);
@@ -187,12 +187,12 @@ fn zero_delay_cycle_progresses_via_ptags() {
         let input = ClientEventTransactor::declare(&mut b, "pong");
         {
             let mut logic = b.reactor("a_logic", ());
-            let out = logic.output::<Vec<u8>>("out");
+            let out = logic.output::<dear_someip::FrameBuf>("out");
             logic
                 .reaction("kick")
                 .triggered_by(dear_core::Startup)
                 .effects(out)
-                .body(move |_, ctx| ctx.set(out, vec![0]));
+                .body(move |_, ctx| ctx.set(out, vec![0].into()));
             let sink = log.clone();
             logic
                 .reaction("relay")
@@ -202,7 +202,7 @@ fn zero_delay_cycle_progresses_via_ptags() {
                     let v = ctx.get(input.event).unwrap()[0];
                     sink.lock().unwrap().push(v);
                     if v < ROUNDS {
-                        ctx.set(out, vec![v + 1]);
+                        ctx.set(out, vec![v + 1].into());
                     }
                 });
             drop(logic);
@@ -237,14 +237,14 @@ fn zero_delay_cycle_progresses_via_ptags() {
         let publish = ServerEventTransactor::declare(&mut b, &outbox, "pong", Duration::ZERO);
         {
             let mut logic = b.reactor("b_logic", ());
-            let out = logic.output::<Vec<u8>>("out");
+            let out = logic.output::<dear_someip::FrameBuf>("out");
             logic
                 .reaction("relay")
                 .triggered_by(input.event)
                 .effects(out)
                 .body(move |_, ctx| {
                     let v = ctx.get(input.event).unwrap()[0];
-                    ctx.set(out, vec![v]);
+                    ctx.set(out, vec![v].into());
                 });
             drop(logic);
             b.connect(out, publish.event).unwrap();

@@ -1,0 +1,660 @@
+//! Pooled, reference-counted frame buffers — the zero-copy data path.
+//!
+//! Every layer of the middleware stack (payload serialization, SOME/IP
+//! wire assembly, the simulated network, the transactor ports and the
+//! coordination channel) moves message bytes in a [`FrameBuf`]: a cheap
+//! to clone, immutable view into a shared byte buffer. Buffers are
+//! checked out of a [`FramePool`] as [`FrameMut`] builders, frozen into
+//! views, and automatically returned to their pool when the last view
+//! drops — so a steady-state send/receive loop performs no heap
+//! allocation at all.
+//!
+//! The design is in the spirit of `bytes::Bytes`, reduced to what this
+//! workspace needs and implemented without dependencies or `unsafe`:
+//! uniqueness is checked through [`Arc::get_mut`], which is also what
+//! makes the in-place wire assembly of [`FrameBuf::extend_in_place`]
+//! sound — a buffer is only ever mutated while exactly one handle to it
+//! exists.
+//!
+//! **Ownership rule:** a frame belongs to the pool it was acquired from,
+//! for its whole life. Views may cross crates, threads and simulated
+//! nodes freely; the bytes travel *by reference*, and the final drop —
+//! wherever it happens — recycles the buffer into the origin pool. A
+//! frame created from a plain `Vec<u8>` (via `From`) has no pool and
+//! simply deallocates.
+//!
+//! One deliberate imprecision: when two views of one buffer race their
+//! final drops on *different threads*, both may observe a strong count
+//! above 1 and neither recycles — the buffer then simply deallocates
+//! and the pool re-allocates on a later acquire. This is safe and
+//! self-healing, and it cannot happen on the single-threaded simulation
+//! data path (bindings, network, outbox draining), where the
+//! steady-state zero-allocation guarantee is measured and asserted; an
+//! exact last-dropper protocol would put a second atomic refcount on
+//! every clone and drop to close a gap that only costs one stray
+//! allocation when hit.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Counters describing a pool's allocation behaviour.
+///
+/// `created` only grows while the working set grows; once it plateaus,
+/// every acquire is served from the free list (`reused`) and the data
+/// path is allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FramePoolStats {
+    /// Buffers allocated because the free list was empty.
+    pub created: u64,
+    /// Acquires served by recycling a free buffer.
+    pub reused: u64,
+    /// Buffers returned to the free list by a final drop.
+    pub recycled: u64,
+}
+
+#[derive(Default)]
+struct PoolInner {
+    free: Mutex<Vec<Arc<Shared>>>,
+    created: AtomicU64,
+    reused: AtomicU64,
+    recycled: AtomicU64,
+}
+
+/// The shared backing store of one frame. Only ever mutated while a
+/// single handle exists (enforced via `Arc::get_mut`).
+struct Shared {
+    buf: Vec<u8>,
+    pool: Weak<PoolInner>,
+}
+
+impl Shared {
+    fn detached(buf: Vec<u8>) -> Arc<Self> {
+        Arc::new(Shared {
+            buf,
+            pool: Weak::new(),
+        })
+    }
+}
+
+/// Returns a uniquely held buffer to its origin pool (no-op for detached
+/// buffers or when the pool is gone). Callers that hold a non-unique
+/// `Arc` simply drop it; the *last* holder recycles. Final drops racing
+/// on different threads may all observe a count above 1 and skip — the
+/// buffer then deallocates instead of recycling (see the module docs
+/// for why this imprecision is acceptable).
+fn recycle(mut shared: Arc<Shared>) {
+    // Fast path for shared buffers: a plain load instead of `get_mut`'s
+    // compare-exchange. No `Weak<Shared>` is ever created, so observing
+    // a strong count above 1 while holding a reference proves another
+    // holder exists.
+    if Arc::strong_count(&shared) != 1 {
+        return;
+    }
+    let pool = match Arc::get_mut(&mut shared) {
+        Some(s) => s.pool.upgrade(),
+        None => return,
+    };
+    if let Some(pool) = pool {
+        pool.recycled.fetch_add(1, Ordering::Relaxed);
+        pool.free.lock().expect("frame pool poisoned").push(shared);
+    }
+}
+
+/// A shared pool of recycled frame buffers.
+///
+/// Cheap to clone; clones share the pool. Thread-safe: frames may be
+/// dropped (and thus recycled) from reactor worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use dear_sim::FramePool;
+///
+/// let pool = FramePool::new();
+/// let mut frame = pool.acquire();
+/// frame.extend_from_slice(b"hello");
+/// let view = frame.freeze();
+/// let copy = view.clone(); // no bytes copied
+/// assert_eq!(&view[..], b"hello");
+/// drop(view);
+/// drop(copy); // last drop returns the buffer to the pool
+/// assert_eq!(pool.stats().recycled, 1);
+/// let again = pool.acquire(); // reuses the buffer, no allocation
+/// assert_eq!(pool.stats().reused, 1);
+/// drop(again);
+/// ```
+#[derive(Clone, Default)]
+pub struct FramePool {
+    inner: Arc<PoolInner>,
+}
+
+impl fmt::Debug for FramePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FramePool")
+            .field("free", &self.free_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a cleared buffer out of the pool (recycling a free one when
+    /// available, allocating otherwise).
+    #[must_use]
+    pub fn acquire(&self) -> FrameMut {
+        let recycled = self.inner.free.lock().expect("frame pool poisoned").pop();
+        let shared = match recycled {
+            Some(mut shared) => {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                Arc::get_mut(&mut shared)
+                    .expect("free-list buffers are uniquely held")
+                    .buf
+                    .clear();
+                shared
+            }
+            None => {
+                self.inner.created.fetch_add(1, Ordering::Relaxed);
+                Arc::new(Shared {
+                    buf: Vec::new(),
+                    pool: Arc::downgrade(&self.inner),
+                })
+            }
+        };
+        FrameMut {
+            shared: Some(shared),
+            headroom: 0,
+        }
+    }
+
+    /// Number of buffers currently on the free list.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.inner.free.lock().expect("frame pool poisoned").len()
+    }
+
+    /// Allocation counters.
+    #[must_use]
+    pub fn stats(&self) -> FramePoolStats {
+        FramePoolStats {
+            created: self.inner.created.load(Ordering::Relaxed),
+            reused: self.inner.reused.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A uniquely held, writable frame buffer (the builder stage of a frame's
+/// life). Obtained from [`FramePool::acquire`] or [`FrameMut::detached`];
+/// turned into an immutable shareable view with [`FrameMut::freeze`].
+pub struct FrameMut {
+    /// Always `Some` until `freeze`/`into_payload_vec` take it (kept as an
+    /// `Option` so `Drop` can recycle un-frozen builders).
+    shared: Option<Arc<Shared>>,
+    headroom: usize,
+}
+
+impl fmt::Debug for FrameMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameMut")
+            .field("len", &self.len())
+            .field("headroom", &self.headroom)
+            .finish()
+    }
+}
+
+impl FrameMut {
+    /// A writable buffer with no backing pool (deallocates instead of
+    /// recycling). Used where no pool is in scope, e.g. test payloads.
+    #[must_use]
+    pub fn detached() -> Self {
+        FrameMut {
+            shared: Some(Shared::detached(Vec::new())),
+            headroom: 0,
+        }
+    }
+
+    fn buf(&mut self) -> &mut Vec<u8> {
+        &mut Arc::get_mut(self.shared.as_mut().expect("builder not consumed"))
+            .expect("FrameMut is uniquely held")
+            .buf
+    }
+
+    fn buf_ref(&self) -> &Vec<u8> {
+        &self.shared.as_ref().expect("builder not consumed").buf
+    }
+
+    /// Reserves `n` bytes of headroom in front of the content written so
+    /// far — space a later wire-assembly step can claim for a header via
+    /// [`FrameBuf::extend_in_place`] without copying the content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if content was already written.
+    pub fn reserve_headroom(&mut self, n: usize) {
+        assert!(
+            self.buf_ref().len() == self.headroom,
+            "headroom must be reserved before writing content"
+        );
+        self.headroom += n;
+        let headroom = self.headroom;
+        self.buf().resize(headroom, 0);
+    }
+
+    /// Appends one byte.
+    pub fn push(&mut self, byte: u8) {
+        self.buf().push(byte);
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.buf().extend_from_slice(bytes);
+    }
+
+    /// Content length in bytes (excluding headroom).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf_ref().len() - self.headroom
+    }
+
+    /// Whether no content was written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The content written so far (excluding headroom).
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf_ref()[self.headroom..]
+    }
+
+    /// Freezes the builder into an immutable, shareable view of the
+    /// content (headroom stays in the buffer, in front of the view).
+    #[must_use]
+    pub fn freeze(mut self) -> FrameBuf {
+        let shared = self.shared.take().expect("builder not consumed");
+        let end = shared.buf.len();
+        FrameBuf {
+            shared: Some(shared),
+            start: self.headroom,
+            end,
+        }
+    }
+
+    /// Consumes the builder, returning the content as a plain vector.
+    ///
+    /// This removes the buffer from pool circulation (compatibility path
+    /// for callers that need an owned `Vec<u8>`).
+    #[must_use]
+    pub fn into_payload_vec(mut self) -> Vec<u8> {
+        let shared = self.shared.take().expect("builder not consumed");
+        let mut buf = match Arc::try_unwrap(shared) {
+            Ok(s) => s.buf,
+            Err(_) => unreachable!("FrameMut is uniquely held"),
+        };
+        if self.headroom > 0 {
+            buf.drain(..self.headroom);
+        }
+        buf
+    }
+}
+
+impl Drop for FrameMut {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            recycle(shared);
+        }
+    }
+}
+
+/// An immutable, reference-counted view into a (possibly pooled) byte
+/// buffer. Cloning and slicing share the buffer; no bytes are copied.
+/// Dropping the last view returns a pooled buffer to its pool.
+///
+/// Dereferences to `[u8]`, so it can be read anywhere a byte slice is
+/// expected.
+#[derive(Clone, Default)]
+pub struct FrameBuf {
+    /// `None` only for the empty default and after `Drop` took the
+    /// buffer for recycling.
+    shared: Option<Arc<Shared>>,
+    start: usize,
+    end: usize,
+}
+
+impl FrameBuf {
+    /// An empty frame (no backing buffer).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.shared {
+            Some(shared) => &shared.buf[self.start..self.end],
+            None => &[],
+        }
+    }
+
+    /// Length of the view in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of `self` (indices relative to this view). Shares the
+    /// buffer; no bytes are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, start: usize, end: usize) -> FrameBuf {
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        FrameBuf {
+            shared: self.shared.clone(),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Copies the viewed bytes into an owned vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Zero-copy wire assembly: grows this view in place by writing
+    /// `prefix` into the bytes immediately before it (headroom) and
+    /// appending `suffix` after it.
+    ///
+    /// Succeeds only when the view is the *unique* holder of its buffer,
+    /// has at least `prefix.len()` bytes of headroom, and ends at the
+    /// buffer's tail — the state produced by a headroom-reserving
+    /// [`FrameMut`]. Returns `Err(self)` unchanged otherwise, so the
+    /// caller can fall back to a copying path.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when in-place assembly is not possible (shared
+    /// buffer, insufficient headroom, or trailing bytes after the view).
+    pub fn extend_in_place(mut self, prefix: &[u8], suffix: &[u8]) -> Result<FrameBuf, FrameBuf> {
+        let (start, end) = (self.start, self.end);
+        let Some(arc) = self.shared.as_mut() else {
+            return Err(self);
+        };
+        match Arc::get_mut(arc) {
+            Some(shared) if start >= prefix.len() && end == shared.buf.len() => {
+                let new_start = start - prefix.len();
+                shared.buf[new_start..start].copy_from_slice(prefix);
+                shared.buf.extend_from_slice(suffix);
+                self.start = new_start;
+                self.end = shared.buf.len();
+                Ok(self)
+            }
+            _ => Err(self),
+        }
+    }
+}
+
+impl Drop for FrameBuf {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            recycle(shared);
+        }
+    }
+}
+
+impl Deref for FrameBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for FrameBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for FrameBuf {
+    /// Wraps an owned vector as a detached (pool-less) frame.
+    fn from(buf: Vec<u8>) -> Self {
+        let end = buf.len();
+        FrameBuf {
+            shared: Some(Shared::detached(buf)),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for FrameBuf {
+    fn from(bytes: &[u8]) -> Self {
+        FrameBuf::from(bytes.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for FrameBuf {
+    fn from(bytes: [u8; N]) -> Self {
+        FrameBuf::from(bytes.to_vec())
+    }
+}
+
+impl fmt::Debug for FrameBuf {
+    /// Debug-formats like a `Vec<u8>` would, so log and trace output is
+    /// unchanged from the pre-frame era.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq for FrameBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for FrameBuf {}
+
+impl PartialEq<[u8]> for FrameBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for FrameBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for FrameBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<FrameBuf> for Vec<u8> {
+    fn eq(&self, other: &FrameBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for FrameBuf {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl Hash for FrameBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_and_read() {
+        let pool = FramePool::new();
+        let mut m = pool.acquire();
+        m.push(1);
+        m.extend_from_slice(&[2, 3]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.as_slice(), &[1, 2, 3]);
+        let f = m.freeze();
+        assert_eq!(f, vec![1, 2, 3]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(&f[1..], &[2, 3]);
+    }
+
+    #[test]
+    fn clones_and_slices_share_without_copying() {
+        let f = FrameBuf::from(vec![10, 20, 30, 40]);
+        let c = f.clone();
+        let s = f.slice(1, 3);
+        assert_eq!(s, vec![20, 30]);
+        assert_eq!(s.slice(1, 2), vec![30]);
+        // Same backing store: identical addresses.
+        assert!(std::ptr::eq(&f.as_slice()[1], &c.as_slice()[1]));
+        assert!(std::ptr::eq(&f.as_slice()[1], &s.as_slice()[0]));
+    }
+
+    #[test]
+    fn last_drop_recycles_and_acquire_reuses() {
+        let pool = FramePool::new();
+        let a = pool.acquire().freeze();
+        let b = a.clone();
+        drop(a);
+        assert_eq!(pool.stats().recycled, 0, "a view is still alive");
+        drop(b);
+        assert_eq!(pool.stats().recycled, 1);
+        assert_eq!(pool.free_count(), 1);
+        let _c = pool.acquire();
+        let stats = pool.stats();
+        assert_eq!((stats.created, stats.reused), (1, 1));
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    fn unfrozen_builders_recycle_too() {
+        let pool = FramePool::new();
+        let mut m = pool.acquire();
+        m.extend_from_slice(&[9; 100]);
+        drop(m);
+        assert_eq!(pool.stats().recycled, 1);
+        // The recycled buffer comes back cleared but with its capacity.
+        let m = pool.acquire();
+        assert!(m.is_empty());
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn detached_frames_have_no_pool() {
+        let f = FrameBuf::from(vec![1]);
+        drop(f);
+        let m = FrameMut::detached();
+        assert_eq!(m.into_payload_vec(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn headroom_reserved_then_claimed_in_place() {
+        let pool = FramePool::new();
+        let mut m = pool.acquire();
+        m.reserve_headroom(4);
+        m.extend_from_slice(b"body");
+        assert_eq!(m.as_slice(), b"body", "headroom invisible to content");
+        let payload = m.freeze();
+        let frame = payload
+            .extend_in_place(b"HEAD", b"!!")
+            .expect("unique view with headroom");
+        assert_eq!(frame, b"HEADbody!!".to_vec());
+    }
+
+    #[test]
+    fn extend_in_place_refuses_shared_or_cramped_views() {
+        // Shared: a second view exists.
+        let pool = FramePool::new();
+        let mut m = pool.acquire();
+        m.reserve_headroom(4);
+        m.extend_from_slice(b"x");
+        let payload = m.freeze();
+        let other = payload.clone();
+        let payload = payload.extend_in_place(b"HEAD", b"").unwrap_err();
+        drop(other);
+        // No headroom.
+        let cramped = FrameBuf::from(vec![1, 2]);
+        assert!(cramped.extend_in_place(b"H", b"").is_err());
+        // Not at the buffer tail (the sub-view keeps `payload` shared, so
+        // `payload` itself also still refuses).
+        let head = payload.slice(0, 0);
+        assert!(head.extend_in_place(b"", b"t").is_err());
+        // Unique again, at the tail: succeeds now.
+        assert!(payload.extend_in_place(b"HEAD", b"").is_ok());
+    }
+
+    #[test]
+    fn into_payload_vec_strips_headroom() {
+        let pool = FramePool::new();
+        let mut m = pool.acquire();
+        m.reserve_headroom(2);
+        m.extend_from_slice(&[7, 8]);
+        assert_eq!(m.into_payload_vec(), vec![7, 8]);
+    }
+
+    #[test]
+    fn equality_debug_and_hash_follow_contents() {
+        let a = FrameBuf::from(vec![1, 2]);
+        let b = FrameBuf::from(vec![0, 1, 2, 3]).slice(1, 3);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(vec![1, 2], a);
+        assert_eq!(a, [1u8, 2]);
+        assert_eq!(a, &[1u8, 2][..]);
+        assert_eq!(format!("{a:?}"), format!("{:?}", vec![1u8, 2]));
+        let hash = |f: &FrameBuf| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            f.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn frames_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrameBuf>();
+        assert_send_sync::<FrameMut>();
+        assert_send_sync::<FramePool>();
+    }
+
+    #[test]
+    fn dropping_the_pool_detaches_outstanding_frames() {
+        let pool = FramePool::new();
+        let f = pool.acquire().freeze();
+        drop(pool);
+        drop(f); // must not panic; buffer simply deallocates
+    }
+}

@@ -19,6 +19,9 @@
 //!   and optional reordering (nondeterminism source 3).
 //! * [`TaskPool`] — worker-thread dispatch with stochastic scheduling
 //!   delay (nondeterminism source 1).
+//! * [`FrameBuf`] / [`FramePool`] — pooled, reference-counted frame
+//!   buffers: the zero-copy payload representation every layer above
+//!   (SOME/IP, transactors, federation) moves message bytes in.
 //! * [`Trace`] — deterministic fingerprinting of observable behaviour.
 //!
 //! # Quickstart
@@ -32,7 +35,7 @@
 //! net.set_receiver(NodeId(1), |sim, frame| {
 //!     println!("got {:?} at {}", frame.payload, sim.now());
 //! });
-//! net.send(&mut sim, Frame { src: NodeId(0), dst: NodeId(1), payload: vec![1, 2, 3] });
+//! net.send(&mut sim, Frame { src: NodeId(0), dst: NodeId(1), payload: vec![1, 2, 3].into() });
 //! sim.run_to_completion();
 //! ```
 
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 mod clock;
+mod frame;
 mod net;
 mod pool;
 mod rng;
@@ -47,6 +51,7 @@ mod sim;
 mod trace;
 
 pub use clock::{ClockModel, VirtualClock};
+pub use frame::{FrameBuf, FrameMut, FramePool, FramePoolStats};
 pub use net::{Frame, LinkConfig, NetStats, NetworkHandle, NodeId};
 pub use pool::{PoolStats, TaskPool};
 pub use rng::{LatencyModel, SimRng};

@@ -11,6 +11,7 @@
 //! Frames are raw byte payloads addressed by [`NodeId`]; the SOME/IP crate
 //! layers its wire format on top.
 
+use crate::frame::FrameBuf;
 use crate::rng::{LatencyModel, SimRng};
 use crate::sim::Simulation;
 use dear_time::{Duration, Instant};
@@ -30,6 +31,10 @@ impl fmt::Display for NodeId {
 }
 
 /// A raw frame in flight on the network.
+///
+/// The payload is a [`FrameBuf`] view: queuing, fan-out and delivery
+/// never copy the bytes, and the backing buffer returns to its pool once
+/// the receiver is done with it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Sending node.
@@ -37,7 +42,7 @@ pub struct Frame {
     /// Destination node.
     pub dst: NodeId,
     /// Opaque payload (the SOME/IP layer serializes into this).
-    pub payload: Vec<u8>,
+    pub payload: FrameBuf,
 }
 
 /// Configuration of a directed link between two nodes.
@@ -190,7 +195,7 @@ impl Network {
 ///     sink.borrow_mut().push(frame.payload);
 /// });
 ///
-/// net.send(&mut sim, Frame { src: NodeId(1), dst: NodeId(2), payload: vec![0xAB] });
+/// net.send(&mut sim, Frame { src: NodeId(1), dst: NodeId(2), payload: vec![0xAB].into() });
 /// sim.run_to_completion();
 /// assert_eq!(*got.borrow(), vec![vec![0xAB]]);
 /// ```
@@ -317,7 +322,7 @@ mod tests {
         Frame {
             src: NodeId(src),
             dst: NodeId(dst),
-            payload: vec![byte],
+            payload: vec![byte].into(),
         }
     }
 
@@ -465,7 +470,7 @@ mod tests {
                 Frame {
                     src: f.dst,
                     dst: f.src,
-                    payload: vec![f.payload[0] + 1],
+                    payload: vec![f.payload[0] + 1].into(),
                 },
             );
         });

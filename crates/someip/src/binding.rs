@@ -17,7 +17,7 @@
 
 use crate::sd::{Offer, SdRegistry, ServiceInstance};
 use crate::wire::{MessageId, MessageType, RequestId, ReturnCode, SomeIpMessage, WireTag};
-use dear_sim::{Frame, NetworkHandle, NodeId, Simulation};
+use dear_sim::{Frame, FrameBuf, FramePool, NetworkHandle, NodeId, Simulation};
 use dear_time::Duration;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -75,6 +75,8 @@ struct BindingInner {
     node: NodeId,
     net: NetworkHandle,
     sd: SdRegistry,
+    /// Recycled wire buffers for every frame this binding assembles.
+    pool: FramePool,
     client_id: u16,
     next_session: u16,
     // BTreeMaps keep every registry's iteration order independent of
@@ -147,6 +149,7 @@ impl Binding {
             node,
             net: net.clone(),
             sd: sd.clone(),
+            pool: FramePool::new(),
             client_id,
             next_session: 1,
             pending: BTreeMap::new(),
@@ -171,6 +174,16 @@ impl Binding {
     #[must_use]
     pub fn stats(&self) -> BindingStats {
         self.0.borrow().stats
+    }
+
+    /// The binding's frame pool (shared handle). Senders that serialize
+    /// payloads through a [`PayloadWriter::pooled`] writer backed by this
+    /// pool get a fully zero-copy, allocation-free path onto the wire.
+    ///
+    /// [`PayloadWriter::pooled`]: crate::PayloadWriter::pooled
+    #[must_use]
+    pub fn pool(&self) -> FramePool {
+        self.0.borrow().pool.clone()
     }
 
     // --- DEAR timestamp bypass -------------------------------------------
@@ -257,7 +270,7 @@ impl Binding {
         service: u16,
         instance: u16,
         method: u16,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBuf>,
         on_response: impl FnOnce(&mut Simulation, SomeIpMessage) + 'static,
     ) -> Result<RequestId, BindingError> {
         let offer = self.resolve(sim, service, instance)?;
@@ -275,7 +288,7 @@ impl Binding {
                 Frame {
                     src: inner.node,
                     dst: offer.node,
-                    payload: msg.encode(),
+                    payload: msg.into_frame(&inner.pool),
                 },
                 request_id,
             )
@@ -297,7 +310,7 @@ impl Binding {
         service: u16,
         instance: u16,
         method: u16,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBuf>,
     ) -> Result<(), BindingError> {
         let offer = self.resolve(sim, service, instance)?;
         let frame = {
@@ -313,7 +326,7 @@ impl Binding {
             Frame {
                 src: inner.node,
                 dst: offer.node,
-                payload: msg.encode(),
+                payload: msg.into_frame(&inner.pool),
             }
         };
         let net = self.0.borrow().net.clone();
@@ -331,9 +344,9 @@ impl Binding {
         instance: ServiceInstance,
         eventgroup: u16,
         event: u16,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBuf>,
     ) {
-        let (subscribers, frames) = {
+        let frames = {
             let mut inner = self.0.borrow_mut();
             let subscribers = inner.sd.subscribers(instance, eventgroup);
             let tag = inner.outgoing_tags.pop_front();
@@ -342,7 +355,9 @@ impl Binding {
             if let Some(tag) = tag {
                 msg = msg.with_tag(tag);
             }
-            let bytes = msg.encode();
+            // One encode for the whole fan-out; every subscriber's frame
+            // is a view of the same buffer.
+            let bytes = msg.into_frame(&inner.pool);
             let frames: Vec<Frame> = subscribers
                 .iter()
                 .map(|&dst| Frame {
@@ -352,9 +367,8 @@ impl Binding {
                 })
                 .collect();
             inner.stats.notifications_sent += frames.len() as u64;
-            (subscribers, frames)
+            frames
         };
-        let _ = subscribers;
         let net = self.0.borrow().net.clone();
         for frame in frames {
             net.send(sim, frame);
@@ -373,7 +387,9 @@ impl Binding {
     }
 
     fn on_frame(&self, sim: &mut Simulation, frame: Frame) {
-        let msg = match SomeIpMessage::decode(&frame.payload) {
+        // Zero-copy decode: the message's payload is a view into the
+        // received frame's buffer, read in place by every layer above.
+        let msg = match SomeIpMessage::decode_frame(&frame.payload) {
             Ok(m) => m,
             Err(_) => {
                 self.0.borrow_mut().stats.decode_errors += 1;
@@ -480,7 +496,7 @@ impl Responder {
     ///
     /// An outgoing bypass tag, if deposited, is attached (Fig. 3 step 16).
     /// No-op for fire-and-forget requests.
-    pub fn reply(self, sim: &mut Simulation, payload: Vec<u8>) {
+    pub fn reply(self, sim: &mut Simulation, payload: impl Into<FrameBuf>) {
         if !self.wants_response {
             return;
         }
@@ -493,7 +509,7 @@ impl Responder {
             Frame {
                 src: inner.node,
                 dst: self.reply_to,
-                payload: msg.encode(),
+                payload: msg.into_frame(&inner.pool),
             }
         };
         let net = self.binding.0.borrow().net.clone();
@@ -511,7 +527,7 @@ impl Responder {
             Frame {
                 src: inner.node,
                 dst: self.reply_to,
-                payload: msg.encode(),
+                payload: msg.into_frame(&inner.pool),
             }
         };
         let net = self.binding.0.borrow().net.clone();
@@ -649,7 +665,7 @@ mod tests {
             c.subscribe(inst, 1);
             let sink = hits.clone();
             c.on_event(0x60, 0x8001, move |_, msg| {
-                sink.borrow_mut().push((i, msg.payload.clone()));
+                sink.borrow_mut().push((i, msg.payload.to_vec()));
             });
             clients.push(c);
         }

@@ -17,7 +17,8 @@
 //! encode→decode is a bijection (property-tested in
 //! `tests/coord_roundtrip.rs`).
 
-use crate::wire::WireTag;
+use crate::wire::{WireTag, HEADER_LEN};
+use dear_sim::{FrameBuf, FramePool};
 use std::error::Error;
 use std::fmt;
 
@@ -161,17 +162,35 @@ impl CoordMsg {
         }
     }
 
-    /// Serializes the payload record.
+    /// The fixed 27-byte record.
+    fn record(&self) -> [u8; COORD_PAYLOAD_LEN] {
+        let mut r = [0u8; COORD_PAYLOAD_LEN];
+        r[0] = self.kind as u8;
+        r[1..3].copy_from_slice(&self.federate.to_be_bytes());
+        r[3..11].copy_from_slice(&self.tag.nanos.to_be_bytes());
+        r[11..15].copy_from_slice(&self.tag.microstep.to_be_bytes());
+        r[15..23].copy_from_slice(&self.fence.nanos.to_be_bytes());
+        r[23..27].copy_from_slice(&self.fence.microstep.to_be_bytes());
+        r
+    }
+
+    /// Serializes the payload record to owned bytes.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(COORD_PAYLOAD_LEN);
-        buf.push(self.kind as u8);
-        buf.extend_from_slice(&self.federate.to_be_bytes());
-        buf.extend_from_slice(&self.tag.nanos.to_be_bytes());
-        buf.extend_from_slice(&self.tag.microstep.to_be_bytes());
-        buf.extend_from_slice(&self.fence.nanos.to_be_bytes());
-        buf.extend_from_slice(&self.fence.microstep.to_be_bytes());
-        buf
+        self.record().to_vec()
+    }
+
+    /// Serializes the payload record into a recycled pool buffer with
+    /// SOME/IP header headroom, so the binding puts the control message
+    /// on the wire without further copies or allocations. This is the
+    /// path the RTI and the coordinated platforms use for all NET, TAG,
+    /// PTAG and LTC traffic.
+    #[must_use]
+    pub fn encode_into(&self, pool: &FramePool) -> FrameBuf {
+        let mut buf = pool.acquire();
+        buf.reserve_headroom(HEADER_LEN);
+        buf.extend_from_slice(&self.record());
+        buf.freeze()
     }
 
     /// Parses a payload record.

@@ -18,7 +18,14 @@
 //! * the **coordination service** ([`CoordMsg`]): the NET/TAG/PTAG/LTC
 //!   control messages a centralized coordinator (`dear-federation`'s RTI)
 //!   exchanges with federates, carried as ordinary SOME/IP methods and
-//!   event notifications.
+//!   event notifications;
+//! * a **zero-copy data path**: payloads live in pooled,
+//!   reference-counted [`FrameBuf`] buffers (re-exported from
+//!   `dear-sim`). A pooled [`PayloadWriter`] reserves header headroom,
+//!   [`SomeIpMessage::into_frame`] wraps the wire header around the
+//!   payload in place, and [`SomeIpMessage::decode_frame`] yields a
+//!   payload that is a view into the received frame — end to end, the
+//!   payload bytes are written once and read in place.
 //!
 //! See the [`Binding`] example for a complete client/server round trip.
 
@@ -32,10 +39,14 @@ mod sd;
 mod wire;
 
 pub use binding::{Binding, BindingError, BindingStats, Responder};
+// The frame types are defined in `dear-sim` (the network layer queues
+// them), but they are the middleware's payload currency, so they are
+// re-exported here for the layers above.
 pub use coord::{
     coord_eventgroup, CoordError, CoordKind, CoordMsg, COORD_EVENT, COORD_EVENTGROUP_BASE,
     COORD_INSTANCE, COORD_METHOD, COORD_PAYLOAD_LEN, COORD_SERVICE, TAG_NEVER,
 };
+pub use dear_sim::{FrameBuf, FrameMut, FramePool, FramePoolStats};
 pub use payload::{PayloadError, PayloadReader, PayloadWriter};
 pub use sd::{Offer, SdRegistry, ServiceInstance, ANY_INSTANCE};
 pub use wire::{

@@ -3,7 +3,16 @@
 //! SOME/IP serializes arguments in network byte order (big-endian).
 //! [`PayloadWriter`] and [`PayloadReader`] provide the primitive codec the
 //! generated proxies/skeletons in `dear-ara` build on.
+//!
+//! Writers fill [`FrameBuf`] buffers: a [pooled](PayloadWriter::pooled)
+//! writer recycles buffers from a [`FramePool`] and reserves wire-header
+//! headroom so the binding can assemble the full SOME/IP frame around the
+//! payload without copying it. Readers borrow — [`PayloadReader`] works
+//! on any byte slice, including a [`FrameBuf`] view into a received
+//! frame.
 
+use crate::wire::HEADER_LEN;
+use dear_sim::{FrameBuf, FrameMut, FramePool};
 use std::error::Error;
 use std::fmt;
 
@@ -63,16 +72,35 @@ impl Error for PayloadError {}
 /// r.finish()?;
 /// # Ok::<(), dear_someip::PayloadError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct PayloadWriter {
-    buf: Vec<u8>,
+    buf: FrameMut,
+}
+
+impl Default for PayloadWriter {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PayloadWriter {
-    /// Creates an empty writer.
+    /// Creates an empty writer backed by a detached (pool-less) buffer.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        PayloadWriter {
+            buf: FrameMut::detached(),
+        }
+    }
+
+    /// Creates a writer backed by a recycled pool buffer, with
+    /// [`HEADER_LEN`] bytes of headroom reserved so the eventual
+    /// [`SomeIpMessage::into_frame`](crate::SomeIpMessage::into_frame)
+    /// can wrap the wire header around the payload in place.
+    #[must_use]
+    pub fn pooled(pool: &FramePool) -> Self {
+        let mut buf = pool.acquire();
+        buf.reserve_headroom(HEADER_LEN);
+        PayloadWriter { buf }
     }
 
     /// Appends a `u8`.
@@ -137,10 +165,21 @@ impl PayloadWriter {
         self
     }
 
-    /// Finishes serialization, returning the payload bytes.
+    /// Finishes serialization, returning the payload as a shareable
+    /// frame view (the zero-copy path).
+    #[must_use]
+    pub fn into_frame(self) -> FrameBuf {
+        self.buf.freeze()
+    }
+
+    /// Finishes serialization, returning the payload as owned bytes.
+    ///
+    /// Compatibility path: this takes the buffer out of pool circulation
+    /// (and, for pooled writers, shifts out the headroom). Prefer
+    /// [`PayloadWriter::into_frame`] on hot paths.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        self.buf.into_payload_vec()
     }
 
     /// Current length in bytes.
@@ -377,6 +416,30 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = PayloadReader::new(&bytes);
         assert_eq!(r.read_string(), Err(PayloadError::InvalidUtf8));
+    }
+
+    #[test]
+    fn pooled_writer_recycles_and_matches_detached_output() {
+        let pool = FramePool::new();
+        let reference = {
+            let mut w = PayloadWriter::new();
+            w.write_u32(7).write_string("lane").write_bool(true);
+            w.into_bytes()
+        };
+        for round in 0..3u64 {
+            let mut w = PayloadWriter::pooled(&pool);
+            w.write_u32(7).write_string("lane").write_bool(true);
+            let frame = w.into_frame();
+            assert_eq!(frame, reference, "round {round}");
+            let mut r = PayloadReader::new(&frame);
+            assert_eq!(r.read_u32().unwrap(), 7);
+            assert_eq!(r.read_string().unwrap(), "lane");
+            assert!(r.read_bool().unwrap());
+            r.finish().unwrap();
+        }
+        // One buffer serviced all three rounds.
+        assert_eq!(pool.stats().created, 1);
+        assert_eq!(pool.stats().reused, 2);
     }
 
     #[test]

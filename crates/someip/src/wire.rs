@@ -24,6 +24,7 @@
 //! plain SOME/IP messages byte-identical to the standard and makes the
 //! extension "a new third-party middleware that extends over SOME/IP".
 
+use dear_sim::{FrameBuf, FramePool};
 use std::error::Error;
 use std::fmt;
 
@@ -235,6 +236,11 @@ impl fmt::Display for WireError {
 impl Error for WireError {}
 
 /// A complete SOME/IP message (header fields + payload + optional tag).
+///
+/// The payload is a [`FrameBuf`] view: a message decoded with
+/// [`SomeIpMessage::decode_frame`] borrows the received frame's bytes in
+/// place, and one assembled with [`SomeIpMessage::into_frame`] wraps the
+/// wire header around a pooled payload without copying it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SomeIpMessage {
     /// Service/method address.
@@ -248,7 +254,7 @@ pub struct SomeIpMessage {
     /// Result status (meaningful on responses).
     pub return_code: ReturnCode,
     /// Serialized arguments / return values.
-    pub payload: Vec<u8>,
+    pub payload: FrameBuf,
     /// The DEAR logical timestamp, when sent by a modified binding.
     pub tag: Option<WireTag>,
 }
@@ -256,28 +262,32 @@ pub struct SomeIpMessage {
 impl SomeIpMessage {
     /// Creates a request message.
     #[must_use]
-    pub fn request(message_id: MessageId, request_id: RequestId, payload: Vec<u8>) -> Self {
+    pub fn request(
+        message_id: MessageId,
+        request_id: RequestId,
+        payload: impl Into<FrameBuf>,
+    ) -> Self {
         SomeIpMessage {
             message_id,
             request_id,
             interface_version: 1,
             message_type: MessageType::Request,
             return_code: ReturnCode::Ok,
-            payload,
+            payload: payload.into(),
             tag: None,
         }
     }
 
     /// Creates the response to a request, reusing its addressing.
     #[must_use]
-    pub fn response_to(request: &SomeIpMessage, payload: Vec<u8>) -> Self {
+    pub fn response_to(request: &SomeIpMessage, payload: impl Into<FrameBuf>) -> Self {
         SomeIpMessage {
             message_id: request.message_id,
             request_id: request.request_id,
             interface_version: request.interface_version,
             message_type: MessageType::Response,
             return_code: ReturnCode::Ok,
-            payload,
+            payload: payload.into(),
             tag: None,
         }
     }
@@ -291,21 +301,21 @@ impl SomeIpMessage {
             interface_version: request.interface_version,
             message_type: MessageType::Error,
             return_code: code,
-            payload: Vec::new(),
+            payload: FrameBuf::new(),
             tag: None,
         }
     }
 
     /// Creates an event notification.
     #[must_use]
-    pub fn notification(message_id: MessageId, payload: Vec<u8>) -> Self {
+    pub fn notification(message_id: MessageId, payload: impl Into<FrameBuf>) -> Self {
         SomeIpMessage {
             message_id,
             request_id: RequestId::default(),
             interface_version: 1,
             message_type: MessageType::Notification,
             return_code: ReturnCode::Ok,
-            payload,
+            payload: payload.into(),
             tag: None,
         }
     }
@@ -318,7 +328,45 @@ impl SomeIpMessage {
         self
     }
 
-    /// Serializes the message to wire bytes.
+    /// The 16 header bytes this message puts on the wire.
+    fn header_bytes(&self) -> [u8; HEADER_LEN] {
+        let trailer = if self.tag.is_some() {
+            TAG_TRAILER_LEN
+        } else {
+            0
+        };
+        let length = u32::try_from(8 + self.payload.len() + trailer).expect("payload too large");
+        let mut h = [0u8; HEADER_LEN];
+        h[0..2].copy_from_slice(&self.message_id.service.to_be_bytes());
+        h[2..4].copy_from_slice(&self.message_id.method.to_be_bytes());
+        h[4..8].copy_from_slice(&length.to_be_bytes());
+        h[8..10].copy_from_slice(&self.request_id.client.to_be_bytes());
+        h[10..12].copy_from_slice(&self.request_id.session.to_be_bytes());
+        h[12] = if self.tag.is_some() {
+            PROTOCOL_VERSION_DEAR
+        } else {
+            PROTOCOL_VERSION
+        };
+        h[13] = self.interface_version;
+        h[14] = self.message_type as u8;
+        h[15] = self.return_code as u8;
+        h
+    }
+
+    /// The 16 trailer bytes of a DEAR tag.
+    fn trailer_bytes(tag: WireTag) -> [u8; TAG_TRAILER_LEN] {
+        let mut t = [0u8; TAG_TRAILER_LEN];
+        t[0..4].copy_from_slice(&TAG_MAGIC);
+        t[4..12].copy_from_slice(&tag.nanos.to_be_bytes());
+        t[12..16].copy_from_slice(&tag.microstep.to_be_bytes());
+        t
+    }
+
+    /// Serializes the message to owned wire bytes.
+    ///
+    /// This is the allocating reference encoder; the hot path uses
+    /// [`SomeIpMessage::into_frame`], whose output is byte-identical
+    /// (property-tested in `tests/frame_path.rs`).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let trailer = if self.tag.is_some() {
@@ -326,42 +374,47 @@ impl SomeIpMessage {
         } else {
             0
         };
-        let length = 8 + self.payload.len() + trailer;
         let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len() + trailer);
-        buf.extend_from_slice(&self.message_id.service.to_be_bytes());
-        buf.extend_from_slice(&self.message_id.method.to_be_bytes());
-        buf.extend_from_slice(
-            &u32::try_from(length)
-                .expect("payload too large")
-                .to_be_bytes(),
-        );
-        buf.extend_from_slice(&self.request_id.client.to_be_bytes());
-        buf.extend_from_slice(&self.request_id.session.to_be_bytes());
-        buf.push(if self.tag.is_some() {
-            PROTOCOL_VERSION_DEAR
-        } else {
-            PROTOCOL_VERSION
-        });
-        buf.push(self.interface_version);
-        buf.push(self.message_type as u8);
-        buf.push(self.return_code as u8);
+        buf.extend_from_slice(&self.header_bytes());
         buf.extend_from_slice(&self.payload);
         if let Some(tag) = self.tag {
-            buf.extend_from_slice(&TAG_MAGIC);
-            buf.extend_from_slice(&tag.nanos.to_be_bytes());
-            buf.extend_from_slice(&tag.microstep.to_be_bytes());
+            buf.extend_from_slice(&Self::trailer_bytes(tag));
         }
         buf
     }
 
-    /// Parses a message from wire bytes.
+    /// Assembles the wire frame into a pooled buffer, consuming the
+    /// message.
     ///
-    /// # Errors
-    ///
-    /// Returns a [`WireError`] on truncated frames, length mismatches,
-    /// unknown enums, unsupported protocol versions, or a missing tag
-    /// trailer in a frame that advertises one.
-    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+    /// When the payload is the unique view of a buffer with
+    /// [`HEADER_LEN`] bytes of headroom (the state a pooled
+    /// [`PayloadWriter`](crate::PayloadWriter) produces), the header and
+    /// optional tag trailer are written *around the payload in place* —
+    /// zero payload copies and, in steady state, zero allocations.
+    /// Otherwise the frame is assembled by one copy into a fresh pooled
+    /// buffer. Both paths produce bytes identical to
+    /// [`SomeIpMessage::encode`].
+    #[must_use]
+    pub fn into_frame(self, pool: &FramePool) -> FrameBuf {
+        let header = self.header_bytes();
+        let trailer = self.tag.map(Self::trailer_bytes);
+        let trailer: &[u8] = trailer.as_ref().map_or(&[], |t| &t[..]);
+        match self.payload.extend_in_place(&header, trailer) {
+            Ok(frame) => frame,
+            Err(payload) => {
+                let mut buf = pool.acquire();
+                buf.extend_from_slice(&header);
+                buf.extend_from_slice(&payload);
+                buf.extend_from_slice(trailer);
+                buf.freeze()
+            }
+        }
+    }
+
+    /// Parses the header and locates the payload: returns the message
+    /// with an **empty** payload plus the payload's byte range within
+    /// `bytes` (the caller decides whether to view or copy it).
+    fn parse(bytes: &[u8]) -> Result<(Self, std::ops::Range<usize>), WireError> {
         if bytes.len() < HEADER_LEN {
             return Err(WireError::Truncated {
                 needed: HEADER_LEN,
@@ -399,8 +452,8 @@ impl SomeIpMessage {
             });
         }
 
-        let (payload, tag) = match protocol {
-            PROTOCOL_VERSION => (body.to_vec(), None),
+        let (payload_len, tag) = match protocol {
+            PROTOCOL_VERSION => (body.len(), None),
             PROTOCOL_VERSION_DEAR => {
                 if body.len() < TAG_TRAILER_LEN {
                     return Err(WireError::Truncated {
@@ -408,26 +461,58 @@ impl SomeIpMessage {
                         got: bytes.len(),
                     });
                 }
-                let (payload, trailer) = body.split_at(body.len() - TAG_TRAILER_LEN);
+                let trailer = &body[body.len() - TAG_TRAILER_LEN..];
                 if trailer[0..4] != TAG_MAGIC {
                     return Err(WireError::BadTagMagic);
                 }
                 let nanos = u64::from_be_bytes(trailer[4..12].try_into().expect("slice len"));
                 let microstep = u32::from_be_bytes(trailer[12..16].try_into().expect("slice len"));
-                (payload.to_vec(), Some(WireTag { nanos, microstep }))
+                (
+                    body.len() - TAG_TRAILER_LEN,
+                    Some(WireTag { nanos, microstep }),
+                )
             }
             other => return Err(WireError::UnsupportedProtocol(other)),
         };
 
-        Ok(SomeIpMessage {
-            message_id: MessageId { service, method },
-            request_id: RequestId { client, session },
-            interface_version,
-            message_type,
-            return_code,
-            payload,
-            tag,
-        })
+        Ok((
+            SomeIpMessage {
+                message_id: MessageId { service, method },
+                request_id: RequestId { client, session },
+                interface_version,
+                message_type,
+                return_code,
+                payload: FrameBuf::new(),
+                tag,
+            },
+            HEADER_LEN..HEADER_LEN + payload_len,
+        ))
+    }
+
+    /// Parses a message from wire bytes, copying the payload out.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated frames, length mismatches,
+    /// unknown enums, unsupported protocol versions, or a missing tag
+    /// trailer in a frame that advertises one.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let (mut msg, payload) = Self::parse(bytes)?;
+        msg.payload = FrameBuf::from(&bytes[payload]);
+        Ok(msg)
+    }
+
+    /// Parses a message from a received frame **without copying**: the
+    /// returned message's payload is a [`FrameBuf`] view into `frame`'s
+    /// buffer, read in place by the layers above.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SomeIpMessage::decode`].
+    pub fn decode_frame(frame: &FrameBuf) -> Result<Self, WireError> {
+        let (mut msg, payload) = Self::parse(frame)?;
+        msg.payload = frame.slice(payload.start, payload.end);
+        Ok(msg)
     }
 }
 
@@ -444,7 +529,7 @@ mod tests {
             interface_version: 3,
             message_type: MessageType::Request,
             return_code: ReturnCode::Ok,
-            payload: vec![0xDE, 0xAD],
+            payload: vec![0xDE, 0xAD].into(),
             tag: None,
         };
         let bytes = msg.encode();
@@ -570,7 +655,7 @@ mod tests {
                 interface_version: iface,
                 message_type: MessageType::Request,
                 return_code: ReturnCode::Ok,
-                payload,
+                payload: payload.into(),
                 tag: tag.map(|(n, m)| WireTag::new(n, m)),
             };
             let decoded = SomeIpMessage::decode(&msg.encode()).unwrap();

@@ -24,7 +24,7 @@ use crate::outbox::OutboundMsg;
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeError, RuntimeStats, Tag};
 use dear_sim::{LatencyModel, Simulation};
-use dear_someip::WireTag;
+use dear_someip::{FrameBuf, WireTag};
 use std::fmt;
 
 /// Which coordination strategy a scenario runs under.
@@ -106,8 +106,8 @@ pub trait PlatformDriver: Clone + 'static {
     fn deliver(
         &self,
         sim: &mut Simulation,
-        action: &PhysicalAction<Vec<u8>>,
-        payload: Vec<u8>,
+        action: &PhysicalAction<FrameBuf>,
+        payload: FrameBuf,
         wire_tag: Option<WireTag>,
         cfg: &DearConfig,
         stats: &TransactorStats,

@@ -11,14 +11,14 @@ use crate::driver::PlatformDriver;
 use crate::outbox::{OutboundMsg, Outbox, OutboxSender};
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx};
-use dear_someip::{Binding, ServiceInstance};
+use dear_someip::{Binding, FrameBuf, ServiceInstance};
 use dear_time::Duration;
 
 fn forward_fn(
     sender: OutboxSender,
     route: u32,
     deadline: Duration,
-    port: Port<Vec<u8>>,
+    port: Port<FrameBuf>,
 ) -> impl FnMut(&mut (), &mut ReactionCtx<'_>) + Send + 'static {
     move |_, ctx| {
         let payload = ctx.get(port).cloned().unwrap_or_default();
@@ -38,7 +38,7 @@ fn forward_fn(
 #[derive(Debug, Clone, Copy)]
 pub struct ServerEventTransactor {
     /// Input port: event payloads from the publishing logic.
-    pub event: Port<Vec<u8>>,
+    pub event: Port<FrameBuf>,
     route: u32,
     /// The sender-side deadline `D`.
     pub deadline: Duration,
@@ -55,7 +55,7 @@ impl ServerEventTransactor {
     ) -> Self {
         let route = outbox.allocate_route();
         let mut r = b.reactor(&format!("{name}.server_event_transactor"), ());
-        let event = r.input::<Vec<u8>>("event");
+        let event = r.input::<FrameBuf>("event");
         r.reaction("forward_event")
             .triggered_by(event)
             .with_deadline(
@@ -95,8 +95,8 @@ impl ServerEventTransactor {
 #[derive(Debug, Clone, Copy)]
 pub struct ClientEventTransactor {
     /// Output port: event payloads to the consuming logic.
-    pub event: Port<Vec<u8>>,
-    evt_action: PhysicalAction<Vec<u8>>,
+    pub event: Port<FrameBuf>,
+    evt_action: PhysicalAction<FrameBuf>,
 }
 
 impl ClientEventTransactor {
@@ -104,8 +104,8 @@ impl ClientEventTransactor {
     #[must_use]
     pub fn declare(b: &mut ProgramBuilder, name: &str) -> Self {
         let mut r = b.reactor(&format!("{name}.client_event_transactor"), ());
-        let event = r.output::<Vec<u8>>("event");
-        let evt_action = r.physical_action::<Vec<u8>>("event_arrived", Duration::ZERO);
+        let event = r.output::<FrameBuf>("event");
+        let evt_action = r.physical_action::<FrameBuf>("event_arrived", Duration::ZERO);
         r.reaction("deliver_event")
             .triggered_by(evt_action)
             .effects(event)

@@ -20,7 +20,7 @@ use crate::driver::PlatformDriver;
 use crate::outbox::{OutboundMsg, Outbox, OutboxSender};
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx, Tag};
-use dear_someip::{Binding, Responder, ReturnCode};
+use dear_someip::{Binding, FrameBuf, Responder, ReturnCode};
 use dear_time::Duration;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -34,7 +34,7 @@ fn forward_fn(
     sender: OutboxSender,
     route: u32,
     deadline: Duration,
-    port: Port<Vec<u8>>,
+    port: Port<FrameBuf>,
 ) -> impl FnMut(&mut (), &mut ReactionCtx<'_>) + Send + 'static {
     move |_, ctx| {
         let payload = ctx.get(port).cloned().unwrap_or_default();
@@ -54,10 +54,10 @@ fn forward_fn(
 #[derive(Debug, Clone, Copy)]
 pub struct ClientMethodTransactor {
     /// Input port: request payloads from the client logic.
-    pub request: Port<Vec<u8>>,
+    pub request: Port<FrameBuf>,
     /// Output port: response payloads to the client logic.
-    pub response: Port<Vec<u8>>,
-    resp_action: PhysicalAction<Vec<u8>>,
+    pub response: Port<FrameBuf>,
+    resp_action: PhysicalAction<FrameBuf>,
     route: u32,
     /// The request-side deadline `Dc`.
     pub deadline: Duration,
@@ -74,9 +74,9 @@ impl ClientMethodTransactor {
     ) -> Self {
         let route = outbox.allocate_route();
         let mut r = b.reactor(&format!("{name}.client_method_transactor"), ());
-        let request = r.input::<Vec<u8>>("request");
-        let response = r.output::<Vec<u8>>("response");
-        let resp_action = r.physical_action::<Vec<u8>>("response_arrived", Duration::ZERO);
+        let request = r.input::<FrameBuf>("request");
+        let response = r.output::<FrameBuf>("response");
+        let resp_action = r.physical_action::<FrameBuf>("response_arrived", Duration::ZERO);
         r.reaction("forward_request")
             .triggered_by(request)
             .with_deadline(
@@ -155,10 +155,10 @@ impl ClientMethodTransactor {
 #[derive(Debug, Clone, Copy)]
 pub struct ServerMethodTransactor {
     /// Output port: request payloads to the server logic.
-    pub request: Port<Vec<u8>>,
+    pub request: Port<FrameBuf>,
     /// Input port: response payloads from the server logic.
-    pub response: Port<Vec<u8>>,
-    req_action: PhysicalAction<Vec<u8>>,
+    pub response: Port<FrameBuf>,
+    req_action: PhysicalAction<FrameBuf>,
     route: u32,
     /// The response-side deadline `Ds`.
     pub deadline: Duration,
@@ -175,9 +175,9 @@ impl ServerMethodTransactor {
     ) -> Self {
         let route = outbox.allocate_route();
         let mut r = b.reactor(&format!("{name}.server_method_transactor"), ());
-        let request = r.output::<Vec<u8>>("request");
-        let response = r.input::<Vec<u8>>("response");
-        let req_action = r.physical_action::<Vec<u8>>("request_arrived", Duration::ZERO);
+        let request = r.output::<FrameBuf>("request");
+        let response = r.input::<FrameBuf>("response");
+        let req_action = r.physical_action::<FrameBuf>("request_arrived", Duration::ZERO);
         r.reaction("deliver_request")
             .triggered_by(req_action)
             .effects(request)

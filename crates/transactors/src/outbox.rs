@@ -11,10 +11,12 @@
 //!
 //! This preserves the paper's architecture — the reaction logically
 //! "invokes the method call on the service proxy object" (Fig. 3 step 3) —
-//! while keeping the runtime thread-safe.
+//! while keeping the runtime thread-safe. Payloads travel as [`FrameBuf`]
+//! views, so queueing and draining move references, never bytes.
 
-use dear_someip::WireTag;
+use dear_someip::{FrameBuf, WireTag};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A middleware operation requested by a transactor reaction.
@@ -23,17 +25,21 @@ pub struct OutboundMsg {
     /// The route (registered interpreter) this message belongs to.
     pub route: u32,
     /// Serialized payload.
-    pub payload: Vec<u8>,
+    pub payload: FrameBuf,
     /// The tag to attach on the wire (already includes the sender
     /// deadline, i.e. `t + D`).
     pub tag: WireTag,
 }
 
 /// A shared, thread-safe queue of outbound middleware operations.
+///
+/// One mutex guards the queue; route allocation (a setup-time counter,
+/// never touched on the message path) is a lock-free atomic, so sender
+/// threads can never contend with it.
 #[derive(Clone, Default)]
 pub struct Outbox {
     queue: Arc<Mutex<Vec<OutboundMsg>>>,
-    next_route: Arc<Mutex<u32>>,
+    next_route: Arc<AtomicU32>,
 }
 
 impl fmt::Debug for Outbox {
@@ -57,10 +63,7 @@ impl Outbox {
     /// Allocates a fresh route id for a transactor.
     #[must_use]
     pub fn allocate_route(&self) -> u32 {
-        let mut next = self.next_route.lock().expect("outbox poisoned");
-        let id = *next;
-        *next += 1;
-        id
+        self.next_route.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Returns the sendable queue handle for capture in reaction bodies.
@@ -116,7 +119,7 @@ mod tests {
         for i in 0..5u8 {
             sender.push(OutboundMsg {
                 route: u32::from(i),
-                payload: vec![i],
+                payload: vec![i].into(),
                 tag: WireTag::new(u64::from(i), 0),
             });
         }
@@ -135,6 +138,16 @@ mod tests {
         let a = outbox.allocate_route();
         let b = outbox.allocate_route();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn route_allocation_is_shared_across_clones() {
+        let outbox = Outbox::new();
+        let clone = outbox.clone();
+        let a = outbox.allocate_route();
+        let b = clone.allocate_route();
+        let c = outbox.allocate_route();
+        assert_eq!([a, b, c], [0, 1, 2]);
     }
 
     #[test]

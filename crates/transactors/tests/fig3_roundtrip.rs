@@ -5,7 +5,7 @@
 
 use dear_core::{ProgramBuilder, Runtime, Tag};
 use dear_sim::{LatencyModel, LinkConfig, NetworkHandle, NodeId, Simulation, VirtualClock};
-use dear_someip::{Binding, SdRegistry, ServiceInstance, SomeIpMessage, WireTag};
+use dear_someip::{Binding, FrameBuf, SdRegistry, ServiceInstance, SomeIpMessage, WireTag};
 use dear_time::{Duration, Instant};
 use dear_transactors::{
     ClientEventTransactor, ClientMethodTransactor, DearConfig, EventSpec, FederatedPlatform,
@@ -22,7 +22,7 @@ const DS: Duration = Duration::from_millis(2); // server response deadline
 const L: Duration = Duration::from_millis(5); // worst-case latency bound
 const E: Duration = Duration::from_millis(1); // worst-case clock error
 
-type TagLog = Arc<Mutex<Vec<(Tag, Vec<u8>)>>>;
+type TagLog = Arc<Mutex<Vec<(Tag, FrameBuf)>>>;
 
 /// Builds the two-platform Figure 3 deployment and runs one round trip.
 /// Returns (client log, server log, client platform, server platform).
@@ -39,13 +39,13 @@ fn run_roundtrip(seed: u64, net_latency: LatencyModel) -> (TagLog, TagLog) {
     let cmt = ClientMethodTransactor::declare(&mut bc, &outbox_c, "calc", DC);
     {
         let mut logic = bc.reactor("client_logic", ());
-        let req_out = logic.output::<Vec<u8>>("request");
+        let req_out = logic.output::<FrameBuf>("request");
         let t = logic.timer("fire", Duration::from_millis(10), None);
         logic
             .reaction("send")
             .triggered_by(t)
             .effects(req_out)
-            .body(move |_, ctx| ctx.set(req_out, vec![7]));
+            .body(move |_, ctx| ctx.set(req_out, vec![7].into()));
         let log = client_log.clone();
         logic
             .reaction("receive")
@@ -85,7 +85,7 @@ fn run_roundtrip(seed: u64, net_latency: LatencyModel) -> (TagLog, TagLog) {
     let smt = ServerMethodTransactor::declare(&mut bs, &outbox_s, "calc", DS);
     {
         let mut logic = bs.reactor("server_logic", ());
-        let resp_out = logic.output::<Vec<u8>>("response");
+        let resp_out = logic.output::<FrameBuf>("response");
         let log = server_log.clone();
         logic
             .reaction("serve")
@@ -94,7 +94,7 @@ fn run_roundtrip(seed: u64, net_latency: LatencyModel) -> (TagLog, TagLog) {
             .body(move |_, ctx| {
                 let req = ctx.get(smt.request).unwrap().clone();
                 log.lock().unwrap().push((ctx.tag(), req.clone()));
-                ctx.set(resp_out, vec![req[0] + 1]);
+                ctx.set(resp_out, vec![req[0] + 1].into());
             });
         drop(logic);
         bs.connect(resp_out, smt.response).unwrap();
@@ -199,13 +199,13 @@ fn stp_violation_is_observable_when_latency_bound_is_wrong() {
     let set = ServerEventTransactor::declare(&mut bp, &outbox_p, "frames", Duration::ZERO);
     {
         let mut logic = bp.reactor("publisher", 0u8);
-        let out = logic.output::<Vec<u8>>("frame");
+        let out = logic.output::<FrameBuf>("frame");
         let t = logic.timer("tick", Duration::from_millis(10), None);
         logic
             .reaction("emit")
             .triggered_by(t)
             .effects(out)
-            .body(move |_, ctx| ctx.set(out, vec![1]));
+            .body(move |_, ctx| ctx.set(out, vec![1].into()));
         drop(logic);
         bp.connect(out, set.event).unwrap();
     }

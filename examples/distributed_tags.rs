@@ -54,7 +54,7 @@ fn run(seed: u64, latency_bound: Duration) -> (Vec<(Duration, u8)>, Option<Tag>,
         ClientMethodTransactor::declare(&mut bc, &outbox_c, "square", Duration::from_millis(1));
     {
         let mut logic = bc.reactor("client", 0u8);
-        let req = logic.output::<Vec<u8>>("req");
+        let req = logic.output::<dear::someip::FrameBuf>("req");
         // A 1 ms tick keeps the client's logical clock moving — that is
         // what makes a late message's release tag land in the logical
         // past when `L` is understated.
@@ -70,7 +70,7 @@ fn run(seed: u64, latency_bound: Duration) -> (Vec<(Duration, u8)>, Option<Tag>,
             .body(move |n: &mut u8, ctx| {
                 *n = n.saturating_add(1);
                 if *n <= 5 {
-                    ctx.set(req, vec![*n]);
+                    ctx.set(req, vec![*n].into());
                 }
             });
         let sink = results.clone();
@@ -101,14 +101,14 @@ fn run(seed: u64, latency_bound: Duration) -> (Vec<(Duration, u8)>, Option<Tag>,
         ServerMethodTransactor::declare(&mut bs, &outbox_s, "square", Duration::from_millis(1));
     {
         let mut logic = bs.reactor("server", ());
-        let resp = logic.output::<Vec<u8>>("resp");
+        let resp = logic.output::<dear::someip::FrameBuf>("resp");
         logic
             .reaction("square")
             .triggered_by(smt.request)
             .effects(resp)
             .body(move |_, ctx| {
                 let v = ctx.get(smt.request).expect("present")[0];
-                ctx.set(resp, vec![v.wrapping_mul(v)]);
+                ctx.set(resp, vec![v.wrapping_mul(v)].into());
             });
         drop(logic);
         bs.connect(resp, smt.response).unwrap();

@@ -111,7 +111,7 @@ fn run(seed: u64, latency_bound: Duration, centralized: bool) -> Outcome {
     let cmt = ClientMethodTransactor::declare(&mut bc, &outbox_c, "square", deadline);
     {
         let mut logic = bc.reactor("client", 0u8);
-        let req = logic.output::<Vec<u8>>("req");
+        let req = logic.output::<dear::someip::FrameBuf>("req");
         let t = logic.timer(
             "fire",
             Duration::from_millis(10),
@@ -124,7 +124,7 @@ fn run(seed: u64, latency_bound: Duration, centralized: bool) -> Outcome {
             .body(move |n: &mut u8, ctx| {
                 *n = n.saturating_add(1);
                 if *n <= 5 {
-                    ctx.set(req, vec![*n]);
+                    ctx.set(req, vec![*n].into());
                 }
             });
         let sink = results.clone();
@@ -148,14 +148,14 @@ fn run(seed: u64, latency_bound: Duration, centralized: bool) -> Outcome {
     let smt = ServerMethodTransactor::declare(&mut bs, &outbox_s, "square", deadline);
     {
         let mut logic = bs.reactor("server", ());
-        let resp = logic.output::<Vec<u8>>("resp");
+        let resp = logic.output::<dear::someip::FrameBuf>("resp");
         logic
             .reaction("square")
             .triggered_by(smt.request)
             .effects(resp)
             .body(move |_, ctx| {
                 let v = ctx.get(smt.request).expect("present")[0];
-                ctx.set(resp, vec![v.wrapping_mul(v)]);
+                ctx.set(resp, vec![v.wrapping_mul(v)].into());
             });
         drop(logic);
         bs.connect(resp, smt.response).unwrap();

@@ -76,13 +76,13 @@ fn ara_field_roundtrip_over_simulated_network() {
     let got = Rc::new(RefCell::new(Vec::new()));
     let sink = got.clone();
     fp.set(&mut sim, vec![42]).then(&mut sim, move |sim, r| {
-        sink.borrow_mut().push(r.expect("set succeeds"));
+        sink.borrow_mut().push(r.expect("set succeeds").to_vec());
         let _ = sim;
     });
     sim.run_to_completion();
     assert_eq!(*got.borrow(), vec![vec![42]]);
     assert_eq!(field.value(), vec![42]);
-    assert_eq!(updates.take(), Some(vec![42]));
+    assert_eq!(updates.take().map(|f| f.to_vec()), Some(vec![42]));
 }
 
 #[test]
@@ -122,13 +122,13 @@ fn dear_field_transactors_bridge_reactors_to_ara_fields() {
     let fct = FieldClientTransactor::declare(&mut b, &outbox, "speed", Duration::from_millis(1));
     {
         let mut logic = b.reactor("client_logic", ());
-        let set_req = logic.output::<Vec<u8>>("set");
+        let set_req = logic.output::<dear::someip::FrameBuf>("set");
         let t = logic.timer("fire", Duration::from_millis(5), None);
         logic
             .reaction("write_field")
             .triggered_by(t)
             .effects(set_req)
-            .body(move |_, ctx| ctx.set(set_req, vec![99]));
+            .body(move |_, ctx| ctx.set(set_req, vec![99].into()));
         let sink = got.clone();
         logic
             .reaction("on_set_reply")
@@ -136,7 +136,7 @@ fn dear_field_transactors_bridge_reactors_to_ara_fields() {
             .body(move |_, ctx| {
                 sink.lock()
                     .unwrap()
-                    .push(ctx.get(fct.set.response).unwrap().clone());
+                    .push(ctx.get(fct.set.response).unwrap().to_vec());
             });
         drop(logic);
         b.connect(set_req, fct.set.request).unwrap();
@@ -177,7 +177,7 @@ fn reactor_event_publisher_reaches_legacy_buffered_subscriber() {
         ServerEventTransactor::declare(&mut b, &outbox, "ticks", Duration::from_millis(1));
     {
         let mut logic = b.reactor("publisher", 0u8);
-        let out = logic.output::<Vec<u8>>("tick");
+        let out = logic.output::<dear::someip::FrameBuf>("tick");
         let t = logic.timer("t", Duration::ZERO, Some(Duration::from_millis(10)));
         logic
             .reaction("emit")
@@ -185,7 +185,7 @@ fn reactor_event_publisher_reaches_legacy_buffered_subscriber() {
             .effects(out)
             .body(move |n: &mut u8, ctx| {
                 *n += 1;
-                ctx.set(out, vec![*n]);
+                ctx.set(out, vec![*n].into());
             });
         drop(logic);
         b.connect(out, publish.event).unwrap();
@@ -227,7 +227,7 @@ fn reactor_event_publisher_reaches_legacy_buffered_subscriber() {
     // Ticks at 0/10/20/30 ms, all forwarded; reads see the latest value.
     let stats = buf.stats();
     assert_eq!(stats.writes, 4, "all tagged notifications delivered");
-    assert_eq!(buf.take(), Some(vec![4]));
+    assert_eq!(buf.take().map(|f| f.to_vec()), Some(vec![4]));
 }
 
 #[test]
