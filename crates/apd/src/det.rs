@@ -29,9 +29,11 @@ use dear_sim::{LinkConfig, NetworkHandle, SimRng, Simulation, VirtualClock};
 use dear_someip::{Binding, SdRegistry, ServiceInstance};
 use dear_time::{Duration, Instant};
 use dear_transactors::{
-    ClientEventTransactor, Coordination, DearConfig, EventSpec, FederatedPlatform, Outbox,
-    PlatformDriver, ServerEventTransactor, TransactorStats,
+    ClientEventTransactor, Coordination, DearConfig, EventSpec, FailoverEventSpec,
+    FederatedPlatform, Outbox, PlatformDriver, ServerEventTransactor, TransactorStats,
 };
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
 /// Per-stage sender deadlines (the paper's §IV.B values by default).
@@ -56,6 +58,73 @@ impl Default for StageDeadlines {
             eba: Duration::from_millis(5),
         }
     }
+}
+
+/// How a redundant-provider failover scenario kills its primary.
+///
+/// The Video Provider runs twice: the primary on
+/// [`nodes::PROVIDER`] offers `(VIDEO, INSTANCE)` at priority 0, a warm
+/// standby on [`nodes::PROVIDER_BACKUP`] offers
+/// `(VIDEO, BACKUP_INSTANCE)` at priority 1 and replicates the primary's
+/// frame stream by subscribing to it. The primary crashes right after
+/// sending frame [`primary_dies_after`](Self::primary_dies_after); the
+/// standby resumes at the next frame id, and the adapter's
+/// [`FailoverBinding`] re-binds to it — via StopOffer (graceful), TTL
+/// lapse (crash), or heartbeat silence, whichever fires first.
+///
+/// [`nodes::PROVIDER`]: crate::nondet::nodes::PROVIDER
+/// [`nodes::PROVIDER_BACKUP`]: crate::nondet::nodes::PROVIDER_BACKUP
+/// [`FailoverBinding`]: dear_transactors::FailoverBinding
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyParams {
+    /// The primary dies immediately after sending this frame id.
+    pub primary_dies_after: u64,
+    /// `true`: the dying primary sends a StopOffer (graceful shutdown,
+    /// failover at the StopOffer tag). `false`: it goes silent and its
+    /// offer lapses (failover at the TTL expiry tag, or earlier via the
+    /// heartbeat watchdog).
+    pub graceful: bool,
+    /// Offer TTL — the SOME/IP-SD heartbeat deadline.
+    pub offer_ttl: Duration,
+    /// Offer renewal period (must be below `offer_ttl`, or healthy
+    /// providers expire between renewals).
+    pub reoffer_period: Duration,
+    /// Event-silence watchdog on the adapter's failover binding and the
+    /// standby's replication listener; `None` relies on SD alone. Must
+    /// exceed one frame period plus jitter and `L`, or a healthy primary
+    /// is suspected spuriously.
+    pub heartbeat_timeout: Option<Duration>,
+}
+
+impl Default for RedundancyParams {
+    /// Crash (non-graceful) of the primary after frame 249, 400 ms TTL
+    /// renewed every 150 ms, no heartbeat watchdog.
+    fn default() -> Self {
+        RedundancyParams {
+            primary_dies_after: 249,
+            graceful: false,
+            offer_ttl: Duration::from_millis(400),
+            reoffer_period: Duration::from_millis(150),
+            heartbeat_timeout: None,
+        }
+    }
+}
+
+/// What one failover scenario observed (all tags, so byte-comparable
+/// across replays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailoverReport {
+    /// Tag of the primary's last frame (its death instant).
+    pub primary_died_at: Instant,
+    /// Tag at which the adapter re-bound to the backup.
+    pub rebound_at: Option<Instant>,
+    /// Adapter tag of the first frame received from the backup.
+    pub first_backup_frame_at: Option<Instant>,
+    /// Primary death → first backup frame at the adapter (the failover
+    /// latency the `failover_latency` bench measures).
+    pub failover_latency: Option<Duration>,
+    /// Re-bindings performed by the adapter's failover binding.
+    pub failovers: u64,
 }
 
 /// Parameters of one deterministic-build instance.
@@ -91,6 +160,10 @@ pub struct DetParams {
     /// figure benches call `run_det` in measured loops and tracing costs
     /// O(events) time and memory.
     pub record_traces: bool,
+    /// Run the pipeline with a redundant Video Provider and kill the
+    /// primary mid-run. `None` (the default) is the plain single-provider
+    /// scenario, bit-identical to the pre-failover builds.
+    pub redundancy: Option<RedundancyParams>,
 }
 
 impl Default for DetParams {
@@ -109,6 +182,7 @@ impl Default for DetParams {
             coordination: Coordination::Decentralized,
             coord_link: LinkConfig::ideal(Duration::from_micros(10)),
             record_traces: false,
+            redundancy: None,
         }
     }
 }
@@ -139,6 +213,9 @@ pub struct DetReport {
     /// Coordination-layer counters (all zero under decentralized
     /// coordination).
     pub coordination: CoordReport,
+    /// Failover observations (`Some` iff [`DetParams::redundancy`] was
+    /// set).
+    pub failover: Option<FailoverReport>,
 }
 
 /// Aggregated coordination-message counters of one run.
@@ -359,6 +436,12 @@ impl DriverFactory for CentralizedFactory {
 
 /// Runs one seeded instance of the deterministic brake assistant under
 /// the configured coordination strategy.
+///
+/// # Panics
+///
+/// Panics if [`DetParams::redundancy`] is set with
+/// `primary_dies_after >= frames` — a redundancy scenario must kill its
+/// primary within the run.
 #[must_use]
 pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
     match params.coordination {
@@ -390,7 +473,7 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
     };
 
     // --- Video Adapter (sensor) -------------------------------------------
-    let adapter = {
+    let (adapter, adapter_failover) = {
         let outbox = Outbox::new();
         let mut b = ProgramBuilder::new();
         let camera = ClientEventTransactor::declare(&mut b, "camera");
@@ -428,12 +511,40 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         );
         platform.set_reaction_cost(logic_rid, params.timings.adapter.clone());
         binding.offer(&mut sim, ServiceInstance::new(ADAPTER, INSTANCE), offer_ttl);
-        let s1 = camera.bind(&platform, &binding, spec(VIDEO, EVENT_MAIN), sensor_cfg);
+        // With a redundant provider group the camera binds through a
+        // FailoverBinding (tracking the best VIDEO offer); the plain
+        // scenario keeps the fixed-instance bind, bit-identical to the
+        // pre-failover builds.
+        let (s1, failover) = if let Some(red) = &params.redundancy {
+            let (s1, failover) = camera.bind_failover(
+                &mut sim,
+                &platform,
+                &binding,
+                FailoverEventSpec {
+                    service: VIDEO,
+                    eventgroup: EVENTGROUP,
+                    event: EVENT_MAIN,
+                },
+                sensor_cfg,
+            );
+            if let Some(timeout) = red.heartbeat_timeout {
+                failover.enable_heartbeat(&mut sim, timeout);
+            }
+            (s1, Some(failover))
+        } else {
+            (
+                camera.bind(&platform, &binding, spec(VIDEO, EVENT_MAIN), sensor_cfg),
+                None,
+            )
+        };
         publish.bind(&platform, &binding, spec(ADAPTER, EVENT_MAIN));
-        Stage {
-            platform,
-            stats: vec![s1],
-        }
+        (
+            Stage {
+                platform,
+                stats: vec![s1],
+            },
+            failover,
+        )
     };
 
     // Preprocessing.
@@ -629,10 +740,14 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         }
     };
 
-    // --- Video Provider (unchanged: plain, untagged AP component) ---------
-    let provider_binding = Binding::new(&net, &sd, nodes::PROVIDER, 0x10);
-    provider_binding.offer(&mut sim, ServiceInstance::new(VIDEO, INSTANCE), offer_ttl);
-    {
+    // --- Video Provider (plain, untagged AP component; redundancy runs
+    // a primary/standby pair instead) --------------------------------------
+    let primary_death_at: Rc<Cell<Option<Instant>>> = Rc::new(Cell::new(None));
+    if let Some(red) = params.redundancy {
+        build_redundant_providers(&mut sim, &net, &sd, params, red, primary_death_at.clone());
+    } else {
+        let provider_binding = Binding::new(&net, &sd, nodes::PROVIDER, 0x10);
+        provider_binding.offer(&mut sim, ServiceInstance::new(VIDEO, INSTANCE), offer_ttl);
         let rng = sim.fork_rng("provider");
         let jitter = params.provider_jitter;
         let period = params.period;
@@ -718,6 +833,27 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
 
     let mismatches_cv = *mismatches.lock().expect("mismatch counter");
     let collected = std::mem::take(&mut *decisions.lock().expect("decisions"));
+
+    let failover = params.redundancy.map(|red| {
+        let primary_died_at = primary_death_at
+            .get()
+            .expect("redundancy scenarios kill the primary within the horizon");
+        let failover_binding = adapter_failover
+            .as_ref()
+            .expect("redundancy scenarios bind the camera through a FailoverBinding");
+        let first_backup_frame_at = collected
+            .iter()
+            .find(|(d, _, _)| d.frame_id > red.primary_dies_after)
+            .map(|&(_, _, adapter_nanos)| Instant::from_nanos(adapter_nanos));
+        FailoverReport {
+            primary_died_at,
+            rebound_at: failover_binding.last_failover_at(),
+            first_backup_frame_at,
+            failover_latency: first_backup_frame_at.map(|at| at - primary_died_at),
+            failovers: failover_binding.failovers(),
+        }
+    });
+
     let mut wrong = 0;
     let mut out_decisions = Vec::with_capacity(collected.len());
     let mut end_to_end = Vec::with_capacity(collected.len());
@@ -742,6 +878,302 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         wrong_decisions: wrong,
         stage_traces,
         coordination,
+        failover,
+    }
+}
+
+/// Builds the primary/standby Video Provider pair of a redundancy
+/// scenario (see [`RedundancyParams`]).
+fn build_redundant_providers(
+    sim: &mut Simulation,
+    net: &NetworkHandle,
+    sd: &SdRegistry,
+    params: &DetParams,
+    red: RedundancyParams,
+    death_at: Rc<Cell<Option<Instant>>>,
+) {
+    use crate::nondet::services::{BACKUP_INSTANCE, EVENTGROUP, EVENT_MAIN, VIDEO};
+    use services::INSTANCE;
+
+    assert!(
+        red.primary_dies_after < params.frames,
+        "redundancy requires the primary to die within the run: \
+         primary_dies_after = {} but frames = {}",
+        red.primary_dies_after,
+        params.frames
+    );
+
+    let primary_inst = ServiceInstance::new(VIDEO, INSTANCE);
+    let backup_inst = ServiceInstance::new(VIDEO, BACKUP_INSTANCE);
+    // The standby sits next to the primary on platform 1: both reach the
+    // adapter over the Ethernet link, and the replication feed (primary →
+    // standby) crosses the same switch.
+    net.configure_link(
+        nodes::PROVIDER_BACKUP,
+        nodes::ADAPTER,
+        params.ethernet.clone(),
+    );
+    net.configure_link(
+        nodes::PROVIDER,
+        nodes::PROVIDER_BACKUP,
+        params.ethernet.clone(),
+    );
+
+    let primary_binding = Binding::new(net, sd, nodes::PROVIDER, 0x10);
+    let backup_binding = Binding::new(net, sd, nodes::PROVIDER_BACKUP, 0x11);
+
+    // Offer order matters for the adapter's very first bind: the primary
+    // first, so the failover binding never transits through the standby.
+    let primary_alive = Rc::new(Cell::new(true));
+    sd.offer_prioritized(sim, primary_inst, nodes::PROVIDER, red.offer_ttl, 0);
+    sd.offer_prioritized(sim, backup_inst, nodes::PROVIDER_BACKUP, red.offer_ttl, 1);
+    OfferRenewal {
+        sd: sd.clone(),
+        instance: primary_inst,
+        node: nodes::PROVIDER,
+        ttl: red.offer_ttl,
+        period: red.reoffer_period,
+        priority: 0,
+        alive: primary_alive.clone(),
+    }
+    .arm(sim);
+    OfferRenewal {
+        sd: sd.clone(),
+        instance: backup_inst,
+        node: nodes::PROVIDER_BACKUP,
+        ttl: red.offer_ttl,
+        period: red.reoffer_period,
+        priority: 1,
+        alive: Rc::new(Cell::new(true)), // the standby never dies
+    }
+    .arm(sim);
+
+    // The standby replicates the primary's frame stream by subscribing
+    // to it, and takes over when SD drops the primary or (with a
+    // heartbeat watchdog) when the stream goes silent.
+    let backup = Rc::new(BackupProvider {
+        binding: backup_binding.clone(),
+        instance: backup_inst,
+        eventgroup: EVENTGROUP,
+        event: EVENT_MAIN,
+        active: Cell::new(false),
+        last_seen: Cell::new(None),
+        next_id: Cell::new(0),
+        rng: RefCell::new(sim.fork_rng("provider-backup")),
+        period: params.period,
+        jitter: params.provider_jitter,
+        total: params.frames,
+        watchdog_gen: Cell::new(0),
+        timeout: red.heartbeat_timeout,
+    });
+    sd.subscribe(primary_inst, EVENTGROUP, nodes::PROVIDER_BACKUP);
+    {
+        let backup = backup.clone();
+        backup_binding.on_event(VIDEO, EVENT_MAIN, move |sim, msg| {
+            if let Ok(frame) = Frame::from_payload(&msg.payload) {
+                backup.on_replicated(sim, frame.id);
+            }
+        });
+    }
+    {
+        let backup = backup.clone();
+        sd.watch(sim, VIDEO, dear_someip::ANY_INSTANCE, move |sim, best| {
+            if best.map(|o| o.instance) == Some(backup_inst) {
+                backup.activate(sim);
+            }
+        });
+    }
+    backup.arm_watchdog(sim);
+
+    // The primary: the plain provider loop, crashing right after frame
+    // `primary_dies_after`.
+    let looper = PrimaryLoop {
+        binding: primary_binding,
+        sd: sd.clone(),
+        rng: sim.fork_rng("provider"),
+        instance: primary_inst,
+        eventgroup: EVENTGROUP,
+        event: EVENT_MAIN,
+        total: params.frames,
+        dies_after: red.primary_dies_after,
+        period: params.period,
+        jitter: params.provider_jitter,
+        graceful: red.graceful,
+        alive: primary_alive,
+        death_at,
+    };
+    sim.schedule_at(Instant::EPOCH, move |sim| looper.tick(sim, 0));
+}
+
+/// A provider's periodic offer renewal (the SOME/IP-SD heartbeat); stops
+/// when the provider dies.
+struct OfferRenewal {
+    sd: SdRegistry,
+    instance: ServiceInstance,
+    node: dear_sim::NodeId,
+    ttl: Duration,
+    period: Duration,
+    priority: u8,
+    alive: Rc<Cell<bool>>,
+}
+
+impl OfferRenewal {
+    fn arm(self, sim: &mut Simulation) {
+        let period = self.period;
+        sim.schedule_in(period, move |sim| self.tick(sim));
+    }
+
+    fn tick(self, sim: &mut Simulation) {
+        if !self.alive.get() {
+            return;
+        }
+        self.sd
+            .offer_prioritized(sim, self.instance, self.node, self.ttl, self.priority);
+        self.arm(sim);
+    }
+}
+
+/// The primary Video Provider of a redundancy scenario: the plain frame
+/// loop, dying right after `dies_after` (StopOffer when graceful, silent
+/// crash otherwise).
+struct PrimaryLoop {
+    binding: Binding,
+    sd: SdRegistry,
+    rng: dear_sim::SimRng,
+    instance: ServiceInstance,
+    eventgroup: u16,
+    event: u16,
+    total: u64,
+    dies_after: u64,
+    period: Duration,
+    jitter: Duration,
+    graceful: bool,
+    alive: Rc<Cell<bool>>,
+    death_at: Rc<Cell<Option<Instant>>>,
+}
+
+impl PrimaryLoop {
+    fn tick(mut self, sim: &mut Simulation, id: u64) {
+        if id >= self.total {
+            return;
+        }
+        let frame = Frame::new(id, sim.now().as_nanos());
+        self.binding.notify(
+            sim,
+            self.instance,
+            self.eventgroup,
+            self.event,
+            frame.to_payload(),
+        );
+        if id >= self.dies_after {
+            // The crash: no further frames, no further renewals; a
+            // graceful death also withdraws the offer at this very tag.
+            self.alive.set(false);
+            self.death_at.set(Some(sim.now()));
+            sim.trace_with("failover", || {
+                format!("primary provider dies after frame {id}")
+            });
+            if self.graceful {
+                self.sd.stop_offer(sim, self.instance);
+            }
+            return;
+        }
+        let next = if self.jitter.is_zero() {
+            self.period
+        } else {
+            let jitter = self.jitter;
+            self.period + self.rng.uniform_duration(-jitter, jitter)
+        };
+        sim.schedule_in(next, move |sim| self.tick(sim, id + 1));
+    }
+}
+
+/// The warm-standby Video Provider: replicates the primary's stream by
+/// subscription, resumes it at the next frame id once activated.
+struct BackupProvider {
+    binding: Binding,
+    instance: ServiceInstance,
+    eventgroup: u16,
+    event: u16,
+    active: Cell<bool>,
+    /// Highest frame id observed from the primary.
+    last_seen: Cell<Option<u64>>,
+    /// Next frame id this standby itself would send.
+    next_id: Cell<u64>,
+    rng: RefCell<dear_sim::SimRng>,
+    period: Duration,
+    jitter: Duration,
+    total: u64,
+    watchdog_gen: Cell<u64>,
+    timeout: Option<Duration>,
+}
+
+impl BackupProvider {
+    fn on_replicated(self: &Rc<Self>, sim: &mut Simulation, id: u64) {
+        let seen = self.last_seen.get().map_or(id, |s| s.max(id));
+        self.last_seen.set(Some(seen));
+        self.arm_watchdog(sim);
+    }
+
+    /// (Re-)arms the stream-silence watchdog; superseded by later frames.
+    fn arm_watchdog(self: &Rc<Self>, sim: &mut Simulation) {
+        let Some(timeout) = self.timeout else { return };
+        if self.active.get() {
+            return;
+        }
+        self.watchdog_gen.set(self.watchdog_gen.get() + 1);
+        let generation = self.watchdog_gen.get();
+        let this = self.clone();
+        sim.schedule_in(timeout, move |sim| {
+            if this.watchdog_gen.get() == generation && !this.active.get() {
+                this.activate(sim);
+            }
+        });
+    }
+
+    fn activate(self: &Rc<Self>, sim: &mut Simulation) {
+        if self.active.get() {
+            return;
+        }
+        self.active.set(true);
+        sim.trace_with("failover", || {
+            let seen = self.last_seen.get();
+            format!("standby provider takes over (last replicated frame: {seen:?})")
+        });
+        // The first frame goes out one period after takeover; the id is
+        // decided *then*, so replicated frames still in flight at this
+        // tag are never re-sent.
+        let this = self.clone();
+        sim.schedule_in(self.period, move |sim| this.send(sim));
+    }
+
+    fn send(self: &Rc<Self>, sim: &mut Simulation) {
+        // Resume strictly after everything replicated so far and
+        // everything this standby already sent itself.
+        let id = self
+            .next_id
+            .get()
+            .max(self.last_seen.get().map_or(0, |s| s + 1));
+        if id >= self.total {
+            return;
+        }
+        let frame = Frame::new(id, sim.now().as_nanos());
+        self.binding.notify(
+            sim,
+            self.instance,
+            self.eventgroup,
+            self.event,
+            frame.to_payload(),
+        );
+        self.next_id.set(id + 1);
+        let next = if self.jitter.is_zero() {
+            self.period
+        } else {
+            let jitter = self.jitter;
+            self.period + self.rng.borrow_mut().uniform_duration(-jitter, jitter)
+        };
+        let this = self.clone();
+        sim.schedule_in(next, move |sim| this.send(sim));
     }
 }
 
@@ -809,6 +1241,114 @@ mod tests {
         assert_eq!(cen.coordination.bound_breaches, 0);
         // Decentralized runs carry no coordination traffic at all.
         assert_eq!(dec.coordination.grants_received, 0);
+    }
+
+    fn failover_params(graceful: bool, heartbeat: Option<Duration>) -> DetParams {
+        DetParams {
+            frames: 120,
+            redundancy: Some(RedundancyParams {
+                primary_dies_after: 49,
+                graceful,
+                offer_ttl: Duration::from_millis(400),
+                reoffer_period: Duration::from_millis(150),
+                heartbeat_timeout: heartbeat,
+            }),
+            ..DetParams::default()
+        }
+    }
+
+    #[test]
+    fn graceful_failover_delivers_every_frame_exactly_once() {
+        let report = run_det(1, &failover_params(true, None));
+        let ids: Vec<u64> = report.decisions.iter().map(|d| d.frame_id).collect();
+        assert_eq!(
+            ids,
+            (0..120).collect::<Vec<u64>>(),
+            "no frame lost, none duplicated across the handover"
+        );
+        assert_eq!(report.mismatches_cv, 0);
+        assert_eq!(report.stp_violations, 0);
+        assert_eq!(report.wrong_decisions, 0);
+        let fo = report.failover.expect("failover report");
+        assert_eq!(fo.failovers, 1, "exactly one re-binding");
+        // Graceful: the StopOffer triggers the re-binding at the very
+        // tag the primary died.
+        assert_eq!(fo.rebound_at, Some(fo.primary_died_at));
+        let latency = fo.failover_latency.expect("backup delivered");
+        assert!(
+            latency > Duration::ZERO && latency < Duration::from_millis(100),
+            "graceful handover costs about one frame period, got {latency}"
+        );
+    }
+
+    #[test]
+    fn crash_failover_rebinds_at_the_ttl_expiry_tag() {
+        let params = failover_params(false, None);
+        let red = params.redundancy.unwrap();
+        let report = run_det(2, &params);
+        let ids: Vec<u64> = report.decisions.iter().map(|d| d.frame_id).collect();
+        assert_eq!(ids, (0..120).collect::<Vec<u64>>());
+        let fo = report.failover.expect("failover report");
+        assert_eq!(fo.failovers, 1);
+        // Silent crash: the offer of the dead primary lapses exactly one
+        // nanosecond after its last renewal's TTL ran out.
+        let died = fo.primary_died_at;
+        let renewals =
+            i64::try_from(died.as_nanos()).expect("tag fits") / red.reoffer_period.as_nanos();
+        let last_renewal = Instant::EPOCH + red.reoffer_period * renewals;
+        assert_eq!(
+            fo.rebound_at,
+            Some(last_renewal + red.offer_ttl + Duration::from_nanos(1)),
+            "died at {died}"
+        );
+        assert!(fo.failover_latency.unwrap() > red.offer_ttl / 2);
+    }
+
+    #[test]
+    fn heartbeat_watchdog_beats_ttl_expiry() {
+        let slow = run_det(3, &failover_params(false, None));
+        let fast = run_det(3, &failover_params(false, Some(Duration::from_millis(150))));
+        for r in [&slow, &fast] {
+            assert_eq!(r.decisions.len(), 120);
+            assert_eq!(r.failover.unwrap().failovers, 1);
+        }
+        let slow_latency = slow.failover.unwrap().failover_latency.unwrap();
+        let fast_latency = fast.failover.unwrap().failover_latency.unwrap();
+        assert!(
+            fast_latency < slow_latency,
+            "silence detection ({fast_latency}) must beat TTL expiry ({slow_latency})"
+        );
+    }
+
+    #[test]
+    fn failover_decisions_identical_across_seeds() {
+        for params in [
+            failover_params(true, None),
+            failover_params(false, None),
+            failover_params(false, Some(Duration::from_millis(150))),
+        ] {
+            let fp: Vec<u64> = (0..4)
+                .map(|s| run_det(s, &params).decision_fingerprint())
+                .collect();
+            for f in &fp[1..] {
+                assert_eq!(*f, fp[0], "decision sequence must not depend on seed");
+            }
+        }
+    }
+
+    #[test]
+    fn failover_replay_is_byte_identical() {
+        // The determinism claim under faults: the same seed replays the
+        // whole run — including the crash, the SD churn and the
+        // re-binding — with byte-identical per-stage event traces.
+        let mut params = failover_params(false, Some(Duration::from_millis(150)));
+        params.record_traces = true;
+        let a = run_det(7, &params);
+        let b = run_det(7, &params);
+        assert_eq!(a.stage_traces, b.stage_traces);
+        assert_eq!(a.failover, b.failover);
+        assert_eq!(a.decision_fingerprint(), b.decision_fingerprint());
+        assert!(!a.stage_traces.is_empty());
     }
 
     #[test]

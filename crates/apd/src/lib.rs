@@ -25,7 +25,9 @@ pub mod logic;
 pub mod nondet;
 pub mod types;
 
-pub use det::{run_det, CoordReport, DetParams, DetReport, StageDeadlines};
+pub use det::{
+    run_det, CoordReport, DetParams, DetReport, FailoverReport, RedundancyParams, StageDeadlines,
+};
 pub use logic::{detect_vehicles, eba_decide, preprocess, reference_decision, StageTimings};
 pub use nondet::{run_nondet, NondetParams, NondetReport};
 pub use types::{BrakeDecision, Frame, LaneBox, Vehicle, VehicleList};

@@ -31,6 +31,7 @@
 //! [`run_nondet`] executes one seeded instance and reports the four error
 //! types of Figure 5.
 
+use crate::det::RedundancyParams;
 use crate::logic::{detect_vehicles, eba_decide, preprocess, StageTimings};
 use crate::types::{BrakeDecision, Frame, LaneBox, VehicleList};
 use dear_ara::{EventBuffer, SoftwareComponent, SwcConfig};
@@ -57,6 +58,9 @@ pub mod nodes {
     /// The RTI, when the deterministic build runs under centralized
     /// coordination (lives on the coordination network).
     pub const RTI: NodeId = NodeId(6);
+    /// The redundant (backup) Video Provider, in failover scenarios
+    /// (platform 1, second board).
+    pub const PROVIDER_BACKUP: NodeId = NodeId(7);
 }
 
 /// Service ids and event ids used along the pipeline.
@@ -71,6 +75,8 @@ pub mod services {
     pub const COMPUTER_VISION: u16 = 0x0400;
     /// The single instance id used by every pipeline service.
     pub const INSTANCE: u16 = 1;
+    /// The backup provider's instance id, in failover scenarios.
+    pub const BACKUP_INSTANCE: u16 = 2;
     /// Eventgroup used by every pipeline service.
     pub const EVENTGROUP: u16 = 1;
     /// Primary event id (frames / lane / vehicles).
@@ -117,6 +123,14 @@ pub struct NondetParams {
     pub ethernet: LinkConfig,
     /// Links between processes on platform 2.
     pub loopback: LinkConfig,
+    /// Run with a redundant Video Provider and kill the primary mid-run
+    /// (stock-AP failover: the standby polls the stream with a periodic
+    /// callback and takes over after two silent polls — so the handover
+    /// instant, and which frames are lost or duplicated around it, is
+    /// scheduling luck). Only `primary_dies_after` is honoured; the SD
+    /// fields of [`RedundancyParams`] model the deterministic build's
+    /// machinery, which the stock build lacks.
+    pub redundancy: Option<RedundancyParams>,
 }
 
 impl Default for NondetParams {
@@ -140,6 +154,7 @@ impl Default for NondetParams {
                 Duration::from_micros(50),
                 Duration::from_micros(20),
             )),
+            redundancy: None,
         }
     }
 }
@@ -170,6 +185,11 @@ pub struct NondetReport {
     /// Decisions whose value disagrees with the reference logic (should
     /// stay zero: the pipeline drops or misaligns, it does not corrupt).
     pub wrong_decisions: u64,
+    /// When the standby provider took over (`Some` only in redundancy
+    /// scenarios where the takeover happened within the horizon). Unlike
+    /// the deterministic build's failover tag, this instant is pure
+    /// scheduling luck and varies across seeds.
+    pub backup_takeover_at: Option<Instant>,
 }
 
 impl NondetReport {
@@ -276,6 +296,37 @@ fn schedule_periodic_jittered(
     sim.schedule_at(start, move |sim| tick(sim, st));
 }
 
+/// The provider's frame loop: one frame approximately every `period`,
+/// ids `start..total`.
+fn send_frames(
+    sim: &mut Simulation,
+    skel: dear_ara::ServiceSkeleton,
+    mut rng: dear_sim::SimRng,
+    id: u64,
+    total: u64,
+    period: Duration,
+    jitter: Duration,
+) {
+    if id >= total {
+        return;
+    }
+    let frame = Frame::new(id, sim.now().as_nanos());
+    skel.notify(
+        sim,
+        services::EVENTGROUP,
+        services::EVENT_MAIN,
+        frame.to_payload(),
+    );
+    let next = if jitter.is_zero() {
+        period
+    } else {
+        period + rng.uniform_duration(-jitter, jitter)
+    };
+    sim.schedule_in(next, move |sim| {
+        send_frames(sim, skel, rng, id + 1, total, period, jitter)
+    });
+}
+
 /// Runs one seeded instance of the nondeterministic brake assistant.
 ///
 /// Per-instance randomness (callback phase offsets, provider jitter,
@@ -354,6 +405,10 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
 
     // --- Video Provider: a frame approximately every `period` -------------
     let frames_total = params.frames;
+    // With redundancy, the primary silently crashes after its kill frame.
+    let primary_frames = params.redundancy.map_or(frames_total, |r| {
+        (r.primary_dies_after + 1).min(frames_total)
+    });
     {
         let mut rng = sim.fork_rng("provider");
         let jitter = params.provider_jitter;
@@ -367,36 +422,8 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
             params.period
         };
         let skel = provider_skel.clone();
-        fn send_frame(
-            sim: &mut Simulation,
-            skel: dear_ara::ServiceSkeleton,
-            mut rng: dear_sim::SimRng,
-            id: u64,
-            total: u64,
-            period: Duration,
-            jitter: Duration,
-        ) {
-            if id >= total {
-                return;
-            }
-            let frame = Frame::new(id, sim.now().as_nanos());
-            skel.notify(
-                sim,
-                services::EVENTGROUP,
-                services::EVENT_MAIN,
-                frame.to_payload(),
-            );
-            let next = if jitter.is_zero() {
-                period
-            } else {
-                period + rng.uniform_duration(-jitter, jitter)
-            };
-            sim.schedule_in(next, move |sim| {
-                send_frame(sim, skel, rng, id + 1, total, period, jitter)
-            });
-        }
         sim.schedule_at(Instant::EPOCH, move |sim| {
-            send_frame(sim, skel, rng, 0, frames_total, period, jitter)
+            send_frames(sim, skel, rng, 0, primary_frames, period, jitter)
         });
     }
 
@@ -554,6 +581,67 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
         );
     }
 
+    // --- Redundant Video Provider (stock-AP failover) ----------------------
+    // The standby polls the primary's stream through its own one-slot
+    // buffer from a periodic callback, like every other stock SWC. Two
+    // consecutive empty polls mean "primary dead": it offers the service
+    // and resumes the stream after the last frame it happened to see.
+    // Where the handover lands — and which frames are dropped or
+    // duplicated around it — depends on the callback phase and jitter,
+    // i.e. on scheduling luck.
+    let backup_takeover: Rc<RefCell<Option<Instant>>> = Rc::new(RefCell::new(None));
+    if params.redundancy.is_some() {
+        let backup = SoftwareComponent::launch(
+            &sim,
+            &net,
+            &sd,
+            SwcConfig::single_threaded("video-provider-backup", nodes::PROVIDER_BACKUP, 0x11),
+        );
+        let backup_skel = backup.skeleton(&sim, VIDEO, INSTANCE);
+        let watch_buf: EventBuffer = backup
+            .proxy(VIDEO, INSTANCE)
+            .subscribe_buffered(EVENTGROUP, EVENT_MAIN);
+        let takeover = backup_takeover.clone();
+        let rng_send = sim.fork_rng("provider-backup");
+        let cb_rng = sim.fork_rng("backup-watchdog");
+        let jitter = params.provider_jitter;
+        let send_period = params.period;
+        let mut last_seen: Option<u64> = None;
+        let mut silent = 0u32;
+        let mut active = false;
+        let offset = random_offset();
+        schedule_periodic_jittered(
+            &mut sim,
+            offset,
+            period,
+            params.callback_jitter_std,
+            params.callback_spike_prob,
+            params.callback_spike_max,
+            cb_rng,
+            move |sim| {
+                if active {
+                    return;
+                }
+                if let Some(payload) = watch_buf.take() {
+                    let frame = Frame::from_payload(&payload).expect("frame payload");
+                    last_seen = Some(last_seen.map_or(frame.id, |s| s.max(frame.id)));
+                    silent = 0;
+                } else if last_seen.is_some() {
+                    silent += 1;
+                    if silent >= 2 {
+                        active = true;
+                        *takeover.borrow_mut() = Some(sim.now());
+                        backup_skel.offer(sim, Duration::from_secs(1 << 30));
+                        let resume = last_seen.map_or(0, |s| s + 1);
+                        let skel = backup_skel.clone();
+                        let rng = rng_send.clone();
+                        send_frames(sim, skel, rng, resume, frames_total, send_period, jitter);
+                    }
+                }
+            },
+        );
+    }
+
     // Run long enough for the last frame to drain through the pipeline.
     let horizon = Instant::EPOCH
         + params.period * i64::try_from(params.frames).expect("frame count")
@@ -563,6 +651,7 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
     let decisions_out = std::mem::take(&mut *decisions.borrow_mut());
     let mismatches_cv = *mismatches.borrow();
     let wrong_decisions = *wrong.borrow();
+    let backup_takeover_at = *backup_takeover.borrow();
     NondetReport {
         frames_sent: params.frames,
         decisions: decisions_out,
@@ -572,6 +661,7 @@ pub fn run_nondet(seed: u64, params: &NondetParams) -> NondetReport {
         dropped_eba: eba_buf.stats().overwrites,
         dropped_adapter: adapter_buf.stats().overwrites,
         wrong_decisions,
+        backup_takeover_at,
     }
 }
 
@@ -620,6 +710,45 @@ mod tests {
         assert!(
             max > 0.0,
             "at least one instance should exhibit errors: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn stock_failover_diverges_across_seeds() {
+        // The counterpart of the deterministic build's failover claims:
+        // under the identical kill scenario, the stock build's handover
+        // instant and decision sequence are scheduling luck.
+        let params = NondetParams {
+            redundancy: Some(RedundancyParams {
+                primary_dies_after: 99,
+                ..RedundancyParams::default()
+            }),
+            ..small_params()
+        };
+        let runs: Vec<(u64, Option<Instant>)> = (0..8)
+            .map(|s| {
+                let r = run_nondet(s, &params);
+                (r.decision_fingerprint(), r.backup_takeover_at)
+            })
+            .collect();
+        for (_, takeover) in &runs {
+            assert!(takeover.is_some(), "the standby must take over");
+        }
+        let distinct_fp: std::collections::HashSet<u64> = runs.iter().map(|&(f, _)| f).collect();
+        assert!(
+            distinct_fp.len() > 1,
+            "stock failover should diverge: {runs:?}"
+        );
+        let distinct_at: std::collections::HashSet<_> =
+            runs.iter().map(|&(_, t)| t.unwrap()).collect();
+        assert!(
+            distinct_at.len() > 1,
+            "takeover instants should vary: {runs:?}"
+        );
+        // Same seed, same run — the simulation itself stays replayable.
+        assert_eq!(
+            run_nondet(3, &params).decision_fingerprint(),
+            run_nondet(3, &params).decision_fingerprint()
         );
     }
 

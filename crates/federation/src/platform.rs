@@ -212,6 +212,55 @@ impl CoordinatedPlatform {
         self.arm(sim);
     }
 
+    /// Starts a periodic control-plane heartbeat: every `interval` the
+    /// platform re-reports its NET (queue head + fence) to the RTI
+    /// *unconditionally*, bypassing the change-suppression of the normal
+    /// reporting path.
+    ///
+    /// This is what the RTI's liveness watchdog
+    /// ([`Rti::enable_liveness`]) listens for: a federate blocked on a
+    /// grant is silent on the normal path — it has nothing new to report
+    /// — and without a heartbeat it would be indistinguishable from a
+    /// dead one. The heartbeat keeps ticking until the federate resigns,
+    /// so drive such simulations with `run_until`, not
+    /// `run_to_completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    pub fn enable_heartbeat(&self, sim: &mut Simulation, interval: dear_time::Duration) {
+        assert!(
+            interval > dear_time::Duration::ZERO,
+            "interval must be positive"
+        );
+        let platform = self.clone();
+        sim.schedule_in(interval, move |sim| platform.heartbeat_tick(sim, interval));
+    }
+
+    fn heartbeat_tick(&self, sim: &mut Simulation, interval: dear_time::Duration) {
+        let msg = {
+            let mut inner = self.0.borrow_mut();
+            if inner.resigned {
+                return; // resignation ends the heartbeat
+            }
+            if inner.started {
+                let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
+                let local_now = inner.clock.local_time(sim.now());
+                let fence = tag_to_wire(Tag::at(local_now));
+                inner.last_net = Some((head, fence));
+                inner.stats.record_net_sent();
+                Some(CoordMsg::net(inner.federate.0, head, fence))
+            } else {
+                None
+            }
+        };
+        if let Some(msg) = msg {
+            self.send_to_rti(sim, msg);
+        }
+        let platform = self.clone();
+        sim.schedule_in(interval, move |sim| platform.heartbeat_tick(sim, interval));
+    }
+
     /// Requests runtime shutdown at the given local time.
     pub fn stop_at_local(&self, sim: &mut Simulation, local: Instant) {
         {

@@ -85,18 +85,22 @@ pub struct RtiStats {
     pub tags_issued: u64,
     /// PTAG (provisional) grants issued.
     pub ptags_issued: u64,
+    /// Federates declared dead by the liveness watchdog (NET/LTC silence
+    /// past the configured deadline).
+    pub deaths: u64,
 }
 
 impl fmt::Display for RtiStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "federates={} nets={} ltcs={} tags={} ptags={}",
+            "federates={} nets={} ltcs={} tags={} ptags={} deaths={}",
             self.federates,
             self.nets_received,
             self.ltcs_received,
             self.tags_issued,
-            self.ptags_issued
+            self.ptags_issued,
+            self.deaths
         )
     }
 }
@@ -112,6 +116,13 @@ struct FederateEntry {
     external: bool,
     connected: bool,
     resigned: bool,
+    /// Declared dead by the liveness watchdog: treated like a resigned
+    /// federate for LBTS purposes so survivors keep advancing, but
+    /// counted and traced separately.
+    dead: bool,
+    /// Generation guard for liveness wake-ups: every received control
+    /// message bumps it, superseding the previously armed check.
+    liveness_gen: u64,
     /// Last completed tag (monotone max over LTC reports).
     completed: Option<Tag>,
     /// Earliest pending event tag from the latest NET ([`TAG_MAX`] when
@@ -131,6 +142,11 @@ struct RtiInner {
     binding: Binding,
     federates: Vec<FederateEntry>,
     stats: RtiStats,
+    /// Liveness deadline: a connected federate silent (no NET/LTC/Join)
+    /// for longer than this is declared dead. `None` disables the
+    /// watchdog (the default — death detection is opt-in so that
+    /// fault-free scenarios schedule zero extra events).
+    liveness_deadline: Option<Duration>,
 }
 
 /// A shared handle to the centralized coordinator.
@@ -172,6 +188,7 @@ impl Rti {
             binding: binding.clone(),
             federates: Vec::new(),
             stats: RtiStats::default(),
+            liveness_deadline: None,
         })));
         let hook = rti.clone();
         binding.register_method(COORD_SERVICE, COORD_METHOD, move |sim, req, _responder| {
@@ -196,6 +213,8 @@ impl Rti {
             external,
             connected: false,
             resigned: false,
+            dead: false,
+            liveness_gen: 0,
             completed: None,
             head: Tag::ORIGIN,
             fence: Tag::ORIGIN,
@@ -237,12 +256,52 @@ impl Rti {
         self.0.borrow().stats
     }
 
+    /// Enables the liveness watchdog: a connected federate that sends no
+    /// control message (NET/LTC) for longer than `deadline` is declared
+    /// **dead** — its LBTS contribution is released (like a resignation)
+    /// so surviving federates keep advancing, the death is counted in
+    /// [`RtiStats::deaths`] and recorded in the simulation trace under
+    /// `"rti"`.
+    ///
+    /// The deadline should cover the federate's longest legitimate
+    /// silence: its heartbeat period (see
+    /// [`CoordinatedPlatform::enable_heartbeat`]) plus the coordination
+    /// link's worst-case latency — a federate blocked on a grant reports
+    /// nothing on the normal path, so pair liveness with heartbeats or
+    /// blocked survivors will be declared dead too. Death is final;
+    /// control messages from a dead federate are ignored (an operator
+    /// restart re-registers under a fresh federate id).
+    ///
+    /// [`CoordinatedPlatform::enable_heartbeat`]:
+    ///     crate::CoordinatedPlatform::enable_heartbeat
+    ///
+    /// Detection is opt-in: without this call the RTI schedules no
+    /// watchdog events, so fault-free scenarios keep their calendars —
+    /// and therefore their traces — exactly as before.
+    pub fn enable_liveness(&self, deadline: Duration) {
+        assert!(deadline > Duration::ZERO, "deadline must be positive");
+        self.0.borrow_mut().liveness_deadline = Some(deadline);
+    }
+
     fn on_msg(&self, sim: &mut Simulation, msg: CoordMsg) {
         {
             let mut inner = self.0.borrow_mut();
             let Some(entry) = inner.federates.get_mut(msg.federate as usize) else {
                 return;
             };
+            // Dead federates stay dead: a zombie's late reports must not
+            // re-tighten the LBTS the survivors were already granted.
+            if entry.dead {
+                return;
+            }
+            // Grants are RTI → federate only; ignore echoes *before*
+            // touching the liveness generation — an echo must neither
+            // count as a sign of life nor supersede (and thereby disarm)
+            // the currently scheduled liveness check.
+            if matches!(msg.kind, CoordKind::Tag | CoordKind::Ptag) {
+                return;
+            }
+            entry.liveness_gen += 1;
             match msg.kind {
                 CoordKind::Join => entry.connected = true,
                 CoordKind::Net => {
@@ -256,10 +315,55 @@ impl Rti {
                     inner.stats.ltcs_received += 1;
                 }
                 CoordKind::Resign => entry.resigned = true,
-                // Grants are RTI → federate only; ignore echoes.
+                // Unreachable: echoes were filtered out above.
                 CoordKind::Tag | CoordKind::Ptag => return,
             }
         }
+        self.arm_liveness(sim, FederateId(msg.federate));
+        self.recompute(sim);
+    }
+
+    /// Arms (or supersedes) the liveness check for one federate: if no
+    /// further control message arrives within the deadline, it is
+    /// declared dead at exactly `now + deadline` — a well-defined tag.
+    fn arm_liveness(&self, sim: &mut Simulation, fed: FederateId) {
+        let armed = {
+            let inner = self.0.borrow();
+            inner.liveness_deadline.and_then(|deadline| {
+                inner
+                    .federates
+                    .get(fed.0 as usize)
+                    .filter(|e| e.connected && !e.resigned && !e.dead)
+                    .map(|e| (deadline, e.liveness_gen))
+            })
+        };
+        let Some((deadline, generation)) = armed else {
+            return;
+        };
+        let rti = self.clone();
+        sim.schedule_in(deadline, move |sim| {
+            rti.on_liveness_check(sim, fed, generation);
+        });
+    }
+
+    fn on_liveness_check(&self, sim: &mut Simulation, fed: FederateId, generation: u64) {
+        let name = {
+            let mut inner = self.0.borrow_mut();
+            let Some(entry) = inner.federates.get_mut(fed.0 as usize) else {
+                return;
+            };
+            if entry.liveness_gen != generation || entry.resigned || entry.dead {
+                return; // superseded, or no longer eligible
+            }
+            entry.dead = true;
+            inner.stats.deaths += 1;
+            inner.federates[fed.0 as usize].name.clone()
+        };
+        sim.trace_with("rti", || {
+            format!("federate {fed} ({name}) declared dead; releasing its LBTS bound")
+        });
+        // Survivors downstream of the dead federate get their bound
+        // released right here.
         self.recompute(sim);
     }
 
@@ -267,7 +371,7 @@ impl Rti {
     /// reports promise about its future processing, with `arrival` (the
     /// transitive bound on its future message arrivals) plugged in.
     fn floor(entry: &FederateEntry, arrival: Tag) -> Tag {
-        if entry.resigned {
+        if entry.resigned || entry.dead {
             return TAG_MAX;
         }
         let arrival_floor = if entry.external {
@@ -318,7 +422,7 @@ impl Rti {
             // TAG pass: strict bounds that advanced.
             for (f, &bound) in lbts.iter().enumerate() {
                 let entry = &inner.federates[f];
-                if !entry.connected || entry.resigned {
+                if !entry.connected || entry.resigned || entry.dead {
                     continue;
                 }
                 if entry.last_granted.is_none_or(|g| bound > g) {
@@ -339,6 +443,7 @@ impl Rti {
                 let entry = &inner.federates[f];
                 if !entry.connected
                     || entry.resigned
+                    || entry.dead
                     || entry.upstream.is_empty()
                     || entry.head >= TAG_MAX
                     || entry.head != lbts[f]

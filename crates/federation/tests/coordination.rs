@@ -299,6 +299,203 @@ fn zero_delay_cycle_progresses_via_ptags() {
     }
 }
 
+/// Federate death: a producer whose control link to the RTI is severed
+/// mid-run stops reporting. With liveness + heartbeats enabled, the RTI
+/// declares it dead at a well-defined tag and releases its LBTS
+/// contribution, so the consumer keeps advancing on the still-flowing
+/// data plane; without liveness the consumer stalls forever on the
+/// never-advancing grant. Runs the identical scenario both ways.
+#[test]
+fn dead_federate_releases_lbts_for_survivors() {
+    fn run(enable_liveness: bool) -> (u64, usize, u64) {
+        let deadline = Duration::from_millis(2);
+        let cfg = DearConfig::new(Duration::from_millis(1), Duration::ZERO);
+        let edge_delay = deadline + cfg.stp_offset();
+
+        let mut sim = Simulation::new(11);
+        sim.enable_tracing();
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_micros(100)),
+            sim.fork_rng("net"),
+        );
+        let sd = SdRegistry::new();
+        let rti = Rti::new(&mut sim, &net, &sd, NodeId(0));
+        if enable_liveness {
+            rti.enable_liveness(Duration::from_millis(50));
+        }
+
+        // Producer: emits 5 payloads on a 10ms timer (as above).
+        let producer =
+            {
+                let outbox = Outbox::new();
+                let mut b = ProgramBuilder::new();
+                let publish = ServerEventTransactor::declare(&mut b, &outbox, "ping", deadline);
+                {
+                    let mut logic = b.reactor("producer", 0u8);
+                    let out = logic.output::<dear_someip::FrameBuf>("out");
+                    let t = logic.timer(
+                        "emit",
+                        Duration::from_millis(10),
+                        Some(Duration::from_millis(10)),
+                    );
+                    logic.reaction("emit").triggered_by(t).effects(out).body(
+                        move |n: &mut u8, ctx| {
+                            *n += 1;
+                            if *n <= 5 {
+                                ctx.set(out, vec![*n].into());
+                            }
+                        },
+                    );
+                    drop(logic);
+                    b.connect(out, publish.event).unwrap();
+                }
+                let binding = Binding::new(&net, &sd, NodeId(1), 0x11);
+                binding.offer(
+                    &mut sim,
+                    ServiceInstance::new(SERVICE_PING, INSTANCE),
+                    Duration::from_secs(1 << 20),
+                );
+                let platform = CoordinatedPlatform::new(
+                    "producer",
+                    Runtime::new(b.build().unwrap()),
+                    VirtualClock::ideal(),
+                    Outbox::clone(&outbox),
+                    sim.fork_rng("producer-costs"),
+                    &rti,
+                    &binding,
+                    false,
+                );
+                publish.bind(&platform, &binding, spec(SERVICE_PING));
+                platform
+            };
+
+        let seen: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let consumer = {
+            let outbox = Outbox::new();
+            let mut b = ProgramBuilder::new();
+            let input = ClientEventTransactor::declare(&mut b, "ping");
+            {
+                let mut logic = b.reactor("consumer", ());
+                let sink = seen.clone();
+                logic
+                    .reaction("collect")
+                    .triggered_by(input.event)
+                    .body(move |_, ctx| {
+                        sink.lock().unwrap().push(ctx.get(input.event).unwrap()[0]);
+                    });
+                drop(logic);
+            }
+            let binding = Binding::new(&net, &sd, NodeId(2), 0x22);
+            let platform = CoordinatedPlatform::new(
+                "consumer",
+                Runtime::new(b.build().unwrap()),
+                VirtualClock::ideal(),
+                Outbox::clone(&outbox),
+                sim.fork_rng("consumer-costs"),
+                &rti,
+                &binding,
+                false,
+            );
+            input.bind(&platform, &binding, spec(SERVICE_PING), cfg);
+            platform
+        };
+        rti.connect(producer.federate_id(), consumer.federate_id(), edge_delay);
+
+        producer.start(&mut sim);
+        consumer.start(&mut sim);
+        // Heartbeats keep blocked-but-alive federates distinguishable
+        // from dead ones.
+        producer.enable_heartbeat(&mut sim, Duration::from_millis(10));
+        consumer.enable_heartbeat(&mut sim, Duration::from_millis(10));
+
+        // Sever the producer's control uplink after its third event: NET
+        // and LTC reports (and heartbeats) stop reaching the RTI, while
+        // the data plane (producer node -> consumer node) keeps flowing.
+        let mut faults = dear_sim::FaultPlan::new();
+        faults.kill_link(Instant::from_millis(35), NodeId(1), NodeId(0));
+        faults.apply(&mut sim, &net);
+
+        sim.run_until(Instant::from_secs(1));
+
+        let deaths = rti.stats().deaths;
+        let seen = seen.lock().unwrap().len();
+        let death_traces = sim.trace_log().in_category("rti").len() as u64;
+        (deaths, seen, death_traces)
+    }
+
+    let (deaths, seen, traces) = run(true);
+    assert_eq!(deaths, 1, "the silent producer is declared dead");
+    assert_eq!(traces, 1, "the death lands in the trace");
+    assert_eq!(
+        seen, 5,
+        "survivors keep advancing: the in-flight data plane drains fully"
+    );
+
+    let (deaths, seen, _) = run(false);
+    assert_eq!(deaths, 0);
+    assert!(
+        seen < 5,
+        "without liveness the consumer stalls on the dead producer's bound (saw {seen})"
+    );
+}
+
+/// A grant-kind echo arriving at the RTI must neither count as a sign of
+/// life nor disarm the pending liveness check — regression for the
+/// generation bump that used to run before the echo filter.
+#[test]
+fn grant_echoes_do_not_disarm_the_liveness_watchdog() {
+    use dear_someip::{
+        CoordKind, CoordMsg, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE, TAG_NEVER,
+    };
+
+    let mut sim = Simulation::new(1);
+    let net = NetworkHandle::new(
+        LinkConfig::ideal(Duration::from_micros(100)),
+        sim.fork_rng("net"),
+    );
+    let sd = SdRegistry::new();
+    let rti = Rti::new(&mut sim, &net, &sd, NodeId(0));
+    rti.enable_liveness(Duration::from_millis(50));
+
+    let fed_binding = Binding::new(&net, &sd, NodeId(1), 0x11);
+    let fed = rti.register("fed", NodeId(1), true);
+    let send = |sim: &mut Simulation, binding: &Binding, msg: CoordMsg| {
+        binding
+            .call_no_return(
+                sim,
+                COORD_SERVICE,
+                COORD_INSTANCE,
+                COORD_METHOD,
+                msg.encode_into(&binding.pool()),
+            )
+            .unwrap();
+    };
+    // The federate joins, then goes silent forever.
+    send(
+        &mut sim,
+        &fed_binding,
+        CoordMsg::new(CoordKind::Join, fed.0, TAG_NEVER),
+    );
+    // Mid-silence, a stray grant echo reaches the RTI's method. It must
+    // not supersede the liveness check armed by the Join.
+    let echo_binding = fed_binding.clone();
+    sim.schedule_at(Instant::from_millis(30), move |sim| {
+        send(
+            sim,
+            &echo_binding,
+            CoordMsg::new(CoordKind::Tag, fed.0, TAG_NEVER),
+        );
+    });
+
+    sim.run_until(Instant::from_secs(1));
+    assert_eq!(
+        rti.stats().deaths,
+        1,
+        "the silent federate must still be declared dead: {}",
+        rti.stats()
+    );
+}
+
 /// Without an RTI grant the consumer must sit on its pending event
 /// forever — the runtime's bound gating is what enforces "never process
 /// beyond the last granted bound".

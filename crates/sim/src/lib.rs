@@ -17,6 +17,9 @@
 //!   skew and drift (the paper's clock-sync error `E`).
 //! * [`NetworkHandle`] — point-to-point links with latency, jitter, loss,
 //!   and optional reordering (nondeterminism source 3).
+//! * [`FaultPlan`] — deterministic fault injection: seeded,
+//!   logical-time-scheduled campaigns of loss bursts, latency spikes,
+//!   link kills and partitions, replayable bit-for-bit.
 //! * [`TaskPool`] — worker-thread dispatch with stochastic scheduling
 //!   delay (nondeterminism source 1).
 //! * [`FrameBuf`] / [`FramePool`] — pooled, reference-counted frame
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod clock;
+mod fault;
 mod frame;
 mod net;
 mod pool;
@@ -51,6 +55,7 @@ mod sim;
 mod trace;
 
 pub use clock::{ClockModel, VirtualClock};
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use frame::{FrameBuf, FrameMut, FramePool, FramePoolStats};
 pub use net::{Frame, LinkConfig, NetStats, NetworkHandle, NodeId};
 pub use pool::{PoolStats, TaskPool};

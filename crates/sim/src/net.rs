@@ -111,10 +111,14 @@ pub struct NetStats {
     pub sent: u64,
     /// Frames delivered to a registered receiver.
     pub delivered: u64,
-    /// Frames dropped by loss models.
+    /// Frames dropped by loss models (including fault-injected loss
+    /// bursts).
     pub dropped: u64,
     /// Frames addressed to a node with no registered receiver.
     pub unroutable: u64,
+    /// Frames dropped because their link was down (killed or partitioned
+    /// by a fault plan).
+    pub faulted: u64,
 }
 
 type Receiver = Rc<dyn Fn(&mut Simulation, Frame)>;
@@ -123,6 +127,30 @@ struct LinkState {
     config: LinkConfig,
     /// Earliest time the next FIFO delivery may occur.
     next_free: Instant,
+    /// Whether the link currently carries frames at all. Killed links
+    /// drop everything (counted in [`NetStats::faulted`]) until healed.
+    up: bool,
+    /// Fault-injected loss override; when set it replaces the configured
+    /// drop probability without touching the base configuration.
+    drop_override: Option<f64>,
+    /// Fault-injected latency override (e.g. a congestion spike). The
+    /// configured model — and therefore [`NetworkHandle::latency_bound`],
+    /// the *assumed* bound `L` — is untouched, which is exactly how a
+    /// spike beyond the engineered bound surfaces as observable STP
+    /// violations upstream.
+    latency_override: Option<LatencyModel>,
+}
+
+impl LinkState {
+    fn new(config: LinkConfig) -> Self {
+        LinkState {
+            config,
+            next_free: Instant::EPOCH,
+            up: true,
+            drop_override: None,
+            latency_override: None,
+        }
+    }
 }
 
 /// The simulated network fabric.
@@ -169,10 +197,9 @@ impl Network {
 
     fn link_state(&mut self, src: NodeId, dst: NodeId) -> &mut LinkState {
         let default = &self.default_link;
-        self.links.entry((src, dst)).or_insert_with(|| LinkState {
-            config: default.clone(),
-            next_free: Instant::EPOCH,
-        })
+        self.links
+            .entry((src, dst))
+            .or_insert_with(|| LinkState::new(default.clone()))
     }
 }
 
@@ -217,13 +244,10 @@ impl NetworkHandle {
 
     /// Configures the directed link `src -> dst`.
     pub fn configure_link(&self, src: NodeId, dst: NodeId, config: LinkConfig) {
-        self.0.borrow_mut().links.insert(
-            (src, dst),
-            LinkState {
-                config,
-                next_free: Instant::EPOCH,
-            },
-        );
+        self.0
+            .borrow_mut()
+            .links
+            .insert((src, dst), LinkState::new(config));
     }
 
     /// Configures both directions between two nodes symmetrically.
@@ -254,12 +278,27 @@ impl NetworkHandle {
         let deliver_at = {
             let mut net = self.0.borrow_mut();
             net.stats.sent += 1;
-            // Sample everything we need while holding the borrow.
+            // A downed link swallows the frame before any latency or loss
+            // sampling, so killing a link perturbs no other RNG draws.
+            if !net.link_state(frame.src, frame.dst).up {
+                net.stats.faulted += 1;
+                return;
+            }
+            // Sample everything we need while holding the borrow. Fault
+            // overrides substitute for the configured models; the base
+            // configuration (and the assumed bound `L`) stays intact.
             let latency = {
-                let cfg = net.link_state(frame.src, frame.dst).config.latency.clone();
+                let state = net.link_state(frame.src, frame.dst);
+                let cfg = state
+                    .latency_override
+                    .clone()
+                    .unwrap_or_else(|| state.config.latency.clone());
                 cfg.sample(&mut net.rng)
             };
-            let drop_p = net.link_state(frame.src, frame.dst).config.drop_probability;
+            let drop_p = {
+                let state = net.link_state(frame.src, frame.dst);
+                state.drop_override.unwrap_or(state.config.drop_probability)
+            };
             if drop_p > 0.0 && net.rng.chance(drop_p) {
                 net.stats.dropped += 1;
                 None
@@ -302,6 +341,10 @@ impl NetworkHandle {
 
     /// The worst-case latency bound of the `src -> dst` link (the paper's
     /// `L` for that hop). Unconfigured links report the default bound.
+    ///
+    /// Fault overrides are deliberately ignored: this is the *assumed*
+    /// engineering bound, and a fault plan that pushes real latencies
+    /// beyond it is exactly how STP violations are provoked.
     #[must_use]
     pub fn latency_bound(&self, src: NodeId, dst: NodeId) -> Duration {
         let net = self.0.borrow();
@@ -309,6 +352,39 @@ impl NetworkHandle {
             .get(&(src, dst))
             .map(|l| l.config.latency.upper_bound())
             .unwrap_or_else(|| net.default_link.latency.upper_bound())
+    }
+
+    // --- Fault-injection controls (used by `FaultPlan`) -------------------
+
+    /// Takes the directed link `src -> dst` down (`up = false`) or brings
+    /// it back (`up = true`). Frames sent on a downed link are dropped and
+    /// counted in [`NetStats::faulted`].
+    pub fn set_link_up(&self, src: NodeId, dst: NodeId, up: bool) {
+        self.0.borrow_mut().link_state(src, dst).up = up;
+    }
+
+    /// Whether the directed link `src -> dst` currently carries frames.
+    #[must_use]
+    pub fn link_is_up(&self, src: NodeId, dst: NodeId) -> bool {
+        self.0.borrow().links.get(&(src, dst)).is_none_or(|l| l.up)
+    }
+
+    /// Installs (`Some`) or clears (`None`) a loss-probability override on
+    /// the directed link `src -> dst`. While set, it replaces the
+    /// configured drop probability.
+    pub fn set_drop_override(&self, src: NodeId, dst: NodeId, p: Option<f64>) {
+        if let Some(p) = p {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        self.0.borrow_mut().link_state(src, dst).drop_override = p;
+    }
+
+    /// Installs (`Some`) or clears (`None`) a latency-model override on
+    /// the directed link `src -> dst`. While set, it replaces the
+    /// configured model for sampling; [`NetworkHandle::latency_bound`]
+    /// keeps reporting the configured bound.
+    pub fn set_latency_override(&self, src: NodeId, dst: NodeId, model: Option<LatencyModel>) {
+        self.0.borrow_mut().link_state(src, dst).latency_override = model;
     }
 }
 
@@ -482,6 +558,73 @@ mod tests {
         net.send(&mut sim, frame(1, 2, 10));
         sim.run_to_completion();
         assert_eq!(*got.borrow(), Some((Instant::from_millis(2), 11)));
+    }
+
+    #[test]
+    fn downed_link_drops_until_healed() {
+        let mut sim = Simulation::new(0);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_micros(1)),
+            sim.fork_rng("net"),
+        );
+        let count = Rc::new(RefCell::new(0u32));
+        let sink = count.clone();
+        net.set_receiver(NodeId(2), move |_, _| *sink.borrow_mut() += 1);
+        assert!(net.link_is_up(NodeId(1), NodeId(2)));
+        net.set_link_up(NodeId(1), NodeId(2), false);
+        assert!(!net.link_is_up(NodeId(1), NodeId(2)));
+        net.send(&mut sim, frame(1, 2, 0));
+        net.send(&mut sim, frame(1, 2, 1));
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 0);
+        assert_eq!(net.stats().faulted, 2);
+        net.set_link_up(NodeId(1), NodeId(2), true);
+        net.send(&mut sim, frame(1, 2, 2));
+        sim.run_to_completion();
+        assert_eq!(*count.borrow(), 1);
+        // The reverse direction was never touched.
+        assert!(net.link_is_up(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn drop_and_latency_overrides_apply_and_clear() {
+        let mut sim = Simulation::new(9);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_millis(1)),
+            sim.fork_rng("net"),
+        );
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let sink = hits.clone();
+        net.set_receiver(NodeId(2), move |sim, f| {
+            sink.borrow_mut().push((sim.now(), f.payload[0]));
+        });
+        // Total loss while the override is set.
+        net.set_drop_override(NodeId(1), NodeId(2), Some(1.0));
+        net.send(&mut sim, frame(1, 2, 0));
+        sim.run_to_completion();
+        assert!(hits.borrow().is_empty());
+        assert_eq!(net.stats().dropped, 1);
+        // Cleared: back to the configured lossless constant-latency link.
+        net.set_drop_override(NodeId(1), NodeId(2), None);
+        // A latency spike does not move the assumed bound.
+        net.set_latency_override(
+            NodeId(1),
+            NodeId(2),
+            Some(LatencyModel::constant(Duration::from_millis(50))),
+        );
+        assert_eq!(
+            net.latency_bound(NodeId(1), NodeId(2)),
+            Duration::from_millis(1)
+        );
+        let t0 = sim.now();
+        net.send(&mut sim, frame(1, 2, 1));
+        sim.run_to_completion();
+        assert_eq!(hits.borrow()[0], (t0 + Duration::from_millis(50), 1));
+        net.set_latency_override(NodeId(1), NodeId(2), None);
+        let t1 = sim.now();
+        net.send(&mut sim, frame(1, 2, 2));
+        sim.run_to_completion();
+        assert_eq!(hits.borrow()[1], (t1 + Duration::from_millis(1), 2));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Fault-injection determinism: the same seed and the same [`FaultPlan`]
+//! must replay byte-identically — `NetStats` and trace fingerprints
+//! included — even on drop- and reorder-heavy links. Plus the drop-path
+//! recycling regression: frames swallowed by the loss model (or a downed
+//! link) must return their buffers to the origin [`FramePool`].
+
+use dear_sim::{
+    FaultPlan, Frame, FramePool, LatencyModel, LinkConfig, NetStats, NetworkHandle, NodeId,
+    Simulation,
+};
+use dear_time::{Duration, Instant};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One seeded run: a three-node mesh on jittery, reordering, lossy
+/// links, a randomized fault campaign on top, every delivery recorded in
+/// the trace. Returns the delivery stats and the trace fingerprint.
+fn run_campaign(seed: u64, fault_count: usize, drop_p: f64, reordering: bool) -> (NetStats, u64) {
+    let mut sim = Simulation::new(seed);
+    sim.enable_tracing();
+    let mut link = LinkConfig::with_latency(LatencyModel::uniform(
+        Duration::from_micros(50),
+        Duration::from_millis(8),
+    ))
+    .with_drop_probability(drop_p);
+    if reordering {
+        link = link.reordering();
+    }
+    let net = NetworkHandle::new(link, sim.fork_rng("net"));
+
+    let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+    for &node in &nodes {
+        let handle = net.clone();
+        net.set_receiver(node, move |sim, frame| {
+            sim.trace_with("deliver", || {
+                format!("{} -> {}: {:?}", frame.src, frame.dst, &frame.payload[..])
+            });
+            // Nodes 1 and 2 bounce small frames onward so traffic keeps
+            // flowing through fault windows.
+            if frame.dst != NodeId(3) && frame.payload[0] < 200 {
+                handle.send(
+                    sim,
+                    Frame {
+                        src: frame.dst,
+                        dst: NodeId(frame.dst.0 + 1),
+                        payload: vec![frame.payload[0] + 1].into(),
+                    },
+                );
+            }
+        });
+    }
+
+    let links = [
+        (NodeId(1), NodeId(2)),
+        (NodeId(2), NodeId(3)),
+        (NodeId(2), NodeId(1)),
+    ];
+    let mut fault_rng = sim.fork_rng("faults");
+    let plan = FaultPlan::randomized(
+        &mut fault_rng,
+        &links,
+        Duration::from_millis(500),
+        fault_count,
+    );
+    plan.apply(&mut sim, &net);
+
+    // A burst of traffic every 5 ms for the whole campaign window.
+    for k in 0..100u64 {
+        let net = net.clone();
+        sim.schedule_at(Instant::from_millis(5 * k), move |sim| {
+            net.send(
+                sim,
+                Frame {
+                    src: NodeId(1),
+                    dst: NodeId(2),
+                    payload: vec![(k % 100) as u8].into(),
+                },
+            );
+        });
+    }
+
+    sim.run_to_completion();
+    (net.stats(), sim.trace_log().fingerprint())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed + same plan ⇒ byte-identical stats and traces, across
+    /// lossless, lossy and reorder-heavy links.
+    #[test]
+    fn same_seed_same_plan_replays_byte_identically(
+        seed in 0u64..1_000_000,
+        fault_count in 1usize..20,
+        drop_pct in 0u32..60,
+        reordering in any::<bool>(),
+    ) {
+        let drop_p = f64::from(drop_pct) / 100.0;
+        let a = run_campaign(seed, fault_count, drop_p, reordering);
+        let b = run_campaign(seed, fault_count, drop_p, reordering);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let fingerprints: Vec<u64> = (0..4)
+        .map(|seed| run_campaign(seed, 10, 0.3, true).1)
+        .collect();
+    let distinct: std::collections::HashSet<u64> = fingerprints.iter().copied().collect();
+    assert!(distinct.len() > 1, "seeds should differ: {fingerprints:?}");
+}
+
+#[test]
+fn faults_actually_bite() {
+    // Sanity: a campaign with kills and bursts drops traffic a faultless
+    // run would deliver.
+    let (with_faults, _) = run_campaign(7, 16, 0.0, false);
+    let (without, _) = run_campaign(7, 0, 0.0, false);
+    assert_eq!(without.dropped + without.faulted, 0);
+    assert!(
+        with_faults.dropped + with_faults.faulted > 0,
+        "the campaign should cost something: {with_faults:?}"
+    );
+}
+
+/// The drop-path recycling regression: every frame dropped by the loss
+/// model, a loss burst, or a downed link must return its buffer to the
+/// origin pool once all views are gone.
+#[test]
+fn dropped_frames_return_their_buffers_to_the_pool() {
+    let mut sim = Simulation::new(5);
+    let net = NetworkHandle::new(
+        LinkConfig::ideal(Duration::from_micros(10)).with_drop_probability(0.7),
+        sim.fork_rng("net"),
+    );
+    // No receiver for node 9: the delivered remainder becomes unroutable
+    // and must recycle too.
+    let received = Rc::new(RefCell::new(0u64));
+    let sink = received.clone();
+    net.set_receiver(NodeId(2), move |_, _| *sink.borrow_mut() += 1);
+
+    let pool = FramePool::new();
+    let mut plan = FaultPlan::new();
+    plan.loss_burst(
+        Instant::from_millis(2),
+        NodeId(1),
+        NodeId(2),
+        1.0,
+        Duration::from_millis(3),
+    );
+    plan.kill_link(Instant::from_millis(8), NodeId(1), NodeId(9));
+    plan.apply(&mut sim, &net);
+
+    for k in 0..500u64 {
+        let net = net.clone();
+        let pool = pool.clone();
+        sim.schedule_at(Instant::from_micros(20 * k), move |sim| {
+            let mut frame = pool.acquire();
+            frame.extend_from_slice(&k.to_le_bytes());
+            net.send(
+                sim,
+                Frame {
+                    src: NodeId(1),
+                    dst: NodeId(if k % 3 == 0 { 9 } else { 2 }),
+                    payload: frame.freeze(),
+                },
+            );
+        });
+    }
+    sim.run_to_completion();
+
+    let stats = net.stats();
+    assert_eq!(stats.sent, 500);
+    assert!(stats.dropped > 100, "drop-heavy run: {stats:?}");
+    assert!(stats.faulted > 0, "the killed link swallowed frames");
+    assert_eq!(
+        stats.delivered + stats.dropped + stats.unroutable + stats.faulted,
+        500
+    );
+    // Every buffer is back on the free list: pool length restored to the
+    // working set, regardless of whether the frame was delivered,
+    // dropped, faulted or unroutable.
+    let pstats = pool.stats();
+    assert_eq!(
+        pool.free_count() as u64,
+        pstats.created,
+        "all {} created buffers must be recycled: {pstats:?}",
+        pstats.created
+    );
+    assert_eq!(pstats.recycled, 500, "every send recycled exactly once");
+}

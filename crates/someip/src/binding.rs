@@ -170,6 +170,14 @@ impl Binding {
         self.0.borrow().node
     }
 
+    /// The discovery registry this binding resolves against (shared
+    /// handle). Failover layers use it to watch redundant offers and to
+    /// move subscriptions between provider instances.
+    #[must_use]
+    pub fn sd(&self) -> SdRegistry {
+        self.0.borrow().sd.clone()
+    }
+
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> BindingStats {

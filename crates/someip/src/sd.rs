@@ -9,6 +9,24 @@
 //! span: servers *offer* `(service, instance)` pairs with a TTL, clients
 //! *find* instances (optionally asynchronously — the callback fires when a
 //! matching offer appears) and *subscribe* to eventgroups.
+//!
+//! # Redundant providers and failover
+//!
+//! Multiple providers may offer distinct instances of the *same* service
+//! with a [priority](Offer::priority) (lower value wins; ties break on
+//! the lower instance id, so selection is always deterministic).
+//! [`SdRegistry::find`] resolves to the best valid offer, and
+//! [`SdRegistry::watch`] observes it: whenever the best offer for a
+//! service changes — a higher-priority provider appears, the current one
+//! sends StopOffer, or its TTL lapses — every watcher fires exactly once
+//! with the new best (or `None`), at a well-defined simulation tag.
+//!
+//! TTL doubles as the provider heartbeat: as long as a service is
+//! watched, each offer schedules a purge at its expiry instant, so a
+//! provider that silently dies is withdrawn deterministically one
+//! nanosecond after its last renewal lapses — no polling, no wall-clock
+//! races. `stop_offer` additionally drops the withdrawn instance's
+//! subscriptions, so a re-offer never delivers to stale subscribers.
 
 use dear_sim::{NodeId, Simulation};
 use dear_time::{Duration, Instant};
@@ -52,9 +70,22 @@ pub struct Offer {
     pub node: NodeId,
     /// Offer expiry (true simulation time).
     pub valid_until: Instant,
+    /// Selection priority among redundant offers of the same service:
+    /// lower values win, ties break on the lower instance id. Plain
+    /// offers default to priority 0.
+    pub priority: u8,
 }
 
 type FindCallback = Box<dyn FnOnce(&mut Simulation, Offer)>;
+type WatchCallback = Rc<dyn Fn(&mut Simulation, Option<Offer>)>;
+
+struct WatchEntry {
+    service: u16,
+    pattern: u16,
+    /// The best offer last reported, to fire only on change.
+    last: Option<Offer>,
+    callback: WatchCallback,
+}
 
 #[derive(Default)]
 struct SdInner {
@@ -66,6 +97,40 @@ struct SdInner {
     waiting: Vec<(u16, u16, FindCallback)>,
     /// Subscriptions: (service, instance, eventgroup) -> subscriber nodes.
     subscriptions: BTreeMap<(u16, u16, u16), Vec<NodeId>>,
+    /// Best-offer watchers, fired in registration order.
+    watchers: Vec<WatchEntry>,
+}
+
+impl SdInner {
+    /// Withdraws an offer together with the instance's subscriptions —
+    /// the single wipe shared by StopOffer and TTL expiry, so the two
+    /// withdrawal paths can never drift apart (a stale subscriber on
+    /// either path would receive a re-offered incarnation's traffic).
+    fn withdraw(&mut self, instance: ServiceInstance) {
+        self.offers.remove(&instance);
+        self.subscriptions.retain(|&(service, inst, _), _| {
+            (service, inst) != (instance.service, instance.instance)
+        });
+    }
+}
+
+/// The deterministic best-offer choice for `(service, pattern)`:
+/// lowest `(priority, instance)` among valid offers.
+fn best_of(
+    offers: &BTreeMap<ServiceInstance, Offer>,
+    now: Instant,
+    service: u16,
+    pattern: u16,
+) -> Option<Offer> {
+    offers
+        .values()
+        .filter(|o| {
+            o.instance.service == service
+                && (pattern == ANY_INSTANCE || o.instance.instance == pattern)
+                && o.valid_until >= now
+        })
+        .min_by_key(|o| (o.priority, o.instance.instance))
+        .copied()
 }
 
 /// A shared handle to the discovery domain.
@@ -104,7 +169,7 @@ impl SdRegistry {
         Self::default()
     }
 
-    /// Offers a service instance from `node` for `ttl`.
+    /// Offers a service instance from `node` for `ttl` at priority 0.
     ///
     /// Pending asynchronous finds matching the offer fire immediately
     /// (at the current simulation time).
@@ -115,12 +180,28 @@ impl SdRegistry {
         node: NodeId,
         ttl: Duration,
     ) {
+        self.offer_prioritized(sim, instance, node, ttl, 0);
+    }
+
+    /// Offers a service instance with an explicit selection priority
+    /// (lower wins; see [`Offer::priority`]). Re-offering the same
+    /// instance renews its TTL — the SOME/IP-SD heartbeat.
+    pub fn offer_prioritized(
+        &self,
+        sim: &mut Simulation,
+        instance: ServiceInstance,
+        node: NodeId,
+        ttl: Duration,
+        priority: u8,
+    ) {
+        let valid_until = sim.now().saturating_add(ttl);
         let offer = Offer {
             instance,
             node,
-            valid_until: sim.now().saturating_add(ttl),
+            valid_until,
+            priority,
         };
-        let ready: Vec<FindCallback> = {
+        let (ready, watched): (Vec<FindCallback>, bool) = {
             let mut inner = self.0.borrow_mut();
             inner.offers.insert(instance, offer);
             let mut ready = Vec::new();
@@ -135,33 +216,142 @@ impl SdRegistry {
                 }
             }
             inner.waiting = remaining;
-            ready
+            let watched = inner.watchers.iter().any(|w| w.service == instance.service);
+            (ready, watched)
         };
+        // Watched services get active expiry: the TTL is a heartbeat
+        // deadline, enforced at a well-defined tag. Unwatched services
+        // keep the passive model (validity checked at lookup time) so
+        // plans without failover schedule zero extra events.
+        if watched && valid_until < Instant::MAX {
+            self.arm_expiry(sim, instance, valid_until);
+        }
         for cb in ready {
             cb(sim, offer);
         }
+        self.notify_watchers(sim);
     }
 
     /// Withdraws an offer (SOME/IP-SD StopOffer).
-    pub fn stop_offer(&self, instance: ServiceInstance) {
-        self.0.borrow_mut().offers.remove(&instance);
+    ///
+    /// All subscriptions to the withdrawn instance are dropped with it:
+    /// a later re-offer of the same instance starts with an empty
+    /// subscriber set, so notifications can never reach subscribers of
+    /// the dead incarnation. Watchers of the service fire at the current
+    /// tag if the withdrawal changed their best offer.
+    pub fn stop_offer(&self, sim: &mut Simulation, instance: ServiceInstance) {
+        self.0.borrow_mut().withdraw(instance);
+        self.notify_watchers(sim);
     }
 
     /// Finds a currently valid offer. `instance` may be [`ANY_INSTANCE`].
+    ///
+    /// The choice among redundant offers is deterministic: lowest
+    /// [`Offer::priority`] wins, ties break on the lowest instance id.
     #[must_use]
     pub fn find(&self, sim: &Simulation, service: u16, instance: u16) -> Option<Offer> {
-        // Deterministic choice: the registry iterates in (service,
-        // instance) order, so the first match is the lowest instance id.
-        let inner = self.0.borrow();
-        inner
-            .offers
-            .values()
-            .find(|o| {
-                o.instance.service == service
-                    && (instance == ANY_INSTANCE || o.instance.instance == instance)
-                    && o.valid_until >= sim.now()
-            })
-            .copied()
+        best_of(&self.0.borrow().offers, sim.now(), service, instance)
+    }
+
+    /// Watches the best valid offer for `(service, instance)` (the
+    /// pattern may be [`ANY_INSTANCE`]): `callback` fires whenever it
+    /// changes — a better offer appears, the current best is withdrawn
+    /// via [`SdRegistry::stop_offer`], or its TTL lapses — with the new
+    /// best (or `None` when none is left). It fires immediately for the
+    /// current state, so the caller needs no separate initial `find`.
+    ///
+    /// Registering a watcher switches the service to active TTL expiry
+    /// (see the module docs); watchers fire in registration order.
+    pub fn watch(
+        &self,
+        sim: &mut Simulation,
+        service: u16,
+        instance: u16,
+        callback: impl Fn(&mut Simulation, Option<Offer>) + 'static,
+    ) {
+        let (initial, callback, expiries): (Option<Offer>, WatchCallback, Vec<_>) = {
+            let mut inner = self.0.borrow_mut();
+            let initial = best_of(&inner.offers, sim.now(), service, instance);
+            let callback: WatchCallback = Rc::new(callback);
+            inner.watchers.push(WatchEntry {
+                service,
+                pattern: instance,
+                last: initial,
+                callback: callback.clone(),
+            });
+            // Offers made before the first watcher existed never armed an
+            // expiry event; arm them now so their TTLs are enforced too.
+            let expiries = inner
+                .offers
+                .values()
+                .filter(|o| o.instance.service == service && o.valid_until < Instant::MAX)
+                .map(|o| (o.instance, o.valid_until))
+                .collect();
+            (initial, callback, expiries)
+        };
+        for (inst, valid_until) in expiries {
+            self.arm_expiry(sim, inst, valid_until);
+        }
+        callback(sim, initial);
+    }
+
+    /// Schedules the purge of `instance` one nanosecond after
+    /// `valid_until`, unless the offer was renewed in the meantime.
+    fn arm_expiry(&self, sim: &mut Simulation, instance: ServiceInstance, valid_until: Instant) {
+        let sd = self.clone();
+        sim.schedule_at(
+            valid_until.saturating_add(Duration::from_nanos(1)),
+            move |sim| {
+                let expired = {
+                    let mut inner = sd.0.borrow_mut();
+                    // A renewal moved valid_until; this check is stale then.
+                    let expired = inner
+                        .offers
+                        .get(&instance)
+                        .is_some_and(|o| o.valid_until == valid_until);
+                    if expired {
+                        inner.withdraw(instance);
+                    }
+                    expired
+                };
+                if expired {
+                    sim.trace_with("sd", || format!("offer {instance} expired"));
+                    sd.notify_watchers(sim);
+                }
+            },
+        );
+    }
+
+    /// Fires every watcher whose best offer changed since it last fired.
+    fn notify_watchers(&self, sim: &mut Simulation) {
+        let ready: Vec<(WatchCallback, Option<Offer>)> = {
+            let mut inner = self.0.borrow_mut();
+            let now = sim.now();
+            let mut ready = Vec::new();
+            let SdInner {
+                offers, watchers, ..
+            } = &mut *inner;
+            for w in watchers.iter_mut() {
+                let best = best_of(offers, now, w.service, w.pattern);
+                // A TTL renewal only moves `valid_until`; the provider is
+                // the same, so the watcher stays quiet.
+                let same_provider = match (&w.last, &best) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => {
+                        a.instance == b.instance && a.node == b.node && a.priority == b.priority
+                    }
+                    _ => false,
+                };
+                w.last = best;
+                if !same_provider {
+                    ready.push((w.callback.clone(), best));
+                }
+            }
+            ready
+        };
+        for (cb, best) in ready {
+            cb(sim, best);
+        }
     }
 
     /// Finds asynchronously: `callback` fires now if a matching offer
@@ -220,6 +410,22 @@ impl SdRegistry {
             .unwrap_or_default()
     }
 
+    /// All currently valid offers of `service`, best first (ascending
+    /// `(priority, instance)` — the same deterministic order
+    /// [`SdRegistry::find`] resolves in).
+    #[must_use]
+    pub fn offers_of(&self, sim: &Simulation, service: u16) -> Vec<Offer> {
+        let inner = self.0.borrow();
+        let mut offers: Vec<Offer> = inner
+            .offers
+            .values()
+            .filter(|o| o.instance.service == service && o.valid_until >= sim.now())
+            .copied()
+            .collect();
+        offers.sort_by_key(|o| (o.priority, o.instance.instance));
+        offers
+    }
+
     /// Number of currently stored offers (including possibly expired ones
     /// that have not been purged).
     #[must_use]
@@ -271,8 +477,146 @@ mod tests {
         let sd = SdRegistry::new();
         let inst = ServiceInstance::new(7, 1);
         sd.offer(&mut sim, inst, NodeId(3), Duration::from_secs(1));
-        sd.stop_offer(inst);
+        sd.stop_offer(&mut sim, inst);
         assert!(sd.find(&sim, 7, 1).is_none());
+    }
+
+    #[test]
+    fn priority_selects_best_and_reroutes_on_withdrawal() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        let primary = ServiceInstance::new(7, 1);
+        let backup = ServiceInstance::new(7, 2);
+        sd.offer_prioritized(&mut sim, backup, NodeId(5), Duration::from_secs(10), 1);
+        sd.offer_prioritized(&mut sim, primary, NodeId(4), Duration::from_secs(10), 0);
+        // Priority beats instance-id order and offer order.
+        assert_eq!(sd.find(&sim, 7, ANY_INSTANCE).unwrap().node, NodeId(4));
+        sd.stop_offer(&mut sim, primary);
+        assert_eq!(sd.find(&sim, 7, ANY_INSTANCE).unwrap().node, NodeId(5));
+        // The primary coming back outranks the backup again.
+        sd.offer_prioritized(&mut sim, primary, NodeId(4), Duration::from_secs(10), 0);
+        assert_eq!(sd.find(&sim, 7, ANY_INSTANCE).unwrap().node, NodeId(4));
+    }
+
+    #[test]
+    fn stop_offer_wipes_subscriptions_and_reoffer_starts_clean() {
+        // SD churn regression: a StopOffer/re-offer cycle must rebuild
+        // the subscriber set from scratch — notifications of the new
+        // incarnation can never reach subscribers of the dead one.
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        let inst = ServiceInstance::new(7, 1);
+        sd.offer(&mut sim, inst, NodeId(3), Duration::from_secs(10));
+        sd.subscribe(inst, 1, NodeId(8));
+        sd.subscribe(inst, 2, NodeId(9));
+        assert_eq!(sd.subscribers(inst, 1), vec![NodeId(8)]);
+        sd.stop_offer(&mut sim, inst);
+        assert!(sd.subscribers(inst, 1).is_empty(), "stale subscriber kept");
+        assert!(sd.subscribers(inst, 2).is_empty(), "stale subscriber kept");
+        // A different instance of the same service is untouched.
+        let other = ServiceInstance::new(7, 3);
+        sd.subscribe(other, 1, NodeId(10));
+        sd.stop_offer(&mut sim, inst);
+        assert_eq!(sd.subscribers(other, 1), vec![NodeId(10)]);
+        // Re-offer: the subscriber set is rebuilt deterministically by
+        // fresh subscribe calls only.
+        sd.offer(&mut sim, inst, NodeId(3), Duration::from_secs(10));
+        assert!(sd.subscribers(inst, 1).is_empty());
+        sd.subscribe(inst, 1, NodeId(11));
+        assert_eq!(sd.subscribers(inst, 1), vec![NodeId(11)]);
+    }
+
+    #[test]
+    fn find_async_after_stop_offer_observes_the_new_offer() {
+        // SD churn regression: a find resolving after a StopOffer must
+        // see the replacement offer, never the dead one.
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        let inst = ServiceInstance::new(9, 1);
+        sd.offer(&mut sim, inst, NodeId(1), Duration::from_secs(10));
+        sd.stop_offer(&mut sim, inst);
+        let hit = Rc::new(RefCell::new(None));
+        let sink = hit.clone();
+        sd.find_async(&mut sim, 9, ANY_INSTANCE, move |sim, offer| {
+            *sink.borrow_mut() = Some((sim.now(), offer.node));
+        });
+        assert!(hit.borrow().is_none(), "dead offer must not resolve");
+        let sd2 = sd.clone();
+        sim.schedule_at(Instant::from_millis(3), move |sim| {
+            sd2.offer(sim, inst, NodeId(2), Duration::from_secs(10));
+        });
+        sim.run_to_completion();
+        assert_eq!(*hit.borrow(), Some((Instant::from_millis(3), NodeId(2))));
+    }
+
+    #[test]
+    fn watch_fires_on_offer_withdrawal_and_expiry() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        let primary = ServiceInstance::new(7, 1);
+        let backup = ServiceInstance::new(7, 2);
+        type BestLog = Vec<(Instant, Option<(u16, u16)>)>;
+        let log: Rc<RefCell<BestLog>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = log.clone();
+        sd.watch(&mut sim, 7, ANY_INSTANCE, move |sim, best| {
+            sink.borrow_mut().push((
+                sim.now(),
+                best.map(|o| (o.instance.instance, u16::from(o.priority))),
+            ));
+        });
+        // Initial state: nothing offered.
+        assert_eq!(*log.borrow(), vec![(Instant::EPOCH, None)]);
+        // Backup first, then primary takes over by priority.
+        sd.offer_prioritized(&mut sim, backup, NodeId(5), Duration::from_secs(60), 1);
+        sd.offer_prioritized(&mut sim, primary, NodeId(4), Duration::from_millis(10), 0);
+        // Renewing the backup does not change the best: no spurious fire.
+        sd.offer_prioritized(&mut sim, backup, NodeId(5), Duration::from_secs(60), 1);
+        // The primary's TTL lapses without renewal: failover to the
+        // backup exactly one nanosecond past the deadline.
+        sim.run_until(Instant::from_secs(1));
+        assert_eq!(
+            *log.borrow(),
+            vec![
+                (Instant::EPOCH, None),
+                (Instant::EPOCH, Some((2, 1))),
+                (Instant::EPOCH, Some((1, 0))),
+                (
+                    Instant::from_millis(10) + Duration::from_nanos(1),
+                    Some((2, 1))
+                ),
+            ]
+        );
+        // Expiry also wiped the dead instance's subscriptions.
+        assert!(sd.subscribers(primary, 1).is_empty());
+    }
+
+    #[test]
+    fn watch_renewal_keeps_the_offer_alive() {
+        let mut sim = Simulation::new(0);
+        let sd = SdRegistry::new();
+        let inst = ServiceInstance::new(7, 1);
+        let changes = Rc::new(RefCell::new(0u32));
+        let sink = changes.clone();
+        sd.watch(&mut sim, 7, ANY_INSTANCE, move |_, _| {
+            *sink.borrow_mut() += 1;
+        });
+        sd.offer(&mut sim, inst, NodeId(3), Duration::from_millis(10));
+        // Renew every 5 ms for 40 ms: the stale expiry checks fire but
+        // must not withdraw the renewed offer.
+        for k in 1..=8u64 {
+            let sd2 = sd.clone();
+            sim.schedule_at(Instant::from_millis(5 * k), move |sim| {
+                sd2.offer(sim, inst, NodeId(3), Duration::from_millis(10));
+            });
+        }
+        sim.run_until(Instant::from_millis(45));
+        assert!(sd.find(&sim, 7, 1).is_some(), "renewals keep it alive");
+        // 1 initial (None) + 1 first offer; renewals change nothing.
+        assert_eq!(*changes.borrow(), 2);
+        // Stop renewing: the last TTL lapses at 40 + 10 ms.
+        sim.run_until(Instant::from_secs(1));
+        assert!(sd.find(&sim, 7, 1).is_none());
+        assert_eq!(*changes.borrow(), 3);
     }
 
     #[test]

@@ -93,6 +93,19 @@ pub struct EventSpec {
     pub event: u16,
 }
 
+/// Addressing of one event within a *redundant provider group*: no fixed
+/// instance id — the [`FailoverBinding`](crate::FailoverBinding) tracks
+/// whichever provider instance is currently the best offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverEventSpec {
+    /// Service id.
+    pub service: u16,
+    /// Eventgroup id.
+    pub eventgroup: u16,
+    /// Event id.
+    pub event: u16,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

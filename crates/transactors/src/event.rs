@@ -6,11 +6,13 @@
 //! receive. The brake-assistant pipeline (Fig. 4) is a chain of exactly
 //! these transactors.
 
-use crate::config::{tag_to_wire, DearConfig, EventSpec};
+use crate::config::{tag_to_wire, DearConfig, EventSpec, FailoverEventSpec};
 use crate::driver::PlatformDriver;
+use crate::failover::FailoverBinding;
 use crate::outbox::{OutboundMsg, Outbox, OutboxSender};
 use crate::stats::TransactorStats;
 use dear_core::{PhysicalAction, Port, ProgramBuilder, ReactionCtx};
+use dear_sim::Simulation;
 use dear_someip::{Binding, FrameBuf, ServiceInstance};
 use dear_time::Duration;
 
@@ -143,5 +145,42 @@ impl ClientEventTransactor {
             platform.deliver(sim, &action, msg.payload, wire_tag, &cfg, &stats_cb);
         });
         stats
+    }
+
+    /// Binds the transactor to a **redundant provider group**: instead of
+    /// subscribing to one fixed instance, a [`FailoverBinding`] tracks
+    /// the best valid offer of `spec.service` and moves the subscription
+    /// whenever the current provider is withdrawn, expires, or (with
+    /// [`FailoverBinding::enable_heartbeat`]) goes silent. Received
+    /// notifications are routed into the reactor network exactly as in
+    /// [`ClientEventTransactor::bind`] — the tag algebra and the
+    /// safe-to-process check are unchanged, so failover never reorders
+    /// released events.
+    ///
+    /// Returns the fault counters (shared with the failover binding, so
+    /// `failovers`/`stp_violations` land in one place) and the
+    /// [`FailoverBinding`] handle.
+    pub fn bind_failover(
+        &self,
+        sim: &mut Simulation,
+        platform: &impl PlatformDriver,
+        binding: &Binding,
+        spec: FailoverEventSpec,
+        cfg: DearConfig,
+    ) -> (TransactorStats, FailoverBinding) {
+        let stats = TransactorStats::new();
+        let failover =
+            FailoverBinding::attach(sim, binding, spec.service, spec.eventgroup, stats.clone());
+        let action = self.evt_action;
+        let platform = platform.clone();
+        let binding_cb = binding.clone();
+        let stats_cb = stats.clone();
+        let failover_cb = failover.clone();
+        binding.on_event(spec.service, spec.event, move |sim, msg| {
+            let wire_tag = binding_cb.take_incoming_tag().or(msg.tag);
+            failover_cb.note_event(sim);
+            platform.deliver(sim, &action, msg.payload, wire_tag, &cfg, &stats_cb);
+        });
+        (stats, failover)
     }
 }

@@ -25,8 +25,10 @@
 //!   decentralized (this crate) or centralized (`dear-federation`'s RTI)
 //!   unchanged;
 //! * [`Outbox`] — the deterministic reaction→middleware queue;
+//! * [`FailoverBinding`] — deterministic re-binding to redundant
+//!   providers (priority offers, TTL heartbeats, silence watchdog);
 //! * [`TransactorStats`] — observable fault counters (untagged drops,
-//!   safe-to-process violations).
+//!   safe-to-process violations, failovers).
 //!
 //! See `tests/fig3_roundtrip.rs` for the full Figure 3 sequence driven
 //! end to end with exact tag assertions.
@@ -37,15 +39,19 @@
 mod config;
 mod driver;
 mod event;
+mod failover;
 mod field;
 mod method;
 mod outbox;
 mod platform;
 mod stats;
 
-pub use config::{tag_to_wire, wire_to_tag, DearConfig, EventSpec, MethodSpec, UntaggedPolicy};
+pub use config::{
+    tag_to_wire, wire_to_tag, DearConfig, EventSpec, FailoverEventSpec, MethodSpec, UntaggedPolicy,
+};
 pub use driver::{Coordination, PlatformDriver};
 pub use event::{ClientEventTransactor, ServerEventTransactor};
+pub use failover::FailoverBinding;
 pub use field::{FieldClientTransactor, FieldServerTransactor};
 pub use method::{ClientMethodTransactor, ServerMethodTransactor};
 pub use outbox::{OutboundMsg, Outbox, OutboxSender};

@@ -14,6 +14,7 @@ struct StatsInner {
     untagged_dropped: Cell<u64>,
     stp_violations: Cell<u64>,
     send_failures: Cell<u64>,
+    failovers: Cell<u64>,
     // Coordination-message counters, recorded by the centralized driver
     // (`dear-federation`); they stay zero under decentralized coordination
     // so both drivers report comparable numbers.
@@ -35,6 +36,7 @@ impl fmt::Debug for TransactorStats {
             .field("untagged_dropped", &self.untagged_dropped())
             .field("stp_violations", &self.stp_violations())
             .field("send_failures", &self.send_failures())
+            .field("failovers", &self.failovers())
             .field("nets_sent", &self.nets_sent())
             .field("ltcs_sent", &self.ltcs_sent())
             .field("grants_received", &self.grants_received())
@@ -42,6 +44,28 @@ impl fmt::Debug for TransactorStats {
             .field("bound_breaches", &self.bound_breaches())
             .field("grant_wait", &self.grant_wait())
             .finish()
+    }
+}
+
+impl fmt::Display for TransactorStats {
+    /// One-line, greppable counter summary (the transactor-side analogue
+    /// of `RuntimeStats`' Display), including the failover/STP counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stp_violations={} failovers={} untagged_dropped={} send_failures={} \
+             nets={} ltcs={} grants={} ptags={} bound_breaches={} grant_wait={}",
+            self.stp_violations(),
+            self.failovers(),
+            self.untagged_dropped(),
+            self.send_failures(),
+            self.nets_sent(),
+            self.ltcs_sent(),
+            self.grants_received(),
+            self.ptags_received(),
+            self.bound_breaches(),
+            self.grant_wait(),
+        )
     }
 }
 
@@ -70,6 +94,20 @@ impl TransactorStats {
     #[must_use]
     pub fn send_failures(&self) -> u64 {
         self.0.send_failures.get()
+    }
+
+    /// Provider re-bindings performed by a
+    /// [`FailoverBinding`](crate::FailoverBinding): the subscription (and
+    /// method routing) moved from a withdrawn, expired or suspected-dead
+    /// provider to the next-priority one.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.0.failovers.get()
+    }
+
+    /// Records one provider re-binding.
+    pub fn record_failover(&self) {
+        self.0.failovers.set(self.0.failovers.get() + 1);
     }
 
     /// NET (next-event tag) reports sent to the RTI.
@@ -169,9 +207,24 @@ mod tests {
         stats.record_stp_violation();
         stats.record_stp_violation();
         stats.record_send_failure();
+        stats.record_failover();
         assert_eq!(other.untagged_dropped(), 1);
         assert_eq!(other.stp_violations(), 2);
         assert_eq!(other.send_failures(), 1);
+        assert_eq!(other.failovers(), 1);
+    }
+
+    #[test]
+    fn display_is_one_line_and_greppable() {
+        let stats = TransactorStats::new();
+        stats.record_stp_violation();
+        stats.record_failover();
+        stats.record_failover();
+        let line = stats.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("stp_violations=1"));
+        assert!(line.contains("failovers=2"));
+        assert!(line.contains("bound_breaches=0"));
     }
 
     #[test]
