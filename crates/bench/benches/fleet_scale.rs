@@ -1,0 +1,284 @@
+//! **Fleet-scale federation** — flat RTI vs the two-level hierarchical
+//! coordinator on a star-of-chains fleet (PR 6 tentpole).
+//!
+//! Topology: `Z` zones of `M = 10` federates each, chained inside the
+//! zone (`m0 → m1 → … → m9`), with cross-zone edges from zone 0's chain
+//! tail to every other zone's chain head — the "lead vehicle fans out to
+//! the platoon" shape. Every federate runs a 10 ms timer; the data plane
+//! is irrelevant here, coordination alone gates the tags.
+//!
+//! The flat RTI solves one global LBTS fixpoint over all `N` federates on
+//! every control message; the hierarchical coordinator solves an
+//! `M`-node fixpoint per zone plus a `Z`-node fixpoint at the root, and
+//! batches its control frames. Per scale point the harness reports:
+//!
+//! * **grants/sec** — TAG grants issued per wall-clock second (the
+//!   coordinator's throughput; the hierarchy should win big at 1000),
+//! * **LBTS lag** — mean virtual time a federate spends blocked per
+//!   received grant (the price of the extra coordination hop),
+//! * control-frame counts (the batching win).
+//!
+//! Run with `cargo bench -p dear-bench --bench fleet_scale` (append
+//! `-- --test` for a small smoke run that also checks determinism and
+//! flat/hierarchical equivalence). `DEAR_FLEET_MS` (default 100) sets
+//! the virtual run length per point.
+
+use dear_bench::{env_u64, header};
+use dear_core::{ProgramBuilder, Runtime, Tag};
+use dear_federation::{CoordinatedPlatform, HierarchicalRti, Rti, ZoneId};
+use dear_sim::{LinkConfig, NetworkHandle, NodeId, Simulation, VirtualClock};
+use dear_someip::{Binding, SdRegistry};
+use dear_time::{Duration, Instant};
+use dear_transactors::Outbox;
+
+const MEMBERS_PER_ZONE: usize = 10;
+const SEED: u64 = 42;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Flat,
+    Hierarchical,
+}
+
+struct Report {
+    wall: std::time::Duration,
+    tags_issued: u64,
+    grants_received: u64,
+    grant_wait: Duration,
+    batches: u64,
+    /// FNV-1a over every federate's (processed, max tag) — the
+    /// determinism witness.
+    fingerprint: u64,
+    processed: u64,
+}
+
+impl Report {
+    fn grants_per_sec(&self) -> f64 {
+        self.tags_issued as f64 / self.wall.as_secs_f64()
+    }
+
+    fn lag(&self) -> Duration {
+        if self.grants_received == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(
+                self.grant_wait.as_nanos() / i64::try_from(self.grants_received).expect("grants"),
+            )
+        }
+    }
+}
+
+/// One timer-driven federate: no data plane, just tags to be granted.
+fn fleet_member(name: &str) -> Runtime {
+    let mut b = ProgramBuilder::new();
+    let mut r = b.reactor(name, 0u64);
+    let t = r.timer(
+        "tick",
+        Duration::from_millis(10),
+        Some(Duration::from_millis(10)),
+    );
+    r.reaction("tick")
+        .triggered_by(t)
+        .body(|n: &mut u64, _| *n += 1);
+    drop(r);
+    Runtime::new(b.build().expect("fleet member builds"))
+}
+
+fn run_fleet(zones: usize, mode: Mode, horizon: Duration) -> Report {
+    let n = zones * MEMBERS_PER_ZONE;
+    let edge_delay = Duration::from_millis(1);
+    let mut sim = Simulation::new(SEED);
+    let net = NetworkHandle::new(
+        LinkConfig::ideal(Duration::from_micros(50)),
+        sim.fork_rng("net"),
+    );
+    let sd = SdRegistry::new();
+
+    // Node plan: 0 = root/RTI, 1..=zones = zone coordinators, rest =
+    // federates (one node each, like one ECU each).
+    let fed_node = |i: usize| NodeId((1 + zones + i) as u16);
+    let (flat, hier) = match mode {
+        Mode::Flat => (Some(Rti::new(&mut sim, &net, &sd, NodeId(0))), None),
+        Mode::Hierarchical => {
+            let h = HierarchicalRti::new(&mut sim, &net, &sd, NodeId(0));
+            for z in 0..zones {
+                h.add_zone(&mut sim, &net, &sd, NodeId(1 + z as u16));
+            }
+            (None, Some(h))
+        }
+    };
+
+    let mut platforms = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = format!("fed{i}");
+        let binding = Binding::new(&net, &sd, fed_node(i), 0x1000 + i as u16);
+        let runtime = fleet_member(&name);
+        let rng = sim.fork_rng(&name);
+        let p = match (&flat, &hier) {
+            (Some(rti), None) => CoordinatedPlatform::new(
+                &name,
+                runtime,
+                VirtualClock::ideal(),
+                Outbox::new(),
+                rng,
+                rti,
+                &binding,
+                false,
+            ),
+            (None, Some(h)) => CoordinatedPlatform::new_in_zone(
+                &name,
+                runtime,
+                VirtualClock::ideal(),
+                Outbox::new(),
+                rng,
+                h,
+                ZoneId((i / MEMBERS_PER_ZONE) as u16),
+                &binding,
+                false,
+            )
+            .expect("register"),
+            _ => unreachable!(),
+        };
+        platforms.push(p);
+    }
+
+    let connect = |up: usize, down: usize| {
+        let (u, d) = (platforms[up].federate_id(), platforms[down].federate_id());
+        match (&flat, &hier) {
+            (Some(rti), None) => rti.connect(u, d, edge_delay),
+            (None, Some(h)) => h.connect(u, d, edge_delay),
+            _ => unreachable!(),
+        }
+    };
+    for z in 0..zones {
+        let base = z * MEMBERS_PER_ZONE;
+        for m in 0..MEMBERS_PER_ZONE - 1 {
+            connect(base + m, base + m + 1); // intra-zone chain
+        }
+        if z > 0 {
+            // Zone 0's chain tail leads every other zone's chain head.
+            connect(MEMBERS_PER_ZONE - 1, base);
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    for p in &platforms {
+        p.start(&mut sim);
+    }
+    sim.run_until(Instant::EPOCH + horizon);
+    let wall = t0.elapsed();
+
+    let stats = match (&flat, &hier) {
+        (Some(rti), None) => rti.stats(),
+        (None, Some(h)) => h.stats(),
+        _ => unreachable!(),
+    };
+    let mut fingerprint: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            fingerprint ^= u64::from(b);
+            fingerprint = fingerprint.wrapping_mul(0x0100_0000_01b3);
+        }
+    };
+    let mut grants_received = 0;
+    let mut grant_wait = Duration::ZERO;
+    let mut batches = 0;
+    let mut processed = 0;
+    for p in &platforms {
+        let cs = p.coordination_stats();
+        assert_eq!(cs.bound_breaches(), 0, "{} breached its bound", p.name());
+        grants_received += cs.grants_received();
+        grant_wait += cs.grant_wait();
+        batches += cs.coord_batches_sent() + cs.coord_batches_received();
+        let tags = p.stats().processed_tags;
+        processed += tags;
+        let max = p.max_processed_tag().unwrap_or(Tag::ORIGIN);
+        eat(tags);
+        eat(max.time.as_nanos());
+        eat(u64::from(max.microstep));
+    }
+    Report {
+        wall,
+        tags_issued: stats.tags_issued,
+        grants_received,
+        grant_wait,
+        batches,
+        fingerprint,
+        processed,
+    }
+}
+
+fn scale_table(points: &[usize], horizon: Duration) {
+    println!(
+        "  federates | coordinator  | grants/sec |  LBTS lag | control batches | processed tags"
+    );
+    println!(
+        "------------+--------------+------------+-----------+-----------------+---------------"
+    );
+    for &zones in points {
+        let n = zones * MEMBERS_PER_ZONE;
+        let flat = run_fleet(zones, Mode::Flat, horizon);
+        let hier = run_fleet(zones, Mode::Hierarchical, horizon);
+        assert_eq!(
+            flat.processed, hier.processed,
+            "coordinators disagree on processed tags at N = {n}"
+        );
+        for (label, r) in [("flat", &flat), ("2-level", &hier)] {
+            println!(
+                "  {n:9} | {label:12} | {:10.0} | {:>9} | {:15} | {:14}",
+                r.grants_per_sec(),
+                r.lag().to_string(),
+                r.batches,
+                r.processed,
+            );
+        }
+        println!(
+            "            | speedup      | {:9.1}x |           |                 |",
+            hier.grants_per_sec() / flat.grants_per_sec()
+        );
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let horizon = Duration::from_millis(i64::try_from(env_u64("DEAR_FLEET_MS", 100)).expect("ms"));
+    header("fleet_scale — flat RTI vs hierarchical zones (star-of-chains fleet)");
+
+    if test_mode {
+        // Smoke run: small fleet, plus the determinism and equivalence
+        // checks the full table only spot-checks.
+        let horizon = Duration::from_millis(60);
+        let a = run_fleet(6, Mode::Hierarchical, horizon);
+        let b = run_fleet(6, Mode::Hierarchical, horizon);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "hierarchical run is not deterministic"
+        );
+        let flat = run_fleet(6, Mode::Flat, horizon);
+        assert_eq!(flat.processed, a.processed, "coordinators disagree");
+        assert!(a.batches > 0, "zone protocol must batch");
+        assert_eq!(flat.batches, 0, "flat protocol must not batch");
+        scale_table(&[6], horizon);
+        println!();
+        println!("smoke run OK: deterministic, flat == 2-level, batching verified");
+        return;
+    }
+
+    println!(
+        "zones of {MEMBERS_PER_ZONE} chained federates, zone 0's tail leading every other zone;"
+    );
+    println!(
+        "{} ms virtual horizon, 10 ms timers, 1 ms edge delays, seed {SEED}",
+        horizon.as_millis()
+    );
+    println!();
+    let started = std::time::Instant::now();
+    scale_table(&[10, 40, 100], horizon);
+    println!();
+    println!("expected shape: the flat RTI re-solves an N-node fixpoint per control");
+    println!("message, so grants/sec collapses as the fleet grows; the hierarchy");
+    println!("solves 10-node zone fixpoints plus one zone-level fixpoint and batches");
+    println!("its frames, trading a little LBTS lag for throughput that scales.");
+    println!();
+    println!("sweep in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -9,13 +9,22 @@
 //! crate implements that coordinator on top of the same simulated
 //! SOME/IP middleware:
 //!
-//! * [`Rti`] — the coordinator: per-federate NET/LTC state, the declared
-//!   inter-federate topology, the LBTS fixpoint, and TAG/PTAG grants
-//!   (including provisional grants that break zero-delay cycles);
+//! * [`LbtsSolver`] — the Chandy–Misra-style LBTS fixpoint itself,
+//!   shared by every coordination level over the [`LbtsGraph`] trait;
+//! * [`Rti`] — the flat coordinator: per-federate NET/LTC state, the
+//!   declared inter-federate topology, and TAG/PTAG grants (including
+//!   provisional grants that break zero-delay cycles);
+//! * [`HierarchicalRti`] — the fleet-scale topology: zone coordinators
+//!   own their local federates and roll per-zone floors up to a root
+//!   that solves the same fixpoint over zone summaries, with batched
+//!   coordination frames on every fan-out/roll-up hop and per-shard
+//!   liveness (a silent zone is released without stalling its siblings);
 //! * [`CoordinatedPlatform`] — a drop-in [`PlatformDriver`]: the
 //!   decentralized driver's clock gating *plus* grant gating through the
 //!   runtime's externally granted tag bound, with all coordination
-//!   counters reported through `TransactorStats`.
+//!   counters reported through `TransactorStats`. It speaks both the
+//!   flat single-record protocol and the zones' batched protocol
+//!   ([`CoordinatedPlatform::new_in_zone`]).
 //!
 //! Because the grant layer is strictly additive, a centralized run
 //! produces **bit-identical event traces** to a decentralized run of the
@@ -68,11 +77,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod hierarchy;
 mod platform;
 mod rti;
+mod solver;
+mod zone;
 
+pub use hierarchy::HierarchicalRti;
 pub use platform::CoordinatedPlatform;
-pub use rti::{edge_add, tag_succ, FederateId, Rti, RtiStats, TAG_MAX};
+pub use rti::{FederateId, FederationError, Rti, RtiStats, MAX_FEDERATES};
+pub use solver::{edge_add, node_floor, tag_succ, LbtsGraph, LbtsSolver, NodeView, TAG_MAX};
+pub use zone::{
+    zone_instance, zone_uplink_eventgroup, ZoneId, COORD_ROOT_INSTANCE, MAX_ZONES,
+    ZONE_INSTANCE_BASE, ZONE_MEMBER_EVENTGROUP, ZONE_UPLINK_EVENTGROUP_BASE,
+};
 
 // Re-exported so scenario code can pick a strategy without importing
 // dear-transactors separately.

@@ -16,12 +16,15 @@
 //! [`TransactorStats`], so centralized and decentralized runs report
 //! comparable numbers.
 
-use crate::rti::{tag_succ, FederateId, Rti, TAG_MAX};
+use crate::hierarchy::HierarchicalRti;
+use crate::rti::{FederateId, FederationError, Rti};
+use crate::solver::{tag_succ, TAG_MAX};
+use crate::zone::{zone_instance, ZoneId, ZONE_MEMBER_EVENTGROUP};
 use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeStats, StepOutcome, Tag};
 use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
 use dear_someip::{
-    coord_eventgroup, Binding, CoordKind, CoordMsg, ServiceInstance, WireTag, COORD_EVENT,
-    COORD_INSTANCE, COORD_METHOD, COORD_SERVICE, TAG_NEVER,
+    coord_eventgroup, Binding, CoordBatch, CoordKind, CoordMsg, ServiceInstance, WireTag,
+    COORD_BATCH_MARKER, COORD_EVENT, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE, TAG_NEVER,
 };
 use dear_time::Instant;
 use dear_transactors::{
@@ -48,6 +51,14 @@ struct PlatformInner {
     resigned: bool,
     federate: FederateId,
     binding: Binding,
+    /// SOME/IP instance of the coordinator this platform reports to:
+    /// `COORD_INSTANCE` under a flat RTI, the zone's instance under a
+    /// hierarchical one.
+    coord_instance: u16,
+    /// Whether to speak the batched protocol (hierarchical zones): LTC +
+    /// NET packed into one frame per step, grants arriving as batches on
+    /// the shared member eventgroup.
+    batched: bool,
     stats: TransactorStats,
     /// Last (head, fence) pair reported to the RTI, to suppress repeats.
     last_net: Option<(WireTag, WireTag)>,
@@ -89,6 +100,11 @@ impl CoordinatedPlatform {
     /// `external` declares physical inputs from outside the federation
     /// (see [`Rti::register`]). The binding is also used to exchange
     /// coordination messages with the RTI, alongside its data traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RTI's federate table is full; use
+    /// [`CoordinatedPlatform::try_new`] to handle that as an error.
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub fn new(
@@ -101,7 +117,94 @@ impl CoordinatedPlatform {
         binding: &Binding,
         external: bool,
     ) -> Self {
-        let federate = rti.register(name, binding.node(), external);
+        Self::try_new(
+            name, runtime, clock, outbox, cost_rng, rti, binding, external,
+        )
+        .expect("federate registration failed")
+    }
+
+    /// Fallible [`CoordinatedPlatform::new`]: registration reports
+    /// coordinator capacity exhaustion instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Rti::register`] errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_new(
+        name: &str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+        rti: &Rti,
+        binding: &Binding,
+        external: bool,
+    ) -> Result<Self, FederationError> {
+        let federate = rti.register(name, binding.node(), external)?;
+        Ok(Self::build(
+            name,
+            runtime,
+            clock,
+            outbox,
+            cost_rng,
+            federate,
+            binding,
+            COORD_INSTANCE,
+            coord_eventgroup(federate.0),
+            false,
+        ))
+    }
+
+    /// Creates a platform registered with zone `zone` of a hierarchical
+    /// federation. The platform reports NET/LTC to its zone coordinator
+    /// — batched, one control frame per step — and receives grants from
+    /// the zone's shared member eventgroup, filtering the batch by its
+    /// own (global) federate id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HierarchicalRti::register`] errors (unknown zone,
+    /// capacity exhausted).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_in_zone(
+        name: &str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+        hierarchy: &HierarchicalRti,
+        zone: ZoneId,
+        binding: &Binding,
+        external: bool,
+    ) -> Result<Self, FederationError> {
+        let federate = hierarchy.register(zone, name, binding.node(), external)?;
+        Ok(Self::build(
+            name,
+            runtime,
+            clock,
+            outbox,
+            cost_rng,
+            federate,
+            binding,
+            zone_instance(zone),
+            ZONE_MEMBER_EVENTGROUP,
+            true,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        name: &str,
+        runtime: Runtime,
+        clock: VirtualClock,
+        outbox: Outbox,
+        cost_rng: SimRng,
+        federate: FederateId,
+        binding: &Binding,
+        coord_instance: u16,
+        grant_eventgroup: u16,
+        batched: bool,
+    ) -> Self {
         let platform = CoordinatedPlatform(Rc::new(RefCell::new(PlatformInner {
             name: name.into(),
             runtime,
@@ -116,6 +219,8 @@ impl CoordinatedPlatform {
             resigned: false,
             federate,
             binding: binding.clone(),
+            coord_instance,
+            batched,
             stats: TransactorStats::new(),
             last_net: None,
             blocked_since: None,
@@ -123,14 +228,12 @@ impl CoordinatedPlatform {
             max_processed: None,
         })));
         binding.subscribe(
-            ServiceInstance::new(COORD_SERVICE, COORD_INSTANCE),
-            coord_eventgroup(federate.0),
+            ServiceInstance::new(COORD_SERVICE, coord_instance),
+            grant_eventgroup,
         );
         let hook = platform.clone();
         binding.on_event(COORD_SERVICE, COORD_EVENT, move |sim, msg| {
-            if let Ok(m) = CoordMsg::decode(&msg.payload) {
-                hook.on_grant(sim, m);
-            }
+            hook.on_grant_frame(sim, &msg.payload);
         });
         platform
     }
@@ -318,14 +421,50 @@ impl CoordinatedPlatform {
     }
 
     fn send_to_rti(&self, sim: &mut Simulation, msg: CoordMsg) {
-        let binding = self.0.borrow().binding.clone();
+        let (binding, instance) = {
+            let inner = self.0.borrow();
+            (inner.binding.clone(), inner.coord_instance)
+        };
         // Control messages ride recycled pool frames like all data-plane
         // traffic: encode once into a headroom buffer, wire-assemble in
         // place, zero steady-state allocations.
         let payload = msg.encode_into(&binding.pool());
         binding
-            .call_no_return(sim, COORD_SERVICE, COORD_INSTANCE, COORD_METHOD, payload)
-            .expect("RTI coordination service not offered — construct the Rti first");
+            .call_no_return(sim, COORD_SERVICE, instance, COORD_METHOD, payload)
+            .expect("coordination service not offered — construct the coordinator first");
+    }
+
+    /// Batched-protocol step report: the LTC plus (when it changed) the
+    /// NET packed into a single control frame, so the zone recomputes
+    /// once instead of twice and the wire carries one header.
+    fn send_step_batch(&self, sim: &mut Simulation, ltc: CoordMsg) {
+        let (binding, instance, net) = {
+            let mut inner = self.0.borrow_mut();
+            let net = if !inner.started || inner.resigned {
+                None
+            } else {
+                let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
+                let local_now = inner.clock.local_time(sim.now());
+                let fence = tag_to_wire(Tag::at(local_now));
+                if inner.last_net == Some((head, fence)) {
+                    None
+                } else {
+                    inner.last_net = Some((head, fence));
+                    inner.stats.record_net_sent();
+                    Some(CoordMsg::net(inner.federate.0, head, fence))
+                }
+            };
+            inner.stats.record_coord_batch_sent();
+            (inner.binding.clone(), inner.coord_instance, net)
+        };
+        let mut batch = CoordBatch::pooled(&binding.pool());
+        batch.push(&ltc);
+        if let Some(net) = net {
+            batch.push(&net);
+        }
+        binding
+            .call_no_return(sim, COORD_SERVICE, instance, COORD_METHOD, batch.freeze())
+            .expect("coordination service not offered — construct the coordinator first");
     }
 
     /// Reports NET (queue head + physical fence) when it changed.
@@ -352,26 +491,50 @@ impl CoordinatedPlatform {
         }
     }
 
-    fn on_grant(&self, sim: &mut Simulation, msg: CoordMsg) {
-        {
-            let mut inner = self.0.borrow_mut();
-            if msg.federate != inner.federate.0 {
+    /// Dispatches one grant notification frame: either a flat-protocol
+    /// single record or a zone batch, from which the platform applies
+    /// the records addressed to its own federate id (in frame order —
+    /// the same order a flat RTI would have delivered them in).
+    fn on_grant_frame(&self, sim: &mut Simulation, payload: &[u8]) {
+        if payload.first() == Some(&COORD_BATCH_MARKER) {
+            let Ok(batch) = CoordBatch::decode(payload) else {
                 return;
+            };
+            self.0.borrow().stats.record_coord_batch_received();
+            let mut applied = false;
+            for msg in batch.iter() {
+                applied |= self.apply_grant(&msg);
             }
-            match msg.kind {
-                CoordKind::Tag => {
-                    inner.runtime.set_tag_bound(wire_to_tag(msg.tag));
-                    inner.stats.record_grant_received(false);
-                }
-                CoordKind::Ptag => {
-                    // Provisional: process up to and including the tag.
-                    inner.runtime.set_tag_bound(tag_succ(wire_to_tag(msg.tag)));
-                    inner.stats.record_grant_received(true);
-                }
-                _ => return,
+            if applied {
+                self.arm(sim);
+            }
+        } else if let Ok(msg) = CoordMsg::decode(payload) {
+            if self.apply_grant(&msg) {
+                self.arm(sim);
             }
         }
-        self.arm(sim);
+    }
+
+    /// Applies one grant record if it is addressed to this federate.
+    fn apply_grant(&self, msg: &CoordMsg) -> bool {
+        let mut inner = self.0.borrow_mut();
+        if msg.federate != inner.federate.0 {
+            return false;
+        }
+        match msg.kind {
+            CoordKind::Tag => {
+                inner.runtime.set_tag_bound(wire_to_tag(msg.tag));
+                inner.stats.record_grant_received(false);
+                true
+            }
+            CoordKind::Ptag => {
+                // Provisional: process up to and including the tag.
+                inner.runtime.set_tag_bound(tag_succ(wire_to_tag(msg.tag)));
+                inner.stats.record_grant_received(true);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Schedules the next wake-up for the earliest *granted* pending tag.
@@ -457,7 +620,14 @@ impl CoordinatedPlatform {
             (outcome, drain_at, ltc)
         };
         if let Some(msg) = ltc {
-            self.send_to_rti(sim, msg);
+            if self.0.borrow().batched {
+                // Zone protocol: LTC + NET in one frame. The later
+                // report_status call sees an up-to-date `last_net` and
+                // suppresses the duplicate.
+                self.send_step_batch(sim, msg);
+            } else {
+                self.send_to_rti(sim, msg);
+            }
         }
         match outcome {
             StepOutcome::Processed(_) => {

@@ -12,55 +12,34 @@
 //! * **PTAG(g)** — provisional grant for exactly tag `g`, issued to break
 //!   zero-delay cycles where no strict bound can advance.
 //!
-//! The computation is a Chandy–Misra-style fixpoint: a federate's *floor*
-//! (the earliest tag it may still process or send at) is
-//! `max(succ(completed), min(head, arrival_floor))`, where the arrival
-//! floor is the federate's own LBTS (plus, for federates with physical
-//! inputs from outside the federation, the reported fence). Floors
-//! propagate along edges shifted by the edge delay until stable.
+//! The fixpoint itself lives in [`LbtsSolver`](crate::LbtsSolver): the
+//! flat RTI is the one-zone special case of the hierarchical coordinator
+//! ([`HierarchicalRti`](crate::HierarchicalRti)), running the solver over
+//! its full federate table.
 //!
 //! All control traffic rides the SOME/IP coordination service defined in
 //! `dear-someip::coord`; the RTI is itself just a node with a binding, so
 //! grant latency is governed by the simulated network like any other
 //! message — which is exactly what the `coordination_lag` bench measures.
 
+use crate::solver::{LbtsGraph, LbtsSolver, NodeView};
 use dear_core::Tag;
 use dear_sim::{NetworkHandle, NodeId, Simulation};
 use dear_someip::{
     coord_eventgroup, Binding, CoordKind, CoordMsg, SdRegistry, ServiceInstance, COORD_EVENT,
-    COORD_INSTANCE, COORD_METHOD, COORD_SERVICE,
+    COORD_EVENTGROUP_BASE, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE,
 };
-use dear_time::{Duration, Instant};
+use dear_time::Duration;
 use dear_transactors::{tag_to_wire, wire_to_tag};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-/// The greatest representable tag, used as the "no constraint" sentinel.
-/// Round-trips through the wire encoding as `dear_someip::TAG_NEVER`.
-pub const TAG_MAX: Tag = Tag::new(Instant::MAX, u32::MAX);
-
-/// The strict successor of a tag (saturating at [`TAG_MAX`]).
-#[must_use]
-pub fn tag_succ(tag: Tag) -> Tag {
-    if tag >= TAG_MAX {
-        TAG_MAX
-    } else {
-        tag.delay(Duration::ZERO)
-    }
-}
-
-/// The earliest tag a message processed at `tag` can carry after an edge
-/// with minimum delay `delay` (a DEAR edge preserves the microstep and
-/// adds `D + L + E` to the time point; a zero-delay edge is the identity).
-#[must_use]
-pub fn edge_add(tag: Tag, delay: Duration) -> Tag {
-    if delay.is_zero() || tag >= TAG_MAX {
-        tag
-    } else {
-        Tag::new(tag.time.saturating_add(delay), tag.microstep)
-    }
-}
+/// The most federates one coordinator (flat RTI or hierarchical zone
+/// space) can register: per-federate grant eventgroups start at
+/// `COORD_EVENTGROUP_BASE`, so ids beyond this would wrap the u16
+/// eventgroup space.
+pub const MAX_FEDERATES: usize = (u16::MAX - COORD_EVENTGROUP_BASE) as usize;
 
 /// Identifies one federate within a federation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,7 +51,36 @@ impl fmt::Display for FederateId {
     }
 }
 
-/// Counters describing the RTI's activity.
+/// Errors reported by the federation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FederationError {
+    /// The coordinator's federate table is full (see [`MAX_FEDERATES`]).
+    Full {
+        /// The capacity that the registration would have exceeded.
+        limit: usize,
+    },
+    /// The referenced zone was never added to the hierarchy.
+    UnknownZone(crate::ZoneId),
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::Full { limit } => {
+                write!(f, "federation full: at most {limit} federates can register")
+            }
+            FederationError::UnknownZone(zone) => {
+                write!(f, "unknown zone {zone}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+/// Counters describing a coordinator's activity (the flat RTI, one zone,
+/// or the hierarchy root — levels that don't handle a message class
+/// leave its counter at zero).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RtiStats {
     /// Registered federates.
@@ -88,59 +96,198 @@ pub struct RtiStats {
     /// Federates declared dead by the liveness watchdog (NET/LTC silence
     /// past the configured deadline).
     pub deaths: u64,
+    /// Floor records exchanged with the other hierarchy level (zone
+    /// roll-ups sent / received at the root, relayed floors fanned back
+    /// down). Always zero for a flat RTI.
+    pub floor_records: u64,
+    /// Batched coordination frames sent (grant fan-outs, roll-ups,
+    /// floor broadcasts). Always zero for a flat RTI, which sends one
+    /// record per frame.
+    pub batches_sent: u64,
 }
 
 impl fmt::Display for RtiStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "federates={} nets={} ltcs={} tags={} ptags={} deaths={}",
+            "federates={} nets={} ltcs={} tags={} ptags={} deaths={} floors={} batches={}",
             self.federates,
             self.nets_received,
             self.ltcs_received,
             self.tags_issued,
             self.ptags_issued,
-            self.deaths
+            self.deaths,
+            self.floor_records,
+            self.batches_sent
         )
     }
 }
 
-struct FederateEntry {
-    name: String,
+pub(crate) struct FederateEntry {
+    pub(crate) name: String,
     #[allow(dead_code)]
-    node: NodeId,
+    pub(crate) node: NodeId,
     /// Whether the federate takes physical inputs from outside the
     /// federation (sensors, legacy AP components). Such federates bound
     /// their future event tags by the reported fence; pure federates are
     /// bounded transitively through their upstream LBTS.
-    external: bool,
-    connected: bool,
-    resigned: bool,
+    pub(crate) external: bool,
+    pub(crate) connected: bool,
+    pub(crate) resigned: bool,
     /// Declared dead by the liveness watchdog: treated like a resigned
     /// federate for LBTS purposes so survivors keep advancing, but
     /// counted and traced separately.
-    dead: bool,
+    pub(crate) dead: bool,
     /// Generation guard for liveness wake-ups: every received control
     /// message bumps it, superseding the previously armed check.
-    liveness_gen: u64,
+    pub(crate) liveness_gen: u64,
     /// Last completed tag (monotone max over LTC reports).
-    completed: Option<Tag>,
+    pub(crate) completed: Option<Tag>,
     /// Earliest pending event tag from the latest NET ([`TAG_MAX`] when
     /// idle; starts at origin = "unknown, assume anything").
-    head: Tag,
+    pub(crate) head: Tag,
     /// Physical-time fence from NET reports (monotone max).
-    fence: Tag,
+    pub(crate) fence: Tag,
     /// Exclusive bound of the last TAG grant.
-    last_granted: Option<Tag>,
+    pub(crate) last_granted: Option<Tag>,
     /// Tag of the last PTAG grant.
-    last_ptag: Option<Tag>,
-    /// Incoming edges: (upstream federate, minimum tag delay).
-    upstream: Vec<(FederateId, Duration)>,
+    pub(crate) last_ptag: Option<Tag>,
+    /// Incoming edges: (upstream graph index, minimum tag delay). For the
+    /// flat RTI the index is the upstream federate id; a zone coordinator
+    /// uses its own member/proxy index space.
+    pub(crate) upstream: Vec<(u16, Duration)>,
+}
+
+impl FederateEntry {
+    pub(crate) fn new(name: &str, node: NodeId, external: bool) -> Self {
+        FederateEntry {
+            name: name.into(),
+            node,
+            external,
+            connected: false,
+            resigned: false,
+            dead: false,
+            liveness_gen: 0,
+            completed: None,
+            head: Tag::ORIGIN,
+            fence: Tag::ORIGIN,
+            last_granted: None,
+            last_ptag: None,
+            upstream: Vec::new(),
+        }
+    }
+
+    pub(crate) fn released(&self) -> bool {
+        self.resigned || self.dead
+    }
+
+    pub(crate) fn view(&self) -> NodeView {
+        NodeView {
+            released: self.released(),
+            external: self.external,
+            completed: self.completed,
+            head: self.head,
+            fence: self.fence,
+        }
+    }
+
+    /// Applies one federate → coordinator control record and bumps the
+    /// matching counters. Returns `false` when the record must not count
+    /// as a sign of life (grant/floor echoes, messages to the dead) —
+    /// the liveness generation is bumped only for genuine reports, so an
+    /// echo can neither disarm the armed watchdog nor revive a zombie.
+    pub(crate) fn apply_control(&mut self, msg: &CoordMsg, stats: &mut RtiStats) -> bool {
+        if self.dead {
+            return false;
+        }
+        // Grants are coordinator → federate only, and floor records are
+        // coordinator ↔ coordinator only.
+        if matches!(
+            msg.kind,
+            CoordKind::Tag | CoordKind::Ptag | CoordKind::Floor
+        ) {
+            return false;
+        }
+        self.liveness_gen += 1;
+        match msg.kind {
+            CoordKind::Join => self.connected = true,
+            CoordKind::Net => {
+                self.head = wire_to_tag(msg.tag);
+                self.fence = self.fence.max(wire_to_tag(msg.fence));
+                stats.nets_received += 1;
+            }
+            CoordKind::Ltc => {
+                let tag = wire_to_tag(msg.tag);
+                self.completed = Some(self.completed.map_or(tag, |c| c.max(tag)));
+                stats.ltcs_received += 1;
+            }
+            CoordKind::Resign => self.resigned = true,
+            // Unreachable: filtered above.
+            CoordKind::Tag | CoordKind::Ptag | CoordKind::Floor => return false,
+        }
+        true
+    }
+}
+
+/// The flat federate table as an [`LbtsGraph`]: graph index = federate id.
+pub(crate) struct FederateGraph<'a>(pub(crate) &'a [FederateEntry]);
+
+impl LbtsGraph for FederateGraph<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn node(&self, i: usize) -> NodeView {
+        self.0[i].view()
+    }
+    fn upstream(&self, i: usize) -> &[(u16, Duration)] {
+        &self.0[i].upstream
+    }
+}
+
+/// Runs the solver over `federates` and returns the grants it justifies,
+/// in deterministic order: the TAG pass (strict bounds that advanced)
+/// followed by at most one PTAG (zero-delay stall breaker, minimal
+/// `(tag, index)` tie-break). Updates per-entry grant high-water marks
+/// and the issue counters. Shared verbatim by the flat RTI and the zone
+/// coordinators — the flat path is the one-zone special case.
+pub(crate) fn solve_grants(
+    solver: &mut LbtsSolver,
+    federates: &mut [FederateEntry],
+    stats: &mut RtiStats,
+    grantable: usize,
+) -> Vec<(u16, CoordKind, Tag)> {
+    let lbts = solver.solve(&FederateGraph(federates)).to_vec();
+    let mut grants = Vec::new();
+    // TAG pass: strict bounds that advanced. Only the first `grantable`
+    // entries are real members (a zone's table continues with proxies).
+    for (f, &bound) in lbts.iter().enumerate().take(grantable) {
+        let entry = &federates[f];
+        if !entry.connected || entry.released() {
+            continue;
+        }
+        if entry.last_granted.is_none_or(|g| bound > g) {
+            grants.push((f as u16, CoordKind::Tag, bound));
+            federates[f].last_granted = Some(bound);
+            stats.tags_issued += 1;
+        }
+    }
+    // PTAG pass: break a zero-delay stall (see LbtsSolver::ptag_candidate).
+    let candidate = solver.ptag_candidate(&FederateGraph(federates), |f| {
+        let entry = &federates[f];
+        f < grantable && entry.connected && entry.last_ptag.is_none_or(|p| entry.head > p)
+    });
+    if let Some((tag, f)) = candidate {
+        grants.push((f as u16, CoordKind::Ptag, tag));
+        federates[f].last_ptag = Some(tag);
+        stats.ptags_issued += 1;
+    }
+    grants
 }
 
 struct RtiInner {
     binding: Binding,
     federates: Vec<FederateEntry>,
+    solver: LbtsSolver,
     stats: RtiStats,
     /// Liveness deadline: a connected federate silent (no NET/LTC/Join)
     /// for longer than this is declared dead. `None` disables the
@@ -187,6 +334,7 @@ impl Rti {
         let rti = Rti(Rc::new(RefCell::new(RtiInner {
             binding: binding.clone(),
             federates: Vec::new(),
+            solver: LbtsSolver::new(),
             stats: RtiStats::default(),
             liveness_deadline: None,
         })));
@@ -204,26 +352,30 @@ impl Rti {
     /// `external` declares whether the federate receives physical inputs
     /// from outside the federation (see the module docs); when in doubt,
     /// `true` is always sound, merely more conservative.
-    pub fn register(&self, name: &str, node: NodeId, external: bool) -> FederateId {
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::Full`] once [`MAX_FEDERATES`] federates are
+    /// registered — at fleet scale an over-subscribed coordinator is a
+    /// reportable deployment error, not a crash.
+    pub fn register(
+        &self,
+        name: &str,
+        node: NodeId,
+        external: bool,
+    ) -> Result<FederateId, FederationError> {
         let mut inner = self.0.borrow_mut();
-        let id = FederateId(u16::try_from(inner.federates.len()).expect("federate count"));
-        inner.federates.push(FederateEntry {
-            name: name.into(),
-            node,
-            external,
-            connected: false,
-            resigned: false,
-            dead: false,
-            liveness_gen: 0,
-            completed: None,
-            head: Tag::ORIGIN,
-            fence: Tag::ORIGIN,
-            last_granted: None,
-            last_ptag: None,
-            upstream: Vec::new(),
-        });
+        if inner.federates.len() >= MAX_FEDERATES {
+            return Err(FederationError::Full {
+                limit: MAX_FEDERATES,
+            });
+        }
+        let id = FederateId(inner.federates.len() as u16);
+        inner
+            .federates
+            .push(FederateEntry::new(name, node, external));
         inner.stats.federates += 1;
-        id
+        Ok(id)
     }
 
     /// Declares a coordination edge: messages caused by `upstream`
@@ -235,7 +387,7 @@ impl Rti {
         let mut inner = self.0.borrow_mut();
         inner.federates[downstream.0 as usize]
             .upstream
-            .push((upstream, min_delay));
+            .push((upstream.0, min_delay));
     }
 
     /// The federate's name (for reports).
@@ -286,37 +438,14 @@ impl Rti {
     fn on_msg(&self, sim: &mut Simulation, msg: CoordMsg) {
         {
             let mut inner = self.0.borrow_mut();
-            let Some(entry) = inner.federates.get_mut(msg.federate as usize) else {
+            let RtiInner {
+                federates, stats, ..
+            } = &mut *inner;
+            let Some(entry) = federates.get_mut(msg.federate as usize) else {
                 return;
             };
-            // Dead federates stay dead: a zombie's late reports must not
-            // re-tighten the LBTS the survivors were already granted.
-            if entry.dead {
+            if !entry.apply_control(&msg, stats) {
                 return;
-            }
-            // Grants are RTI → federate only; ignore echoes *before*
-            // touching the liveness generation — an echo must neither
-            // count as a sign of life nor supersede (and thereby disarm)
-            // the currently scheduled liveness check.
-            if matches!(msg.kind, CoordKind::Tag | CoordKind::Ptag) {
-                return;
-            }
-            entry.liveness_gen += 1;
-            match msg.kind {
-                CoordKind::Join => entry.connected = true,
-                CoordKind::Net => {
-                    entry.head = wire_to_tag(msg.tag);
-                    entry.fence = entry.fence.max(wire_to_tag(msg.fence));
-                    inner.stats.nets_received += 1;
-                }
-                CoordKind::Ltc => {
-                    let tag = wire_to_tag(msg.tag);
-                    entry.completed = Some(entry.completed.map_or(tag, |c| c.max(tag)));
-                    inner.stats.ltcs_received += 1;
-                }
-                CoordKind::Resign => entry.resigned = true,
-                // Unreachable: echoes were filtered out above.
-                CoordKind::Tag | CoordKind::Ptag => return,
             }
         }
         self.arm_liveness(sim, FederateId(msg.federate));
@@ -333,7 +462,7 @@ impl Rti {
                 inner
                     .federates
                     .get(fed.0 as usize)
-                    .filter(|e| e.connected && !e.resigned && !e.dead)
+                    .filter(|e| e.connected && !e.released())
                     .map(|e| (deadline, e.liveness_gen))
             })
         };
@@ -352,7 +481,7 @@ impl Rti {
             let Some(entry) = inner.federates.get_mut(fed.0 as usize) else {
                 return;
             };
-            if entry.liveness_gen != generation || entry.resigned || entry.dead {
+            if entry.liveness_gen != generation || entry.released() {
                 return; // superseded, or no longer eligible
             }
             entry.dead = true;
@@ -367,116 +496,30 @@ impl Rti {
         self.recompute(sim);
     }
 
-    /// The non-transitive part of a federate's floor: what its own
-    /// reports promise about its future processing, with `arrival` (the
-    /// transitive bound on its future message arrivals) plugged in.
-    fn floor(entry: &FederateEntry, arrival: Tag) -> Tag {
-        if entry.resigned || entry.dead {
-            return TAG_MAX;
-        }
-        let arrival_floor = if entry.external {
-            arrival.min(entry.fence)
-        } else {
-            arrival
-        };
-        let reported = entry.head.min(arrival_floor);
-        entry
-            .completed
-            .map_or(reported, |c| tag_succ(c).max(reported))
-    }
-
     /// Recomputes every federate's LBTS and sends out newly justified
-    /// grants.
+    /// grants, one single-record frame per grant on the federate's own
+    /// eventgroup (the flat protocol; zones batch instead).
     fn recompute(&self, sim: &mut Simulation) {
-        let grants: Vec<(FederateId, CoordKind, Tag)> = {
+        let grants = {
             let mut inner = self.0.borrow_mut();
-            let n = inner.federates.len();
-
-            // Fixpoint: lbts[f] = min over upstream edges (u, d) of
-            // edge_add(floor(u), d), where floor(u) itself uses lbts[u].
-            // Values start at TAG_MAX and only decrease; simple paths
-            // bound the result, so n rounds suffice.
-            let mut lbts = vec![TAG_MAX; n];
-            for _ in 0..=n {
-                let mut changed = false;
-                for f in 0..n {
-                    if inner.federates[f].upstream.is_empty() {
-                        continue;
-                    }
-                    let mut new = TAG_MAX;
-                    for &(u, d) in &inner.federates[f].upstream {
-                        let uf = Self::floor(&inner.federates[u.0 as usize], lbts[u.0 as usize]);
-                        new = new.min(edge_add(uf, d));
-                    }
-                    if new != lbts[f] {
-                        lbts[f] = new;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-
-            let mut grants = Vec::new();
-            // TAG pass: strict bounds that advanced.
-            for (f, &bound) in lbts.iter().enumerate() {
-                let entry = &inner.federates[f];
-                if !entry.connected || entry.resigned || entry.dead {
-                    continue;
-                }
-                if entry.last_granted.is_none_or(|g| bound > g) {
-                    grants.push((FederateId(f as u16), CoordKind::Tag, bound));
-                    inner.federates[f].last_granted = Some(bound);
-                    inner.stats.tags_issued += 1;
-                }
-            }
-            // PTAG pass: break a zero-delay stall. A federate whose own
-            // pending head *equals* its LBTS can never be released by a
-            // strict bound; if every binding upstream edge is zero-delay
-            // and stuck at or beyond the same tag, processing exactly the
-            // head is safe, so grant it provisionally. One grant per
-            // round keeps ties deterministic; the resulting LTC advances
-            // the rest.
-            let mut candidate: Option<(Tag, usize)> = None;
-            for f in 0..n {
-                let entry = &inner.federates[f];
-                if !entry.connected
-                    || entry.resigned
-                    || entry.dead
-                    || entry.upstream.is_empty()
-                    || entry.head >= TAG_MAX
-                    || entry.head != lbts[f]
-                    || entry.last_ptag.is_some_and(|p| entry.head <= p)
-                {
-                    continue;
-                }
-                let justified = entry.upstream.iter().all(|&(u, d)| {
-                    let up = &inner.federates[u.0 as usize];
-                    let uf = Self::floor(up, lbts[u.0 as usize]);
-                    edge_add(uf, d) > entry.head || (d.is_zero() && up.head >= entry.head)
-                });
-                // Deterministic tie-break: minimal (tag, index) wins.
-                if justified && candidate.is_none_or(|(t, i)| (entry.head, f) < (t, i)) {
-                    candidate = Some((entry.head, f));
-                }
-            }
-            if let Some((tag, f)) = candidate {
-                grants.push((FederateId(f as u16), CoordKind::Ptag, tag));
-                inner.federates[f].last_ptag = Some(tag);
-                inner.stats.ptags_issued += 1;
-            }
-            grants
+            let RtiInner {
+                federates,
+                solver,
+                stats,
+                ..
+            } = &mut *inner;
+            let grantable = federates.len();
+            solve_grants(solver, federates, stats, grantable)
         };
 
         let binding = self.0.borrow().binding.clone();
         let pool = binding.pool();
         for (fed, kind, tag) in grants {
-            let msg = CoordMsg::new(kind, fed.0, tag_to_wire(tag));
+            let msg = CoordMsg::new(kind, fed, tag_to_wire(tag));
             binding.notify(
                 sim,
                 ServiceInstance::new(COORD_SERVICE, COORD_INSTANCE),
-                coord_eventgroup(fed.0),
+                coord_eventgroup(fed),
                 COORD_EVENT,
                 msg.encode_into(&pool),
             );

@@ -1,0 +1,481 @@
+//! Zone coordinators: the lower tier of the hierarchical RTI.
+//!
+//! A zone owns the NET/LTC/fence state of its local federates and runs
+//! the *same* [`LbtsSolver`](crate::LbtsSolver) the flat RTI runs — over
+//! its members plus one **proxy** node per upstream zone. A proxy stands
+//! in for everything beyond the zone boundary: its `head` is the floor
+//! most recently relayed by the root for that upstream zone, so from the
+//! solver's point of view a remote zone is just one more (never-granted)
+//! federate.
+//!
+//! Coordination traffic is batched on every hop that can carry more than
+//! one record (see `dear_someip::CoordBatch`):
+//!
+//! * member grants fan out as **one** frame per recompute on the zone's
+//!   shared member eventgroup (refcounted zero-copy fan-out; members
+//!   filter by federate id);
+//! * the zone's state rolls **up** to the root as one `Floor` record —
+//!   the per-zone floor, `min` over member floors — and only when it
+//!   changed;
+//! * the root's relayed upstream-zone floors fan **down** as one frame
+//!   per zone.
+//!
+//! Liveness is scoped per shard: the zone watches its own members (a
+//! silent member is declared dead and the zone floor rises past it), and
+//! the root watches whole zones via the uplink heartbeat.
+
+use crate::rti::{solve_grants, FederateEntry, FederationError, RtiStats, MAX_FEDERATES};
+use crate::solver::{node_floor, LbtsSolver, TAG_MAX};
+use dear_core::Tag;
+use dear_sim::{NetworkHandle, NodeId, Simulation};
+use dear_someip::{
+    Binding, CoordBatch, CoordKind, CoordMsg, SdRegistry, ServiceInstance, COORD_BATCH_MARKER,
+    COORD_EVENT, COORD_METHOD, COORD_SERVICE,
+};
+use dear_time::Duration;
+use dear_transactors::tag_to_wire;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies one zone within a hierarchical federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ZoneId(pub u16);
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone{}", self.0)
+    }
+}
+
+/// The SOME/IP instance on which the **root** coordinator offers the
+/// coordination service (zones roll floors up to it).
+pub const COORD_ROOT_INSTANCE: u16 = 0x00FE;
+
+/// First SOME/IP instance used by zone coordinators: zone `z` offers the
+/// coordination service at `ZONE_INSTANCE_BASE + z`.
+pub const ZONE_INSTANCE_BASE: u16 = 0x0100;
+
+/// Eventgroup (on the zone's instance) carrying batched member grants.
+/// Shared by all members of the zone: the batch fans out once and every
+/// member filters it by federate id.
+pub const ZONE_MEMBER_EVENTGROUP: u16 = 0x3F00;
+
+/// First eventgroup (on the root's instance) carrying relayed floors:
+/// zone `z` subscribes to `ZONE_UPLINK_EVENTGROUP_BASE + z`.
+pub const ZONE_UPLINK_EVENTGROUP_BASE: u16 = 0x2000;
+
+/// The most zones one hierarchy can hold (bounded by the instance and
+/// eventgroup ranges carved out above).
+pub const MAX_ZONES: usize = 0x1000;
+
+/// The SOME/IP instance on which zone `zone` offers the coordination
+/// service to its members.
+#[must_use]
+pub fn zone_instance(zone: ZoneId) -> u16 {
+    ZONE_INSTANCE_BASE + zone.0
+}
+
+/// The eventgroup (on [`COORD_ROOT_INSTANCE`]) over which the root
+/// relays upstream-zone floors to `zone`.
+#[must_use]
+pub fn zone_uplink_eventgroup(zone: ZoneId) -> u16 {
+    ZONE_UPLINK_EVENTGROUP_BASE + zone.0
+}
+
+struct ZoneInner {
+    zone: ZoneId,
+    binding: Binding,
+    /// Members first (graph index = registration order), proxies after.
+    /// Proxies are plain entries that never connect, so the shared grant
+    /// passes skip them by construction.
+    table: Vec<FederateEntry>,
+    member_count: usize,
+    /// Graph index → global federate id, for members.
+    member_ids: Vec<u16>,
+    /// Global federate id → graph index.
+    by_global: BTreeMap<u16, usize>,
+    /// Upstream zone id → graph index of its proxy entry.
+    proxy_index: BTreeMap<u16, usize>,
+    solver: LbtsSolver,
+    stats: RtiStats,
+    liveness_deadline: Option<Duration>,
+    /// Last floor rolled up to the root (roll-ups are change-driven,
+    /// plus the unconditional uplink heartbeat).
+    last_rollup: Option<Tag>,
+}
+
+/// One zone coordinator (internal: constructed through
+/// [`HierarchicalRti::add_zone`](crate::HierarchicalRti::add_zone)).
+#[derive(Clone)]
+pub(crate) struct ZoneCoordinator(Rc<RefCell<ZoneInner>>);
+
+impl ZoneCoordinator {
+    pub(crate) fn new(
+        sim: &mut Simulation,
+        net: &NetworkHandle,
+        sd: &SdRegistry,
+        node: NodeId,
+        zone: ZoneId,
+    ) -> Self {
+        let binding = Binding::new(net, sd, node, 0x0060_u16.wrapping_add(zone.0));
+        let instance = zone_instance(zone);
+        binding.offer(
+            sim,
+            ServiceInstance::new(COORD_SERVICE, instance),
+            Duration::from_secs(1 << 30),
+        );
+        // Relayed floors from the root arrive on the zone's uplink
+        // eventgroup.
+        binding.subscribe(
+            ServiceInstance::new(COORD_SERVICE, COORD_ROOT_INSTANCE),
+            zone_uplink_eventgroup(zone),
+        );
+        let coordinator = ZoneCoordinator(Rc::new(RefCell::new(ZoneInner {
+            zone,
+            binding: binding.clone(),
+            table: Vec::new(),
+            member_count: 0,
+            member_ids: Vec::new(),
+            by_global: BTreeMap::new(),
+            proxy_index: BTreeMap::new(),
+            solver: LbtsSolver::new(),
+            stats: RtiStats::default(),
+            liveness_deadline: None,
+            last_rollup: None,
+        })));
+        let hook = coordinator.clone();
+        binding.register_method(COORD_SERVICE, COORD_METHOD, move |sim, req, _responder| {
+            hook.on_member_frame(sim, &req.payload);
+        });
+        let hook = coordinator.clone();
+        binding.on_event(COORD_SERVICE, COORD_EVENT, move |sim, msg| {
+            hook.on_root_frame(sim, &msg.payload);
+        });
+        coordinator
+    }
+
+    /// Registers a member (called by the hierarchy with the global
+    /// federate id it allocated). Returns the member's graph index.
+    pub(crate) fn register_member(
+        &self,
+        global: u16,
+        name: &str,
+        node: NodeId,
+        external: bool,
+    ) -> Result<usize, FederationError> {
+        let mut inner = self.0.borrow_mut();
+        if inner.member_count >= MAX_FEDERATES {
+            return Err(FederationError::Full {
+                limit: MAX_FEDERATES,
+            });
+        }
+        // Members precede proxies in the graph index space; inserting a
+        // member after proxies exist shifts every proxy index up by one.
+        let index = inner.member_count;
+        if index < inner.table.len() {
+            for entry in &mut inner.table {
+                for edge in &mut entry.upstream {
+                    if usize::from(edge.0) >= index {
+                        edge.0 += 1;
+                    }
+                }
+            }
+            for proxy in inner.proxy_index.values_mut() {
+                *proxy += 1;
+            }
+        }
+        inner
+            .table
+            .insert(index, FederateEntry::new(name, node, external));
+        inner.member_count += 1;
+        inner.member_ids.insert(index, global);
+        inner.by_global.insert(global, index);
+        inner.stats.federates += 1;
+        Ok(index)
+    }
+
+    /// Declares an intra-zone edge between member graph indices.
+    pub(crate) fn connect_local(&self, upstream: usize, downstream: usize, min_delay: Duration) {
+        let mut inner = self.0.borrow_mut();
+        inner.table[downstream]
+            .upstream
+            .push((upstream as u16, min_delay));
+    }
+
+    /// Declares an edge from a remote zone into local member `downstream`,
+    /// materializing the proxy entry for that zone on first use.
+    pub(crate) fn connect_from_zone(
+        &self,
+        upstream_zone: ZoneId,
+        downstream: usize,
+        min_delay: Duration,
+    ) {
+        let mut inner = self.0.borrow_mut();
+        let proxy = match inner.proxy_index.get(&upstream_zone.0) {
+            Some(&p) => p,
+            None => {
+                let p = inner.table.len();
+                let mut entry = FederateEntry::new(
+                    &format!("proxy:{upstream_zone}"),
+                    inner.binding.node(),
+                    false,
+                );
+                // A proxy's head is the floor the root most recently
+                // relayed for that zone; origin until the first relay
+                // ("unknown, assume anything"), exactly like a federate
+                // that has not reported yet.
+                entry.head = Tag::ORIGIN;
+                inner.table.push(entry);
+                inner.proxy_index.insert(upstream_zone.0, p);
+                p
+            }
+        };
+        inner.table[downstream]
+            .upstream
+            .push((proxy as u16, min_delay));
+    }
+
+    pub(crate) fn member_name(&self, index: usize) -> String {
+        self.0.borrow().table[index].name.clone()
+    }
+
+    pub(crate) fn stats(&self) -> RtiStats {
+        self.0.borrow().stats
+    }
+
+    /// Enables the per-member liveness watchdog (see
+    /// [`Rti::enable_liveness`](crate::Rti::enable_liveness) — identical
+    /// semantics, scoped to this shard).
+    pub(crate) fn enable_member_liveness(&self, deadline: Duration) {
+        assert!(deadline > Duration::ZERO, "deadline must be positive");
+        self.0.borrow_mut().liveness_deadline = Some(deadline);
+    }
+
+    /// Starts the unconditional uplink heartbeat: every `interval` the
+    /// zone re-sends its current floor to the root, change or not. This
+    /// is what the root's zone watchdog listens for.
+    pub(crate) fn enable_uplink_heartbeat(&self, sim: &mut Simulation, interval: Duration) {
+        assert!(interval > Duration::ZERO, "interval must be positive");
+        let zone = self.clone();
+        sim.schedule_in(interval, move |sim| zone.heartbeat_tick(sim, interval));
+    }
+
+    fn heartbeat_tick(&self, sim: &mut Simulation, interval: Duration) {
+        let floor = self.0.borrow().last_rollup;
+        if let Some(floor) = floor {
+            self.send_rollup(sim, floor);
+        }
+        let zone = self.clone();
+        sim.schedule_in(interval, move |sim| zone.heartbeat_tick(sim, interval));
+    }
+
+    /// Handles one control frame from a member: a single record or a
+    /// batch (LTC + NET packed by the platform). The zone recomputes
+    /// once per *frame*, which is exactly the batching win — N records
+    /// no longer trigger N fixpoints and N grant fan-outs.
+    fn on_member_frame(&self, sim: &mut Simulation, payload: &[u8]) {
+        let mut touched: Vec<usize> = Vec::new();
+        {
+            let mut inner = self.0.borrow_mut();
+            let ZoneInner {
+                table,
+                by_global,
+                stats,
+                ..
+            } = &mut *inner;
+            let mut apply = |msg: &CoordMsg, touched: &mut Vec<usize>| {
+                let Some(&index) = by_global.get(&msg.federate) else {
+                    return;
+                };
+                if table[index].apply_control(msg, stats) && !touched.contains(&index) {
+                    touched.push(index);
+                }
+            };
+            if payload.first() == Some(&COORD_BATCH_MARKER) {
+                let Ok(batch) = CoordBatch::decode(payload) else {
+                    return;
+                };
+                for msg in batch.iter() {
+                    apply(&msg, &mut touched);
+                }
+            } else if let Ok(msg) = CoordMsg::decode(payload) {
+                apply(&msg, &mut touched);
+            }
+        }
+        if touched.is_empty() {
+            return;
+        }
+        for index in touched {
+            self.arm_liveness(sim, index);
+        }
+        self.recompute(sim);
+    }
+
+    /// Handles a relayed-floor frame from the root: each `Floor` record
+    /// names an upstream zone and raises its proxy's head.
+    fn on_root_frame(&self, sim: &mut Simulation, payload: &[u8]) {
+        let changed = {
+            let mut inner = self.0.borrow_mut();
+            let mut changed = false;
+            let apply = |inner: &mut ZoneInner, msg: &CoordMsg| {
+                if msg.kind != CoordKind::Floor {
+                    return false;
+                }
+                let Some(&proxy) = inner.proxy_index.get(&msg.federate) else {
+                    return false;
+                };
+                let relayed = dear_transactors::wire_to_tag(msg.tag);
+                let head = inner.table[proxy].head;
+                if relayed > head {
+                    inner.table[proxy].head = relayed;
+                    inner.stats.floor_records += 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if payload.first() == Some(&COORD_BATCH_MARKER) {
+                if let Ok(batch) = CoordBatch::decode(payload) {
+                    for msg in batch.iter() {
+                        changed |= apply(&mut inner, &msg);
+                    }
+                }
+            } else if let Ok(msg) = CoordMsg::decode(payload) {
+                changed = apply(&mut inner, &msg);
+            }
+            changed
+        };
+        if changed {
+            self.recompute(sim);
+        }
+    }
+
+    fn arm_liveness(&self, sim: &mut Simulation, index: usize) {
+        let armed = {
+            let inner = self.0.borrow();
+            inner.liveness_deadline.and_then(|deadline| {
+                inner
+                    .table
+                    .get(index)
+                    .filter(|e| e.connected && !e.released())
+                    .map(|e| (deadline, e.liveness_gen))
+            })
+        };
+        let Some((deadline, generation)) = armed else {
+            return;
+        };
+        let zone = self.clone();
+        sim.schedule_in(deadline, move |sim| {
+            zone.on_liveness_check(sim, index, generation);
+        });
+    }
+
+    fn on_liveness_check(&self, sim: &mut Simulation, index: usize, generation: u64) {
+        let traced = {
+            let mut inner = self.0.borrow_mut();
+            let Some(entry) = inner.table.get_mut(index) else {
+                return;
+            };
+            if entry.liveness_gen != generation || entry.released() {
+                return; // superseded, or no longer eligible
+            }
+            entry.dead = true;
+            inner.stats.deaths += 1;
+            let global = inner.member_ids[index];
+            let zone = inner.zone;
+            let name = inner.table[index].name.clone();
+            (zone, global, name)
+        };
+        let (zone, global, name) = traced;
+        sim.trace_with("rti", || {
+            format!("{zone}: federate fed{global} ({name}) declared dead; releasing its LBTS bound")
+        });
+        self.recompute(sim);
+    }
+
+    /// Recomputes the zone-local LBTS, fans grants out as one batched
+    /// frame, and rolls the zone floor up to the root when it changed.
+    fn recompute(&self, sim: &mut Simulation) {
+        let (grants, rollup, binding, instance) = {
+            let mut inner = self.0.borrow_mut();
+            let ZoneInner {
+                table,
+                member_count,
+                member_ids,
+                solver,
+                stats,
+                last_rollup,
+                ..
+            } = &mut *inner;
+            let grantable = *member_count;
+            let grants = solve_grants(solver, table, stats, grantable);
+            // The zone floor: what this zone as a whole promises the rest
+            // of the federation. `min` over member floors; proxies are
+            // the other zones' business.
+            let mut floor = TAG_MAX;
+            for (i, entry) in table.iter().enumerate().take(grantable) {
+                floor = floor.min(node_floor(&entry.view(), solver.lbts()[i]));
+            }
+            let rollup = if grantable > 0 && *last_rollup != Some(floor) {
+                *last_rollup = Some(floor);
+                Some(floor)
+            } else {
+                None
+            };
+            let grants: Vec<(u16, CoordKind, Tag)> = grants
+                .into_iter()
+                .map(|(index, kind, tag)| (member_ids[usize::from(index)], kind, tag))
+                .collect();
+            (
+                grants,
+                rollup,
+                inner.binding.clone(),
+                zone_instance(inner.zone),
+            )
+        };
+
+        if !grants.is_empty() {
+            let mut batch = CoordBatch::pooled(&binding.pool());
+            for (global, kind, tag) in grants {
+                batch.push(&CoordMsg::new(kind, global, tag_to_wire(tag)));
+            }
+            binding.notify(
+                sim,
+                ServiceInstance::new(COORD_SERVICE, instance),
+                ZONE_MEMBER_EVENTGROUP,
+                COORD_EVENT,
+                batch.freeze(),
+            );
+            self.0.borrow_mut().stats.batches_sent += 1;
+        }
+        if let Some(floor) = rollup {
+            self.send_rollup(sim, floor);
+        }
+    }
+
+    /// Sends the zone floor to the root as a one-record batch frame.
+    fn send_rollup(&self, sim: &mut Simulation, floor: Tag) {
+        let (binding, zone) = {
+            let inner = self.0.borrow();
+            (inner.binding.clone(), inner.zone)
+        };
+        let mut batch = CoordBatch::pooled(&binding.pool());
+        batch.push(&CoordMsg::new(CoordKind::Floor, zone.0, tag_to_wire(floor)));
+        if binding
+            .call_no_return(
+                sim,
+                COORD_SERVICE,
+                COORD_ROOT_INSTANCE,
+                COORD_METHOD,
+                batch.freeze(),
+            )
+            .is_ok()
+        {
+            let mut inner = self.0.borrow_mut();
+            inner.stats.floor_records += 1;
+            inner.stats.batches_sent += 1;
+        }
+    }
+}

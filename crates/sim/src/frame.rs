@@ -277,6 +277,15 @@ impl FrameMut {
         &self.buf_ref()[self.headroom..]
     }
 
+    /// Mutable view of the content written so far (excluding headroom),
+    /// for patching fields whose value is only known after later content
+    /// was appended — e.g. a record count at the front of a batch frame.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        let headroom = self.headroom;
+        &mut self.buf()[headroom..]
+    }
+
     /// Freezes the builder into an immutable, shareable view of the
     /// content (headroom stays in the buffer, in front of the view).
     #[must_use]

@@ -16,9 +16,20 @@
 //! The payload encoding is a fixed 27-byte big-endian record so that
 //! encode→decode is a bijection (property-tested in
 //! `tests/coord_roundtrip.rs`).
+//!
+//! ## Batched frames (hierarchical coordination)
+//!
+//! A sharded federation (zone coordinators rolling up to a root, see
+//! `dear-federation`) exchanges *many* records per hop: a zone's roll-up,
+//! the root's floor broadcast, a zone's grant fan-out. [`CoordBatch`]
+//! packs any number of records into **one** pooled frame — a leading
+//! [`COORD_BATCH_MARKER`] byte (disjoint from every [`CoordKind`] value),
+//! a `u16` record count, then the fixed records back to back — so a
+//! roll-up is one frame, not N, and the refcounted [`FrameBuf`] fan-out
+//! from the zero-copy data path serves every subscriber without copying.
 
 use crate::wire::{WireTag, HEADER_LEN};
-use dear_sim::{FrameBuf, FramePool};
+use dear_sim::{FrameBuf, FrameMut, FramePool};
 use std::error::Error;
 use std::fmt;
 
@@ -35,6 +46,14 @@ pub const COORD_EVENTGROUP_BASE: u16 = 0x4000;
 
 /// Encoded size of every coordination payload in bytes.
 pub const COORD_PAYLOAD_LEN: usize = 27;
+
+/// Leading byte of a batched coordination frame. Disjoint from every
+/// [`CoordKind`] discriminant so a receiver can tell a batch from a
+/// single record by its first byte.
+pub const COORD_BATCH_MARKER: u8 = 0x42;
+
+/// Bytes of batch framing before the first record (marker + `u16` count).
+pub const COORD_BATCH_HEADER_LEN: usize = 3;
 
 /// Sentinel tag meaning "no pending event" in NET reports.
 pub const TAG_NEVER: WireTag = WireTag::new(u64::MAX, u32::MAX);
@@ -64,6 +83,12 @@ pub enum CoordKind {
     /// Federate → RTI: the federate has shut down and imposes no further
     /// constraints.
     Resign = 6,
+    /// Zone ↔ root (hierarchical coordination): a zone-floor report. The
+    /// `federate` field carries the **zone id**; `tag` is the zone's
+    /// floor — the earliest tag any of its members may still process or
+    /// send at. Upward it is the zone's roll-up; downward it is the
+    /// root's relay of an upstream zone's floor.
+    Floor = 7,
 }
 
 impl CoordKind {
@@ -80,6 +105,7 @@ impl CoordKind {
             4 => Ok(CoordKind::Tag),
             5 => Ok(CoordKind::Ptag),
             6 => Ok(CoordKind::Resign),
+            7 => Ok(CoordKind::Floor),
             other => Err(CoordError::UnknownKind(other)),
         }
     }
@@ -92,6 +118,16 @@ pub enum CoordError {
     BadLength(usize),
     /// Unknown message kind byte.
     UnknownKind(u8),
+    /// The payload does not start with [`COORD_BATCH_MARKER`].
+    NotABatch(u8),
+    /// A batch payload's length does not match its framing
+    /// (header + `count` × [`COORD_PAYLOAD_LEN`]).
+    BadBatchLength {
+        /// Record count declared in the batch header.
+        declared: u16,
+        /// Total payload length received.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CoordError {
@@ -104,6 +140,19 @@ impl fmt::Display for CoordError {
                 )
             }
             CoordError::UnknownKind(v) => write!(f, "unknown coordination kind 0x{v:02x}"),
+            CoordError::NotABatch(v) => {
+                write!(
+                    f,
+                    "batch frames start with 0x{COORD_BATCH_MARKER:02x}, got 0x{v:02x}"
+                )
+            }
+            CoordError::BadBatchLength { declared, got } => {
+                write!(
+                    f,
+                    "batch declares {declared} records ({} bytes), got {got} bytes",
+                    COORD_BATCH_HEADER_LEN + *declared as usize * COORD_PAYLOAD_LEN
+                )
+            }
         }
     }
 }
@@ -225,6 +274,132 @@ impl fmt::Display for CoordMsg {
     }
 }
 
+/// A batched coordination frame: many [`CoordMsg`] records in one pooled
+/// payload (see the module docs). Built incrementally so a coordinator
+/// can pack a whole recompute round — grants, floors, liveness records —
+/// into a single [`FrameBuf`] without intermediate collections.
+#[derive(Debug)]
+pub struct CoordBatch {
+    buf: FrameMut,
+    count: u16,
+}
+
+impl CoordBatch {
+    /// Starts an empty batch in a recycled pool buffer with SOME/IP
+    /// header headroom (the same zero-copy path as
+    /// [`CoordMsg::encode_into`]).
+    #[must_use]
+    pub fn pooled(pool: &FramePool) -> Self {
+        let mut buf = pool.acquire();
+        buf.reserve_headroom(HEADER_LEN);
+        buf.extend_from_slice(&[COORD_BATCH_MARKER, 0, 0]);
+        CoordBatch { buf, count: 0 }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u16::MAX` records — far beyond any federation the
+    /// id space admits.
+    pub fn push(&mut self, msg: &CoordMsg) {
+        self.count = self.count.checked_add(1).expect("batch record count");
+        self.buf.extend_from_slice(&msg.record());
+    }
+
+    /// Records appended so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.count)
+    }
+
+    /// Whether no record has been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the batch: patches the count into the header and freezes
+    /// the buffer into a shareable frame view.
+    #[must_use]
+    pub fn freeze(mut self) -> FrameBuf {
+        let count = self.count.to_be_bytes();
+        self.buf.as_mut_slice()[1..3].copy_from_slice(&count);
+        self.buf.freeze()
+    }
+
+    /// Parses a batch payload into a zero-copy record view.
+    ///
+    /// Validates the framing (marker, declared count vs actual length)
+    /// and every record's kind byte up front, so iteration over the view
+    /// is infallible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordError::NotABatch`] when the payload does not start
+    /// with the marker, [`CoordError::BadBatchLength`] on framing
+    /// mismatch and [`CoordError::UnknownKind`] for any bad record.
+    pub fn decode(bytes: &[u8]) -> Result<CoordBatchView<'_>, CoordError> {
+        if bytes.len() < COORD_BATCH_HEADER_LEN {
+            return Err(CoordError::BadLength(bytes.len()));
+        }
+        if bytes[0] != COORD_BATCH_MARKER {
+            return Err(CoordError::NotABatch(bytes[0]));
+        }
+        let declared = u16::from_be_bytes([bytes[1], bytes[2]]);
+        let expected = COORD_BATCH_HEADER_LEN + usize::from(declared) * COORD_PAYLOAD_LEN;
+        if bytes.len() != expected {
+            return Err(CoordError::BadBatchLength {
+                declared,
+                got: bytes.len(),
+            });
+        }
+        let records = &bytes[COORD_BATCH_HEADER_LEN..];
+        for i in 0..usize::from(declared) {
+            CoordKind::from_u8(records[i * COORD_PAYLOAD_LEN])?;
+        }
+        Ok(CoordBatchView { records })
+    }
+}
+
+/// A validated, zero-copy view over the records of a [`CoordBatch`]
+/// payload. Iterate it (or index with [`CoordBatchView::get`]) to read
+/// the records in wire order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordBatchView<'a> {
+    records: &'a [u8],
+}
+
+impl CoordBatchView<'_> {
+    /// Number of records in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len() / COORD_PAYLOAD_LEN
+    }
+
+    /// Whether the batch holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The `i`-th record, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<CoordMsg> {
+        let start = i.checked_mul(COORD_PAYLOAD_LEN)?;
+        let bytes = self.records.get(start..start + COORD_PAYLOAD_LEN)?;
+        // Kinds were validated in `decode`; length is exact by slicing.
+        Some(CoordMsg::decode(bytes).expect("validated record"))
+    }
+
+    /// Iterates the records in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = CoordMsg> + '_ {
+        self.records
+            .chunks_exact(COORD_PAYLOAD_LEN)
+            .map(|b| CoordMsg::decode(b).expect("validated record"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +445,89 @@ mod tests {
     fn eventgroups_are_per_federate() {
         assert_ne!(coord_eventgroup(0), coord_eventgroup(1));
         assert_eq!(coord_eventgroup(3), COORD_EVENTGROUP_BASE + 3);
+    }
+
+    #[test]
+    fn batch_roundtrips_and_recycles() {
+        let pool = FramePool::new();
+        let records = [
+            CoordMsg::net(3, WireTag::new(10, 0), WireTag::new(5, 0)),
+            CoordMsg::new(CoordKind::Tag, 7, WireTag::new(99, 2)),
+            CoordMsg::new(CoordKind::Floor, 1, WireTag::new(42, 0)),
+        ];
+        for round in 0..3 {
+            let mut batch = CoordBatch::pooled(&pool);
+            assert!(batch.is_empty());
+            for r in &records {
+                batch.push(r);
+            }
+            assert_eq!(batch.len(), 3);
+            let frame = batch.freeze();
+            assert_eq!(
+                frame.len(),
+                COORD_BATCH_HEADER_LEN + 3 * COORD_PAYLOAD_LEN,
+                "round {round}"
+            );
+            let view = CoordBatch::decode(&frame).unwrap();
+            assert_eq!(view.len(), 3);
+            assert_eq!(view.iter().collect::<Vec<_>>(), records);
+            assert_eq!(view.get(1), Some(records[1]));
+            assert_eq!(view.get(3), None);
+        }
+        assert_eq!(pool.stats().created, 1, "one buffer serves every round");
+        assert_eq!(pool.stats().reused, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_valid() {
+        let pool = FramePool::new();
+        let frame = CoordBatch::pooled(&pool).freeze();
+        let view = CoordBatch::decode(&frame).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.iter().count(), 0);
+    }
+
+    #[test]
+    fn batch_decode_rejects_bad_framing() {
+        // Not a batch: single records keep decoding as before.
+        let single = CoordMsg::new(CoordKind::Net, 1, TAG_NEVER).encode();
+        assert_eq!(
+            CoordBatch::decode(&single),
+            Err(CoordError::NotABatch(CoordKind::Net as u8))
+        );
+        // Truncated header.
+        assert_eq!(
+            CoordBatch::decode(&[COORD_BATCH_MARKER]),
+            Err(CoordError::BadLength(1))
+        );
+        // Count/length mismatch.
+        let pool = FramePool::new();
+        let mut batch = CoordBatch::pooled(&pool);
+        batch.push(&CoordMsg::new(CoordKind::Ltc, 0, TAG_NEVER));
+        let frame = batch.freeze();
+        let mut bytes = frame.to_vec();
+        bytes.push(0);
+        assert_eq!(
+            CoordBatch::decode(&bytes),
+            Err(CoordError::BadBatchLength {
+                declared: 1,
+                got: bytes.len()
+            })
+        );
+        // Bad record kind inside an otherwise well-framed batch.
+        let mut bytes = frame.to_vec();
+        bytes[COORD_BATCH_HEADER_LEN] = 0x7F;
+        assert_eq!(
+            CoordBatch::decode(&bytes),
+            Err(CoordError::UnknownKind(0x7F))
+        );
+    }
+
+    #[test]
+    fn batch_marker_is_disjoint_from_kinds() {
+        for k in 1..=7u8 {
+            assert_ne!(k, COORD_BATCH_MARKER);
+            CoordKind::from_u8(k).unwrap();
+        }
     }
 }

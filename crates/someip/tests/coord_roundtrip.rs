@@ -2,13 +2,15 @@
 //! be the identity, and the decoder must never panic on arbitrary bytes —
 //! mirroring the `fuzz_decode` guarantees for the data-plane frames.
 
+use dear_sim::FramePool;
 use dear_someip::{
-    CoordKind, CoordMsg, MessageId, SomeIpMessage, WireTag, COORD_METHOD, COORD_SERVICE,
+    CoordBatch, CoordKind, CoordMsg, MessageId, SomeIpMessage, WireTag, COORD_BATCH_MARKER,
+    COORD_METHOD, COORD_SERVICE,
 };
 use proptest::prelude::*;
 
 fn kind(index: u8) -> CoordKind {
-    CoordKind::from_u8(index % 6 + 1).expect("all six kinds are assigned")
+    CoordKind::from_u8(index % 7 + 1).expect("all seven kinds are assigned")
 }
 
 proptest! {
@@ -50,6 +52,46 @@ proptest! {
     #[test]
     fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
         let _ = CoordMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn batch_roundtrip(
+        records in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u64>(), any::<u32>()),
+            0..48,
+        ),
+    ) {
+        // The zone-protocol carriage: N records packed behind the batch
+        // marker must come back out in order, bit for bit.
+        let msgs: Vec<CoordMsg> = records
+            .iter()
+            .map(|&(k, federate, nanos, microstep)| {
+                CoordMsg::new(kind(k), federate, WireTag::new(nanos, microstep))
+            })
+            .collect();
+        let pool = FramePool::new();
+        let mut batch = CoordBatch::pooled(&pool);
+        for msg in &msgs {
+            batch.push(msg);
+        }
+        let frame = batch.freeze();
+        let view = CoordBatch::decode(frame.as_slice()).unwrap();
+        prop_assert_eq!(view.len(), msgs.len());
+        prop_assert_eq!(view.iter().collect::<Vec<_>>(), msgs);
+    }
+
+    #[test]
+    fn batch_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        force_marker in any::<bool>(),
+    ) {
+        // Arbitrary bytes, with and without a valid-looking marker — the
+        // decoder errors cleanly on truncated or misdeclared counts.
+        let mut bytes = bytes;
+        if force_marker && !bytes.is_empty() {
+            bytes[0] = COORD_BATCH_MARKER;
+        }
+        let _ = CoordBatch::decode(&bytes);
     }
 
     #[test]

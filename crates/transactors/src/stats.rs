@@ -24,6 +24,10 @@ struct StatsInner {
     ptags_received: Cell<u64>,
     bound_breaches: Cell<u64>,
     grant_wait_nanos: Cell<u64>,
+    // Batched-coordination counters (hierarchical federations only): how
+    // many multi-record control frames this platform sent and received.
+    coord_batches_sent: Cell<u64>,
+    coord_batches_received: Cell<u64>,
 }
 
 /// Shared fault counters for one transactor binding.
@@ -43,6 +47,8 @@ impl fmt::Debug for TransactorStats {
             .field("ptags_received", &self.ptags_received())
             .field("bound_breaches", &self.bound_breaches())
             .field("grant_wait", &self.grant_wait())
+            .field("coord_batches_sent", &self.coord_batches_sent())
+            .field("coord_batches_received", &self.coord_batches_received())
             .finish()
     }
 }
@@ -54,7 +60,7 @@ impl fmt::Display for TransactorStats {
         write!(
             f,
             "stp_violations={} failovers={} untagged_dropped={} send_failures={} \
-             nets={} ltcs={} grants={} ptags={} bound_breaches={} grant_wait={}",
+             nets={} ltcs={} grants={} ptags={} bound_breaches={} grant_wait={} batches={}/{}",
             self.stp_violations(),
             self.failovers(),
             self.untagged_dropped(),
@@ -65,6 +71,8 @@ impl fmt::Display for TransactorStats {
             self.ptags_received(),
             self.bound_breaches(),
             self.grant_wait(),
+            self.coord_batches_sent(),
+            self.coord_batches_received(),
         )
     }
 }
@@ -172,6 +180,33 @@ impl TransactorStats {
         self.0.bound_breaches.set(self.0.bound_breaches.get() + 1);
     }
 
+    /// Batched control frames sent (hierarchical federations pack LTC +
+    /// NET records per frame; flat federations leave this at zero).
+    #[must_use]
+    pub fn coord_batches_sent(&self) -> u64 {
+        self.0.coord_batches_sent.get()
+    }
+
+    /// Batched grant frames received from a zone coordinator.
+    #[must_use]
+    pub fn coord_batches_received(&self) -> u64 {
+        self.0.coord_batches_received.get()
+    }
+
+    /// Records one batched control frame sent to the coordinator.
+    pub fn record_coord_batch_sent(&self) {
+        self.0
+            .coord_batches_sent
+            .set(self.0.coord_batches_sent.get() + 1);
+    }
+
+    /// Records one batched grant frame received from the coordinator.
+    pub fn record_coord_batch_received(&self) {
+        self.0
+            .coord_batches_received
+            .set(self.0.coord_batches_received.get() + 1);
+    }
+
     /// Accumulates time spent blocked on a grant.
     pub fn add_grant_wait(&self, wait: Duration) {
         let nanos = u64::try_from(wait.as_nanos().max(0)).unwrap_or(0);
@@ -237,11 +272,17 @@ mod tests {
         stats.record_grant_received(true);
         stats.add_grant_wait(Duration::from_micros(30));
         stats.add_grant_wait(Duration::from_micros(12));
+        stats.record_coord_batch_sent();
+        stats.record_coord_batch_received();
+        stats.record_coord_batch_received();
         assert_eq!(stats.nets_sent(), 2);
         assert_eq!(stats.ltcs_sent(), 1);
         assert_eq!(stats.grants_received(), 2);
         assert_eq!(stats.ptags_received(), 1);
         assert_eq!(stats.bound_breaches(), 0);
         assert_eq!(stats.grant_wait(), Duration::from_micros(42));
+        assert_eq!(stats.coord_batches_sent(), 1);
+        assert_eq!(stats.coord_batches_received(), 2);
+        assert!(stats.to_string().contains("batches=1/2"));
     }
 }
