@@ -164,6 +164,12 @@ pub struct DetParams {
     /// primary mid-run. `None` (the default) is the plain single-provider
     /// scenario, bit-identical to the pre-failover builds.
     pub redundancy: Option<RedundancyParams>,
+    /// Enable the full telemetry spine (metrics + spans) for the run and
+    /// report the final snapshot in [`DetReport::metrics_snapshot`]. Off
+    /// by default for the same reason as [`DetParams::record_traces`];
+    /// turning it on must not change any observable behaviour — the
+    /// `observability` integration test holds fingerprints to that.
+    pub observability: bool,
 }
 
 impl Default for DetParams {
@@ -183,6 +189,7 @@ impl Default for DetParams {
             coord_link: LinkConfig::ideal(Duration::from_micros(10)),
             record_traces: false,
             redundancy: None,
+            observability: false,
         }
     }
 }
@@ -216,6 +223,9 @@ pub struct DetReport {
     /// Failover observations (`Some` iff [`DetParams::redundancy`] was
     /// set).
     pub failover: Option<FailoverReport>,
+    /// The run's deterministic metrics snapshot (empty unless
+    /// [`DetParams::observability`] was set).
+    pub metrics_snapshot: String,
 }
 
 /// Aggregated coordination-message counters of one run.
@@ -457,6 +467,9 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
     };
 
     let mut sim = Simulation::new(seed);
+    if params.observability {
+        sim.enable_observability();
+    }
     let net = NetworkHandle::new(params.loopback.clone(), sim.fork_rng("net"));
     net.configure_link(nodes::PROVIDER, nodes::ADAPTER, params.ethernet.clone());
     let sd = SdRegistry::new();
@@ -879,6 +892,7 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         stage_traces,
         coordination,
         failover,
+        metrics_snapshot: sim.observe().snapshot(),
     }
 }
 

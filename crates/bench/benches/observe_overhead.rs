@@ -1,0 +1,146 @@
+//! **Observability overhead** — what the telemetry spine costs, and the
+//! proof that it costs *nothing* when disabled.
+//!
+//! Two harnesses:
+//!
+//! 1. *Allocation profile*: a counting global allocator measures a
+//!    steady-state timer fan-out with the `Observe` handle disabled
+//!    (the default everywhere) and enabled. Expected: **zero**
+//!    allocations per reaction disabled — every recording call is a
+//!    single `Option` branch — and a small constant enabled (metric-key
+//!    lookups plus one span per tag).
+//! 2. *Wall-time*: the same workload untelemetered vs fully
+//!    instrumented (counters + histograms + spans), the number the
+//!    EXPERIMENTS.md overhead row reports.
+//!
+//! Run with `cargo bench -p dear-bench --bench observe_overhead`
+//! (append `-- --test` for a single-pass smoke run — CI does, asserting
+//! the disabled-mode zero-alloc invariant on every push).
+
+// The counting allocator is one of the two places this workspace touches
+// `unsafe` (the other is its twin in `runtime_throughput`): `GlobalAlloc`
+// is an unsafe trait, and delegating to `System` while bumping an atomic
+// counter is the standard, auditable pattern for measuring allocation
+// behaviour without external tooling.
+#![allow(unsafe_code)]
+
+use criterion::{criterion_group, Criterion};
+use dear_core::{ProgramBuilder, Runtime};
+use dear_observe::{Lane, Observe};
+use dear_time::{Duration, Instant};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: pure delegation to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// `width` independent reactors on 1 ms timers, pure arithmetic bodies —
+/// the minimal steady-state hot loop (same topology as
+/// `runtime_throughput`, so the two benches' numbers compose).
+fn build_timer_fanout(width: usize) -> Runtime {
+    let mut b = ProgramBuilder::new();
+    for i in 0..width {
+        let mut r = b.reactor(&format!("w{i}"), 0u64);
+        let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
+        r.reaction("work")
+            .triggered_by(t)
+            .body(move |acc: &mut u64, _ctx| {
+                *acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407 + i as u64);
+            });
+        drop(r);
+    }
+    Runtime::new(b.build().expect("fanout builds"))
+}
+
+/// Measures allocations per reaction over `tags` steady-state tags with
+/// the given telemetry handle attached.
+fn alloc_per_reaction(observe: &Observe, tags: u64) -> f64 {
+    let mut rt = build_timer_fanout(32);
+    rt.set_observe(observe.clone(), Lane::Sim);
+    rt.start(Instant::EPOCH);
+    // Warmup: let every runtime buffer — and, enabled, every metric key
+    // and the span vec's doubling growth — reach steady state.
+    rt.run_fast(256);
+    let reactions_before = rt.stats().executed_reactions;
+    let allocs_before = allocations();
+    rt.run_fast(tags);
+    let allocs = allocations() - allocs_before;
+    let reactions = rt.stats().executed_reactions - reactions_before;
+    allocs as f64 / reactions as f64
+}
+
+fn alloc_report(test_mode: bool) {
+    let tags = if test_mode { 64 } else { 2048 };
+    let disabled = alloc_per_reaction(&Observe::disabled(), tags);
+    let enabled = alloc_per_reaction(&Observe::enabled(), tags);
+    dear_bench::header("observe_overhead — allocations per reaction (steady state)");
+    println!("  observe disabled : {disabled:.4} allocs/reaction");
+    println!("  observe enabled  : {enabled:.4} allocs/reaction");
+    println!(
+        "  telemetry delta  : {:.4} allocs/reaction",
+        enabled - disabled
+    );
+    assert_eq!(
+        disabled, 0.0,
+        "disabled-observability hot path must perform zero per-reaction allocations"
+    );
+}
+
+/// Timer fan-out driven for `ticks` tags with the given handle.
+fn run_workload(observe: &Observe, ticks: u64) -> u64 {
+    let mut rt = build_timer_fanout(32);
+    rt.set_observe(observe.clone(), Lane::Sim);
+    rt.start(Instant::EPOCH);
+    rt.run_fast(ticks);
+    rt.stats().executed_reactions
+}
+
+fn bench_observe_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe/width32x200");
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(run_workload(&Observe::disabled(), 200)))
+    });
+    group.bench_function("enabled", |b| {
+        // A fresh handle per iteration: the registry and timeline grow
+        // with the run, so reuse would measure ever-larger state.
+        b.iter(|| black_box(run_workload(&Observe::enabled(), 200)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_cost);
+
+fn main() {
+    let test_mode = Criterion::default().is_test_mode();
+    alloc_report(test_mode);
+    benches();
+}

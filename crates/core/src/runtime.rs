@@ -26,6 +26,7 @@ use crate::pool::WorkerPool;
 use crate::program::{ActionKind, Program, Value};
 use crate::queue::{Event, EventQueue};
 use crate::tag::Tag;
+use dear_observe::{EventKind, Lane, Observe};
 use dear_sim::Trace;
 use dear_time::{Duration, Instant};
 use std::any::Any;
@@ -125,6 +126,14 @@ pub struct Runtime {
     phase: Phase,
     pool: Option<WorkerPool>,
     trace: Trace,
+    /// Telemetry handle (disabled by default: every record is one branch).
+    observe: Observe,
+    /// The timeline lane this runtime's spans are drawn on.
+    lane: Lane,
+    /// Interned reaction names for typed trace records; built once when
+    /// tracing is enabled so the traced hot path clones an `Arc` instead
+    /// of formatting a `String` per event.
+    reaction_names: Vec<Arc<str>>,
     stats: RuntimeStats,
     executed_log: Vec<ReactionId>,
     /// Reactions ready at the current tag, bucketed by APG level. Cleared
@@ -181,6 +190,9 @@ impl Runtime {
             phase: Phase::Created,
             pool: None,
             trace: Trace::disabled(),
+            observe: Observe::disabled(),
+            lane: Lane::Sim,
+            reaction_names: Vec::new(),
             stats: RuntimeStats::default(),
             executed_log: Vec::new(),
             ready_levels: (0..num_levels).map(|_| Vec::new()).collect(),
@@ -223,6 +235,38 @@ impl Runtime {
     /// STP violations (for determinism fingerprinting).
     pub fn enable_tracing(&mut self) {
         self.trace.set_enabled(true);
+        self.intern_names();
+    }
+
+    /// Interns reaction names as `Arc<str>` so traced records share them.
+    fn intern_names(&mut self) {
+        if self.reaction_names.is_empty() {
+            self.reaction_names = self
+                .program
+                .reactions
+                .iter()
+                .map(|r| Arc::from(r.name.as_str()))
+                .collect();
+        }
+    }
+
+    /// Attaches a telemetry handle and assigns this runtime's span lane.
+    ///
+    /// With an enabled handle the runtime counts tags / reactions /
+    /// deadline misses into the `runtime/` metric scope, records the
+    /// physical-vs-logical lag histogram under `coord/tag_lag_ns`, and
+    /// draws one span per processed tag on `lane`. A disabled handle (the
+    /// default) keeps the hot path zero-alloc — asserted by the
+    /// `observe_overhead` bench.
+    pub fn set_observe(&mut self, observe: Observe, lane: Lane) {
+        self.observe = observe;
+        self.lane = lane;
+    }
+
+    /// The attached telemetry handle.
+    #[must_use]
+    pub fn observe(&self) -> &Observe {
+        &self.observe
     }
 
     /// The recorded trace.
@@ -408,10 +452,14 @@ impl Runtime {
         if let Some(last) = self.last_processed {
             if tag <= last {
                 self.stats.stp_violations += 1;
+                self.observe.count("runtime/stp_violations", 1);
                 let name = &self.program.actions[action.id.index()].name;
-                self.trace.record_with(tag.time, "stp-violation", || {
-                    format!("action {name} requested {tag} but current is {last}")
-                });
+                self.trace
+                    .record_event(tag.time, "stp-violation", || EventKind::StpViolation {
+                        name: Arc::from(name.as_str()),
+                        requested: tag.as_logical(),
+                        current: last.as_logical(),
+                    });
                 return Err(RuntimeError::StpViolation {
                     requested: tag,
                     current: last,
@@ -490,6 +538,7 @@ impl Runtime {
         if let (Some(head), Some(bound)) = (self.next_tag(), self.tag_bound) {
             if head >= bound {
                 self.stats.bound_deferrals += 1;
+                self.observe.count("runtime/bound_deferrals", 1);
                 return StepOutcome::Idle;
             }
         }
@@ -557,15 +606,22 @@ impl Runtime {
                 reactions_run += 1;
                 self.stats.executed_reactions += 1;
                 self.executed_log.push(rid);
-                let name = &self.program.reactions[rid.index()].name;
+                let names = &self.reaction_names;
                 if missed {
                     misses += 1;
                     self.stats.deadline_misses += 1;
-                    self.trace
-                        .record_with(tag.time, "deadline-miss", || format!("{name} at {tag}"));
+                    self.trace.record_event(tag.time, "deadline-miss", || {
+                        EventKind::DeadlineMiss {
+                            name: names[rid.index()].clone(),
+                            tag: tag.as_logical(),
+                        }
+                    });
                 } else {
                     self.trace
-                        .record_with(tag.time, "reaction", || format!("{name} at {tag}"));
+                        .record_event(tag.time, "reaction", || EventKind::Reaction {
+                            name: names[rid.index()].clone(),
+                            tag: tag.as_logical(),
+                        });
                 }
                 shutdown_requested |= outcome.shutdown;
                 for (port, value) in outcome.writes {
@@ -606,6 +662,27 @@ impl Runtime {
         }
         self.queue.recycle(entry);
         self.stats.processed_tags += 1;
+        if self.observe.is_enabled() {
+            self.observe.count("runtime/tags", 1);
+            self.observe
+                .count("runtime/reactions", u64::from(reactions_run));
+            if misses > 0 {
+                self.observe
+                    .count("runtime/deadline_misses", u64::from(misses));
+            }
+            // The span covers the tag's logical instant up to the physical
+            // clock reading the driver processed it at: its length *is*
+            // the processing lag a coordinator imposed on this tag.
+            self.observe
+                .record_duration("coord/tag_lag_ns", physical_now - tag.time);
+            self.observe.span_tagged(
+                self.lane,
+                "tag",
+                tag.time,
+                physical_now.max(tag.time),
+                tag.as_logical(),
+            );
+        }
         StepOutcome::Processed(TagSummary {
             tag,
             reactions: reactions_run,

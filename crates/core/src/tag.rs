@@ -57,6 +57,16 @@ impl Tag {
         Tag { time, microstep: 0 }
     }
 
+    /// This tag as the telemetry layer's structural twin
+    /// ([`dear_observe::LogicalTag`]); both render identically.
+    #[must_use]
+    pub const fn as_logical(self) -> dear_observe::LogicalTag {
+        dear_observe::LogicalTag {
+            time: self.time,
+            microstep: self.microstep,
+        }
+    }
+
     /// The tag obtained by a logical delay.
     ///
     /// A strictly positive delay advances the time point and resets the

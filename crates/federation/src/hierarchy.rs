@@ -145,6 +145,8 @@ impl HierarchicalRti {
     /// (the default for all link configs).
     #[must_use]
     pub fn new(sim: &mut Simulation, net: &NetworkHandle, sd: &SdRegistry, node: NodeId) -> Self {
+        sim.observe()
+            .set_lane_name(dear_observe::Lane::Root, "root");
         let binding = Binding::new(net, sd, node, 0x0053);
         binding.offer(
             sim,
@@ -464,6 +466,22 @@ impl HierarchicalRti {
             }
             relays
         };
+        let observe = sim.observe().clone();
+        if observe.is_enabled() {
+            let now = sim.now();
+            observe.count("coord/fixpoint/root", 1);
+            observe.instant(dear_observe::Lane::Root, "fixpoint", now);
+            // Root-level coordination lag: how far each relayed upstream
+            // floor trails true time when it fans back down.
+            for (_, records) in &relays {
+                observe.record_value("coord/batch_size", records.len() as u64);
+                for (_, floor) in records {
+                    if *floor < crate::solver::TAG_MAX {
+                        observe.record_duration("coord/root_relay_lag_ns", now - floor.time);
+                    }
+                }
+            }
+        }
 
         let binding = self.0.borrow().binding.clone();
         for (zone, records) in relays {

@@ -21,6 +21,7 @@ use crate::rti::{FederateId, FederationError, Rti};
 use crate::solver::{tag_succ, TAG_MAX};
 use crate::zone::{zone_instance, ZoneId, ZONE_MEMBER_EVENTGROUP};
 use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeStats, StepOutcome, Tag};
+use dear_observe::{Lane, Observe};
 use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
 use dear_someip::{
     coord_eventgroup, Binding, CoordBatch, CoordKind, CoordMsg, ServiceInstance, WireTag,
@@ -60,8 +61,14 @@ struct PlatformInner {
     /// the shared member eventgroup.
     batched: bool,
     stats: TransactorStats,
+    /// Telemetry handle, captured from the simulation at `start` (a
+    /// disabled handle until then — every record call is one branch).
+    observe: Observe,
     /// Last (head, fence) pair reported to the RTI, to suppress repeats.
     last_net: Option<(WireTag, WireTag)>,
+    /// True time of the most recent NET actually sent, for the NET→TAG
+    /// round-trip histogram (taken by the first grant that answers it).
+    last_net_sent_at: Option<Instant>,
     /// True time at which the current grant wait began, if blocked.
     blocked_since: Option<Instant>,
     /// True time of the currently armed wake-up, if one is pending.
@@ -222,7 +229,9 @@ impl CoordinatedPlatform {
             coord_instance,
             batched,
             stats: TransactorStats::new(),
+            observe: Observe::disabled(),
             last_net: None,
+            last_net_sent_at: None,
             blocked_since: None,
             armed_wake: None,
             max_processed: None,
@@ -306,6 +315,14 @@ impl CoordinatedPlatform {
             let mut inner = self.0.borrow_mut();
             assert!(!inner.started, "platform already started");
             inner.started = true;
+            // Capture the simulation's telemetry handle: the platform's
+            // own coordination metrics and the runtime's per-tag spans
+            // both land on this federate's lane.
+            inner.observe = sim.observe().clone();
+            let lane = Lane::Federate(inner.federate.0);
+            inner.observe.set_lane_name(lane, &inner.name);
+            let observe = inner.observe.clone();
+            inner.runtime.set_observe(observe, lane);
             let local_now = inner.clock.local_time(sim.now());
             inner.runtime.start(local_now);
             inner.federate
@@ -351,7 +368,9 @@ impl CoordinatedPlatform {
                 let local_now = inner.clock.local_time(sim.now());
                 let fence = tag_to_wire(Tag::at(local_now));
                 inner.last_net = Some((head, fence));
+                inner.last_net_sent_at = Some(sim.now());
                 inner.stats.record_net_sent();
+                inner.observe.count("coord/sent/net", 1);
                 Some(CoordMsg::net(inner.federate.0, head, fence))
             } else {
                 None
@@ -450,7 +469,9 @@ impl CoordinatedPlatform {
                     None
                 } else {
                     inner.last_net = Some((head, fence));
+                    inner.last_net_sent_at = Some(sim.now());
                     inner.stats.record_net_sent();
+                    inner.observe.count("coord/sent/net", 1);
                     Some(CoordMsg::net(inner.federate.0, head, fence))
                 }
             };
@@ -462,6 +483,10 @@ impl CoordinatedPlatform {
         if let Some(net) = net {
             batch.push(&net);
         }
+        self.0
+            .borrow()
+            .observe
+            .record_value("coord/step_batch_size", batch.len() as u64);
         binding
             .call_no_return(sim, COORD_SERVICE, instance, COORD_METHOD, batch.freeze())
             .expect("coordination service not offered — construct the coordinator first");
@@ -481,7 +506,9 @@ impl CoordinatedPlatform {
                     None
                 } else {
                     inner.last_net = Some((head, fence));
+                    inner.last_net_sent_at = Some(sim.now());
                     inner.stats.record_net_sent();
+                    inner.observe.count("coord/sent/net", 1);
                     Some(CoordMsg::net(inner.federate.0, head, fence))
                 }
             }
@@ -496,32 +523,39 @@ impl CoordinatedPlatform {
     /// the records addressed to its own federate id (in frame order —
     /// the same order a flat RTI would have delivered them in).
     fn on_grant_frame(&self, sim: &mut Simulation, payload: &[u8]) {
+        let now = sim.now();
         if payload.first() == Some(&COORD_BATCH_MARKER) {
             let Ok(batch) = CoordBatch::decode(payload) else {
                 return;
             };
-            self.0.borrow().stats.record_coord_batch_received();
+            {
+                let inner = self.0.borrow();
+                inner.stats.record_coord_batch_received();
+                inner
+                    .observe
+                    .record_value("coord/grant_batch_size", batch.len() as u64);
+            }
             let mut applied = false;
             for msg in batch.iter() {
-                applied |= self.apply_grant(&msg);
+                applied |= self.apply_grant(&msg, now);
             }
             if applied {
                 self.arm(sim);
             }
         } else if let Ok(msg) = CoordMsg::decode(payload) {
-            if self.apply_grant(&msg) {
+            if self.apply_grant(&msg, now) {
                 self.arm(sim);
             }
         }
     }
 
     /// Applies one grant record if it is addressed to this federate.
-    fn apply_grant(&self, msg: &CoordMsg) -> bool {
+    fn apply_grant(&self, msg: &CoordMsg, now: Instant) -> bool {
         let mut inner = self.0.borrow_mut();
         if msg.federate != inner.federate.0 {
             return false;
         }
-        match msg.kind {
+        let applied = match msg.kind {
             CoordKind::Tag => {
                 inner.runtime.set_tag_bound(wire_to_tag(msg.tag));
                 inner.stats.record_grant_received(false);
@@ -534,7 +568,19 @@ impl CoordinatedPlatform {
                 true
             }
             _ => false,
+        };
+        if applied {
+            inner.observe.count("coord/grants_received", 1);
+            // The NET→TAG round trip: report out, fixpoint at the
+            // coordinator, grant back. The first grant answering the
+            // outstanding NET takes the measurement.
+            if let Some(sent) = inner.last_net_sent_at.take() {
+                inner
+                    .observe
+                    .record_duration("coord/net_tag_rtt_ns", now - sent);
+            }
         }
+        applied
     }
 
     /// Schedules the next wake-up for the earliest *granted* pending tag.
@@ -557,7 +603,14 @@ impl CoordinatedPlatform {
                 return;
             };
             if let Some(since) = inner.blocked_since.take() {
-                inner.stats.add_grant_wait(sim.now() - since);
+                let now = sim.now();
+                inner.stats.add_grant_wait(now - since);
+                inner
+                    .observe
+                    .record_duration("coord/grant_wait_ns", now - since);
+                inner
+                    .observe
+                    .span(Lane::Federate(inner.federate.0), "grant-wait", since, now);
             }
             let tag_true = inner.clock.true_time_at_local(tag.time);
             let wake = tag_true.max(inner.busy_until).max(sim.now());
@@ -610,12 +663,32 @@ impl CoordinatedPlatform {
                 let busy_from = inner.busy_until.max(sim.now());
                 inner.busy_until = busy_from + total;
                 drain_at = inner.busy_until;
+                if total > dear_time::Duration::ZERO {
+                    inner.observe.span_tagged(
+                        Lane::Federate(inner.federate.0),
+                        "compute",
+                        busy_from,
+                        inner.busy_until,
+                        summary.tag.as_logical(),
+                    );
+                }
+                if inner.observe.is_enabled() {
+                    let occupancy = inner.binding.pool().stats().occupancy();
+                    inner.observe.gauge(
+                        "frame/occupancy",
+                        i64::try_from(occupancy).unwrap_or(i64::MAX),
+                    );
+                    inner
+                        .observe
+                        .record_value("frame/occupancy_hist", occupancy);
+                }
                 ltc = Some(CoordMsg::new(
                     CoordKind::Ltc,
                     inner.federate.0,
                     tag_to_wire(summary.tag),
                 ));
                 inner.stats.record_ltc_sent();
+                inner.observe.count("coord/sent/ltc", 1);
             }
             (outcome, drain_at, ltc)
         };

@@ -325,6 +325,7 @@ impl Rti {
     /// and stall grants until the next report.
     #[must_use]
     pub fn new(sim: &mut Simulation, net: &NetworkHandle, sd: &SdRegistry, node: NodeId) -> Self {
+        sim.observe().set_lane_name(dear_observe::Lane::Root, "rti");
         let binding = Binding::new(net, sd, node, 0x0052);
         binding.offer(
             sim,
@@ -511,6 +512,12 @@ impl Rti {
             let grantable = federates.len();
             solve_grants(solver, federates, stats, grantable)
         };
+        let observe = sim.observe().clone();
+        if observe.is_enabled() {
+            observe.count("coord/fixpoint/flat", 1);
+            observe.record_value("coord/grants_per_round", grants.len() as u64);
+            observe.instant(dear_observe::Lane::Root, "fixpoint", sim.now());
+        }
 
         let binding = self.0.borrow().binding.clone();
         let pool = binding.pool();

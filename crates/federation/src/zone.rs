@@ -119,6 +119,8 @@ impl ZoneCoordinator {
         node: NodeId,
         zone: ZoneId,
     ) -> Self {
+        sim.observe()
+            .set_lane_name(dear_observe::Lane::Zone(zone.0), &zone.to_string());
         let binding = Binding::new(net, sd, node, 0x0060_u16.wrapping_add(zone.0));
         let instance = zone_instance(zone);
         binding.offer(
@@ -435,12 +437,29 @@ impl ZoneCoordinator {
                 zone_instance(inner.zone),
             )
         };
+        let observe = sim.observe().clone();
+        if observe.is_enabled() {
+            let now = sim.now();
+            let zone = self.0.borrow().zone;
+            observe.count("coord/fixpoint/zone", 1);
+            observe.record_value("coord/grants_per_round", grants.len() as u64);
+            observe.instant(dear_observe::Lane::Zone(zone.0), "fixpoint", now);
+            // The zone-level coordination lag: how far the floor this
+            // round promised to the rest of the federation trails the
+            // true time at which it was computed.
+            if let Some(floor) = rollup {
+                if floor < crate::solver::TAG_MAX {
+                    observe.record_duration("coord/zone_floor_lag_ns", now - floor.time);
+                }
+            }
+        }
 
         if !grants.is_empty() {
             let mut batch = CoordBatch::pooled(&binding.pool());
             for (global, kind, tag) in grants {
                 batch.push(&CoordMsg::new(kind, global, tag_to_wire(tag)));
             }
+            observe.record_value("coord/batch_size", batch.len() as u64);
             binding.notify(
                 sim,
                 ServiceInstance::new(COORD_SERVICE, instance),

@@ -419,7 +419,7 @@ fn dead_federate_releases_lbts_for_survivors() {
 
         let deaths = rti.stats().deaths;
         let seen = seen.lock().unwrap().len();
-        let death_traces = sim.trace_log().in_category("rti").len() as u64;
+        let death_traces = sim.trace_log().events_in("rti").count() as u64;
         (deaths, seen, death_traces)
     }
 

@@ -467,7 +467,7 @@ fn dead_zone_releases_floor_for_sibling_zones() {
         let zone_deaths = hier.root_stats().deaths;
         let member_deaths = hier.zone_stats(zone0).deaths + hier.zone_stats(zone1).deaths;
         let seen = seen.lock().unwrap().len();
-        let traces = sim.trace_log().in_category("rti").len();
+        let traces = sim.trace_log().events_in("rti").count();
         (zone_deaths, member_deaths, seen, traces)
     }
 

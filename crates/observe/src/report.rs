@@ -1,0 +1,130 @@
+//! The human-readable observability dashboard.
+//!
+//! [`ObservabilityReport`] collects the one-line `Display` forms of the
+//! per-subsystem stats structs plus a metrics snapshot and renders one
+//! consistent text footer — the thing every example prints so a run's
+//! health is readable at a glance without grepping trace strings.
+
+use crate::Observe;
+use std::fmt;
+
+/// A composable text dashboard.
+///
+/// # Examples
+///
+/// ```
+/// use dear_observe::{Observe, ObservabilityReport};
+///
+/// let obs = Observe::enabled();
+/// obs.count("runtime/tags", 3);
+/// let mut report = ObservabilityReport::new("demo");
+/// report.line("runtime[ctrl0]", "tags=3 reactions=7");
+/// report.attach(&obs);
+/// let text = report.to_string();
+/// assert!(text.contains("runtime[ctrl0]"));
+/// assert!(text.contains("counter runtime/tags = 3"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObservabilityReport {
+    title: String,
+    lines: Vec<(String, String)>,
+    metrics: Option<String>,
+    spans: usize,
+}
+
+impl ObservabilityReport {
+    /// Creates an empty report with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        ObservabilityReport {
+            title: title.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a labelled stats line (any `Display` value — typically one
+    /// of the subsystem stats structs).
+    pub fn line(&mut self, label: impl Into<String>, value: impl fmt::Display) {
+        self.lines.push((label.into(), value.to_string()));
+    }
+
+    /// Captures the metrics snapshot and span count of an [`Observe`]
+    /// handle (no-op for a disabled handle).
+    pub fn attach(&mut self, observe: &Observe) {
+        if observe.is_enabled() {
+            self.metrics = Some(observe.snapshot());
+            self.spans = observe.span_count();
+        }
+    }
+
+    /// Number of stats lines added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` when no line was added and no snapshot attached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty() && self.metrics.is_none()
+    }
+}
+
+impl fmt::Display for ObservabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── observability: {} ──", self.title)?;
+        let width = self
+            .lines
+            .iter()
+            .map(|(label, _)| label.len())
+            .max()
+            .unwrap_or(0);
+        for (label, value) in &self.lines {
+            writeln!(f, "  {label:width$}  {value}")?;
+        }
+        if let Some(metrics) = &self.metrics {
+            if metrics.is_empty() {
+                writeln!(f, "  metrics: (none recorded)")?;
+            } else {
+                writeln!(f, "  metrics:")?;
+                for line in metrics.lines() {
+                    writeln!(f, "    {line}")?;
+                }
+            }
+            writeln!(f, "  spans recorded: {}", self.spans)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_lines_and_snapshot() {
+        let obs = Observe::enabled();
+        obs.count("a/x", 1);
+        obs.gauge("b/y", 2);
+        let mut r = ObservabilityReport::new("unit");
+        assert!(r.is_empty());
+        r.line("first", 123);
+        r.line("second-longer", "abc");
+        r.attach(&obs);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let text = r.to_string();
+        assert!(text.contains("observability: unit"));
+        assert!(text.contains("counter a/x = 1"));
+        assert!(text.contains("gauge b/y = 2"));
+        assert!(text.contains("spans recorded: 0"));
+    }
+
+    #[test]
+    fn disabled_observe_attaches_nothing() {
+        let mut r = ObservabilityReport::new("unit");
+        r.attach(&Observe::disabled());
+        assert!(r.is_empty());
+        assert!(!r.to_string().contains("metrics"));
+    }
+}

@@ -408,9 +408,8 @@ mod tests {
         sim.run_to_completion();
         let faults = sim
             .trace_log()
-            .in_category("fault")
-            .iter()
-            .map(|e| e.detail.clone())
+            .events_in("fault")
+            .map(crate::TraceEvent::detail_text)
             .collect::<Vec<_>>();
         assert_eq!(
             faults,

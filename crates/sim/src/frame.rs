@@ -55,6 +55,29 @@ pub struct FramePoolStats {
     pub recycled: u64,
 }
 
+impl FramePoolStats {
+    /// Buffers currently in flight: acquired (freshly created or reused)
+    /// and not yet returned to the free list. This is the frame-path
+    /// occupancy the telemetry layer gauges under `frame/occupancy`.
+    #[must_use]
+    pub fn occupancy(&self) -> u64 {
+        (self.created + self.reused).saturating_sub(self.recycled)
+    }
+}
+
+impl fmt::Display for FramePoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "created={} reused={} recycled={} in_flight={}",
+            self.created,
+            self.reused,
+            self.recycled,
+            self.occupancy()
+        )
+    }
+}
+
 #[derive(Default)]
 struct PoolInner {
     free: Mutex<Vec<Arc<Shared>>>,

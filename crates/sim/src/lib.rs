@@ -61,4 +61,4 @@ pub use net::{Frame, LinkConfig, NetStats, NetworkHandle, NodeId};
 pub use pool::{PoolStats, TaskPool};
 pub use rng::{LatencyModel, SimRng};
 pub use sim::{SimStats, Simulation};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceDetail, TraceEvent};

@@ -121,6 +121,16 @@ pub struct NetStats {
     pub faulted: u64,
 }
 
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} unroutable={} faulted={}",
+            self.sent, self.delivered, self.dropped, self.unroutable, self.faulted
+        )
+    }
+}
+
 type Receiver = Rc<dyn Fn(&mut Simulation, Frame)>;
 
 struct LinkState {

@@ -28,6 +28,12 @@ pub struct PoolStats {
     pub queued: u64,
 }
 
+impl fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "submitted={} queued={}", self.submitted, self.queued)
+    }
+}
+
 struct PoolInner {
     /// Per-worker time at which the worker becomes free.
     workers: Vec<Instant>,

@@ -11,9 +11,11 @@
 
 use crate::rng::SimRng;
 use crate::trace::Trace;
+use dear_observe::Observe;
 use dear_time::{Duration, Instant};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// A scheduled event: a boxed closure run at a simulated instant.
 type EventFn = Box<dyn FnOnce(&mut Simulation)>;
@@ -49,6 +51,16 @@ pub struct SimStats {
     pub executed_events: u64,
     /// Number of events currently pending in the calendar.
     pub pending_events: usize,
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "executed={} pending={}",
+            self.executed_events, self.pending_events
+        )
+    }
 }
 
 /// A seeded discrete-event simulation.
@@ -87,6 +99,7 @@ pub struct Simulation {
     master_seed: u64,
     rng_root: SimRng,
     trace: Trace,
+    observe: Observe,
     executed: u64,
     stop_requested: bool,
 }
@@ -113,6 +126,7 @@ impl Simulation {
             master_seed,
             rng_root: SimRng::seed_from_u64(master_seed),
             trace: Trace::disabled(),
+            observe: Observe::disabled(),
             executed: 0,
             stop_requested: false,
         }
@@ -258,6 +272,28 @@ impl Simulation {
     /// Enables trace recording (disabled by default for speed).
     pub fn enable_tracing(&mut self) {
         self.trace.set_enabled(true);
+    }
+
+    /// Turns on telemetry collection (metrics + timeline spans) and
+    /// returns the shared [`Observe`] handle.
+    ///
+    /// Disabled by default: every instrumentation site then costs one
+    /// branch — no locks, no allocation. Components capture the handle
+    /// when they start (e.g. a coordinated platform at
+    /// `start`), so enable observability **before** driving the
+    /// simulation. Calling this twice returns the same handle.
+    pub fn enable_observability(&mut self) -> Observe {
+        if !self.observe.is_enabled() {
+            self.observe = Observe::enabled();
+        }
+        self.observe.clone()
+    }
+
+    /// The telemetry handle (disabled unless
+    /// [`Simulation::enable_observability`] was called).
+    #[must_use]
+    pub fn observe(&self) -> &Observe {
+        &self.observe
     }
 
     /// Records a trace event at the current virtual time.

@@ -5,10 +5,60 @@
 //! the integration tests compare [`Trace::fingerprint`] values across seeds
 //! and executor back-ends to verify exactly that (the central claim of the
 //! paper's §III).
+//!
+//! Details come in two shapes: free-form [`TraceDetail::Text`] lines (the
+//! original model, still used by cold paths) and typed
+//! [`TraceDetail::Typed`] records carrying a [`EventKind`] — interned
+//! names plus logical tags, recorded by the hot paths without any
+//! formatting. Both shapes render to the same canonical line, and the
+//! fingerprint hashes that rendering, so the string→typed migration moved
+//! **no** fingerprint.
 
+use dear_observe::EventKind;
 use dear_time::Instant;
 use std::borrow::Cow;
 use std::fmt;
+
+/// The payload of a [`TraceEvent`]: a free-form line or a typed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDetail {
+    /// A pre-formatted detail line.
+    Text(String),
+    /// A structured record; its canonical rendering is the detail line.
+    Typed(EventKind),
+}
+
+impl TraceDetail {
+    /// Appends the canonical detail line to `out`.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            TraceDetail::Text(s) => out.push_str(s),
+            TraceDetail::Typed(kind) => kind.render(out),
+        }
+    }
+}
+
+impl fmt::Display for TraceDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDetail::Text(s) => f.write_str(s),
+            TraceDetail::Typed(kind) => write!(f, "{kind}"),
+        }
+    }
+}
+
+impl PartialEq<str> for TraceDetail {
+    fn eq(&self, other: &str) -> bool {
+        match self {
+            TraceDetail::Text(s) => s == other,
+            TraceDetail::Typed(kind) => {
+                let mut rendered = String::new();
+                kind.render(&mut rendered);
+                rendered == other
+            }
+        }
+    }
+}
 
 /// One record in a [`Trace`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,8 +67,27 @@ pub struct TraceEvent {
     pub at: Instant,
     /// Coarse category, e.g. `"net"`, `"reaction"`, `"error"`.
     pub category: Cow<'static, str>,
-    /// Human-readable detail line.
-    pub detail: String,
+    /// Detail payload (free-form or typed).
+    pub detail: TraceDetail,
+}
+
+impl TraceEvent {
+    /// The canonical detail line as an owned string.
+    #[must_use]
+    pub fn detail_text(&self) -> String {
+        let mut s = String::new();
+        self.detail.render(&mut s);
+        s
+    }
+
+    /// The typed record, if this event carries one.
+    #[must_use]
+    pub fn kind(&self) -> Option<&EventKind> {
+        match &self.detail {
+            TraceDetail::Typed(kind) => Some(kind),
+            TraceDetail::Text(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceEvent {
@@ -95,7 +164,7 @@ impl Trace {
             self.events.push(TraceEvent {
                 at,
                 category: category.into(),
-                detail: detail.into(),
+                detail: TraceDetail::Text(detail.into()),
             });
         }
     }
@@ -132,7 +201,30 @@ impl Trace {
             self.events.push(TraceEvent {
                 at,
                 category: category.into(),
-                detail: detail(),
+                detail: TraceDetail::Text(detail()),
+            });
+        }
+    }
+
+    /// Appends a typed record if recording is enabled, building the
+    /// [`EventKind`] lazily.
+    ///
+    /// This is the structured twin of [`Trace::record_with`]: the hot
+    /// paths hand over interned `Arc<str>` names and logical tags instead
+    /// of formatting a `String` per event. Disabled-mode cost is one
+    /// branch; enabled-mode cost is an `Arc` clone and a `Vec` push — the
+    /// detail line is only materialized by fingerprinting or display.
+    pub fn record_event(
+        &mut self,
+        at: Instant,
+        category: impl Into<Cow<'static, str>>,
+        kind: impl FnOnce() -> EventKind,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                category: category.into(),
+                detail: TraceDetail::Typed(kind()),
             });
         }
     }
@@ -154,13 +246,34 @@ impl Trace {
         self.events.iter()
     }
 
-    /// Returns the events recorded under a given category.
+    /// Iterates over the events recorded under a given category, without
+    /// allocating.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dear_sim::Trace;
+    /// use dear_time::Instant;
+    ///
+    /// let mut t = Trace::new();
+    /// t.record(Instant::EPOCH, "net", "sent");
+    /// t.record(Instant::EPOCH, "rti", "grant");
+    /// assert_eq!(t.events_in("rti").count(), 1);
+    /// ```
+    pub fn events_in<'t, 'c>(
+        &'t self,
+        category: &'c str,
+    ) -> impl Iterator<Item = &'t TraceEvent> + use<'t, 'c> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Returns the events recorded under a given category, collected.
+    ///
+    /// Thin wrapper over [`Trace::events_in`] for callers that want a
+    /// `Vec`; prefer the iterator on hot paths.
     #[must_use]
     pub fn in_category(&self, category: &str) -> Vec<&TraceEvent> {
-        self.events
-            .iter()
-            .filter(|e| e.category == category)
-            .collect()
+        self.events_in(category).collect()
     }
 
     /// Removes all recorded events (the enabled flag is preserved).
@@ -173,6 +286,10 @@ impl Trace {
     /// Two traces have equal fingerprints iff (with overwhelming
     /// probability) they contain the same records in the same order —
     /// the workhorse of the determinism assertions in this workspace.
+    ///
+    /// Typed details are hashed via their canonical rendering (into one
+    /// reused scratch buffer), so a typed record and the free-form line
+    /// it replaced produce identical fingerprints.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut hash = 0xCBF2_9CE4_8422_2325u64;
@@ -182,11 +299,19 @@ impl Trace {
                 hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
             }
         };
+        let mut scratch = String::new();
         for e in &self.events {
             eat(&e.at.as_nanos().to_le_bytes());
             eat(e.category.as_bytes());
             eat(&[0xFF]);
-            eat(e.detail.as_bytes());
+            match &e.detail {
+                TraceDetail::Text(s) => eat(s.as_bytes()),
+                typed => {
+                    scratch.clear();
+                    typed.render(&mut scratch);
+                    eat(scratch.as_bytes());
+                }
+            }
             eat(&[0xFE]);
         }
         hash
@@ -251,6 +376,9 @@ mod tests {
         assert_eq!(t.in_category("err").len(), 2);
         assert_eq!(t.in_category("ok").len(), 1);
         assert_eq!(t.in_category("none").len(), 0);
+        // The iterator form sees the same events without collecting.
+        assert_eq!(t.events_in("err").count(), 2);
+        assert!(t.events_in("err").all(|e| e.category == "err"));
     }
 
     #[test]
@@ -258,8 +386,62 @@ mod tests {
         let e = TraceEvent {
             at: Instant::from_secs(1),
             category: "net".into(),
-            detail: "hello".into(),
+            detail: TraceDetail::Text("hello".into()),
         };
         assert_eq!(e.to_string(), "[1.000000000s] net: hello");
+        assert_eq!(e.detail_text(), "hello");
+        assert!(e.kind().is_none());
+    }
+
+    #[test]
+    fn typed_record_fingerprints_like_its_rendering() {
+        use dear_observe::{EventKind, LogicalTag};
+        use std::sync::Arc;
+
+        let tag = LogicalTag {
+            time: Instant::from_millis(10),
+            microstep: 1,
+        };
+        let name: Arc<str> = Arc::from("ctrl/apply");
+
+        // The legacy string path...
+        let mut legacy = Trace::new();
+        legacy.record(tag.time, "reaction", format!("{name} at {tag}"));
+        legacy.record(
+            tag.time,
+            "stp-violation",
+            format!("action {name} requested {tag} but current is {tag}"),
+        );
+
+        // ...and the typed path must be fingerprint-identical.
+        let mut typed = Trace::new();
+        typed.record_event(tag.time, "reaction", || EventKind::Reaction {
+            name: name.clone(),
+            tag,
+        });
+        typed.record_event(tag.time, "stp-violation", || EventKind::StpViolation {
+            name: name.clone(),
+            requested: tag,
+            current: tag,
+        });
+
+        assert_eq!(legacy.fingerprint(), typed.fingerprint());
+        assert_eq!(
+            typed.iter().next().unwrap().detail_text(),
+            format!("{name} at {tag}")
+        );
+        assert_eq!(
+            typed.iter().next().unwrap().kind().unwrap().name(),
+            "ctrl/apply"
+        );
+    }
+
+    #[test]
+    fn record_event_skips_construction_when_disabled() {
+        let mut t = Trace::disabled();
+        t.record_event(Instant::EPOCH, "reaction", || {
+            unreachable!("kind built despite disabled trace")
+        });
+        assert!(t.is_empty());
     }
 }

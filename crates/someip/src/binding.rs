@@ -67,6 +67,20 @@ pub struct BindingStats {
     pub decode_errors: u64,
 }
 
+impl fmt::Display for BindingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} responses={} notif_sent={} notif_received={} decode_errors={}",
+            self.requests_sent,
+            self.responses_received,
+            self.notifications_sent,
+            self.notifications_received,
+            self.decode_errors
+        )
+    }
+}
+
 type ResponseCallback = Box<dyn FnOnce(&mut Simulation, SomeIpMessage)>;
 type MethodHandler = Rc<dyn Fn(&mut Simulation, SomeIpMessage, Responder)>;
 type EventHandler = Rc<dyn Fn(&mut Simulation, SomeIpMessage)>;

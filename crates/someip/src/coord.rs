@@ -109,6 +109,21 @@ impl CoordKind {
             other => Err(CoordError::UnknownKind(other)),
         }
     }
+
+    /// A stable lowercase label for telemetry keys (e.g.
+    /// `coord/sent/ltc`) and log lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CoordKind::Join => "join",
+            CoordKind::Net => "net",
+            CoordKind::Ltc => "ltc",
+            CoordKind::Tag => "tag",
+            CoordKind::Ptag => "ptag",
+            CoordKind::Resign => "resign",
+            CoordKind::Floor => "floor",
+        }
+    }
 }
 
 /// Errors produced while decoding coordination payloads.

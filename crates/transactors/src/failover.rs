@@ -62,6 +62,11 @@ struct FailoverInner {
     history: Vec<(Instant, Option<ServiceInstance>)>,
     /// Tag of the most recent counted failover (live → live re-route).
     last_failover_at: Option<Instant>,
+    /// Last proven sign of life from the bound provider (an event
+    /// arriving, or the bind itself). The gap from here to a counted
+    /// failover is the outage **detection latency** the telemetry layer
+    /// records under `failover/detection_ns`.
+    last_live_at: Option<Instant>,
 }
 
 /// A client-side binding to a redundant provider group.
@@ -115,6 +120,7 @@ impl FailoverBinding {
             watchdog_gen: 0,
             history: Vec::new(),
             last_failover_at: None,
+            last_live_at: None,
         })));
         let hook = this.clone();
         binding
@@ -141,7 +147,12 @@ impl FailoverBinding {
     /// Records provider liveness: call on every received event of the
     /// watched service. Re-arms the heartbeat watchdog.
     pub fn note_event(&self, sim: &mut Simulation) {
-        if self.0.borrow().heartbeat.is_some() {
+        let rearm = {
+            let mut inner = self.0.borrow_mut();
+            inner.last_live_at = Some(sim.now());
+            inner.heartbeat.is_some()
+        };
+        if rearm {
             self.arm_watchdog(sim);
         }
     }
@@ -247,6 +258,16 @@ impl FailoverBinding {
                 if prev.is_some() && target.is_some() {
                     inner.stats.record_failover();
                     inner.last_failover_at = Some(sim.now());
+                    sim.observe().count("failover/rebinds", 1);
+                    if let Some(live) = inner.last_live_at {
+                        sim.observe()
+                            .record_duration("failover/detection_ns", sim.now() - live);
+                    }
+                }
+                // Binding a provider counts as a sign of life: the next
+                // detection window starts here.
+                if target.is_some() {
+                    inner.last_live_at = Some(sim.now());
                 }
                 Some((prev, target))
             }
@@ -294,6 +315,7 @@ impl FailoverBinding {
         sim.trace_with("failover", || {
             format!("provider {suspect} suspected dead (heartbeat silence)")
         });
+        sim.observe().count("failover/suspicions", 1);
         self.rebind(sim);
     }
 }

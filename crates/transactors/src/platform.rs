@@ -139,6 +139,11 @@ impl FederatedPlatform {
             let mut inner = self.0.borrow_mut();
             assert!(!inner.started, "platform already started");
             inner.started = true;
+            let observe = sim.observe().clone();
+            if observe.is_enabled() {
+                let lane = observe.register_federate_lane(&inner.name);
+                inner.runtime.set_observe(observe, lane);
+            }
             let local_now = inner.clock.local_time(sim.now());
             inner.runtime.start(local_now);
         }

@@ -13,6 +13,7 @@
 //! ```
 
 use dear::apd::{run_det, DetParams};
+use dear::observe::ObservabilityReport;
 use dear::transactors::Coordination;
 
 fn params(coordination: Coordination) -> DetParams {
@@ -34,9 +35,30 @@ fn main() {
     );
 
     let mut all_identical = true;
+    let mut footer = ObservabilityReport::new("brake_assistant_centralized");
     for seed in 0..4 {
         let dec = run_det(seed, &params(Coordination::Decentralized));
         let cen = run_det(seed, &params(Coordination::Centralized));
+        if seed == 0 {
+            let c = &cen.coordination;
+            footer.line("decisions", cen.decisions.len());
+            footer.line(
+                "coord[centralized]",
+                format!(
+                    "nets={} ltcs={} grants={} ptags={} bound_breaches={} grant_wait={}",
+                    c.nets_sent,
+                    c.ltcs_sent,
+                    c.grants_received,
+                    c.ptags_received,
+                    c.bound_breaches,
+                    c.grant_wait
+                ),
+            );
+            footer.line(
+                "fingerprint",
+                format!("{:016x}", cen.decision_fingerprint()),
+            );
+        }
         for (label, r) in [("decentralized", &dec), ("centralized", &cen)] {
             let c = &r.coordination;
             println!(
@@ -69,4 +91,6 @@ fn main() {
     println!("observable execution — every reaction, tag and decision — is exactly");
     println!("the one the decentralized PTIDES-style driver produces.");
     assert!(all_identical);
+    println!();
+    print!("{footer}");
 }

@@ -9,6 +9,7 @@
 //! ```
 
 use dear::apd::{run_det, DetParams};
+use dear::observe::ObservabilityReport;
 
 fn main() {
     let params = DetParams {
@@ -24,6 +25,8 @@ fn main() {
     println!(
         "-----+-----------+------------+-----+-----------------+-------------+-----------------"
     );
+    let mut totals = (0usize, 0u64, 0u64, 0u64);
+    let mut fingerprint = 0u64;
     for seed in 0..8 {
         let r = run_det(seed, &params);
         let e2e = r
@@ -39,10 +42,28 @@ fn main() {
             e2e,
             r.decision_fingerprint()
         );
+        totals.0 += r.decisions.len();
+        totals.1 += r.mismatches_cv;
+        totals.2 += r.stp_violations;
+        totals.3 += r.deadline_misses;
+        fingerprint = r.decision_fingerprint();
     }
     println!();
     println!("every instance processes every frame, in order, with zero errors and an");
     println!("identical decision sequence (same fingerprint) — determinism at the cost of");
     println!("a fixed 70 ms logical end-to-end latency that accounts for worst-case");
     println!("compute and communication delays.");
+    println!();
+    let mut report = ObservabilityReport::new("brake_assistant_det");
+    report.line("instances", 8);
+    report.line("decisions", totals.0);
+    report.line(
+        "errors",
+        format!(
+            "mismatches={} stp_violations={} deadline_misses={}",
+            totals.1, totals.2, totals.3
+        ),
+    );
+    report.line("fingerprint", format!("{fingerprint:016x}"));
+    print!("{report}");
 }

@@ -25,6 +25,7 @@
 //! ```
 
 use dear::apd::{run_det, run_nondet, DetParams, NondetParams, RedundancyParams};
+use dear::observe::ObservabilityReport;
 use dear::time::Duration;
 
 const KILL_AFTER: u64 = 249;
@@ -53,6 +54,7 @@ fn main() {
     println!("------------+------+-----------+-----------+----------------+------------------+-----------------");
 
     let mut all_identical = true;
+    let mut det_failovers = 0u64;
     for mode in ["stop-offer", "ttl-expiry", "heartbeat"] {
         let params = det_params(mode);
         let mut fingerprints = Vec::new();
@@ -74,6 +76,7 @@ fn main() {
                 fo.failover_latency.map_or("n/a".into(), |l| l.to_string()),
                 r.decision_fingerprint(),
             );
+            det_failovers += fo.failovers;
             fingerprints.push(r.decision_fingerprint());
         }
         all_identical &= fingerprints.iter().all(|f| *f == fingerprints[0]);
@@ -128,4 +131,14 @@ fn main() {
     );
     println!("and which frames are lost or duplicated around it differs run to run.");
     assert!(distinct > 1, "stock failover should diverge across seeds");
+    println!();
+    let mut report = ObservabilityReport::new("brake_assistant_failover");
+    report.line("det_runs", "3 modes x 4 seeds");
+    report.line("det_failovers", det_failovers);
+    report.line(
+        "det_sequences_identical",
+        if all_identical { "YES" } else { "NO" },
+    );
+    report.line("stock_distinct_sequences", format!("{distinct}/4"));
+    print!("{report}");
 }

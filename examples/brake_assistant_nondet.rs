@@ -8,6 +8,7 @@
 //! ```
 
 use dear::apd::{run_nondet, NondetParams};
+use dear::observe::ObservabilityReport;
 
 fn main() {
     let params = NondetParams {
@@ -20,6 +21,8 @@ fn main() {
     println!("{} frames per instance\n", params.frames);
     println!("seed | decisions | dropped@pre | dropped@cv | mismatches | dropped@eba | total %");
     println!("-----+-----------+-------------+------------+------------+-------------+--------");
+    let mut decisions = 0usize;
+    let mut errors = 0u64;
     for seed in 0..8 {
         let r = run_nondet(seed, &params);
         println!(
@@ -31,9 +34,17 @@ fn main() {
             r.dropped_eba,
             r.prevalence_pct()
         );
+        decisions += r.decisions.len();
+        errors += r.dropped_preprocessing + r.dropped_cv + r.mismatches_cv + r.dropped_eba;
     }
     println!();
     println!("the error rate and the dominant error type vary from instance to instance —");
     println!("the same application, deployed identically, behaves differently depending on");
     println!("uncontrollable callback phases (paper Figure 5).");
+    println!();
+    let mut report = ObservabilityReport::new("brake_assistant_nondet");
+    report.line("instances", 8);
+    report.line("decisions", decisions);
+    report.line("errors", errors);
+    print!("{report}");
 }

@@ -10,6 +10,7 @@
 //! cargo run --release --example distributed_tags
 //! ```
 
+use dear::observe::ObservabilityReport;
 use dear::reactor::{ProgramBuilder, Runtime, Tag};
 use dear::sim::{ClockModel, LatencyModel, LinkConfig, NetworkHandle, NodeId, Simulation};
 use dear::someip::{Binding, SdRegistry, ServiceInstance};
@@ -23,11 +24,16 @@ use std::sync::{Arc, Mutex};
 const SERVICE: u16 = 0x2001;
 
 /// Returns the response sequence as (delta from first release tag, value),
-/// the absolute first release tag, and the observed STP violation count.
-/// Absolute tags legitimately differ per seed (the start anchor is a
-/// physical input); the *relative* schedule and the values must not.
-fn run(seed: u64, latency_bound: Duration) -> (Vec<(Duration, u8)>, Option<Tag>, u64) {
+/// the absolute first release tag, the observed STP violation count, and
+/// the run's observability footer. Absolute tags legitimately differ per
+/// seed (the start anchor is a physical input); the *relative* schedule
+/// and the values must not.
+fn run(
+    seed: u64,
+    latency_bound: Duration,
+) -> (Vec<(Duration, u8)>, Option<Tag>, u64, ObservabilityReport) {
     let mut sim = Simulation::new(seed);
+    sim.enable_observability();
     let net = NetworkHandle::new(
         LinkConfig::with_latency(LatencyModel::uniform(
             Duration::from_micros(200),
@@ -140,13 +146,21 @@ fn run(seed: u64, latency_bound: Duration) -> (Vec<(Duration, u8)>, Option<Tag>,
         + server.stats().stp_violations
         + client_stats.stp_violations()
         + server_stats.stp_violations();
+    let mut report = ObservabilityReport::new("distributed_tags");
+    report.line("sim", sim.stats());
+    report.line("net", net.stats());
+    report.line("runtime[client]", client.stats());
+    report.line("runtime[server]", server.stats());
+    report.line("transactor[client]", &client_stats);
+    report.line("transactor[server]", &server_stats);
+    report.attach(sim.observe());
     let raw = results.lock().unwrap().clone();
     let first = raw.first().map(|(t, _)| *t);
     let out = raw
         .iter()
         .map(|(t, v)| (t.time - first.expect("nonempty").time, *v))
         .collect();
-    (out, first, violations)
+    (out, first, violations, report)
 }
 
 fn main() {
@@ -174,9 +188,11 @@ fn main() {
     println!("with an understated bound L = 0.3 ms (actual latency up to 3 ms):");
     let mut total_violations = 0;
     for seed in 0..6 {
-        let (_, _, v) = run(seed, Duration::from_micros(300));
+        let (_, _, v, _) = run(seed, Duration::from_micros(300));
         total_violations += v;
     }
     println!("  safe-to-process violations observed across 6 seeds: {total_violations}");
     println!("  — the broken assumption is *detected*, not silently reordered.");
+    println!();
+    print!("{}", baseline.3);
 }

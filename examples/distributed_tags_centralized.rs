@@ -20,6 +20,7 @@
 //! ```
 
 use dear::federation::{CoordinatedPlatform, Rti};
+use dear::observe::ObservabilityReport;
 use dear::reactor::{ProgramBuilder, Runtime, Tag};
 use dear::sim::{ClockModel, LatencyModel, LinkConfig, NetworkHandle, NodeId, Simulation};
 use dear::someip::{Binding, SdRegistry, ServiceInstance};
@@ -38,6 +39,7 @@ struct Outcome {
     stp_violations: u64,
     grants: u64,
     grant_wait: Duration,
+    report: ObservabilityReport,
 }
 
 /// Drives a prepared client/server pair to completion (shared tail of
@@ -69,6 +71,13 @@ fn drive<D: PlatformDriver>(
         + server.runtime_stats().stp_violations
         + client_stats.stp_violations()
         + server_stats.stp_violations();
+    let mut report = ObservabilityReport::new("distributed_tags_centralized");
+    report.line("sim", sim.stats());
+    report.line("runtime[client]", client.runtime_stats());
+    report.line("runtime[server]", server.runtime_stats());
+    report.line("transactor[client]", &client_stats);
+    report.line("transactor[server]", &server_stats);
+    report.attach(sim.observe());
     let raw = results.lock().unwrap().clone();
     let first = raw.first().map(|(t, _)| *t);
     let schedule = raw
@@ -81,11 +90,13 @@ fn drive<D: PlatformDriver>(
         stp_violations: stp,
         grants,
         grant_wait,
+        report,
     }
 }
 
 fn run(seed: u64, latency_bound: Duration, centralized: bool) -> Outcome {
     let mut sim = Simulation::new(seed);
+    sim.enable_observability();
     let net = NetworkHandle::new(
         LinkConfig::with_latency(LatencyModel::uniform(
             Duration::from_micros(200),
@@ -294,6 +305,8 @@ fn main() {
     println!("reordering events — the centralized ledger (NET/TAG/LTC counters) just");
     println!("adds a second, per-grant audit trail.");
     assert!(identical && matches_decentralized);
+    println!();
+    print!("{}", baseline.report);
 }
 
 fn yn(b: bool) -> &'static str {

@@ -6,6 +6,7 @@
 //! ```
 
 use dear::apd::calculator::{distribution, run_trial, CalculatorConfig};
+use dear::observe::ObservabilityReport;
 
 fn main() {
     println!("Figure 1 client:");
@@ -42,4 +43,13 @@ fn main() {
     println!("scheduling; the single-threaded one always prints 3 — but gives up");
     println!("the concurrency AP was chosen for. DEAR restores determinism without");
     println!("giving up concurrency (see the brake assistant examples).");
+    println!();
+    let mut report = ObservabilityReport::new("fig1_calculator");
+    report.line("trials", trials);
+    report.line(
+        "distinct_results[multi_threaded]",
+        hist.iter().filter(|c| **c > 0).count(),
+    );
+    report.line("distinct_results[single_threaded]", 1);
+    print!("{report}");
 }

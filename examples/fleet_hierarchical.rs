@@ -30,6 +30,7 @@
 //! ```
 
 use dear::federation::{CoordinatedPlatform, HierarchicalRti, Rti, ZoneId};
+use dear::observe::{is_valid_json, ObservabilityReport, Observe};
 use dear::reactor::{ProgramBuilder, Runtime, Tag};
 use dear::sim::{FaultPlan, LinkConfig, NetworkHandle, NodeId, Simulation, VirtualClock};
 use dear::someip::{Binding, SdRegistry, ServiceInstance};
@@ -54,6 +55,9 @@ struct Outcome {
     batches: u64,
     zone_deaths: u64,
     floor_records: u64,
+    /// The run's telemetry handle (metrics + timeline, outlives the sim).
+    observe: Observe,
+    report: ObservabilityReport,
 }
 
 /// Builds and drives the platoon. `hierarchical` picks the coordinator;
@@ -66,6 +70,8 @@ fn run(hierarchical: bool, sever_uplink: bool) -> Outcome {
 
     let mut sim = Simulation::new(7);
     sim.enable_tracing();
+    // Before any coordinator exists, so the lanes get their names.
+    let observe = sim.enable_observability();
     let net = NetworkHandle::new(
         LinkConfig::ideal(Duration::from_micros(100)),
         sim.fork_rng("net"),
@@ -229,9 +235,31 @@ fn run(hierarchical: bool, sever_uplink: bool) -> Outcome {
         (None, Some(h)) => (h.root_stats().deaths, h.root_stats().floor_records),
         _ => (0, 0),
     };
-    for event in sim.trace_log().in_category("rti") {
+    for event in sim.trace_log().events_in("rti") {
         println!("  [trace] {event}");
     }
+    let mut report = ObservabilityReport::new(if hierarchical {
+        "fleet_hierarchical"
+    } else {
+        "fleet_flat"
+    });
+    report.line("sim", sim.stats());
+    report.line("net", net.stats());
+    for p in controllers.iter().chain([&sensor]) {
+        report.line(format!("runtime[{}]", p.name()), p.stats());
+        report.line(format!("coord[{}]", p.name()), p.coordination_stats());
+    }
+    match (&flat, &hier) {
+        (Some(rti), None) => report.line("rti", rti.stats()),
+        (None, Some(h)) => {
+            report.line("rti[root]", h.root_stats());
+            for v in 0..VEHICLES {
+                report.line(format!("rti[zone{v}]"), h.zone_stats(ZoneId(v as u16)));
+            }
+        }
+        _ => unreachable!(),
+    }
+    report.attach(&observe);
     Outcome {
         schedules: schedules
             .iter()
@@ -240,6 +268,8 @@ fn run(hierarchical: bool, sever_uplink: bool) -> Outcome {
         batches,
         zone_deaths,
         floor_records,
+        observe,
+        report,
     }
 }
 
@@ -263,6 +293,31 @@ fn main() {
         "  batched control frames: {}, floors across the root: {}",
         hier.batches, hier.floor_records
     );
+
+    // Export the run's timeline as Chrome trace_event JSON — loadable in
+    // Perfetto / chrome://tracing, one lane per federate plus the
+    // coordination lanes carrying the zone/root fixpoint marks.
+    let trace_json = hier.observe.chrome_trace();
+    assert!(
+        is_valid_json(&trace_json),
+        "exported trace must be valid JSON"
+    );
+    for lane in ["lead-sensor", "ctrl0", "ctrl1", "ctrl2", "root", "zone1"] {
+        assert!(trace_json.contains(lane), "trace must name the {lane} lane");
+    }
+    assert!(
+        trace_json.contains("fixpoint"),
+        "trace must carry the fixpoint marks"
+    );
+    let trace_path = std::path::Path::new("target").join("fleet_hierarchical.trace.json");
+    match std::fs::write(&trace_path, &trace_json) {
+        Ok(()) => println!(
+            "  timeline exported: {} ({} bytes, open in ui.perfetto.dev)",
+            trace_path.display(),
+            trace_json.len()
+        ),
+        Err(e) => println!("  timeline export skipped ({e})"),
+    }
 
     let flat = run(false, false);
     println!();
@@ -303,6 +358,8 @@ fn main() {
     println!("coordination traffic, and contains an uplink partition to the zone");
     println!("that lost it — exactly the sharding story the fleet_scale bench");
     println!("quantifies at 100/400/1000 federates.");
+    println!();
+    print!("{}", hier.report);
 }
 
 fn yn(b: bool) -> &'static str {

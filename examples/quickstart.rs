@@ -8,6 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
+use dear::observe::{Lane, ObservabilityReport, Observe};
 use dear::reactor::{ProgramBuilder, Runtime, Startup};
 use dear::time::{Duration, Instant};
 use std::sync::{Arc, Mutex};
@@ -94,6 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.connect(alarm_out, l_alarm)?;
 
     let mut rt = Runtime::new(b.build()?);
+    // Telemetry: counters plus one span per processed tag on the
+    // standalone lane.
+    let observe = Observe::enabled();
+    rt.set_observe(observe.clone(), Lane::Sim);
     rt.start(Instant::EPOCH);
     rt.stop_at(Instant::from_millis(60))?;
     rt.run_fast(u64::MAX);
@@ -101,10 +106,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in log.lock().unwrap().iter() {
         println!("{line}");
     }
-    let stats = rt.stats();
-    println!(
-        "processed {} tags, {} reactions, {} deadline misses",
-        stats.processed_tags, stats.executed_reactions, stats.deadline_misses
-    );
+    println!();
+    let mut report = ObservabilityReport::new("quickstart");
+    report.line("runtime", rt.stats());
+    report.attach(&observe);
+    print!("{report}");
     Ok(())
 }

@@ -8,6 +8,7 @@
 //! | Module | Crate | Role |
 //! |---|---|---|
 //! | [`time`] | `dear-time` | instants, durations |
+//! | [`observe`] | `dear-observe` | deterministic telemetry: metrics, spans, exports |
 //! | [`sim`] | `dear-sim` | seeded discrete-event platform simulator |
 //! | [`reactor`] | `dear-core` | deterministic reactor runtime |
 //! | [`someip`] | `dear-someip` | SOME/IP middleware + tag extension |
@@ -26,6 +27,7 @@ pub use dear_apd as apd;
 pub use dear_ara as ara;
 pub use dear_core as reactor;
 pub use dear_federation as federation;
+pub use dear_observe as observe;
 pub use dear_sim as sim;
 pub use dear_someip as someip;
 pub use dear_time as time;
