@@ -23,10 +23,10 @@
 use crate::logic::{detect_vehicles, eba_decide, StageTimings};
 use crate::nondet::{nodes, services};
 use crate::types::{BrakeDecision, Frame, LaneBox, VehicleList};
-use dear_core::{ProgramBuilder, Runtime};
+use dear_core::{Port, ProgramBuilder, Reaction, ReactionCtx, Reactor, Runtime};
 use dear_federation::{CoordinatedPlatform, Rti};
 use dear_sim::{LinkConfig, NetworkHandle, SimRng, Simulation, VirtualClock};
-use dear_someip::{Binding, SdRegistry, ServiceInstance};
+use dear_someip::{Binding, FrameBuf, SdRegistry, ServiceInstance};
 use dear_time::{Duration, Instant};
 use dear_transactors::{
     ClientEventTransactor, Coordination, DearConfig, EventSpec, FailoverEventSpec,
@@ -269,6 +269,130 @@ struct Stage<D> {
     stats: Vec<TransactorStats>,
 }
 
+/// Video Adapter logic: "a sensor that inserts frames into the reactor
+/// network with a tag equal to the physical time of message reception" —
+/// each forwarded frame is stamped with the reception tag.
+#[derive(Reactor)]
+struct AdapterLogic {
+    #[output]
+    frame: Port<FrameBuf>,
+    #[external]
+    camera: Port<FrameBuf>,
+    #[reaction(triggers(camera), effects(frame))]
+    adapt: Reaction,
+}
+
+impl AdapterLogic {
+    fn adapt(_: &mut (), this: &Self, ctx: &mut ReactionCtx<'_>) {
+        let mut frame =
+            Frame::from_payload(ctx.get(this.camera).unwrap()).expect("camera frame payload");
+        // The sensor stamp: the tag equals the physical reception time
+        // of the frame.
+        frame.adapter_nanos = ctx.tag().time.as_nanos();
+        ctx.set(this.frame, frame.to_payload());
+    }
+}
+
+/// Preprocessing logic: lane detection plus a same-tag forward of the
+/// raw frame for Computer Vision's alignment check.
+#[derive(Reactor)]
+struct PreprocessingLogic {
+    #[output]
+    lane: Port<FrameBuf>,
+    #[output]
+    frame: Port<FrameBuf>,
+    #[external]
+    frames: Port<FrameBuf>,
+    #[reaction(triggers(frames), effects(lane, frame))]
+    preprocess: Reaction,
+}
+
+impl PreprocessingLogic {
+    fn preprocess(_: &mut (), this: &Self, ctx: &mut ReactionCtx<'_>) {
+        let frame = Frame::from_payload(ctx.get(this.frames).unwrap()).expect("frame payload");
+        let lane = crate::logic::preprocess(&frame);
+        ctx.set(this.lane, lane.to_payload());
+        ctx.set(this.frame, frame.to_payload());
+    }
+}
+
+/// Computer Vision logic: "expects to receive two events with the same
+/// tag at both inputs. If only one input is received, this is considered
+/// an error" — the state counts those tag-alignment errors.
+#[derive(Reactor)]
+#[reactor(state = Arc<Mutex<u64>>)]
+struct ComputerVisionLogic {
+    #[output]
+    vehicles: Port<FrameBuf>,
+    #[external]
+    lane: Port<FrameBuf>,
+    #[external]
+    frame: Port<FrameBuf>,
+    #[reaction(triggers(lane, frame), effects(vehicles))]
+    detect: Reaction,
+}
+
+impl ComputerVisionLogic {
+    fn detect(mismatches: &mut Arc<Mutex<u64>>, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        let lane = ctx
+            .get(this.lane)
+            .map(|p| LaneBox::from_payload(p).expect("lane payload"));
+        let frame = ctx
+            .get(this.frame)
+            .map(|p| Frame::from_payload(p).expect("frame payload"));
+        match (lane, frame) {
+            (Some(lane), Some(frame)) if lane.frame_id == frame.id => {
+                let vehicles = detect_vehicles(&frame, &lane);
+                ctx.set(this.vehicles, vehicles.to_payload());
+            }
+            // "If only one input is received, this is considered an
+            // error."
+            _ => *mismatches.lock().expect("mismatch counter") += 1,
+        }
+    }
+}
+
+/// Decisions collected from the EBA stage: `(decision, eba_tag_nanos,
+/// adapter_tag_nanos)` in emission order.
+type DecisionSink = Arc<Mutex<Vec<(BrakeDecision, u64, u64)>>>;
+
+/// EBA logic: brake decisions under the paper's 5 ms reaction deadline.
+/// The deadline is a run parameter, so it arrives as an `#[external]`
+/// value rather than a literal in the attribute.
+#[derive(Reactor)]
+#[reactor(state = DecisionSink)]
+struct EbaLogic {
+    #[external]
+    vehicles: Port<FrameBuf>,
+    #[external]
+    deadline: Duration,
+    #[reaction(triggers(vehicles), deadline = this.deadline, on_deadline = decide_late)]
+    decide: Reaction,
+}
+
+impl EbaLogic {
+    fn decide(sink: &mut DecisionSink, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        let vehicles =
+            VehicleList::from_payload(ctx.get(this.vehicles).unwrap()).expect("vehicles payload");
+        let brake = eba_decide(&vehicles);
+        sink.lock().expect("decisions").push((
+            BrakeDecision {
+                frame_id: vehicles.frame_id,
+                brake,
+            },
+            ctx.tag().time.as_nanos(),
+            vehicles.adapter_nanos,
+        ));
+    }
+
+    fn decide_late(sink: &mut DecisionSink, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        // Deadline miss: the decision is still produced (and the miss is
+        // counted by the runtime) — late but observable, never silently
+        // lost.
+        Self::decide(sink, this, ctx);
+    }
+}
+
 /// One coordination strategy's way of constructing stage drivers.
 trait DriverFactory {
     type Driver: PlatformDriver;
@@ -492,31 +616,24 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         let camera = ClientEventTransactor::declare(&mut b, "camera");
         let publish =
             ServerEventTransactor::declare(&mut b, &outbox, "frames", params.deadlines.adapter);
-        let logic_rid;
-        {
-            let mut logic = b.reactor("adapter_logic", ());
-            let out = logic.output::<dear_someip::FrameBuf>("frame");
-            logic_rid = logic
-                .reaction("adapt")
-                .triggered_by(camera.event)
-                .effects(out)
-                .body(move |_, ctx| {
-                    let mut frame = Frame::from_payload(ctx.get(camera.event).unwrap())
-                        .expect("camera frame payload");
-                    // The sensor stamp: the tag equals the physical
-                    // reception time of the frame.
-                    frame.adapter_nanos = ctx.tag().time.as_nanos();
-                    ctx.set(out, frame.to_payload());
-                });
-            drop(logic);
-            b.connect(out, publish.event).unwrap();
-        }
+        let logic: AdapterLogic = b.declare_ext(
+            "adapter_logic",
+            (),
+            AdapterLogicExternals {
+                camera: camera.event,
+            },
+        );
+        b.connect(logic.frame, publish.event).unwrap();
+        let program = b.build().expect("adapter program");
+        let logic_rid = program
+            .find_reaction("adapter_logic.adapt")
+            .expect("adapt reaction");
         let binding = Binding::new(&net, &sd, nodes::ADAPTER, 0x20);
         let cost_rng = sim.fork_rng("adapter-costs");
         let platform = factory.make(
             &mut sim,
             "adapter",
-            Runtime::new(b.build().expect("adapter program")),
+            Runtime::new(program),
             VirtualClock::ideal(),
             outbox,
             cost_rng,
@@ -573,33 +690,25 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
             "frame_fwd",
             params.deadlines.preprocessing,
         );
-        let logic_rid;
-        {
-            let mut logic = b.reactor("preprocessing_logic", ());
-            let lane_out = logic.output::<dear_someip::FrameBuf>("lane");
-            let frame_out = logic.output::<dear_someip::FrameBuf>("frame");
-            logic_rid = logic
-                .reaction("preprocess")
-                .triggered_by(input.event)
-                .effects(lane_out)
-                .effects(frame_out)
-                .body(move |_, ctx| {
-                    let frame =
-                        Frame::from_payload(ctx.get(input.event).unwrap()).expect("frame payload");
-                    let lane = crate::logic::preprocess(&frame);
-                    ctx.set(lane_out, lane.to_payload());
-                    ctx.set(frame_out, frame.to_payload());
-                });
-            drop(logic);
-            b.connect(lane_out, publish_lane.event).unwrap();
-            b.connect(frame_out, publish_frame.event).unwrap();
-        }
+        let logic: PreprocessingLogic = b.declare_ext(
+            "preprocessing_logic",
+            (),
+            PreprocessingLogicExternals {
+                frames: input.event,
+            },
+        );
+        b.connect(logic.lane, publish_lane.event).unwrap();
+        b.connect(logic.frame, publish_frame.event).unwrap();
+        let program = b.build().expect("preprocessing program");
+        let logic_rid = program
+            .find_reaction("preprocessing_logic.preprocess")
+            .expect("preprocess reaction");
         let binding = Binding::new(&net, &sd, nodes::PREPROCESSING, 0x30);
         let cost_rng = sim.fork_rng("preproc-costs");
         let platform = factory.make(
             &mut sim,
             "preprocessing",
-            Runtime::new(b.build().expect("preprocessing program")),
+            Runtime::new(program),
             VirtualClock::ideal(),
             outbox,
             cost_rng,
@@ -633,42 +742,25 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
             "vehicles",
             params.deadlines.computer_vision,
         );
-        let logic_rid;
-        {
-            let mut logic = b.reactor("computer_vision_logic", ());
-            let out = logic.output::<dear_someip::FrameBuf>("vehicles");
-            let mm = mismatches.clone();
-            logic_rid = logic
-                .reaction("detect")
-                .triggered_by(lane_in.event)
-                .triggered_by(frame_in.event)
-                .effects(out)
-                .body(move |_, ctx| {
-                    let lane = ctx
-                        .get(lane_in.event)
-                        .map(|p| LaneBox::from_payload(p).expect("lane payload"));
-                    let frame = ctx
-                        .get(frame_in.event)
-                        .map(|p| Frame::from_payload(p).expect("frame payload"));
-                    match (lane, frame) {
-                        (Some(lane), Some(frame)) if lane.frame_id == frame.id => {
-                            let vehicles = detect_vehicles(&frame, &lane);
-                            ctx.set(out, vehicles.to_payload());
-                        }
-                        // "If only one input is received, this is
-                        // considered an error."
-                        _ => *mm.lock().expect("mismatch counter") += 1,
-                    }
-                });
-            drop(logic);
-            b.connect(out, publish.event).unwrap();
-        }
+        let logic: ComputerVisionLogic = b.declare_ext(
+            "computer_vision_logic",
+            mismatches.clone(),
+            ComputerVisionLogicExternals {
+                lane: lane_in.event,
+                frame: frame_in.event,
+            },
+        );
+        b.connect(logic.vehicles, publish.event).unwrap();
+        let program = b.build().expect("cv program");
+        let logic_rid = program
+            .find_reaction("computer_vision_logic.detect")
+            .expect("detect reaction");
         let binding = Binding::new(&net, &sd, nodes::COMPUTER_VISION, 0x40);
         let cost_rng = sim.fork_rng("cv-costs");
         let platform = factory.make(
             &mut sim,
             "computer_vision",
-            Runtime::new(b.build().expect("cv program")),
+            Runtime::new(program),
             VirtualClock::ideal(),
             outbox,
             cost_rng,
@@ -695,51 +787,24 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         let outbox = Outbox::new();
         let mut b = ProgramBuilder::new();
         let input = ClientEventTransactor::declare(&mut b, "vehicles");
-        let logic_rid;
-        {
-            let mut logic = b.reactor("eba_logic", ());
-            let sink = decisions.clone();
-            let sink_miss = decisions.clone();
-            logic_rid = logic
-                .reaction("decide")
-                .triggered_by(input.event)
-                .with_deadline(params.deadlines.eba, move |_, ctx| {
-                    // Deadline miss: the decision is still produced (and
-                    // the miss is counted by the runtime) — late but
-                    // observable, never silently lost.
-                    let vehicles = VehicleList::from_payload(ctx.get(input.event).unwrap())
-                        .expect("vehicles payload");
-                    let brake = eba_decide(&vehicles);
-                    sink_miss.lock().expect("decisions").push((
-                        BrakeDecision {
-                            frame_id: vehicles.frame_id,
-                            brake,
-                        },
-                        ctx.tag().time.as_nanos(),
-                        vehicles.adapter_nanos,
-                    ));
-                })
-                .body(move |_, ctx| {
-                    let vehicles = VehicleList::from_payload(ctx.get(input.event).unwrap())
-                        .expect("vehicles payload");
-                    let brake = eba_decide(&vehicles);
-                    sink.lock().expect("decisions").push((
-                        BrakeDecision {
-                            frame_id: vehicles.frame_id,
-                            brake,
-                        },
-                        ctx.tag().time.as_nanos(),
-                        vehicles.adapter_nanos,
-                    ));
-                });
-            drop(logic);
-        }
+        let _logic: EbaLogic = b.declare_ext(
+            "eba_logic",
+            decisions.clone(),
+            EbaLogicExternals {
+                vehicles: input.event,
+                deadline: params.deadlines.eba,
+            },
+        );
+        let program = b.build().expect("eba program");
+        let logic_rid = program
+            .find_reaction("eba_logic.decide")
+            .expect("decide reaction");
         let binding = Binding::new(&net, &sd, nodes::EBA, 0x50);
         let cost_rng = sim.fork_rng("eba-costs");
         let platform = factory.make(
             &mut sim,
             "eba",
-            Runtime::new(b.build().expect("eba program")),
+            Runtime::new(program),
             VirtualClock::ideal(),
             outbox,
             cost_rng,

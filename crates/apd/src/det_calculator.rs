@@ -11,7 +11,7 @@
 //! for every seed and any network jitter below the bound.
 
 use crate::calculator::{CALC_INSTANCE, CALC_SERVICE, METHOD_ADD, METHOD_GET, METHOD_SET};
-use dear_core::{ProgramBuilder, Runtime};
+use dear_core::{Port, ProgramBuilder, Reaction, ReactionCtx, Reactor, Runtime, Timer};
 use dear_sim::{LatencyModel, LinkConfig, NetworkHandle, NodeId, Simulation, VirtualClock};
 use dear_someip::{Binding, FrameBuf, PayloadReader, PayloadWriter, SdRegistry, ServiceInstance};
 use dear_time::{Duration, Instant};
@@ -30,6 +30,84 @@ fn encode_i64(v: i64) -> FrameBuf {
 fn decode_i64(bytes: &[u8]) -> i64 {
     let mut r = PayloadReader::new(bytes);
     r.read_i64().expect("calculator payload")
+}
+
+/// The server logic reactor: one reaction per method, priority order
+/// (field declaration order) fixing the same-tag processing order
+/// set → add → get. The transactor-owned request ports arrive as
+/// `#[external]` handles at declare time.
+#[derive(Reactor)]
+#[reactor(state = i64)]
+struct CalcServer {
+    #[output]
+    set_resp: Port<FrameBuf>,
+    #[output]
+    add_resp: Port<FrameBuf>,
+    #[output]
+    get_resp: Port<FrameBuf>,
+    #[external]
+    set_request: Port<FrameBuf>,
+    #[external]
+    add_request: Port<FrameBuf>,
+    #[external]
+    get_request: Port<FrameBuf>,
+    #[reaction(triggers(set_request), effects(set_resp))]
+    on_set: Reaction,
+    #[reaction(triggers(add_request), effects(add_resp))]
+    on_add: Reaction,
+    #[reaction(triggers(get_request), effects(get_resp))]
+    on_get: Reaction,
+}
+
+impl CalcServer {
+    fn on_set(value: &mut i64, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        *value = decode_i64(ctx.get(this.set_request).unwrap());
+        ctx.set(this.set_resp, encode_i64(*value));
+    }
+
+    fn on_add(value: &mut i64, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        *value += decode_i64(ctx.get(this.add_request).unwrap());
+        ctx.set(this.add_resp, encode_i64(*value));
+    }
+
+    fn on_get(value: &mut i64, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        ctx.set(this.get_resp, encode_i64(*value));
+    }
+}
+
+/// The client logic reactor: all three calls issued at one tag, the
+/// printed value recorded in state when the `get` response arrives.
+#[derive(Reactor)]
+#[reactor(state = Arc<Mutex<Option<i64>>>)]
+struct CalcClient {
+    #[output]
+    set_req: Port<FrameBuf>,
+    #[output]
+    add_req: Port<FrameBuf>,
+    #[output]
+    get_req: Port<FrameBuf>,
+    #[timer(offset = Duration::from_millis(10))]
+    fire: Timer,
+    #[external]
+    get_response: Port<FrameBuf>,
+    #[reaction(triggers(fire), effects(set_req, add_req, get_req))]
+    invoke_all: Reaction,
+    #[reaction(triggers(get_response))]
+    print: Reaction,
+}
+
+impl CalcClient {
+    fn invoke_all(_: &mut Arc<Mutex<Option<i64>>>, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        // Concurrent, non-blocking, unordered in physical time —
+        // yet deterministic: all three share the tag.
+        ctx.set(this.set_req, encode_i64(1));
+        ctx.set(this.add_req, encode_i64(2));
+        ctx.set(this.get_req, FrameBuf::new());
+    }
+
+    fn print(sink: &mut Arc<Mutex<Option<i64>>>, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        *sink.lock().unwrap() = Some(decode_i64(ctx.get(this.get_response).unwrap()));
+    }
 }
 
 /// Outcome of one DEAR calculator trial.
@@ -72,39 +150,18 @@ pub fn run_det_trial(seed: u64, latency_bound: Duration) -> DetCalcOutcome {
     let smt_set = ServerMethodTransactor::declare(&mut bs, &outbox_s, "set", deadline);
     let smt_add = ServerMethodTransactor::declare(&mut bs, &outbox_s, "add", deadline);
     let smt_get = ServerMethodTransactor::declare(&mut bs, &outbox_s, "get", deadline);
-    {
-        let mut logic = bs.reactor("calc_server", 0i64);
-        let set_resp = logic.output::<FrameBuf>("set_resp");
-        let add_resp = logic.output::<FrameBuf>("add_resp");
-        let get_resp = logic.output::<FrameBuf>("get_resp");
-        logic
-            .reaction("on_set")
-            .triggered_by(smt_set.request)
-            .effects(set_resp)
-            .body(move |value: &mut i64, ctx| {
-                *value = decode_i64(ctx.get(smt_set.request).unwrap());
-                ctx.set(set_resp, encode_i64(*value));
-            });
-        logic
-            .reaction("on_add")
-            .triggered_by(smt_add.request)
-            .effects(add_resp)
-            .body(move |value: &mut i64, ctx| {
-                *value += decode_i64(ctx.get(smt_add.request).unwrap());
-                ctx.set(add_resp, encode_i64(*value));
-            });
-        logic
-            .reaction("on_get")
-            .triggered_by(smt_get.request)
-            .effects(get_resp)
-            .body(move |value: &mut i64, ctx| {
-                ctx.set(get_resp, encode_i64(*value));
-            });
-        drop(logic);
-        bs.connect(set_resp, smt_set.response).unwrap();
-        bs.connect(add_resp, smt_add.response).unwrap();
-        bs.connect(get_resp, smt_get.response).unwrap();
-    }
+    let srv: CalcServer = bs.declare_ext(
+        "calc_server",
+        0i64,
+        CalcServerExternals {
+            set_request: smt_set.request,
+            add_request: smt_add.request,
+            get_request: smt_get.request,
+        },
+    );
+    bs.connect(srv.set_resp, smt_set.response).unwrap();
+    bs.connect(srv.add_resp, smt_add.response).unwrap();
+    bs.connect(srv.get_resp, smt_get.response).unwrap();
     let server = FederatedPlatform::new(
         "calc-server",
         Runtime::new(bs.build().expect("server program")),
@@ -129,37 +186,16 @@ pub fn run_det_trial(seed: u64, latency_bound: Duration) -> DetCalcOutcome {
     let cmt_set = ClientMethodTransactor::declare(&mut bc, &outbox_c, "set", deadline);
     let cmt_add = ClientMethodTransactor::declare(&mut bc, &outbox_c, "add", deadline);
     let cmt_get = ClientMethodTransactor::declare(&mut bc, &outbox_c, "get", deadline);
-    {
-        let mut logic = bc.reactor("calc_client", ());
-        let set_req = logic.output::<FrameBuf>("set_req");
-        let add_req = logic.output::<FrameBuf>("add_req");
-        let get_req = logic.output::<FrameBuf>("get_req");
-        let t = logic.timer("fire", Duration::from_millis(10), None);
-        logic
-            .reaction("invoke_all")
-            .triggered_by(t)
-            .effects(set_req)
-            .effects(add_req)
-            .effects(get_req)
-            .body(move |_, ctx| {
-                // Concurrent, non-blocking, unordered in physical time —
-                // yet deterministic: all three share the tag.
-                ctx.set(set_req, encode_i64(1));
-                ctx.set(add_req, encode_i64(2));
-                ctx.set(get_req, FrameBuf::new());
-            });
-        let sink = printed.clone();
-        logic
-            .reaction("print")
-            .triggered_by(cmt_get.response)
-            .body(move |_, ctx| {
-                *sink.lock().unwrap() = Some(decode_i64(ctx.get(cmt_get.response).unwrap()));
-            });
-        drop(logic);
-        bc.connect(set_req, cmt_set.request).unwrap();
-        bc.connect(add_req, cmt_add.request).unwrap();
-        bc.connect(get_req, cmt_get.request).unwrap();
-    }
+    let cli: CalcClient = bc.declare_ext(
+        "calc_client",
+        printed.clone(),
+        CalcClientExternals {
+            get_response: cmt_get.response,
+        },
+    );
+    bc.connect(cli.set_req, cmt_set.request).unwrap();
+    bc.connect(cli.add_req, cmt_add.request).unwrap();
+    bc.connect(cli.get_req, cmt_get.request).unwrap();
     let client = FederatedPlatform::new(
         "calc-client",
         Runtime::new(bc.build().expect("client program")),

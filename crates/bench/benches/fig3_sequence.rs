@@ -75,7 +75,7 @@ fn main() {
                     .unwrap()
                     .push(("client receives response".into(), ctx.tag()));
             });
-        drop(logic);
+        logic.finish();
         bc.connect(req, cmt.request).unwrap();
     }
     let mut client_rt = Runtime::new(bc.build().unwrap());
@@ -110,7 +110,7 @@ fn main() {
                 let v = ctx.get(smt.request).unwrap()[0];
                 ctx.set(resp, vec![v + 1].into());
             });
-        drop(logic);
+        logic.finish();
         bs.connect(resp, smt.response).unwrap();
     }
     let mut server_rt = Runtime::new(bs.build().unwrap());

@@ -80,7 +80,7 @@ fn fleet_member(name: &str) -> Runtime {
     r.reaction("tick")
         .triggered_by(t)
         .body(|n: &mut u64, _| *n += 1);
-    drop(r);
+    r.finish();
     Runtime::new(b.build().expect("fleet member builds"))
 }
 

@@ -76,7 +76,7 @@ fn build_timer_fanout(width: usize) -> Runtime {
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407 + i as u64);
             });
-        drop(r);
+        r.finish();
     }
     Runtime::new(b.build().expect("fanout builds"))
 }

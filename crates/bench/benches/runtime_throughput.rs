@@ -15,6 +15,10 @@
 //!    `scheduler_throughput` numbers in EXPERIMENTS.md — the old executor
 //!    spawned fresh scoped threads per batch; the pool reuses its threads
 //!    across all batches and tags.
+//! 4. *Arena vs map lookup*: the hot path indexes per-port/per-action
+//!    state through `dear_arena::TypedArena` (a dense key-typed `Vec`);
+//!    this group measures that access pattern against `HashMap` and
+//!    `BTreeMap` alternatives at program-realistic sizes.
 //!
 //! Run with `cargo bench -p dear-bench --bench runtime_throughput`
 //! (append `-- --test` for a single-pass smoke run).
@@ -76,7 +80,7 @@ fn build_timer_fanout(width: usize) -> Runtime {
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407 + i as u64);
             });
-        drop(r);
+        r.finish();
     }
     Runtime::new(b.build().expect("fanout builds"))
 }
@@ -138,7 +142,7 @@ fn run_port_fanout(width: usize, ticks: u64, workers: usize, work_iters: u64) ->
             *n += 1;
             ctx.set(out, *n);
         });
-    drop(src);
+    src.finish();
     for i in 0..width {
         let mut stage = b.reactor(&format!("w{i}"), 0u64);
         let inp = stage.input::<u64>("i");
@@ -155,7 +159,7 @@ fn run_port_fanout(width: usize, ticks: u64, workers: usize, work_iters: u64) ->
                 }
                 *acc ^= v;
             });
-        drop(stage);
+        stage.finish();
         b.connect(out, inp).unwrap();
     }
     let mut rt = Runtime::new(b.build().expect("fanout builds"));
@@ -221,11 +225,80 @@ fn bench_worker_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// A key like the runtime's `PortId`/`ActionId`: a dense `u32` newtype.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct SlotKey(u32);
+
+impl dear_arena::Key for SlotKey {
+    fn from_index(index: usize) -> Self {
+        SlotKey(u32::try_from(index).expect("bench sizes fit"))
+    }
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+const LOOKUPS: u64 = 4096;
+
+/// Pseudo-random slot sequence shared by all three containers.
+fn slot_sequence(n: usize) -> impl Iterator<Item = usize> {
+    let mut s = 0x9E37_79B9_7F4A_7C15u64;
+    (0..LOOKUPS).map(move |_| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (s >> 33) as usize % n
+    })
+}
+
+fn lookup_arena(arena: &dear_arena::TypedArena<SlotKey, u64>, n: usize) -> u64 {
+    use dear_arena::Key;
+    let mut acc = 0u64;
+    for i in slot_sequence(n) {
+        acc ^= arena[SlotKey::from_index(i)];
+    }
+    acc
+}
+
+fn bench_state_lookup(c: &mut Criterion) {
+    for n in [64usize, 1024] {
+        let arena: dear_arena::TypedArena<SlotKey, u64> = (0..n as u64).collect();
+        let hash: std::collections::HashMap<u32, u64> =
+            (0..n as u32).map(|k| (k, u64::from(k))).collect();
+        let btree: std::collections::BTreeMap<u32, u64> =
+            (0..n as u32).map(|k| (k, u64::from(k))).collect();
+        let mut group = c.benchmark_group(format!("runtime/state_lookup_{n}"));
+        group.bench_function("typed_arena", |b| {
+            b.iter(|| black_box(lookup_arena(&arena, n)))
+        });
+        group.bench_function("hashmap", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in slot_sequence(n) {
+                    acc ^= hash[&(i as u32)];
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("btreemap", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in slot_sequence(n) {
+                    acc ^= btree[&(i as u32)];
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_tracing_cost,
     bench_pool_vs_sequential,
-    bench_worker_scaling
+    bench_worker_scaling,
+    bench_state_lookup
 );
 
 fn main() {

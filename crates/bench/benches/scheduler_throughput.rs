@@ -29,7 +29,7 @@ fn run_chain(depth: usize, ticks: u64, workers: usize) -> u64 {
             *n += 1;
             ctx.set(first, *n);
         });
-    drop(src);
+    src.finish();
 
     let mut prev = first;
     for i in 0..depth {
@@ -44,7 +44,7 @@ fn run_chain(depth: usize, ticks: u64, workers: usize) -> u64 {
                 let v = *ctx.get(inp).unwrap();
                 ctx.set(out, v.wrapping_mul(31).wrapping_add(1));
             });
-        drop(stage);
+        stage.finish();
         b.connect(prev, inp).unwrap();
         prev = out;
     }
@@ -71,7 +71,7 @@ fn run_fanout(width: usize, ticks: u64, workers: usize, work_iters: u64) -> u64 
             *n += 1;
             ctx.set(out, *n);
         });
-    drop(src);
+    src.finish();
 
     for i in 0..width {
         let mut stage = b.reactor(&format!("w{i}"), 0u64);
@@ -91,7 +91,7 @@ fn run_fanout(width: usize, ticks: u64, workers: usize, work_iters: u64) -> u64 
                 }
                 *acc ^= v;
             });
-        drop(stage);
+        stage.finish();
         b.connect(out, inp).unwrap();
     }
 
@@ -155,7 +155,7 @@ fn bench_action_scheduling(c: &mut Criterion) {
                         ctx.request_shutdown();
                     }
                 });
-            drop(r);
+            r.finish();
             let mut rt = Runtime::new(bld.build().expect("builds"));
             rt.start(Instant::EPOCH);
             rt.run_fast(u64::MAX);

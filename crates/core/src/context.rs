@@ -11,6 +11,7 @@
 use crate::handles::{ActionId, LogicalAction, PhysicalAction, Port, PortId};
 use crate::program::{Program, Value};
 use crate::tag::Tag;
+use dear_arena::TypedArena;
 use dear_time::{Duration, Instant};
 
 /// The buffered effects of one reaction execution.
@@ -59,8 +60,8 @@ pub struct ReactionCtx<'a> {
     pub(crate) physical: Instant,
     pub(crate) program: &'a Program,
     pub(crate) reaction: crate::handles::ReactionId,
-    pub(crate) ports: &'a [Option<Value>],
-    pub(crate) actions: &'a [Option<Value>],
+    pub(crate) ports: &'a TypedArena<PortId, Option<Value>>,
+    pub(crate) actions: &'a TypedArena<ActionId, Option<Value>>,
     pub(crate) outcome: ReactionOutcome,
 }
 
@@ -101,7 +102,7 @@ impl<'a> ReactionCtx<'a> {
     }
 
     fn meta(&self) -> &crate::program::ReactionMeta {
-        &self.program.reactions[self.reaction.index()]
+        &self.program.reactions[self.reaction]
     }
 
     fn assert_readable(&self, port: PortId, what: &str) {
@@ -109,7 +110,7 @@ impl<'a> ReactionCtx<'a> {
             self.meta().readable.binary_search(&port).is_ok(),
             "reaction `{}` reads port `{}` without declaring it as a trigger or use ({what})",
             self.meta().name,
-            self.program.ports[port.index()].name,
+            self.program.ports[port].name,
         );
     }
 
@@ -124,12 +125,12 @@ impl<'a> ReactionCtx<'a> {
     #[must_use]
     pub fn get<T: 'static>(&self, port: Port<T>) -> Option<&T> {
         self.assert_readable(port.id, "get");
-        let root = self.program.ports[port.id.index()].root;
+        let root = self.program.ports[port.id].root;
         // A reaction may read back what it wrote itself this tag.
         if let Some((_, v)) = self.outcome.writes.iter().rev().find(|(p, _)| *p == root) {
             return Some(v.downcast_ref::<T>().expect("port value type mismatch"));
         }
-        self.ports[root.index()]
+        self.ports[root]
             .as_ref()
             .map(|v| v.downcast_ref::<T>().expect("port value type mismatch"))
     }
@@ -164,7 +165,7 @@ impl<'a> ReactionCtx<'a> {
             self.meta().effects.binary_search(&port.id).is_ok(),
             "reaction `{}` writes port `{}` without declaring it as an effect",
             self.meta().name,
-            self.program.ports[port.id.index()].name,
+            self.program.ports[port.id].name,
         );
         self.outcome.writes.push((port.id, Box::new(value)));
     }
@@ -174,7 +175,7 @@ impl<'a> ReactionCtx<'a> {
     /// Returns `None` if the action is not present at this tag.
     #[must_use]
     pub fn get_action<T: 'static>(&self, action: &impl ActionSource<T>) -> Option<&T> {
-        self.actions[action.action_id().index()]
+        self.actions[action.action_id()]
             .as_ref()
             .map(|v| v.downcast_ref::<T>().expect("action value type mismatch"))
     }
@@ -182,7 +183,7 @@ impl<'a> ReactionCtx<'a> {
     /// Returns `true` if the action is present at the current tag.
     #[must_use]
     pub fn is_action_present<T: 'static>(&self, action: &impl ActionSource<T>) -> bool {
-        self.actions[action.action_id().index()].is_some()
+        self.actions[action.action_id()].is_some()
     }
 
     /// Schedules a logical action with an additional delay on top of the
@@ -209,9 +210,9 @@ impl<'a> ReactionCtx<'a> {
             self.meta().schedules.binary_search(&action.id).is_ok(),
             "reaction `{}` schedules action `{}` without declaring it",
             self.meta().name,
-            self.program.actions[action.id.index()].name,
+            self.program.actions[action.id].name,
         );
-        let min_delay = self.program.actions[action.id.index()].min_delay;
+        let min_delay = self.program.actions[action.id].min_delay;
         let tag = self.tag.delay(min_delay + delay);
         self.outcome
             .schedules

@@ -42,7 +42,46 @@ pub enum AssemblyError {
         /// Its name, for diagnostics.
         name: String,
     },
+    /// Two reactors were declared with the same name.
+    ///
+    /// Element names are qualified as `reactor.element`; duplicate reactor
+    /// names would alias those qualified names (and the replay traces
+    /// built from them), so `build()` rejects them.
+    DuplicateReactor {
+        /// The name declared twice.
+        name: String,
+    },
+    /// Two elements of the same kind share a qualified name.
+    DuplicateElement {
+        /// What was duplicated (`"port"`, `"action"`, `"timer"`, `"reaction"`).
+        kind: &'static str,
+        /// The qualified name (`reactor.element`) declared twice.
+        name: String,
+    },
+    /// A connection referenced a port handle this builder never minted
+    /// (e.g. a handle from a different `ProgramBuilder`).
+    UnknownPort {
+        /// The foreign handle's id.
+        port: PortId,
+    },
+    /// A reaction referenced a trigger / use / effect / schedule handle
+    /// this builder never minted.
+    UnknownHandle {
+        /// The qualified name of the offending reaction.
+        reaction: String,
+        /// A rendering of the foreign handle (e.g. `port7`).
+        handle: String,
+    },
 }
+
+/// Errors returned by [`ProgramBuilder::build`](crate::ProgramBuilder::build)
+/// and the connection methods.
+///
+/// Alias of [`AssemblyError`]; the builder reports *all* wiring mistakes —
+/// bad endpoints, duplicate names, foreign handles, zero-delay cycles —
+/// through this one type instead of panicking. The derive DSL
+/// (`#[derive(Reactor)]`) maps most of these to compile errors.
+pub type BuildError = AssemblyError;
 
 impl fmt::Display for AssemblyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -65,6 +104,21 @@ impl fmt::Display for AssemblyError {
             }
             AssemblyError::SelfLoop { name, .. } => {
                 write!(f, "port `{name}` cannot be connected to itself")
+            }
+            AssemblyError::DuplicateReactor { name } => {
+                write!(f, "reactor `{name}` is declared more than once")
+            }
+            AssemblyError::DuplicateElement { kind, name } => {
+                write!(f, "{kind} `{name}` is declared more than once")
+            }
+            AssemblyError::UnknownPort { port } => {
+                write!(f, "port handle `{port}` was not created by this builder")
+            }
+            AssemblyError::UnknownHandle { reaction, handle } => {
+                write!(
+                    f,
+                    "reaction `{reaction}` references handle `{handle}` not created by this builder"
+                )
             }
         }
     }

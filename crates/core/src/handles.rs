@@ -7,6 +7,11 @@
 //! a phantom parameter, so wiring mistakes (connecting ports of different
 //! types, scheduling the wrong payload) are compile errors rather than
 //! runtime surprises.
+//!
+//! The untyped ids ([`ReactorId`], [`PortId`], ...) double as
+//! [`dear_arena::Key`]s: program storage is a set of
+//! [`TypedArena`](dear_arena::TypedArena)s addressed by these ids, so a
+//! `PortId` can never index the reaction table.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -21,6 +26,15 @@ macro_rules! id_newtype {
             /// The raw index of this id.
             #[must_use]
             pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl dear_arena::Key for $name {
+            fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect(concat!("too many ", $prefix, "s")))
+            }
+            fn index(self) -> usize {
                 self.0 as usize
             }
         }

@@ -44,7 +44,7 @@
 //!         let t = ctx.logical_time().as_nanos();
 //!         ctx.set(out, t);
 //!     });
-//! drop(src);
+//! src.finish();
 //!
 //! let mut sink = b.reactor("sink", Vec::<u64>::new());
 //! let inp = sink.input::<u64>("in");
@@ -56,7 +56,7 @@
 //!             ctx.request_shutdown();
 //!         }
 //!     });
-//! drop(sink);
+//! sink.finish();
 //!
 //! b.connect(out, inp)?;
 //! let mut rt = Runtime::new(b.build()?);
@@ -78,11 +78,12 @@ mod program;
 mod queue;
 mod realtime;
 mod runtime;
+mod spec;
 mod tag;
 
 pub use clock::{FixedClock, PhysicalClock, RealClock};
 pub use context::{ActionSource, ReactionCtx};
-pub use error::{AssemblyError, RuntimeError};
+pub use error::{AssemblyError, BuildError, RuntimeError};
 pub use handles::{
     ActionId, LogicalAction, PhysicalAction, Port, PortId, PortKind, ReactionId, ReactorId,
     Shutdown, Startup, Timer, TimerId, TriggerId, TriggerSource,
@@ -90,4 +91,17 @@ pub use handles::{
 pub use program::{ActionKind, Program, ProgramBuilder, ReactionDeclaration, ReactorBuilder};
 pub use realtime::{Injector, RealTimeExecutor, StopHandle};
 pub use runtime::{Runtime, RuntimeStats, StepOutcome, TagSummary};
+pub use spec::{Reaction, ReactorSpec};
 pub use tag::Tag;
+
+/// The `#[derive(Reactor)]` authoring DSL (see [`spec`](crate::ReactorSpec)
+/// and the `dear-macros` crate for the attribute reference).
+pub use dear_macros::Reactor;
+
+/// Implementation detail of `#[derive(Reactor)]` expansions — not public
+/// API. Re-exports the types generated code references by absolute path so
+/// user crates need no extra dependencies.
+#[doc(hidden)]
+pub mod __rt {
+    pub use dear_time::Duration;
+}

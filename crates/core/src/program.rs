@@ -9,6 +9,12 @@
 //! the same level are guaranteed independent, which is what lets the
 //! runtime "transparently exploit concurrency in the APG by mapping
 //! independent reactions to separate worker threads".
+//!
+//! All program tables are [`TypedArena`]s keyed by the id newtypes from
+//! [`crate::handles`], so a `PortId` can never index the reaction table
+//! and a handle minted by a *different* builder is caught as a checked
+//! [`BuildError`](crate::BuildError) instead of silently aliasing an
+//! unrelated element.
 
 use crate::context::ReactionCtx;
 use crate::error::AssemblyError;
@@ -16,9 +22,10 @@ use crate::handles::{
     ActionId, LogicalAction, PhysicalAction, Port, PortId, PortKind, ReactionId, ReactorId, Timer,
     TimerId, TriggerId, TriggerSource,
 };
+use dear_arena::TypedArena;
 use dear_time::Duration;
 use std::any::{Any, TypeId};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::marker::PhantomData;
 use std::sync::Mutex;
 
@@ -94,17 +101,17 @@ pub(crate) struct ReactionMeta {
 /// Produced by [`ProgramBuilder::build`]; consumed by
 /// [`Runtime::new`](crate::Runtime::new).
 pub struct Program {
-    pub(crate) reactors: Vec<ReactorMeta>,
-    pub(crate) ports: Vec<PortMeta>,
-    pub(crate) actions: Vec<ActionMeta>,
-    pub(crate) timers: Vec<TimerMeta>,
-    pub(crate) reactions: Vec<ReactionMeta>,
+    pub(crate) reactors: TypedArena<ReactorId, ReactorMeta>,
+    pub(crate) ports: TypedArena<PortId, PortMeta>,
+    pub(crate) actions: TypedArena<ActionId, ActionMeta>,
+    pub(crate) timers: TypedArena<TimerId, TimerMeta>,
+    pub(crate) reactions: TypedArena<ReactionId, ReactionMeta>,
     pub(crate) startup: Vec<ReactionId>,
     pub(crate) shutdown: Vec<ReactionId>,
     /// Initial reactor states, taken by `Runtime::new`. Wrapped in a
     /// `Mutex` solely so that `&Program` is `Sync` for the level-parallel
     /// executor (`Box<dyn Any + Send>` alone is not).
-    pub(crate) states: Mutex<Vec<Box<dyn Any + Send>>>,
+    pub(crate) states: Mutex<TypedArena<ReactorId, Box<dyn Any + Send>>>,
     pub(crate) num_levels: u32,
 }
 
@@ -143,13 +150,27 @@ impl Program {
     /// The qualified name of a reaction, e.g. `"Preprocessing.on_frame"`.
     #[must_use]
     pub fn reaction_name(&self, id: ReactionId) -> &str {
-        &self.reactions[id.index()].name
+        &self.reactions[id].name
     }
 
     /// The APG level of a reaction.
     #[must_use]
     pub fn reaction_level(&self, id: ReactionId) -> u32 {
-        self.reactions[id.index()].level
+        self.reactions[id].level
+    }
+
+    /// Looks up a reaction by qualified name, e.g. `"monitor.check"`.
+    ///
+    /// The derive DSL (`#[derive(Reactor)]`) does not expose the
+    /// [`ReactionId`]s returned by the builder's
+    /// [`body`](ReactionDeclaration::body); use this to recover one for
+    /// APIs that take an id (e.g. simulated cost models).
+    #[must_use]
+    pub fn find_reaction(&self, name: &str) -> Option<ReactionId> {
+        self.reactions
+            .iter_enumerated()
+            .find(|(_, r)| r.name == name)
+            .map(|(id, _)| id)
     }
 }
 
@@ -188,7 +209,7 @@ struct PortBuild {
 ///     .triggered_by(Startup)
 ///     .effects(out)
 ///     .body(move |_, ctx| ctx.set(out, 17));
-/// drop(producer);
+/// producer.finish();
 ///
 /// let mut consumer = b.reactor("consumer", Vec::<u32>::new());
 /// let inp = consumer.input::<u32>("value");
@@ -198,21 +219,39 @@ struct PortBuild {
 ///     .body(move |seen: &mut Vec<u32>, ctx| {
 ///         seen.push(*ctx.get(inp).unwrap());
 ///     });
-/// drop(consumer);
+/// consumer.finish();
 ///
 /// b.connect(out, inp)?;
 /// let program = b.build()?;
 /// assert_eq!(program.reaction_count(), 2);
 /// # Ok::<(), dear_core::AssemblyError>(())
 /// ```
+///
+/// The closure-scoped form avoids juggling the reactor borrow entirely:
+///
+/// ```
+/// use dear_core::{ProgramBuilder, Startup};
+///
+/// let mut b = ProgramBuilder::new();
+/// let out = b.with_reactor("producer", (), |r| {
+///     let out = r.output::<u32>("value");
+///     r.reaction("emit")
+///         .triggered_by(Startup)
+///         .effects(out)
+///         .body(move |_, ctx| ctx.set(out, 17));
+///     out
+/// });
+/// # let _ = out;
+/// # let _ = b.build().unwrap();
+/// ```
 #[derive(Default)]
 pub struct ProgramBuilder {
-    reactors: Vec<ReactorMeta>,
-    states: Vec<Box<dyn Any + Send>>,
-    ports: Vec<PortBuild>,
-    actions: Vec<ActionMeta>,
-    timers: Vec<TimerMeta>,
-    reactions: Vec<ReactionBuild>,
+    reactors: TypedArena<ReactorId, ReactorMeta>,
+    states: TypedArena<ReactorId, Box<dyn Any + Send>>,
+    ports: TypedArena<PortId, PortBuild>,
+    actions: TypedArena<ActionId, ActionMeta>,
+    timers: TypedArena<TimerId, TimerMeta>,
+    reactions: TypedArena<ReactionId, ReactionBuild>,
 }
 
 impl std::fmt::Debug for ProgramBuilder {
@@ -235,17 +274,34 @@ impl ProgramBuilder {
     /// Declares a reactor with the given name and initial state.
     ///
     /// The returned [`ReactorBuilder`] borrows this builder; declare the
-    /// reactor's ports, actions, timers and reactions through it, then drop
-    /// it (or let it go out of scope) before declaring the next reactor.
+    /// reactor's ports, actions, timers and reactions through it, then
+    /// call [`finish`](ReactorBuilder::finish) (or let it go out of scope)
+    /// before declaring the next reactor.
     pub fn reactor<S: Send + 'static>(&mut self, name: &str, state: S) -> ReactorBuilder<'_, S> {
-        let id = ReactorId(u32::try_from(self.reactors.len()).expect("too many reactors"));
-        self.reactors.push(ReactorMeta { name: name.into() });
+        let id = self.reactors.push(ReactorMeta { name: name.into() });
         self.states.push(Box::new(state));
         ReactorBuilder {
             builder: self,
             id,
             _marker: PhantomData,
         }
+    }
+
+    /// Declares a reactor and populates it inside a closure.
+    ///
+    /// Equivalent to [`reactor`](ProgramBuilder::reactor) followed by
+    /// [`finish`](ReactorBuilder::finish), but the reactor borrow ends with
+    /// the closure, so the builder is immediately usable again — no scoping
+    /// gymnastics. Returns whatever the closure returns (typically the
+    /// port/action handles needed for wiring).
+    pub fn with_reactor<S: Send + 'static, R>(
+        &mut self,
+        name: &str,
+        state: S,
+        f: impl FnOnce(&mut ReactorBuilder<'_, S>) -> R,
+    ) -> R {
+        let mut r = self.reactor(name, state);
+        f(&mut r)
     }
 
     /// Connects an output port to an input port of the same value type.
@@ -255,35 +311,41 @@ impl ProgramBuilder {
     ///
     /// # Errors
     ///
-    /// Returns an [`AssemblyError`] if the source is not an output, the
-    /// target is not an input, the target already has a source, or the
-    /// ports are identical.
+    /// Returns an [`AssemblyError`] if either handle was not minted by this
+    /// builder, the source is not an output, the target is not an input,
+    /// the target already has a source, or the ports are identical.
     pub fn connect<T: 'static>(&mut self, from: Port<T>, to: Port<T>) -> Result<(), AssemblyError> {
+        let Some(from_port) = self.ports.get(from.id) else {
+            return Err(AssemblyError::UnknownPort { port: from.id });
+        };
+        if self.ports.get(to.id).is_none() {
+            return Err(AssemblyError::UnknownPort { port: to.id });
+        }
         if from.id == to.id {
             return Err(AssemblyError::SelfLoop {
                 port: from.id,
-                name: self.ports[from.id.index()].name.clone(),
+                name: from_port.name.clone(),
             });
         }
-        if self.ports[from.id.index()].kind != PortKind::Output {
+        if from_port.kind != PortKind::Output {
             return Err(AssemblyError::SourceNotOutput {
                 port: from.id,
-                name: self.ports[from.id.index()].name.clone(),
+                name: from_port.name.clone(),
             });
         }
-        if self.ports[to.id.index()].kind != PortKind::Input {
+        if self.ports[to.id].kind != PortKind::Input {
             return Err(AssemblyError::TargetNotInput {
                 port: to.id,
-                name: self.ports[to.id.index()].name.clone(),
+                name: self.ports[to.id].name.clone(),
             });
         }
-        if self.ports[to.id.index()].source.is_some() {
+        if self.ports[to.id].source.is_some() {
             return Err(AssemblyError::MultipleSources {
                 port: to.id,
-                name: self.ports[to.id.index()].name.clone(),
+                name: self.ports[to.id].name.clone(),
             });
         }
-        self.ports[to.id.index()].source = Some(from.id);
+        self.ports[to.id].source = Some(from.id);
         Ok(())
     }
 
@@ -333,43 +395,113 @@ impl ProgramBuilder {
                 ctx.schedule(act, Duration::ZERO, v);
             },
         );
-        drop(r);
+        r.finish();
         self.connect(from, din)?;
         self.connect(dout, to)
+    }
+
+    /// Checks that every handle captured by the declared reactions was
+    /// minted by this builder, and that no two reactors / same-kind
+    /// elements share a (qualified) name.
+    fn validate_names_and_handles(&self) -> Result<(), AssemblyError> {
+        let mut reactor_names: HashSet<&str> = HashSet::with_capacity(self.reactors.len());
+        for r in &self.reactors {
+            if !reactor_names.insert(r.name.as_str()) {
+                return Err(AssemblyError::DuplicateReactor {
+                    name: r.name.clone(),
+                });
+            }
+        }
+        let categories: [(&'static str, Box<dyn Iterator<Item = &str> + '_>); 4] = [
+            ("port", Box::new(self.ports.iter().map(|p| p.name.as_str()))),
+            (
+                "action",
+                Box::new(self.actions.iter().map(|a| a.name.as_str())),
+            ),
+            (
+                "timer",
+                Box::new(self.timers.iter().map(|t| t.name.as_str())),
+            ),
+            (
+                "reaction",
+                Box::new(self.reactions.iter().map(|r| r.name.as_str())),
+            ),
+        ];
+        for (kind, names) in categories {
+            let mut seen: HashSet<&str> = HashSet::new();
+            for name in names {
+                if !seen.insert(name) {
+                    return Err(AssemblyError::DuplicateElement {
+                        kind,
+                        name: name.to_string(),
+                    });
+                }
+            }
+        }
+        for r in &self.reactions {
+            let unknown = |handle: String| AssemblyError::UnknownHandle {
+                reaction: r.name.clone(),
+                handle,
+            };
+            for t in &r.triggers {
+                match t {
+                    TriggerId::Port(p) if !self.ports.contains_key(*p) => {
+                        return Err(unknown(p.to_string()));
+                    }
+                    TriggerId::Action(a) if !self.actions.contains_key(*a) => {
+                        return Err(unknown(a.to_string()));
+                    }
+                    TriggerId::Timer(t) if !self.timers.contains_key(*t) => {
+                        return Err(unknown(t.to_string()));
+                    }
+                    _ => {}
+                }
+            }
+            for p in r.uses.iter().chain(&r.effects) {
+                if !self.ports.contains_key(*p) {
+                    return Err(unknown(p.to_string()));
+                }
+            }
+            for a in &r.schedules {
+                if !self.actions.contains_key(*a) {
+                    return Err(unknown(a.to_string()));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Validates the program and computes the APG levels.
     ///
     /// # Errors
     ///
-    /// Returns [`AssemblyError::DependencyCycle`] if the reaction graph has
-    /// a zero-delay cycle.
+    /// Returns a [`BuildError`](crate::BuildError) if the reaction graph
+    /// has a zero-delay cycle ([`AssemblyError::DependencyCycle`]), two
+    /// reactors or same-kind elements share a name, or a reaction captured
+    /// a handle from a different builder.
     pub fn build(self) -> Result<Program, AssemblyError> {
+        self.validate_names_and_handles()?;
         let n = self.reactions.len();
 
         // Resolve port roots (one hop: inputs read their source output).
-        let roots: Vec<PortId> = self
-            .ports
-            .iter()
-            .enumerate()
-            .map(|(i, p)| p.source.unwrap_or(PortId(i as u32)))
-            .collect();
+        let roots: TypedArena<PortId, PortId> =
+            TypedArena::from_fn(self.ports.len(), |k| self.ports[k].source.unwrap_or(k));
 
         // Readers of each root port, split into triggered vs. all readers.
-        let mut sinks_trigger: Vec<Vec<ReactionId>> = vec![Vec::new(); self.ports.len()];
-        let mut sinks_all: Vec<Vec<ReactionId>> = vec![Vec::new(); self.ports.len()];
-        for (i, r) in self.reactions.iter().enumerate() {
-            let rid = ReactionId(i as u32);
+        let mut sinks_trigger: TypedArena<PortId, Vec<ReactionId>> =
+            TypedArena::from_fn(self.ports.len(), |_| Vec::new());
+        let mut sinks_all: TypedArena<PortId, Vec<ReactionId>> =
+            TypedArena::from_fn(self.ports.len(), |_| Vec::new());
+        for (rid, r) in self.reactions.iter_enumerated() {
             for t in &r.triggers {
                 if let TriggerId::Port(p) = t {
-                    let root = roots[p.index()];
-                    sinks_trigger[root.index()].push(rid);
-                    sinks_all[root.index()].push(rid);
+                    let root = roots[*p];
+                    sinks_trigger[root].push(rid);
+                    sinks_all[root].push(rid);
                 }
             }
             for p in &r.uses {
-                let root = roots[p.index()];
-                sinks_all[root.index()].push(rid);
+                sinks_all[roots[*p]].push(rid);
             }
         }
         for v in sinks_trigger.iter_mut().chain(sinks_all.iter_mut()) {
@@ -379,37 +511,45 @@ impl ProgramBuilder {
 
         // Dependency edges: writer -> reader through ports, plus the
         // intra-reactor priority chain (declaration order).
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut indegree: Vec<usize> = vec![0; n];
-        let add_edge =
-            |succs: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
-                succs[a].push(b);
-                indegree[b] += 1;
-            };
-        for (i, r) in self.reactions.iter().enumerate() {
+        let mut succs: TypedArena<ReactionId, Vec<ReactionId>> =
+            TypedArena::from_fn(n, |_| Vec::new());
+        let mut indegree: TypedArena<ReactionId, usize> = TypedArena::from_fn(n, |_| 0);
+        let add_edge = |succs: &mut TypedArena<ReactionId, Vec<ReactionId>>,
+                        indegree: &mut TypedArena<ReactionId, usize>,
+                        a: ReactionId,
+                        b: ReactionId| {
+            succs[a].push(b);
+            indegree[b] += 1;
+        };
+        for (rid, r) in self.reactions.iter_enumerated() {
             for p in &r.effects {
-                let root = roots[p.index()];
+                let root = roots[*p];
                 debug_assert_eq!(root, *p, "effects are outputs, thus their own root");
-                for reader in &sinks_all[root.index()] {
+                for reader in &sinks_all[root] {
                     // A self-edge (a reaction triggered by a port its own
                     // effect feeds) is a genuine zero-delay cycle and is
                     // reported as such by Kahn's algorithm.
-                    add_edge(&mut succs, &mut indegree, i, reader.index());
+                    add_edge(&mut succs, &mut indegree, rid, *reader);
                 }
             }
         }
         // Priority chain per reactor.
-        let mut last_of_reactor: Vec<Option<usize>> = vec![None; self.reactors.len()];
-        for (i, r) in self.reactions.iter().enumerate() {
-            if let Some(prev) = last_of_reactor[r.reactor.index()] {
-                add_edge(&mut succs, &mut indegree, prev, i);
+        let mut last_of_reactor: TypedArena<ReactorId, Option<ReactionId>> =
+            TypedArena::from_fn(self.reactors.len(), |_| None);
+        for (rid, r) in self.reactions.iter_enumerated() {
+            if let Some(prev) = last_of_reactor[r.reactor] {
+                add_edge(&mut succs, &mut indegree, prev, rid);
             }
-            last_of_reactor[r.reactor.index()] = Some(i);
+            last_of_reactor[r.reactor] = Some(rid);
         }
 
         // Kahn's algorithm computing longest-path levels.
-        let mut level = vec![0u32; n];
-        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut level: TypedArena<ReactionId, u32> = TypedArena::from_fn(n, |_| 0);
+        let mut queue: VecDeque<ReactionId> = indegree
+            .iter_enumerated()
+            .filter(|(_, &d)| d == 0)
+            .map(|(k, _)| k)
+            .collect();
         let mut visited = 0usize;
         while let Some(i) = queue.pop_front() {
             visited += 1;
@@ -422,9 +562,10 @@ impl ProgramBuilder {
             }
         }
         if visited != n {
-            let cycle: Vec<String> = (0..n)
-                .filter(|&i| indegree[i] > 0)
-                .map(|i| self.reactions[i].name.clone())
+            let cycle: Vec<String> = indegree
+                .iter_enumerated()
+                .filter(|(_, &d)| d > 0)
+                .map(|(k, _)| self.reactions[k].name.clone())
                 .collect();
             return Err(AssemblyError::DependencyCycle(cycle));
         }
@@ -435,14 +576,13 @@ impl ProgramBuilder {
         let mut timers = self.timers;
         let mut startup = Vec::new();
         let mut shutdown = Vec::new();
-        for (i, r) in self.reactions.iter().enumerate() {
-            let rid = ReactionId(i as u32);
+        for (rid, r) in self.reactions.iter_enumerated() {
             for t in &r.triggers {
                 match t {
                     TriggerId::Startup => startup.push(rid),
                     TriggerId::Shutdown => shutdown.push(rid),
-                    TriggerId::Action(a) => actions[a.index()].triggered.push(rid),
-                    TriggerId::Timer(t) => timers[t.index()].triggered.push(rid),
+                    TriggerId::Action(a) => actions[*a].triggered.push(rid),
+                    TriggerId::Timer(t) => timers[*t].triggered.push(rid),
                     TriggerId::Port(_) => {}
                 }
             }
@@ -458,25 +598,17 @@ impl ProgramBuilder {
         startup.sort_unstable();
         shutdown.sort_unstable();
 
-        let ports: Vec<PortMeta> = self
-            .ports
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| PortMeta {
-                name: p.name,
-                reactor: p.reactor,
-                kind: p.kind,
-                type_id: p.type_id,
-                root: roots[i],
-                sinks_trigger: std::mem::take(&mut sinks_trigger[i]),
-            })
-            .collect();
+        let ports: TypedArena<PortId, PortMeta> = self.ports.map_enumerated(|id, p| PortMeta {
+            name: p.name,
+            reactor: p.reactor,
+            kind: p.kind,
+            type_id: p.type_id,
+            root: roots[id],
+            sinks_trigger: std::mem::take(&mut sinks_trigger[id]),
+        });
 
-        let reactions: Vec<ReactionMeta> = self
-            .reactions
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| {
+        let reactions: TypedArena<ReactionId, ReactionMeta> =
+            self.reactions.map_enumerated(|id, r| {
                 let mut readable: Vec<PortId> = r
                     .triggers
                     .iter()
@@ -498,7 +630,7 @@ impl ProgramBuilder {
                 ReactionMeta {
                     name: r.name,
                     reactor: r.reactor,
-                    level: level[i],
+                    level: level[id],
                     body: Mutex::new(r.body),
                     deadline: r.deadline,
                     deadline_handler: r.deadline_handler.map(Mutex::new),
@@ -506,8 +638,7 @@ impl ProgramBuilder {
                     effects,
                     schedules,
                 }
-            })
-            .collect();
+            });
 
         Ok(Program {
             reactors: self.reactors,
@@ -545,11 +676,20 @@ impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
         self.id
     }
 
+    /// Ends this reactor's declaration, releasing the borrow on the
+    /// [`ProgramBuilder`].
+    ///
+    /// Purely a readability device: the builder has no pending work, so
+    /// letting it fall out of scope is equivalent — but `finish()` says so
+    /// explicitly and avoids the `drop(reactor)` idiom that looks like a
+    /// destructor side effect.
+    pub fn finish(self) {}
+
     fn add_port<T: Send + Sync + 'static>(&mut self, name: &str, kind: PortKind) -> Port<T> {
-        let id = PortId(u32::try_from(self.builder.ports.len()).expect("too many ports"));
-        let reactor_name = &self.builder.reactors[self.id.index()].name;
-        self.builder.ports.push(PortBuild {
-            name: format!("{reactor_name}.{name}"),
+        let reactor_name = &self.builder.reactors[self.id].name;
+        let qualified = format!("{reactor_name}.{name}");
+        let id = self.builder.ports.push(PortBuild {
+            name: qualified,
             reactor: self.id,
             kind,
             type_id: TypeId::of::<T>(),
@@ -576,16 +716,15 @@ impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
             !min_delay.is_negative(),
             "action min_delay must be non-negative"
         );
-        let id = ActionId(u32::try_from(self.builder.actions.len()).expect("too many actions"));
-        let reactor_name = &self.builder.reactors[self.id.index()].name;
+        let reactor_name = &self.builder.reactors[self.id].name;
+        let qualified = format!("{reactor_name}.{name}");
         self.builder.actions.push(ActionMeta {
-            name: format!("{reactor_name}.{name}"),
+            name: qualified,
             reactor: self.id,
             kind,
             min_delay,
             triggered: Vec::new(),
-        });
-        id
+        })
     }
 
     /// Declares a logical action with the given minimum logical delay.
@@ -627,10 +766,10 @@ impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
         if let Some(p) = period {
             assert!(p > Duration::ZERO, "timer period must be positive");
         }
-        let id = TimerId(u32::try_from(self.builder.timers.len()).expect("too many timers"));
-        let reactor_name = &self.builder.reactors[self.id.index()].name;
-        self.builder.timers.push(TimerMeta {
-            name: format!("{reactor_name}.{name}"),
+        let reactor_name = &self.builder.reactors[self.id].name;
+        let qualified = format!("{reactor_name}.{name}");
+        let id = self.builder.timers.push(TimerMeta {
+            name: qualified,
             reactor: self.id,
             offset,
             period,
@@ -644,7 +783,7 @@ impl<'b, S: Send + 'static> ReactorBuilder<'b, S> {
     /// Reactions of the same reactor are totally ordered by declaration
     /// order (their *priority*), which the APG honours.
     pub fn reaction(&mut self, name: &str) -> ReactionDeclaration<'_, S> {
-        let reactor_name = &self.builder.reactors[self.id.index()].name;
+        let reactor_name = &self.builder.reactors[self.id].name;
         let name = format!("{reactor_name}.{name}");
         ReactionDeclaration {
             builder: self.builder,
@@ -747,8 +886,6 @@ impl<'r, S: Send + 'static> ReactionDeclaration<'r, S> {
 
     /// Finishes the declaration with the reaction body and registers it.
     pub fn body(self, f: impl FnMut(&mut S, &mut ReactionCtx<'_>) + Send + 'static) -> ReactionId {
-        let id =
-            ReactionId(u32::try_from(self.builder.reactions.len()).expect("too many reactions"));
         let body = wrap_body(self.name.clone(), f);
         self.builder.reactions.push(ReactionBuild {
             name: self.name,
@@ -760,8 +897,7 @@ impl<'r, S: Send + 'static> ReactionDeclaration<'r, S> {
             body,
             deadline: self.deadline,
             deadline_handler: self.deadline_handler,
-        });
-        id
+        })
     }
 }
 
@@ -782,12 +918,12 @@ mod tests {
             .body(move |_, ctx| ctx.set(out, 1));
         // Same reactor, later declaration: must be at a higher level.
         let r1 = a.reaction("after").triggered_by(Startup).body(|_, _| {});
-        drop(a);
+        a.finish();
 
         let mut c = b.reactor("c", ());
         let inp = c.input::<u32>("in");
         let r2 = c.reaction("consume").triggered_by(inp).body(|_, _| {});
-        drop(c);
+        c.finish();
         b.connect(out, inp).unwrap();
 
         let p = b.build().unwrap();
@@ -796,6 +932,9 @@ mod tests {
         assert_eq!(p.reaction_level(r2), 1);
         assert_eq!(p.level_count(), 2);
         assert_eq!(p.reaction_name(r0), "a.produce");
+        assert_eq!(p.find_reaction("a.produce"), Some(r0));
+        assert_eq!(p.find_reaction("c.consume"), Some(r2));
+        assert_eq!(p.find_reaction("nope"), None);
     }
 
     #[test]
@@ -807,12 +946,12 @@ mod tests {
             .triggered_by(Startup)
             .effects(out)
             .body(move |_, ctx| ctx.set(out, 1));
-        drop(a);
+        a.finish();
         let mut c = b.reactor("c", ());
         let inp = c.input::<u32>("in");
         let t = c.timer("t", dear_time::Duration::ZERO, None);
         let r = c.reaction("peek").triggered_by(t).uses(inp).body(|_, _| {});
-        drop(c);
+        c.finish();
         b.connect(out, inp).unwrap();
         let p = b.build().unwrap();
         // The user of the port is levelled after the writer even though it
@@ -830,7 +969,7 @@ mod tests {
             .triggered_by(xi)
             .effects(xo)
             .body(|_, _| {});
-        drop(x);
+        x.finish();
         let mut y = b.reactor("y", ());
         let yo = y.output::<u32>("o");
         let yi = y.input::<u32>("i");
@@ -838,7 +977,7 @@ mod tests {
             .triggered_by(yi)
             .effects(yo)
             .body(|_, _| {});
-        drop(y);
+        y.finish();
         b.connect(xo, yi).unwrap();
         b.connect(yo, xi).unwrap();
         match b.build() {
@@ -857,10 +996,10 @@ mod tests {
         let out = a.output::<u32>("out");
         let out2 = a.output::<u32>("out2");
         let inp = a.input::<u32>("in");
-        drop(a);
+        a.finish();
         let mut c = b.reactor("c", ());
         let cin = c.input::<u32>("in");
-        drop(c);
+        c.finish();
 
         assert!(matches!(
             b.connect(inp, cin),
@@ -882,6 +1021,104 @@ mod tests {
     }
 
     #[test]
+    fn connect_rejects_foreign_handles() {
+        // Mint handles in one builder, try to use them in another. Padding
+        // ports push the foreign ids out of range for `b`, which is what
+        // the checked lookup detects (ids that happen to collide are
+        // indistinguishable by construction).
+        let mut other = ProgramBuilder::new();
+        let mut f = other.reactor("foreign", ());
+        let _ = f.output::<u32>("pad0");
+        let _ = f.output::<u32>("pad1");
+        let f_out = f.output::<u32>("out");
+        let f_in = f.input::<u32>("in");
+        f.finish();
+
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        let out = a.output::<u32>("out");
+        a.finish();
+        assert!(matches!(
+            b.connect(out, f_in),
+            Err(AssemblyError::UnknownPort { .. })
+        ));
+        assert!(matches!(
+            b.connect(f_out, out),
+            Err(AssemblyError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    fn build_rejects_foreign_reaction_handles() {
+        let mut other = ProgramBuilder::new();
+        let mut f = other.reactor("foreign", ());
+        // Push extra ports so the foreign id is out of range for `b`.
+        let _ = f.output::<u32>("p0");
+        let f_out = f.output::<u32>("p1");
+        f.finish();
+
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        a.reaction("bad")
+            .triggered_by(f_out)
+            .body(|_: &mut (), _| {});
+        a.finish();
+        match b.build() {
+            Err(AssemblyError::UnknownHandle { reaction, handle }) => {
+                assert_eq!(reaction, "a.bad");
+                assert_eq!(handle, "port1");
+            }
+            other => panic!("expected unknown-handle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_rejects_duplicate_names() {
+        let mut b = ProgramBuilder::new();
+        b.reactor("a", ()).finish();
+        b.reactor("a", ()).finish();
+        assert!(matches!(
+            b.build(),
+            Err(AssemblyError::DuplicateReactor { .. })
+        ));
+
+        let mut b = ProgramBuilder::new();
+        let mut a = b.reactor("a", ());
+        let _ = a.output::<u32>("out");
+        let _ = a.output::<u32>("out");
+        a.finish();
+        match b.build() {
+            Err(AssemblyError::DuplicateElement { kind, name }) => {
+                assert_eq!(kind, "port");
+                assert_eq!(name, "a.out");
+            }
+            other => panic!("expected duplicate-element error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_reactor_scopes_the_borrow() {
+        let mut b = ProgramBuilder::new();
+        let out = b.with_reactor("producer", (), |r| {
+            let out = r.output::<u32>("value");
+            r.reaction("emit")
+                .triggered_by(Startup)
+                .effects(out)
+                .body(move |_, ctx| ctx.set(out, 1));
+            out
+        });
+        let inp = b.with_reactor("consumer", (), |r| {
+            let inp = r.input::<u32>("value");
+            r.reaction("collect").triggered_by(inp).body(|_, _| {});
+            inp
+        });
+        b.connect(out, inp).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.reactor_count(), 2);
+        assert_eq!(p.reaction_count(), 2);
+    }
+
+    #[test]
     fn fan_out_is_allowed() {
         let mut b = ProgramBuilder::new();
         let mut a = b.reactor("a", ());
@@ -890,7 +1127,7 @@ mod tests {
             .triggered_by(Startup)
             .effects(out)
             .body(move |_, ctx| ctx.set(out, 1));
-        drop(a);
+        a.finish();
         let mut ids = Vec::new();
         let mut inputs = Vec::new();
         for i in 0..3 {
@@ -898,7 +1135,7 @@ mod tests {
             let inp = c.input::<u32>("in");
             ids.push(c.reaction("consume").triggered_by(inp).body(|_, _| {}));
             inputs.push(inp);
-            drop(c);
+            c.finish();
         }
         for inp in &inputs {
             b.connect(out, *inp).unwrap();
@@ -919,7 +1156,7 @@ mod tests {
             .triggered_by(Startup)
             .effects(so)
             .body(move |_, ctx| ctx.set(so, 0));
-        drop(s);
+        s.finish();
 
         let mut mk_stage = |name: &str| {
             let mut r = b.reactor(name, ());
@@ -933,7 +1170,7 @@ mod tests {
                     let v = *ctx.get(i).unwrap();
                     ctx.set(o, v + 1)
                 });
-            drop(r);
+            r.finish();
             (i, o, id)
         };
         let (li, lo, lid) = mk_stage("left");
@@ -947,7 +1184,7 @@ mod tests {
             .triggered_by(ja)
             .triggered_by(jb)
             .body(|_, _| {});
-        drop(j);
+        j.finish();
 
         b.connect(so, li).unwrap();
         b.connect(so, ri).unwrap();

@@ -15,6 +15,10 @@
 //! observable behaviour is identical to the ordered-map implementation —
 //! the `parallel_matches_sequential` and fingerprint suites are the
 //! referee.
+//!
+//! Events carry the typed ids from [`crate::handles`] (which double as
+//! [`dear_arena::Key`]s), so popping an event yields keys that index the
+//! runtime's action/timer arenas directly — no raw-`usize` detour.
 
 use crate::handles::{ActionId, TimerId};
 use crate::tag::Tag;

@@ -83,7 +83,7 @@ impl StopHandle {
 ///         ctx.request_shutdown();
 ///     }
 /// });
-/// drop(r);
+/// r.finish();
 ///
 /// let mut exec = RealTimeExecutor::new(b.build()?);
 /// let stats = exec.run();

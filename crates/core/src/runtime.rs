@@ -21,11 +21,12 @@
 
 use crate::context::{ReactionCtx, ReactionOutcome};
 use crate::error::RuntimeError;
-use crate::handles::{ActionId, PhysicalAction, PortId, ReactionId, TimerId};
+use crate::handles::{ActionId, PhysicalAction, PortId, ReactionId, ReactorId};
 use crate::pool::WorkerPool;
 use crate::program::{ActionKind, Program, Value};
 use crate::queue::{Event, EventQueue};
 use crate::tag::Tag;
+use dear_arena::TypedArena;
 use dear_observe::{EventKind, Lane, Observe};
 use dear_sim::Trace;
 use dear_time::{Duration, Instant};
@@ -106,7 +107,7 @@ enum Phase {
 /// r.reaction("greet")
 ///     .triggered_by(Startup)
 ///     .body(|count: &mut u32, _ctx| *count += 1);
-/// drop(r);
+/// r.finish();
 ///
 /// let mut rt = Runtime::new(b.build()?);
 /// rt.start(Instant::EPOCH);
@@ -116,10 +117,10 @@ enum Phase {
 /// ```
 pub struct Runtime {
     program: Arc<Program>,
-    states: Vec<Option<Box<dyn Any + Send>>>,
-    port_values: Vec<Option<Value>>,
-    action_pending: Vec<BTreeMap<Tag, Value>>,
-    action_current: Vec<Option<Value>>,
+    states: TypedArena<ReactorId, Option<Box<dyn Any + Send>>>,
+    port_values: TypedArena<PortId, Option<Value>>,
+    action_pending: TypedArena<ActionId, BTreeMap<Tag, Value>>,
+    action_current: TypedArena<ActionId, Option<Value>>,
     queue: EventQueue,
     tag_bound: Option<Tag>,
     last_processed: Option<Tag>,
@@ -133,7 +134,7 @@ pub struct Runtime {
     /// Interned reaction names for typed trace records; built once when
     /// tracing is enabled so the traced hot path clones an `Arc` instead
     /// of formatting a `String` per event.
-    reaction_names: Vec<Arc<str>>,
+    reaction_names: TypedArena<ReactionId, Arc<str>>,
     stats: RuntimeStats,
     executed_log: Vec<ReactionId>,
     /// Reactions ready at the current tag, bucketed by APG level. Cleared
@@ -163,15 +164,11 @@ impl Runtime {
     /// Creates a runtime for the given program (sequential execution).
     #[must_use]
     pub fn new(program: Program) -> Self {
-        let states = std::mem::take(&mut *program.states.lock().expect("program states poisoned"))
-            .into_iter()
-            .map(Some)
-            .collect();
-        let port_values = (0..program.ports.len()).map(|_| None).collect();
-        let action_pending = (0..program.actions.len())
-            .map(|_| BTreeMap::new())
-            .collect();
-        let action_current = (0..program.actions.len()).map(|_| None).collect();
+        let states =
+            std::mem::take(&mut *program.states.lock().expect("program states poisoned")).map(Some);
+        let port_values = TypedArena::from_fn(program.ports.len(), |_| None);
+        let action_pending = TypedArena::from_fn(program.actions.len(), |_| BTreeMap::new());
+        let action_current = TypedArena::from_fn(program.actions.len(), |_| None);
         let num_levels = program
             .reactions
             .iter()
@@ -192,7 +189,7 @@ impl Runtime {
             trace: Trace::disabled(),
             observe: Observe::disabled(),
             lane: Lane::Sim,
-            reaction_names: Vec::new(),
+            reaction_names: TypedArena::new(),
             stats: RuntimeStats::default(),
             executed_log: Vec::new(),
             ready_levels: (0..num_levels).map(|_| Vec::new()).collect(),
@@ -312,9 +309,9 @@ impl Runtime {
         if !self.program.startup.is_empty() {
             self.queue.push(start_tag, Event::Startup);
         }
-        for (i, timer) in self.program.timers.iter().enumerate() {
+        for (tid, timer) in self.program.timers.iter_enumerated() {
             let tag = Tag::at(now + timer.offset);
-            self.queue.push(tag, Event::Timer(TimerId(i as u32)));
+            self.queue.push(tag, Event::Timer(tid));
         }
     }
 
@@ -445,7 +442,7 @@ impl Runtime {
             return Err(RuntimeError::NotRunning);
         }
         debug_assert_eq!(
-            self.program.actions[action.id.index()].kind,
+            self.program.actions[action.id].kind,
             ActionKind::Physical,
             "schedule_physical_at requires a physical action"
         );
@@ -453,7 +450,7 @@ impl Runtime {
             if tag <= last {
                 self.stats.stp_violations += 1;
                 self.observe.count("runtime/stp_violations", 1);
-                let name = &self.program.actions[action.id.index()].name;
+                let name = &self.program.actions[action.id].name;
                 self.trace
                     .record_event(tag.time, "stp-violation", || EventKind::StpViolation {
                         name: Arc::from(name.as_str()),
@@ -503,14 +500,14 @@ impl Runtime {
     ///
     /// [`schedule_physical_at`]: Runtime::schedule_physical_at
     fn next_physical_tag(&self, action: ActionId, now: Instant) -> Tag {
-        let min_delay = self.program.actions[action.index()].min_delay;
+        let min_delay = self.program.actions[action].min_delay;
         let mut tag = Tag::at(now + min_delay);
         if let Some(last) = self.last_processed {
             if tag <= last {
                 tag = last.delay(Duration::ZERO);
             }
         }
-        let pending = &self.action_pending[action.index()];
+        let pending = &self.action_pending[action];
         while pending.contains_key(&tag) {
             tag = tag.delay(Duration::ZERO);
         }
@@ -518,7 +515,7 @@ impl Runtime {
     }
 
     fn insert_action_event(&mut self, action: ActionId, tag: Tag, value: Value) {
-        self.action_pending[action.index()].insert(tag, value);
+        self.action_pending[action].insert(tag, value);
         self.queue.push(tag, Event::Action(action));
     }
 
@@ -559,30 +556,30 @@ impl Runtime {
         entry.actions.sort_unstable();
         entry.actions.dedup();
         for &a in &entry.actions {
-            if let Some(v) = self.action_pending[a.index()].remove(&tag) {
-                self.action_current[a.index()] = Some(v);
+            if let Some(v) = self.action_pending[a].remove(&tag) {
+                self.action_current[a] = Some(v);
             }
-            for &r in &self.program.actions[a.index()].triggered {
-                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
+            for &r in &self.program.actions[a].triggered {
+                self.ready_levels[self.program.reactions[r].level as usize].push(r);
             }
         }
         for &t in &entry.timers {
-            for &r in &self.program.timers[t.index()].triggered {
-                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
+            for &r in &self.program.timers[t].triggered {
+                self.ready_levels[self.program.reactions[r].level as usize].push(r);
             }
-            if let Some(period) = self.program.timers[t.index()].period {
+            if let Some(period) = self.program.timers[t].period {
                 let next = Tag::at(tag.time + period);
                 self.queue.push(next, Event::Timer(t));
             }
         }
         if entry.startup {
             for &r in &self.program.startup {
-                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
+                self.ready_levels[self.program.reactions[r].level as usize].push(r);
             }
         }
         if stopping {
             for &r in &self.program.shutdown {
-                self.ready_levels[self.program.reactions[r.index()].level as usize].push(r);
+                self.ready_levels[self.program.reactions[r].level as usize].push(r);
             }
         }
 
@@ -612,26 +609,25 @@ impl Runtime {
                     self.stats.deadline_misses += 1;
                     self.trace.record_event(tag.time, "deadline-miss", || {
                         EventKind::DeadlineMiss {
-                            name: names[rid.index()].clone(),
+                            name: names[rid].clone(),
                             tag: tag.as_logical(),
                         }
                     });
                 } else {
                     self.trace
                         .record_event(tag.time, "reaction", || EventKind::Reaction {
-                            name: names[rid.index()].clone(),
+                            name: names[rid].clone(),
                             tag: tag.as_logical(),
                         });
                 }
                 shutdown_requested |= outcome.shutdown;
                 for (port, value) in outcome.writes {
-                    let root = port.index();
-                    if self.port_values[root].is_none() {
+                    if self.port_values[port].is_none() {
                         self.written.push(port);
                     }
-                    self.port_values[root] = Some(value);
-                    for &r in &self.program.ports[root].sinks_trigger {
-                        let sink_level = self.program.reactions[r.index()].level as usize;
+                    self.port_values[port] = Some(value);
+                    for &r in &self.program.ports[port].sinks_trigger {
+                        let sink_level = self.program.reactions[r].level as usize;
                         debug_assert!(sink_level > level);
                         self.ready_levels[sink_level].push(r);
                     }
@@ -649,10 +645,10 @@ impl Runtime {
         // Post-tag cleanup (scratch buffers keep their capacity; the tag
         // entry's buffers go back to the queue's free list).
         for p in self.written.drain(..) {
-            self.port_values[p.index()] = None;
+            self.port_values[p] = None;
         }
         for &a in &entry.actions {
-            self.action_current[a.index()] = None;
+            self.action_current[a] = None;
         }
         if stopping {
             self.phase = Phase::Stopped;
@@ -759,8 +755,8 @@ impl Runtime {
                     let chunk: Vec<(ReactionId, Box<dyn Any + Send>)> = chunk_ids
                         .iter()
                         .map(|&rid| {
-                            let reactor = self.program.reactions[rid.index()].reactor;
-                            let state = self.states[reactor.index()]
+                            let reactor = self.program.reactions[rid].reactor;
+                            let state = self.states[reactor]
                                 .take()
                                 .expect("reactor state aliased within a level");
                             (rid, state)
@@ -780,8 +776,8 @@ impl Runtime {
                                     state.as_mut(),
                                     tag,
                                     physical,
-                                    ports.as_slice(),
-                                    actions.as_slice(),
+                                    &ports,
+                                    &actions,
                                 );
                                 (rid, state, outcome, missed)
                             })
@@ -808,8 +804,8 @@ impl Runtime {
                     .map_err(|_| "action arena still shared")
                     .expect("workers released the action arena");
                 for (rid, state, outcome, missed) in results {
-                    let reactor = self.program.reactions[rid.index()].reactor;
-                    self.states[reactor.index()] = Some(state);
+                    let reactor = self.program.reactions[rid].reactor;
+                    self.states[reactor] = Some(state);
                     out.push((rid, outcome, missed));
                 }
                 // Pool results arrive in completion order; apply outcomes
@@ -822,8 +818,8 @@ impl Runtime {
                 // allocations. `batch` is already sorted (and reactions
                 // run in order), so `out` needs no sort.
                 for &rid in batch {
-                    let reactor = self.program.reactions[rid.index()].reactor;
-                    let mut state = self.states[reactor.index()]
+                    let reactor = self.program.reactions[rid].reactor;
+                    let mut state = self.states[reactor]
                         .take()
                         .expect("reactor state aliased within a level");
                     let (outcome, missed) = run_reaction(
@@ -835,7 +831,7 @@ impl Runtime {
                         &self.port_values,
                         &self.action_current,
                     );
-                    self.states[reactor.index()] = Some(state);
+                    self.states[reactor] = Some(state);
                     out.push((rid, outcome, missed));
                 }
             }
@@ -849,10 +845,10 @@ fn run_reaction(
     state: &mut (dyn Any + Send),
     tag: Tag,
     physical: Instant,
-    ports: &[Option<Value>],
-    actions: &[Option<Value>],
+    ports: &TypedArena<PortId, Option<Value>>,
+    actions: &TypedArena<ActionId, Option<Value>>,
 ) -> (ReactionOutcome, bool) {
-    let meta = &program.reactions[rid.index()];
+    let meta = &program.reactions[rid];
     let missed = meta.deadline.is_some_and(|d| physical > tag.time + d);
     let mut ctx = ReactionCtx {
         tag,

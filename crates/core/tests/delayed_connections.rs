@@ -14,7 +14,7 @@ fn delayed_connection_shifts_logical_time() {
         .triggered_by(Startup)
         .effects(out)
         .body(move |_, ctx| ctx.set(out, 9));
-    drop(src);
+    src.finish();
     let mut sink = b.reactor("sink", ());
     let inp = sink.input::<u32>("i");
     let sinklog = got.clone();
@@ -24,7 +24,7 @@ fn delayed_connection_shifts_logical_time() {
             .unwrap()
             .push((ctx.tag(), *ctx.get(inp).unwrap()));
     });
-    drop(sink);
+    sink.finish();
     b.connect_delayed(out, inp, Duration::from_millis(7))
         .unwrap();
 
@@ -47,14 +47,14 @@ fn zero_delay_connection_advances_microstep() {
         .triggered_by(Startup)
         .effects(out)
         .body(move |_, ctx| ctx.set(out, 1));
-    drop(src);
+    src.finish();
     let mut sink = b.reactor("sink", ());
     let inp = sink.input::<u32>("i");
     let sinklog = got.clone();
     sink.reaction("recv").triggered_by(inp).body(move |_, ctx| {
         sinklog.lock().unwrap().push(ctx.tag());
     });
-    drop(sink);
+    sink.finish();
     b.connect_delayed(out, inp, Duration::ZERO).unwrap();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
@@ -88,7 +88,7 @@ fn feedback_loop_with_delay_is_legal_and_converges() {
                 ctx.request_shutdown();
             }
         });
-    drop(node);
+    node.finish();
     b.connect_delayed(fb_out, fb_in, Duration::from_millis(1))
         .unwrap();
     let mut rt = Runtime::new(b.build().unwrap());
@@ -119,7 +119,7 @@ fn direct_feedback_loop_is_still_rejected() {
         .triggered_by(fb_in)
         .effects(fb_out)
         .body(|_, _| {});
-    drop(node);
+    node.finish();
     b.connect(fb_out, fb_in).unwrap();
     assert!(matches!(b.build(), Err(AssemblyError::DependencyCycle(_))));
 }
@@ -140,7 +140,7 @@ fn delayed_values_preserve_per_tag_ordering() {
             *n += 1;
             ctx.set(out, *n);
         });
-    drop(src);
+    src.finish();
     let mut sink = b.reactor("sink", ());
     let inp = sink.input::<u32>("i");
     let log = got.clone();
@@ -149,7 +149,7 @@ fn delayed_values_preserve_per_tag_ordering() {
             .unwrap()
             .push((ctx.logical_time(), *ctx.get(inp).unwrap()));
     });
-    drop(sink);
+    sink.finish();
     b.connect_delayed(out, inp, Duration::from_millis(5))
         .unwrap();
     let mut rt = Runtime::new(b.build().unwrap());

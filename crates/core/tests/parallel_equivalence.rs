@@ -24,7 +24,7 @@ fn build_fanout(width: usize, ticks: u32, workers: usize) -> (u64, u64) {
             *n += 1;
             ctx.set(src_out, *n);
         });
-    drop(src);
+    src.finish();
 
     let mut stage_outs = Vec::new();
     for i in 0..width {
@@ -39,7 +39,7 @@ fn build_fanout(width: usize, ticks: u32, workers: usize) -> (u64, u64) {
                 let v = *ctx.get(inp).unwrap();
                 ctx.set(out, v * 31 + i as u64);
             });
-        drop(stage);
+        stage.finish();
         b.connect(src_out, inp).unwrap();
         stage_outs.push(out);
     }
@@ -63,7 +63,7 @@ fn build_fanout(width: usize, ticks: u32, workers: usize) -> (u64, u64) {
             ctx.request_shutdown();
         }
     });
-    drop(sink);
+    sink.finish();
     for (i, out) in stage_outs.into_iter().enumerate() {
         b.connect(out, sink_ins[i]).unwrap();
     }
@@ -115,7 +115,7 @@ fn build_stateful(width: usize, ticks: u32, workers: usize) -> Vec<u64> {
                 ctx.request_shutdown();
             }
         });
-    drop(src);
+    src.finish();
 
     for i in 0..width {
         let mut stage = b.reactor(&format!("acc{i}"), 0u64);
@@ -130,7 +130,7 @@ fn build_stateful(width: usize, ticks: u32, workers: usize) -> Vec<u64> {
                     .wrapping_add(*ctx.get(inp).unwrap() + i as u64);
                 finals2.lock().unwrap()[i] = *acc;
             });
-        drop(stage);
+        stage.finish();
         b.connect(src_out, inp).unwrap();
     }
 
@@ -192,7 +192,7 @@ fn build_fanout_with_injections(
                 .unwrap()
                 .push(0x8000_0000_0000_0000 | *ctx.get_action(&act).unwrap());
         });
-    drop(src);
+    src.finish();
 
     let mut stage_outs = Vec::new();
     for i in 0..width {
@@ -207,7 +207,7 @@ fn build_fanout_with_injections(
                 let v = *ctx.get(inp).unwrap();
                 ctx.set(out, v * 31 + i as u64);
             });
-        drop(stage);
+        stage.finish();
         b.connect(src_out, inp).unwrap();
         stage_outs.push(out);
     }
@@ -231,7 +231,7 @@ fn build_fanout_with_injections(
             ctx.request_shutdown();
         }
     });
-    drop(sink);
+    sink.finish();
     for (i, out) in stage_outs.into_iter().enumerate() {
         b.connect(out, sink_ins[i]).unwrap();
     }

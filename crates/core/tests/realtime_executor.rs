@@ -17,7 +17,7 @@ fn timer_driven_program_runs_in_real_time() {
             ctx.request_shutdown();
         }
     });
-    drop(r);
+    r.finish();
     let started = std::time::Instant::now();
     let mut exec = RealTimeExecutor::new(b.build().unwrap());
     let stats = exec.run();
@@ -44,7 +44,7 @@ fn physical_injection_from_another_thread() {
                 ctx.request_shutdown();
             }
         });
-    drop(r);
+    r.finish();
 
     let mut exec = RealTimeExecutor::new(b.build().unwrap());
     let injector = exec.injector(&act);
@@ -66,7 +66,7 @@ fn executor_terminates_when_all_injectors_drop() {
     let mut r = b.reactor("sensor", ());
     let act = r.physical_action::<u32>("sample", Duration::ZERO);
     r.reaction("observe").triggered_by(act).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut exec = RealTimeExecutor::new(b.build().unwrap());
     // No injector created; queue is empty after startup, all senders are
     // dropped at run() entry, so run() must return promptly.
@@ -82,7 +82,7 @@ fn stop_handle_interrupts_run() {
     r.reaction("tick")
         .triggered_by(t)
         .body(|n: &mut u64, _| *n += 1);
-    drop(r);
+    r.finish();
     let mut exec = RealTimeExecutor::new(b.build().unwrap());
     let stop = exec.stop_handle();
     let stopper = std::thread::spawn(move || {
@@ -108,7 +108,7 @@ fn startup_reaction_observes_small_lag() {
         *sink.lock().unwrap() = Some(ctx.lag().as_nanos());
         ctx.request_shutdown();
     });
-    drop(r);
+    r.finish();
     let mut exec = RealTimeExecutor::new(b.build().unwrap());
     exec.run();
     let lag = lag_ns.lock().unwrap().unwrap();

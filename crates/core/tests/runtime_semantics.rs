@@ -29,7 +29,7 @@ fn startup_then_shutdown_order() {
     r.reaction("down")
         .triggered_by(Shutdown)
         .body(move |_, ctx| push(&l, format!("shutdown@{}", ctx.tag())));
-    drop(r);
+    r.finish();
 
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
@@ -73,7 +73,7 @@ fn logical_action_ping_pong_advances_tags() {
                 ctx.request_shutdown();
             }
         });
-    drop(r);
+    r.finish();
 
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
@@ -103,7 +103,7 @@ fn zero_delay_action_bumps_microstep() {
                 ctx.schedule(act, Duration::ZERO, ());
             }
         });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(u64::MAX);
@@ -132,7 +132,7 @@ fn periodic_timer_fires_on_schedule() {
     r.reaction("tick").triggered_by(t).body(move |_, ctx| {
         sink.lock().unwrap().push(ctx.logical_time());
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.stop_at(Instant::from_millis(40)).unwrap();
@@ -158,7 +158,7 @@ fn stop_tag_is_final_later_events_are_dropped() {
     r.reaction("tick").triggered_by(t).body(move |_, _| {
         *c.lock().unwrap() += 1;
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.stop_at(Instant::from_millis(25)).unwrap();
@@ -182,7 +182,7 @@ fn deadline_handler_runs_instead_of_body_on_late_launch() {
             push(&l_miss, format!("miss lag={}", ctx.lag()));
         })
         .body(move |_, ctx| push(&l_ok, format!("ok lag={}", ctx.lag())));
-    drop(r);
+    r.finish();
 
     // Case 1: physical time only slightly behind -> body runs.
     let mut rt = Runtime::new(b.build().unwrap());
@@ -207,7 +207,7 @@ fn deadline_miss_is_counted_and_handled() {
             push(&l_miss, format!("miss lag={}", ctx.lag()));
         })
         .body(move |_, ctx| push(&l_ok, format!("ok lag={}", ctx.lag())));
-    drop(r);
+    r.finish();
 
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
@@ -228,7 +228,7 @@ fn physical_action_tagged_with_clock_reading() {
         let v = *ctx.get_action(&act).unwrap();
         sink.lock().unwrap().push((ctx.tag(), v));
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     let tag = rt
@@ -250,7 +250,7 @@ fn physical_action_in_logical_past_is_bumped_forward() {
     let t = r.timer("t", Duration::from_millis(10), None);
     r.reaction("tick").triggered_by(t).body(|_, _| {});
     r.reaction("observe").triggered_by(act).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(1); // processes the 10 ms timer tag
@@ -269,7 +269,7 @@ fn schedule_physical_at_rejects_past_tags_as_stp_violation() {
     let t = r.timer("t", Duration::from_millis(10), None);
     r.reaction("tick").triggered_by(t).body(|_, _| {});
     r.reaction("observe").triggered_by(act).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(1);
@@ -295,7 +295,7 @@ fn values_fan_out_to_all_connected_inputs() {
         .triggered_by(Startup)
         .effects(out)
         .body(move |_, ctx| ctx.set(out, "hello".to_string()));
-    drop(src);
+    src.finish();
     let mut inputs = Vec::new();
     for i in 0..3 {
         let mut c = b.reactor(&format!("sink{i}"), ());
@@ -307,7 +307,7 @@ fn values_fan_out_to_all_connected_inputs() {
                 .push(format!("{i}:{}", ctx.get(inp).unwrap()));
         });
         inputs.push(inp);
-        drop(c);
+        c.finish();
     }
     for inp in inputs {
         b.connect(out, inp).unwrap();
@@ -346,7 +346,7 @@ fn ports_are_cleared_between_tags() {
         .body(move |_, ctx| {
             obs.lock().unwrap().push(ctx.get(inp).copied());
         });
-    drop(r);
+    r.finish();
     b.connect(out, inp).unwrap();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
@@ -370,7 +370,7 @@ fn two_timers_same_tag_fire_together() {
     r.reaction("b").triggered_by(t2).body(move |_, ctx| {
         s.lock().unwrap().push(("b", ctx.tag()));
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(u64::MAX);
@@ -396,7 +396,7 @@ fn reaction_reads_back_its_own_write() {
             ctx.set(out, 5);
             *g.lock().unwrap() = ctx.get(out).copied();
         });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(u64::MAX);
@@ -412,7 +412,7 @@ fn undeclared_write_panics() {
     r.reaction("w")
         .triggered_by(Startup)
         .body(move |_, ctx| ctx.set(out, 5)); // no .effects(out)
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(u64::MAX);
@@ -432,7 +432,7 @@ fn undeclared_read_panics() {
             ctx.set(out, 1);
             let _ = ctx.get(inp); // undeclared read
         });
-    drop(r);
+    r.finish();
     b.connect(out, inp).unwrap();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
@@ -445,7 +445,7 @@ fn stats_track_processed_tags_and_reactions() {
     let mut r = b.reactor("r", ());
     let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
     r.reaction("tick").triggered_by(t).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.stop_at(Instant::from_micros(4500)).unwrap();
@@ -461,7 +461,7 @@ fn idle_runtime_reports_idle_then_accepts_more_events() {
     let mut r = b.reactor("r", ());
     let act = r.physical_action::<()>("a", Duration::ZERO);
     r.reaction("o").triggered_by(act).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     assert_eq!(rt.step_fast(), StepOutcome::Idle);
@@ -476,7 +476,7 @@ fn injection_before_start_is_rejected() {
     let mut r = b.reactor("r", ());
     let act = r.physical_action::<()>("a", Duration::ZERO);
     r.reaction("o").triggered_by(act).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     let err = rt.schedule_physical(&act, (), Instant::EPOCH).unwrap_err();
     assert_eq!(err, RuntimeError::NotRunning);
@@ -497,7 +497,7 @@ fn trace_fingerprint_identical_across_runs() {
                 ctx.schedule(act, Duration::ZERO, *n);
             });
         r.reaction("obs").triggered_by(act).body(|_, _| {});
-        drop(r);
+        r.finish();
         let mut rt = Runtime::new(b.build().unwrap());
         rt.enable_tracing();
         rt.start(Instant::EPOCH);
@@ -518,7 +518,7 @@ fn tag_bound_gates_step_and_counts_deferrals() {
     r.reaction("tick").triggered_by(t).body(move |_, ctx| {
         push(&sink, format!("{}", ctx.logical_time().as_millis_f64()));
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
 
@@ -551,7 +551,7 @@ fn succ_bound_grants_exactly_one_tag_inclusive() {
     let mut r = b.reactor("r", ());
     let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(1)));
     r.reaction("tick").triggered_by(t).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     let g = Tag::at(Instant::EPOCH);
@@ -597,7 +597,7 @@ fn two_physical_injections_between_steps_get_distinct_tags() {
         let v = *ctx.get_action(&act).unwrap();
         sink.lock().unwrap().push((ctx.tag(), v));
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(1); // current tag is now (10 ms, 0)
@@ -632,7 +632,7 @@ fn same_clock_reading_injections_never_collide() {
         let v = *ctx.get_action(&act).unwrap();
         sink.lock().unwrap().push((ctx.tag(), v));
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
 
@@ -674,11 +674,11 @@ fn disabled_trace_stays_empty_across_busy_run() {
             }
         });
     r.reaction("echo").triggered_by(act).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut sink = b.reactor("sink", ());
     let inp = sink.input::<u64>("i");
     sink.reaction("recv").triggered_by(inp).body(|_, _| {});
-    drop(sink);
+    sink.finish();
     b.connect(out, inp).unwrap();
 
     let mut rt = Runtime::new(b.build().unwrap());
@@ -708,7 +708,7 @@ fn step_fast_on_empty_queue_reports_state_without_clock_reading() {
     let t = r.timer("t", Duration::from_millis(50), None);
     r.reaction("tick").triggered_by(t).body(|_, _| {});
     r.reaction("o").triggered_by(act).body(|_, _| {});
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
     rt.run_fast(u64::MAX); // processes the 50 ms timer, queue now empty
@@ -728,7 +728,7 @@ fn step_fast_on_empty_queue_reports_state_without_clock_reading() {
         r.reaction("s").triggered_by(Startup).body(|_, ctx| {
             ctx.request_shutdown();
         });
-        drop(r);
+        r.finish();
         Runtime::new(b.build().unwrap())
     };
     rt2.start(Instant::EPOCH);
@@ -756,7 +756,7 @@ fn worker_pool_survives_reconfiguration_mid_run() {
                     ctx.request_shutdown();
                 }
             });
-        drop(src);
+        src.finish();
         for i in 0..8 {
             let mut w = b.reactor(&format!("w{i}"), 0u64);
             let inp = w.input::<u64>("i");
@@ -767,7 +767,7 @@ fn worker_pool_survives_reconfiguration_mid_run() {
                         .wrapping_mul(31)
                         .wrapping_add(*ctx.get(inp).unwrap() + i);
                 });
-            drop(w);
+            w.finish();
             b.connect(out, inp).unwrap();
         }
         let mut rt = Runtime::new(b.build().unwrap());
@@ -805,7 +805,7 @@ fn untagged_injection_is_not_delayed_behind_future_pending_event() {
         let v = *ctx.get_action(&act).unwrap();
         sink.lock().unwrap().push((ctx.tag(), v));
     });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().unwrap());
     rt.start(Instant::EPOCH);
 

@@ -53,7 +53,7 @@
 //! let mut r = b.reactor("tick", 0u32);
 //! let t = r.timer("t", Duration::ZERO, Some(Duration::from_millis(10)));
 //! r.reaction("count").triggered_by(t).body(|n: &mut u32, _| *n += 1);
-//! drop(r);
+//! r.finish();
 //!
 //! let binding = Binding::new(&net, &sd, NodeId(1), 0x11);
 //! let platform = CoordinatedPlatform::new(

@@ -68,7 +68,7 @@ fn pipeline_runs_under_rti_grants() {
                         ctx.set(out, vec![*n].into());
                     }
                 });
-            drop(logic);
+            logic.finish();
             b.connect(out, publish.event).unwrap();
         }
         let binding = Binding::new(&net, &sd, NodeId(1), 0x11);
@@ -107,7 +107,7 @@ fn pipeline_runs_under_rti_grants() {
                     let v = ctx.get(input.event).unwrap()[0];
                     sink.lock().unwrap().push((ctx.tag(), v));
                 });
-            drop(logic);
+            logic.finish();
         }
         let binding = Binding::new(&net, &sd, NodeId(2), 0x22);
         let platform = CoordinatedPlatform::new(
@@ -205,7 +205,7 @@ fn zero_delay_cycle_progresses_via_ptags() {
                         ctx.set(out, vec![v + 1].into());
                     }
                 });
-            drop(logic);
+            logic.finish();
             b.connect(out, publish.event).unwrap();
         }
         let binding = Binding::new(&net, &sd, NodeId(1), 0x11);
@@ -246,7 +246,7 @@ fn zero_delay_cycle_progresses_via_ptags() {
                     let v = ctx.get(input.event).unwrap()[0];
                     ctx.set(out, vec![v].into());
                 });
-            drop(logic);
+            logic.finish();
             b.connect(out, publish.event).unwrap();
         }
         let binding = Binding::new(&net, &sd, NodeId(2), 0x22);
@@ -346,7 +346,7 @@ fn dead_federate_releases_lbts_for_survivors() {
                             }
                         },
                     );
-                    drop(logic);
+                    logic.finish();
                     b.connect(out, publish.event).unwrap();
                 }
                 let binding = Binding::new(&net, &sd, NodeId(1), 0x11);
@@ -383,7 +383,7 @@ fn dead_federate_releases_lbts_for_survivors() {
                     .body(move |_, ctx| {
                         sink.lock().unwrap().push(ctx.get(input.event).unwrap()[0]);
                     });
-                drop(logic);
+                logic.finish();
             }
             let binding = Binding::new(&net, &sd, NodeId(2), 0x22);
             let platform = CoordinatedPlatform::new(
@@ -512,7 +512,7 @@ fn unconnected_topology_blocks_consumer() {
     r.reaction("tick")
         .triggered_by(t)
         .body(|n: &mut u32, _| *n += 1);
-    drop(r);
+    r.finish();
     let binding = Binding::new(&net, &sd, NodeId(1), 0x11);
     let platform = CoordinatedPlatform::new(
         "lonely",

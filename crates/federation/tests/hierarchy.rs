@@ -173,7 +173,7 @@ fn run_fleet(seed: u64, coordinator: Coordinator) -> RunReport {
                         *n += 1;
                     },
                 );
-                drop(logic);
+                logic.finish();
                 b.connect(out, publish.event).unwrap();
             }
             let binding = Binding::new(&net, &sd, node, 0x10 + node.0);
@@ -210,7 +210,7 @@ fn run_fleet(seed: u64, coordinator: Coordinator) -> RunReport {
                         let v = ctx.get(input.event).unwrap()[0];
                         sink.lock().unwrap().push((ctx.tag(), v));
                     });
-            drop(logic);
+            logic.finish();
         }
         let binding = Binding::new(&net, &sd, node, 0x10 + node.0);
         let p = platform(
@@ -389,7 +389,7 @@ fn dead_zone_releases_floor_for_sibling_zones() {
                             }
                         },
                     );
-                    drop(logic);
+                    logic.finish();
                     b.connect(out, publish.event).unwrap();
                 }
                 let binding = Binding::new(&net, &sd, NodeId(3), 0x13);
@@ -429,7 +429,7 @@ fn dead_zone_releases_floor_for_sibling_zones() {
                     .body(move |_, ctx| {
                         sink.lock().unwrap().push(ctx.get(input.event).unwrap()[0]);
                     });
-                drop(logic);
+                logic.finish();
             }
             let binding = Binding::new(&net, &sd, NodeId(4), 0x14);
             let platform = CoordinatedPlatform::new_in_zone(

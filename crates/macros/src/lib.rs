@@ -1,0 +1,1013 @@
+//! # dear-macros — derive macros for authoring DEAR reactors
+//!
+//! [`derive@Reactor`] turns a plain struct of typed handles into a
+//! reactor *specification*: the derive generates an implementation of
+//! `dear_core::ReactorSpec` whose `declare_in` method performs exactly
+//! the `ProgramBuilder` calls a hand-written assembly would, in field
+//! declaration order. Ports, actions and timers become struct fields;
+//! reactions are declared with `#[reaction(...)]` attributes on marker
+//! fields and their bodies are ordinary associated functions.
+//!
+//! The macro is written directly against [`proc_macro`] — no `syn`/`quote`
+//! — so the crate has zero dependencies and builds offline.
+//!
+//! ```ignore
+//! use dear_core::{Port, Reaction, ReactionCtx, Reactor, Timer};
+//! use dear_time::Duration;
+//!
+//! #[derive(Reactor)]
+//! #[reactor(state = i64)]
+//! struct Sensor {
+//!     #[timer(period = Duration::from_millis(10))]
+//!     tick: Timer,
+//!     #[output]
+//!     reading: Port<i64>,
+//!     #[reaction(triggers(tick), effects(reading))]
+//!     sample: Reaction,
+//! }
+//!
+//! impl Sensor {
+//!     fn sample(state: &mut i64, this: &Self, ctx: &mut ReactionCtx<'_>) {
+//!         *state += 1;
+//!         ctx.set(this.reading, *state);
+//!     }
+//! }
+//!
+//! // let sensor: Sensor = builder.declare("sensor", 0i64);
+//! ```
+//!
+//! What the derive checks at *compile time* (misuse fails to build — see
+//! the compile-fail harness in `tests/`):
+//!
+//! * every `#[reaction]` names at least one trigger;
+//! * triggers / uses / effects / schedules refer to declared fields of the
+//!   right kind (a timer cannot be an effect, a port cannot be scheduled);
+//! * `#[input]`/`#[output]` fields are `Port<T>`, `#[action]` fields are
+//!   `LogicalAction<T>`/`PhysicalAction<T>`, `#[timer]` fields are
+//!   `Timer`, `#[reaction]` fields are `Reaction` markers;
+//! * port value types flow into the generated `builder.input::<T>()`
+//!   calls, so type-mismatched connections stay compile errors.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, Group, Ident, Literal, Punct, Spacing, Span, TokenStream, TokenTree};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derives `dear_core::ReactorSpec` for a struct of reactor handles.
+///
+/// See the crate-level documentation for the field attribute grammar:
+/// `#[input]`, `#[output]`, `#[action(min_delay = ...)]`,
+/// `#[timer(offset = ..., period = ...)]`, `#[external]`,
+/// `#[reaction(triggers(...), uses(...), effects(...), schedules(...),
+/// deadline = ..., on_deadline = ..., fn = ...)]`, plus the struct-level
+/// `#[reactor(state = Type)]`.
+#[proc_macro_derive(
+    Reactor,
+    attributes(reactor, input, output, action, timer, reaction, external)
+)]
+pub fn derive_reactor(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&e),
+    }
+}
+
+struct Error {
+    span: Span,
+    msg: String,
+}
+
+impl Error {
+    fn new(span: Span, msg: impl Into<String>) -> Self {
+        Error {
+            span,
+            msg: msg.into(),
+        }
+    }
+}
+
+type Result<T> = std::result::Result<T, Error>;
+
+fn compile_error(err: &Error) -> TokenStream {
+    let mut punct = Punct::new('!', Spacing::Alone);
+    punct.set_span(err.span);
+    let mut lit = Literal::string(&err.msg);
+    lit.set_span(err.span);
+    let mut group = Group::new(
+        Delimiter::Brace,
+        TokenStream::from_iter([TokenTree::Literal(lit)]),
+    );
+    group.set_span(err.span);
+    TokenStream::from_iter([
+        TokenTree::Ident(Ident::new("compile_error", err.span)),
+        TokenTree::Punct(punct),
+        TokenTree::Group(group),
+    ])
+}
+
+// --- attribute & token helpers ------------------------------------------
+
+struct Attr {
+    name: String,
+    span: Span,
+    /// The tokens inside `#[name(...)]`, if the attribute has arguments.
+    args: Option<TokenStream>,
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes (including doc comments).
+fn take_attrs(it: &mut TokenIter) -> Result<Vec<Attr>> {
+    let mut attrs = Vec::new();
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let hash = it.next().expect("peeked");
+        let Some(TokenTree::Group(g)) = it.next() else {
+            return Err(Error::new(hash.span(), "malformed attribute"));
+        };
+        let mut inner = g.stream().into_iter();
+        let Some(TokenTree::Ident(name)) = inner.next() else {
+            // e.g. `#[cfg(...)]`-like paths we don't care about; skip.
+            continue;
+        };
+        let args = match inner.next() {
+            Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+                Some(args.stream())
+            }
+            // `#[doc = "..."]` and other key-value attrs we ignore.
+            _ => None,
+        };
+        attrs.push(Attr {
+            name: name.to_string(),
+            span: name.span(),
+            args,
+        });
+    }
+    Ok(attrs)
+}
+
+/// Skips `pub` / `pub(...)`, returning the tokens skipped.
+fn take_vis(it: &mut TokenIter) -> Vec<TokenTree> {
+    let mut vis = Vec::new();
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        vis.push(it.next().expect("peeked"));
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            vis.push(it.next().expect("peeked"));
+        }
+    }
+    vis
+}
+
+/// Splits a token stream on top-level commas, tracking `<...>` nesting so
+/// generic arguments survive intact.
+fn split_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    let mut tokens = ts.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                '-' if p.spacing() == Spacing::Joint => {
+                    // `->` of a fn-pointer type: swallow the '>' so it
+                    // does not unbalance the depth counter.
+                    current.push(tt);
+                    if let Some(arrow) = tokens.next() {
+                        current.push(arrow);
+                    }
+                    continue;
+                }
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    TokenStream::from_iter(tokens.iter().cloned()).to_string()
+}
+
+/// One parsed argument of a helper attribute:
+/// `flag`, `key(item, item)`, or `key = tokens`.
+enum ArgItem {
+    Flag(Ident),
+    List(Ident, Vec<Vec<TokenTree>>),
+    Value(Ident, Vec<TokenTree>),
+}
+
+fn parse_args(args: TokenStream) -> Result<Vec<ArgItem>> {
+    let mut items = Vec::new();
+    for part in split_commas(args) {
+        let mut it = part.into_iter();
+        let Some(TokenTree::Ident(key)) = it.next() else {
+            return Err(Error::new(
+                Span::call_site(),
+                "expected `key`, `key(...)` or `key = ...` in attribute arguments",
+            ));
+        };
+        match it.next() {
+            None => items.push(ArgItem::Flag(key)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if it.next().is_some() {
+                    return Err(Error::new(key.span(), "unexpected tokens after list"));
+                }
+                items.push(ArgItem::List(key, split_commas(g.stream())));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let rest: Vec<TokenTree> = it.collect();
+                if rest.is_empty() {
+                    return Err(Error::new(key.span(), "expected a value after `=`"));
+                }
+                items.push(ArgItem::Value(key, unquote_value(rest)?));
+            }
+            Some(other) => {
+                return Err(Error::new(
+                    other.span(),
+                    "expected `key`, `key(...)` or `key = ...`",
+                ))
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Accepts syn-style quoted values (`deadline = "Duration::from_millis(5)"`)
+/// next to bare token values: a single string literal is unquoted and
+/// re-parsed as expression tokens, re-spanned to the literal so type errors
+/// in the expression point at the attribute.
+fn unquote_value(rest: Vec<TokenTree>) -> Result<Vec<TokenTree>> {
+    if let [TokenTree::Literal(lit)] = rest.as_slice() {
+        let s = lit.to_string();
+        if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+            let inner = s[1..s.len() - 1]
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\");
+            let parsed: TokenStream = inner.parse().map_err(|_| {
+                Error::new(lit.span(), "cannot parse string value as an expression")
+            })?;
+            let span = lit.span();
+            return Ok(parsed
+                .into_iter()
+                .map(|mut tt| {
+                    tt.set_span(span);
+                    tt
+                })
+                .collect());
+        }
+    }
+    Ok(rest)
+}
+
+fn single_ident(tokens: &[TokenTree], what: &str) -> Result<Ident> {
+    match tokens {
+        [TokenTree::Ident(id)] => Ok(id.clone()),
+        _ => Err(Error::new(
+            tokens.first().map_or_else(Span::call_site, TokenTree::span),
+            format!("expected a single identifier for {what}"),
+        )),
+    }
+}
+
+/// Splits a type like `path::To::Port<T>` into its final type name and the
+/// generic argument tokens (if any).
+fn type_name_and_generic(ty: &[TokenTree]) -> (Option<String>, Option<Vec<TokenTree>>) {
+    let mut last_ident: Option<String> = None;
+    for (i, tt) in ty.iter().enumerate() {
+        match tt {
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                // Collect to the matching top-level '>'.
+                let mut depth = 1i32;
+                let mut inner = Vec::new();
+                for tt in &ty[i + 1..] {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    inner.push(tt.clone());
+                }
+                return (last_ident, Some(inner));
+            }
+            _ => {}
+        }
+    }
+    (last_ident, None)
+}
+
+// --- parsed model --------------------------------------------------------
+
+enum Trigger {
+    Startup,
+    Shutdown,
+    Field(Ident),
+}
+
+struct ReactionSpec {
+    triggers: Vec<Trigger>,
+    uses: Vec<Ident>,
+    effects: Vec<Ident>,
+    schedules: Vec<Ident>,
+    deadline: Option<Vec<TokenTree>>,
+    on_deadline: Option<Ident>,
+    func: Option<Ident>,
+}
+
+enum Role {
+    Input {
+        inner: Vec<TokenTree>,
+    },
+    Output {
+        inner: Vec<TokenTree>,
+    },
+    Action {
+        physical: bool,
+        inner: Vec<TokenTree>,
+        min_delay: Option<Vec<TokenTree>>,
+    },
+    Timer {
+        offset: Option<Vec<TokenTree>>,
+        period: Option<Vec<TokenTree>>,
+    },
+    External,
+    Reaction(ReactionSpec),
+}
+
+struct Field {
+    vis: Vec<TokenTree>,
+    name: Ident,
+    ty: Vec<TokenTree>,
+    role: Role,
+}
+
+struct StructDef {
+    vis: Vec<TokenTree>,
+    name: Ident,
+    state: Option<Vec<TokenTree>>,
+    fields: Vec<Field>,
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_struct(input: TokenStream) -> Result<StructDef> {
+    let mut it = input.into_iter().peekable();
+    let struct_attrs = take_attrs(&mut it)?;
+    let vis = take_vis(&mut it);
+    match it.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => {
+            return Err(Error::new(
+                other.map_or_else(Span::call_site, |t| t.span()),
+                "#[derive(Reactor)] only supports structs",
+            ))
+        }
+    }
+    let Some(TokenTree::Ident(name)) = it.next() else {
+        return Err(Error::new(Span::call_site(), "expected a struct name"));
+    };
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(Error::new(
+                p.span(),
+                "#[derive(Reactor)] does not support generic structs",
+            ))
+        }
+        other => {
+            return Err(Error::new(
+                other.map_or_else(|| name.span(), |t| t.span()),
+                "#[derive(Reactor)] requires a struct with named fields",
+            ))
+        }
+    };
+
+    let mut state = None;
+    for attr in &struct_attrs {
+        if attr.name != "reactor" {
+            continue;
+        }
+        let args = attr
+            .args
+            .clone()
+            .ok_or_else(|| Error::new(attr.span, "expected #[reactor(state = Type)]"))?;
+        for item in parse_args(args)? {
+            match item {
+                ArgItem::Value(key, value) if key.to_string() == "state" => {
+                    state = Some(value);
+                }
+                ArgItem::Flag(key) | ArgItem::List(key, _) | ArgItem::Value(key, _) => {
+                    return Err(Error::new(
+                        key.span(),
+                        format!("unknown #[reactor] argument `{key}`; expected `state = Type`"),
+                    ))
+                }
+            }
+        }
+    }
+
+    let mut fields = Vec::new();
+    let mut body_it = body.stream().into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut body_it)?;
+        if body_it.peek().is_none() {
+            if attrs.iter().any(|a| a.name != "doc") {
+                return Err(Error::new(
+                    attrs.last().expect("non-empty").span,
+                    "attribute without a field",
+                ));
+            }
+            break;
+        }
+        let field_vis = take_vis(&mut body_it);
+        let Some(TokenTree::Ident(fname)) = body_it.next() else {
+            return Err(Error::new(Span::call_site(), "expected a field name"));
+        };
+        match body_it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(Error::new(
+                    other.map_or_else(|| fname.span(), |t| t.span()),
+                    "expected `:` after field name",
+                ))
+            }
+        }
+        // Collect the type up to the next top-level comma.
+        let mut ty = Vec::new();
+        let mut depth = 0i32;
+        while let Some(tt) = body_it.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        body_it.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ty.push(body_it.next().expect("peeked"));
+        }
+        if ty.is_empty() {
+            return Err(Error::new(fname.span(), "expected a field type"));
+        }
+        let role = parse_role(&fname, &ty, &attrs)?;
+        let reserved = fname.to_string();
+        if reserved == "ext" || reserved == "this" || reserved.starts_with("__") {
+            return Err(Error::new(
+                fname.span(),
+                format!("field name `{reserved}` is reserved by #[derive(Reactor)]"),
+            ));
+        }
+        fields.push(Field {
+            vis: field_vis,
+            name: fname,
+            ty,
+            role,
+        });
+    }
+
+    Ok(StructDef {
+        vis,
+        name,
+        state,
+        fields,
+    })
+}
+
+fn parse_role(fname: &Ident, ty: &[TokenTree], attrs: &[Attr]) -> Result<Role> {
+    const ROLES: [&str; 6] = ["input", "output", "action", "timer", "reaction", "external"];
+    let mut role_attrs: Vec<&Attr> = attrs
+        .iter()
+        .filter(|a| ROLES.contains(&a.name.as_str()))
+        .collect();
+    let Some(attr) = role_attrs.pop() else {
+        return Err(Error::new(
+            fname.span(),
+            format!(
+                "field `{fname}` needs a role attribute: one of #[input], #[output], \
+                 #[action], #[timer], #[reaction(...)] or #[external]"
+            ),
+        ));
+    };
+    if let Some(extra) = role_attrs.pop() {
+        return Err(Error::new(
+            extra.span,
+            format!("field `{fname}` has more than one role attribute"),
+        ));
+    }
+    let (ty_name, generic) = type_name_and_generic(ty);
+    let ty_name = ty_name.unwrap_or_default();
+    let no_args = |attr: &Attr| -> Result<()> {
+        if attr.args.is_some() {
+            return Err(Error::new(
+                attr.span,
+                format!("#[{}] takes no arguments", attr.name),
+            ));
+        }
+        Ok(())
+    };
+    match attr.name.as_str() {
+        kind @ ("input" | "output") => {
+            no_args(attr)?;
+            let Some(inner) = generic.filter(|_| ty_name == "Port") else {
+                return Err(Error::new(
+                    fname.span(),
+                    format!("#[{kind}] field `{fname}` must have type Port<T>"),
+                ));
+            };
+            if kind == "input" {
+                Ok(Role::Input { inner })
+            } else {
+                Ok(Role::Output { inner })
+            }
+        }
+        "action" => {
+            let physical = match ty_name.as_str() {
+                "LogicalAction" => false,
+                "PhysicalAction" => true,
+                _ => {
+                    return Err(Error::new(
+                        fname.span(),
+                        format!(
+                            "#[action] field `{fname}` must have type LogicalAction<T> \
+                             or PhysicalAction<T>"
+                        ),
+                    ))
+                }
+            };
+            let Some(inner) = generic else {
+                return Err(Error::new(
+                    fname.span(),
+                    "action types carry a payload type",
+                ));
+            };
+            let mut min_delay = None;
+            if let Some(args) = attr.args.clone() {
+                for item in parse_args(args)? {
+                    match item {
+                        ArgItem::Value(key, value) if key.to_string() == "min_delay" => {
+                            min_delay = Some(value);
+                        }
+                        ArgItem::Flag(key) | ArgItem::List(key, _) | ArgItem::Value(key, _) => {
+                            return Err(Error::new(
+                                key.span(),
+                                format!(
+                                    "unknown #[action] argument `{key}`; expected \
+                                     `min_delay = expr`"
+                                ),
+                            ))
+                        }
+                    }
+                }
+            }
+            Ok(Role::Action {
+                physical,
+                inner,
+                min_delay,
+            })
+        }
+        "timer" => {
+            if ty_name != "Timer" {
+                return Err(Error::new(
+                    fname.span(),
+                    format!("#[timer] field `{fname}` must have type Timer"),
+                ));
+            }
+            let mut offset = None;
+            let mut period = None;
+            if let Some(args) = attr.args.clone() {
+                for item in parse_args(args)? {
+                    match item {
+                        ArgItem::Value(key, value) if key.to_string() == "offset" => {
+                            offset = Some(value);
+                        }
+                        ArgItem::Value(key, value) if key.to_string() == "period" => {
+                            period = Some(value);
+                        }
+                        ArgItem::Flag(key) | ArgItem::List(key, _) | ArgItem::Value(key, _) => {
+                            return Err(Error::new(
+                                key.span(),
+                                format!(
+                                    "unknown #[timer] argument `{key}`; expected \
+                                     `offset = expr` and/or `period = expr`"
+                                ),
+                            ))
+                        }
+                    }
+                }
+            }
+            Ok(Role::Timer { offset, period })
+        }
+        "external" => {
+            no_args(attr)?;
+            Ok(Role::External)
+        }
+        "reaction" => {
+            if ty_name != "Reaction" {
+                return Err(Error::new(
+                    fname.span(),
+                    format!("#[reaction] field `{fname}` must have type Reaction (the marker)"),
+                ));
+            }
+            let mut spec = ReactionSpec {
+                triggers: Vec::new(),
+                uses: Vec::new(),
+                effects: Vec::new(),
+                schedules: Vec::new(),
+                deadline: None,
+                on_deadline: None,
+                func: None,
+            };
+            let Some(args) = attr.args.clone() else {
+                return Err(Error::new(
+                    attr.span,
+                    format!(
+                        "reaction `{fname}` declares no triggers — write \
+                         #[reaction(triggers(...))]"
+                    ),
+                ));
+            };
+            for item in parse_args(args)? {
+                match item {
+                    ArgItem::List(key, items) if key.to_string() == "triggers" => {
+                        for t in items {
+                            let id = single_ident(&t, "a trigger")?;
+                            spec.triggers.push(match id.to_string().as_str() {
+                                "startup" => Trigger::Startup,
+                                "shutdown" => Trigger::Shutdown,
+                                _ => Trigger::Field(id),
+                            });
+                        }
+                    }
+                    ArgItem::List(key, items) if key.to_string() == "uses" => {
+                        for t in items {
+                            spec.uses.push(single_ident(&t, "a used port")?);
+                        }
+                    }
+                    ArgItem::List(key, items) if key.to_string() == "effects" => {
+                        for t in items {
+                            spec.effects.push(single_ident(&t, "an effected port")?);
+                        }
+                    }
+                    ArgItem::List(key, items) if key.to_string() == "schedules" => {
+                        for t in items {
+                            spec.schedules.push(single_ident(&t, "a scheduled action")?);
+                        }
+                    }
+                    ArgItem::Value(key, value) if key.to_string() == "deadline" => {
+                        spec.deadline = Some(value);
+                    }
+                    ArgItem::Value(key, value) if key.to_string() == "on_deadline" => {
+                        spec.on_deadline = Some(single_ident(&value, "the deadline handler")?);
+                    }
+                    ArgItem::Value(key, value)
+                        if key.to_string() == "fn" || key.to_string() == "body" =>
+                    {
+                        spec.func = Some(single_ident(&value, "the body function")?);
+                    }
+                    ArgItem::Flag(key) | ArgItem::List(key, _) | ArgItem::Value(key, _) => {
+                        return Err(Error::new(
+                            key.span(),
+                            format!(
+                                "unknown #[reaction] argument `{key}`; expected triggers(...), \
+                                 uses(...), effects(...), schedules(...), deadline = expr, \
+                                 on_deadline = handler or fn = body"
+                            ),
+                        ))
+                    }
+                }
+            }
+            if spec.triggers.is_empty() {
+                return Err(Error::new(
+                    attr.span,
+                    format!(
+                        "reaction `{fname}` declares no triggers — every reaction needs at \
+                         least one trigger (a port, action, timer, startup or shutdown)"
+                    ),
+                ));
+            }
+            if spec.deadline.is_some() != spec.on_deadline.is_some() {
+                return Err(Error::new(
+                    attr.span,
+                    format!(
+                        "reaction `{fname}`: `deadline` and `on_deadline` must be given together"
+                    ),
+                ));
+            }
+            Ok(Role::Reaction(spec))
+        }
+        _ => unreachable!("filtered to known roles"),
+    }
+}
+
+// --- validation ----------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ElementKind {
+    Port,
+    Action,
+    Timer,
+    External,
+}
+
+fn validate(def: &StructDef) -> Result<BTreeMap<String, ElementKind>> {
+    let mut elements: BTreeMap<String, ElementKind> = BTreeMap::new();
+    for f in &def.fields {
+        let kind = match f.role {
+            Role::Input { .. } | Role::Output { .. } => ElementKind::Port,
+            Role::Action { .. } => ElementKind::Action,
+            Role::Timer { .. } => ElementKind::Timer,
+            Role::External => ElementKind::External,
+            Role::Reaction(_) => continue,
+        };
+        elements.insert(f.name.to_string(), kind);
+    }
+    for f in &def.fields {
+        let Role::Reaction(spec) = &f.role else {
+            continue;
+        };
+        let rname = f.name.to_string();
+        let lookup = |id: &Ident, role: &str, allowed: &[ElementKind]| -> Result<()> {
+            match elements.get(&id.to_string()) {
+                None => Err(Error::new(
+                    id.span(),
+                    format!("reaction `{rname}` references unknown element `{id}` as {role}"),
+                )),
+                Some(kind) if allowed.contains(kind) => Ok(()),
+                Some(_) => Err(Error::new(
+                    id.span(),
+                    format!("`{id}` has the wrong kind to be {role} of reaction `{rname}`"),
+                )),
+            }
+        };
+        for t in &spec.triggers {
+            if let Trigger::Field(id) = t {
+                lookup(
+                    id,
+                    "a trigger",
+                    &[
+                        ElementKind::Port,
+                        ElementKind::Action,
+                        ElementKind::Timer,
+                        ElementKind::External,
+                    ],
+                )?;
+            }
+        }
+        for id in &spec.uses {
+            lookup(
+                id,
+                "a used port",
+                &[ElementKind::Port, ElementKind::External],
+            )?;
+        }
+        for id in &spec.effects {
+            lookup(
+                id,
+                "an effected port",
+                &[ElementKind::Port, ElementKind::External],
+            )?;
+        }
+        for id in &spec.schedules {
+            lookup(
+                id,
+                "a scheduled action",
+                &[ElementKind::Action, ElementKind::External],
+            )?;
+        }
+    }
+    Ok(elements)
+}
+
+// --- code generation -----------------------------------------------------
+
+fn expand(input: TokenStream) -> Result<TokenStream> {
+    let def = parse_struct(input)?;
+    validate(&def)?;
+
+    let name = def.name.to_string();
+    let state = def
+        .state
+        .as_deref()
+        .map_or_else(|| "()".to_string(), tokens_to_string);
+    let vis = tokens_to_string(&def.vis);
+    let externals: Vec<&Field> = def
+        .fields
+        .iter()
+        .filter(|f| matches!(f.role, Role::External))
+        .collect();
+    let ext_ty = if externals.is_empty() {
+        "()".to_string()
+    } else {
+        format!("{name}Externals")
+    };
+
+    let mut out = String::new();
+
+    // Externals struct, when any #[external] fields exist.
+    if !externals.is_empty() {
+        let _ = writeln!(
+            out,
+            "#[doc = \"External handles injected into [`{name}`] at declare time.\"]\n\
+             {vis} struct {name}Externals {{"
+        );
+        for f in &externals {
+            let fvis = tokens_to_string(&f.vis);
+            let fname = &f.name;
+            let fty = tokens_to_string(&f.ty);
+            let _ = writeln!(
+                out,
+                "    #[doc = \"External handle `{fname}`.\"]\n    {fvis} {fname}: {fty},"
+            );
+        }
+        out.push_str("}\n");
+    }
+
+    let _ = writeln!(
+        out,
+        "impl ::dear_core::ReactorSpec for {name} {{\n\
+         \x20   type State = {state};\n\
+         \x20   type Externals = {ext_ty};\n\
+         \x20   #[allow(unused_mut, unused_variables, clippy::too_many_lines)]\n\
+         \x20   fn declare_in(\n\
+         \x20       __builder: &mut ::dear_core::ProgramBuilder,\n\
+         \x20       __name: &str,\n\
+         \x20       __state: Self::State,\n\
+         \x20       ext: Self::Externals,\n\
+         \x20   ) -> Self {{\n\
+         \x20       let mut __r = __builder.reactor(__name, __state);"
+    );
+
+    // Elements, in field declaration order — the generated ids and names
+    // are therefore identical to a hand-written builder that declares in
+    // the same order.
+    for f in &def.fields {
+        let fname = f.name.to_string();
+        match &f.role {
+            Role::Input { inner } => {
+                let t = tokens_to_string(inner);
+                let _ = writeln!(out, "        let {fname} = __r.input::<{t}>(\"{fname}\");");
+            }
+            Role::Output { inner } => {
+                let t = tokens_to_string(inner);
+                let _ = writeln!(out, "        let {fname} = __r.output::<{t}>(\"{fname}\");");
+            }
+            Role::Action {
+                physical,
+                inner,
+                min_delay,
+            } => {
+                let t = tokens_to_string(inner);
+                let delay = min_delay.as_deref().map_or_else(
+                    || "::dear_core::__rt::Duration::ZERO".into(),
+                    tokens_to_string,
+                );
+                let method = if *physical {
+                    "physical_action"
+                } else {
+                    "logical_action"
+                };
+                let _ = writeln!(
+                    out,
+                    "        let {fname} = __r.{method}::<{t}>(\"{fname}\", {delay});"
+                );
+            }
+            Role::Timer { offset, period } => {
+                let off = offset.as_deref().map_or_else(
+                    || "::dear_core::__rt::Duration::ZERO".into(),
+                    tokens_to_string,
+                );
+                let per = period.as_deref().map_or_else(
+                    || "::core::option::Option::None".into(),
+                    |p| format!("::core::option::Option::Some({})", tokens_to_string(p)),
+                );
+                let _ = writeln!(
+                    out,
+                    "        let {fname} = __r.timer(\"{fname}\", {off}, {per});"
+                );
+            }
+            Role::External | Role::Reaction(_) => {}
+        }
+    }
+
+    // The handle struct itself; element fields bind the locals above.
+    out.push_str("        let this = ");
+    out.push_str(&name);
+    out.push_str(" {\n");
+    for f in &def.fields {
+        let fname = f.name.to_string();
+        match &f.role {
+            Role::External => {
+                let _ = writeln!(out, "            {fname}: ext.{fname},");
+            }
+            Role::Reaction(_) => {
+                let _ = writeln!(out, "            {fname}: ::dear_core::Reaction,");
+            }
+            _ => {
+                let _ = writeln!(out, "            {fname},");
+            }
+        }
+    }
+    out.push_str("        };\n");
+
+    // Reactions, in field declaration order (priority order).
+    for f in &def.fields {
+        let Role::Reaction(spec) = &f.role else {
+            continue;
+        };
+        let rname = f.name.to_string();
+        let func = spec
+            .func
+            .as_ref()
+            .map_or_else(|| rname.clone(), Ident::to_string);
+        out.push_str("        {\n            let __this = this;\n");
+        let _ = write!(out, "            __r.reaction(\"{rname}\")");
+        for t in &spec.triggers {
+            match t {
+                Trigger::Startup => {
+                    out.push_str("\n                .triggered_by(::dear_core::Startup)")
+                }
+                Trigger::Shutdown => {
+                    out.push_str("\n                .triggered_by(::dear_core::Shutdown)")
+                }
+                Trigger::Field(id) => {
+                    let _ = write!(out, "\n                .triggered_by(__this.{id})");
+                }
+            }
+        }
+        for id in &spec.uses {
+            let _ = write!(out, "\n                .uses(__this.{id})");
+        }
+        for id in &spec.effects {
+            let _ = write!(out, "\n                .effects(__this.{id})");
+        }
+        for id in &spec.schedules {
+            let _ = write!(out, "\n                .schedules(__this.{id})");
+        }
+        if let (Some(deadline), Some(handler)) = (&spec.deadline, &spec.on_deadline) {
+            let d = tokens_to_string(deadline);
+            let _ = write!(
+                out,
+                "\n                .with_deadline({d}, {{\n\
+                 \x20                   let __this = this;\n\
+                 \x20                   move |__s: &mut {state}, __ctx: &mut ::dear_core::ReactionCtx<'_>| {{\n\
+                 \x20                       {name}::{handler}(__s, &__this, __ctx);\n\
+                 \x20                   }}\n\
+                 \x20               }})"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n                .body(move |__s: &mut {state}, __ctx: &mut ::dear_core::ReactionCtx<'_>| {{\n\
+             \x20                   {name}::{func}(__s, &__this, __ctx);\n\
+             \x20               }});\n        }}"
+        );
+    }
+
+    out.push_str("        __r.finish();\n");
+    // Mark every field as read so the handle struct never trips the
+    // dead-code lint (reaction markers are otherwise write-only).
+    out.push_str("        let _ = (");
+    for f in &def.fields {
+        let _ = write!(out, "&this.{}, ", f.name);
+    }
+    out.push_str(");\n        this\n    }\n}\n");
+
+    // Handles are cheap, copyable references into the program; reaction
+    // closures capture the whole struct by value.
+    let _ = writeln!(
+        out,
+        "impl ::core::clone::Clone for {name} {{\n\
+         \x20   fn clone(&self) -> Self {{ *self }}\n\
+         }}\n\
+         impl ::core::marker::Copy for {name} {{}}"
+    );
+
+    out.parse().map_err(|e| {
+        Error::new(
+            Span::call_site(),
+            format!("dear-macros internal error: generated code failed to parse: {e}"),
+        )
+    })
+}

@@ -1,0 +1,140 @@
+//! Vendored compile-fail harness for `#[derive(Reactor)]` — the same
+//! contract as `trybuild`, with no dependency: each fixture under
+//! `tests/ui/` is compiled by shelling out to `rustc` against the
+//! already-built workspace artifacts, and
+//!
+//! * a fixture whose first line carries a `//~ ERROR: <substring>` marker
+//!   must FAIL to compile with that substring in the diagnostics;
+//! * a fixture without a marker (the positive control `ok.rs`) must
+//!   compile cleanly — guarding against a broken harness that would fail
+//!   everything and pass the error assertions vacuously.
+//!
+//! The rlibs of `dear-core`/`dear-time` and the `dear-macros` proc-macro
+//! dylib are located in the test binary's own `deps/` directory; they are
+//! guaranteed to exist because both crates are dev-dependencies.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::SystemTime;
+
+/// `target/<profile>/deps` — the directory this test binary lives in.
+fn deps_dir() -> PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    exe.parent().expect("deps directory").to_path_buf()
+}
+
+/// Newest artifact named `lib<stem>-<hash><ext>` in `deps`.
+fn find_artifact(deps: &Path, stem: &str, exts: &[&str]) -> PathBuf {
+    let prefix = format!("lib{stem}-");
+    let mut best: Option<(SystemTime, PathBuf)> = None;
+    for entry in fs::read_dir(deps).expect("read deps dir") {
+        let entry = entry.expect("deps dir entry");
+        let name = entry.file_name().into_string().unwrap_or_default();
+        if !name.starts_with(&prefix) || !exts.iter().any(|e| name.ends_with(e)) {
+            continue;
+        }
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(SystemTime::UNIX_EPOCH);
+        if best.as_ref().is_none_or(|(t, _)| mtime > *t) {
+            best = Some((mtime, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p).unwrap_or_else(|| {
+        panic!(
+            "no lib{stem}-*{exts:?} artifact in {} — build the workspace first",
+            deps.display()
+        )
+    })
+}
+
+/// The `//~ ERROR: <substring>` marker of a fixture, if present.
+fn expected_error(source: &str) -> Option<String> {
+    source.lines().next().and_then(|line| {
+        line.trim()
+            .strip_prefix("//~ ERROR:")
+            .map(|s| s.trim().to_string())
+    })
+}
+
+/// Compiles one fixture; returns (success, combined diagnostics).
+fn compile(fixture: &Path) -> (bool, String) {
+    let deps = deps_dir();
+    let core = find_artifact(&deps, "dear_core", &[".rlib"]);
+    let time = find_artifact(&deps, "dear_time", &[".rlib"]);
+    let macros = find_artifact(&deps, "dear_macros", &[".so", ".dylib", ".dll"]);
+    let out_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("compile_fail");
+    fs::create_dir_all(&out_dir).expect("create out dir");
+
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let output = Command::new(rustc)
+        .arg("--edition=2021")
+        .arg("--crate-type=bin")
+        // Type-check only: macro expansion and all type errors surface,
+        // but nothing is linked, keeping the harness fast.
+        .arg("--emit=metadata")
+        .arg("-L")
+        .arg(format!("dependency={}", deps.display()))
+        .arg("--extern")
+        .arg(format!("dear_core={}", core.display()))
+        .arg("--extern")
+        .arg(format!("dear_time={}", time.display()))
+        .arg("--extern")
+        .arg(format!("dear_macros={}", macros.display()))
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .arg(fixture)
+        .output()
+        .expect("spawn rustc");
+    let diagnostics = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stderr),
+        String::from_utf8_lossy(&output.stdout)
+    );
+    (output.status.success(), diagnostics)
+}
+
+#[test]
+fn ui_fixtures() {
+    let ui = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/ui");
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&ui)
+        .expect("tests/ui exists")
+        .map(|e| e.expect("ui entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 6,
+        "expected the full fixture set, found {}",
+        fixtures.len()
+    );
+
+    let mut checked_ok = false;
+    for fixture in &fixtures {
+        let name = fixture.file_name().unwrap().to_string_lossy().to_string();
+        let source = fs::read_to_string(fixture).expect("read fixture");
+        let (success, diagnostics) = compile(fixture);
+        match expected_error(&source) {
+            Some(expected) => {
+                assert!(
+                    !success,
+                    "{name}: expected a compile error containing {expected:?}, but it compiled"
+                );
+                assert!(
+                    diagnostics.contains(&expected),
+                    "{name}: diagnostics lack {expected:?}:\n{diagnostics}"
+                );
+            }
+            None => {
+                assert!(
+                    success,
+                    "{name}: positive control failed to compile:\n{diagnostics}"
+                );
+                checked_ok = true;
+            }
+        }
+    }
+    assert!(checked_ok, "fixture set lacks a positive control");
+}

@@ -1,0 +1,12 @@
+//~ ERROR: more than one role attribute
+
+use dear_core::{Port, Reactor};
+
+#[derive(Reactor)]
+struct TwoRoles {
+    #[input]
+    #[output]
+    port: Port<u64>,
+}
+
+fn main() {}

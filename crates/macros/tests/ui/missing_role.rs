@@ -1,0 +1,10 @@
+//~ ERROR: needs a role attribute
+
+use dear_core::{Port, Reactor};
+
+#[derive(Reactor)]
+struct Roleless {
+    out: Port<u64>,
+}
+
+fn main() {}

@@ -1,0 +1,13 @@
+//~ ERROR: declares no triggers
+
+use dear_core::{Port, Reaction, Reactor};
+
+#[derive(Reactor)]
+struct NoTrigger {
+    #[output]
+    out: Port<u64>,
+    #[reaction(effects(out))]
+    run: Reaction,
+}
+
+fn main() {}

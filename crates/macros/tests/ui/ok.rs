@@ -1,0 +1,36 @@
+//! Positive control: a well-formed reactor must compile. If this fixture
+//! fails, the harness itself (extern paths, deps dir) is broken, and the
+//! compile-fail assertions below it would pass vacuously.
+
+use dear_core::{Port, ProgramBuilder, Reaction, ReactionCtx, Reactor, Runtime, Timer};
+use dear_time::{Duration, Instant};
+
+#[derive(Reactor)]
+#[reactor(state = u64)]
+struct Counter {
+    #[timer(period = Duration::from_millis(10))]
+    tick: Timer,
+    #[output]
+    count: Port<u64>,
+    #[reaction(triggers(tick), effects(count))]
+    bump: Reaction,
+}
+
+impl Counter {
+    fn bump(state: &mut u64, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        *state += 1;
+        ctx.set(this.count, *state);
+        if *state >= 3 {
+            ctx.request_shutdown();
+        }
+    }
+}
+
+fn main() {
+    let mut b = ProgramBuilder::new();
+    let _counter: Counter = b.declare("counter", 0);
+    let mut rt = Runtime::new(b.build().unwrap());
+    rt.start(Instant::EPOCH);
+    rt.run_fast(u64::MAX);
+    assert_eq!(rt.stats().executed_reactions, 3);
+}

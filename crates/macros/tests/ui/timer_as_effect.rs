@@ -1,0 +1,16 @@
+//~ ERROR: has the wrong kind to be an effected port
+
+use dear_core::{Port, Reaction, Reactor, Timer};
+use dear_time::Duration;
+
+#[derive(Reactor)]
+struct TimerEffect {
+    #[timer(period = Duration::from_millis(1))]
+    tick: Timer,
+    #[input]
+    inp: Port<u64>,
+    #[reaction(triggers(inp), effects(tick))]
+    run: Reaction,
+}
+
+fn main() {}

@@ -1,0 +1,43 @@
+//~ ERROR: mismatched types
+
+use dear_core::{Port, ProgramBuilder, Reaction, ReactionCtx, Reactor, Timer};
+use dear_time::Duration;
+
+#[derive(Reactor)]
+struct Producer {
+    #[timer(period = Duration::from_millis(1))]
+    tick: Timer,
+    #[output]
+    out: Port<u64>,
+    #[reaction(triggers(tick), effects(out))]
+    emit: Reaction,
+}
+
+impl Producer {
+    fn emit(_: &mut (), this: &Self, ctx: &mut ReactionCtx<'_>) {
+        ctx.set(this.out, 1u64);
+    }
+}
+
+#[derive(Reactor)]
+struct Consumer {
+    #[input]
+    inp: Port<String>,
+    #[reaction(triggers(inp))]
+    recv: Reaction,
+}
+
+impl Consumer {
+    fn recv(_: &mut (), this: &Self, ctx: &mut ReactionCtx<'_>) {
+        let _ = ctx.get(this.inp);
+    }
+}
+
+fn main() {
+    let mut b = ProgramBuilder::new();
+    let p: Producer = b.declare("p", ());
+    let c: Consumer = b.declare("c", ());
+    // Port<u64> into Port<String>: the derive carries the payload types
+    // into the handles, so this stays a compile error.
+    b.connect(p.out, c.inp).unwrap();
+}

@@ -1,0 +1,13 @@
+//~ ERROR: references unknown element `nonexistent`
+
+use dear_core::{Port, Reaction, Reactor};
+
+#[derive(Reactor)]
+struct GhostTrigger {
+    #[input]
+    inp: Port<u64>,
+    #[reaction(triggers(nonexistent))]
+    run: Reaction,
+}
+
+fn main() {}

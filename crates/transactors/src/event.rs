@@ -65,7 +65,7 @@ impl ServerEventTransactor {
                 forward_fn(outbox.sender(), route, deadline, event),
             )
             .body(forward_fn(outbox.sender(), route, deadline, event));
-        drop(r);
+        r.finish();
         ServerEventTransactor {
             event,
             route,
@@ -118,7 +118,7 @@ impl ClientEventTransactor {
                     .expect("action value present");
                 ctx.set(event, v);
             });
-        drop(r);
+        r.finish();
         ClientEventTransactor { event, evt_action }
     }
 

@@ -94,7 +94,7 @@ impl ClientMethodTransactor {
                     .expect("action value present");
                 ctx.set(response, v);
             });
-        drop(r);
+        r.finish();
         ClientMethodTransactor {
             request,
             response,
@@ -195,7 +195,7 @@ impl ServerMethodTransactor {
                 forward_fn(outbox.sender(), route, deadline, response),
             )
             .body(forward_fn(outbox.sender(), route, deadline, response));
-        drop(r);
+        r.finish();
         ServerMethodTransactor {
             request,
             response,

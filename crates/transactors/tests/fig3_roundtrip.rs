@@ -55,7 +55,7 @@ fn run_roundtrip(seed: u64, net_latency: LatencyModel) -> (TagLog, TagLog) {
                     .unwrap()
                     .push((ctx.tag(), ctx.get(cmt.response).unwrap().clone()));
             });
-        drop(logic);
+        logic.finish();
         bc.connect(req_out, cmt.request).unwrap();
     }
     let client_rt = Runtime::new(bc.build().unwrap());
@@ -96,7 +96,7 @@ fn run_roundtrip(seed: u64, net_latency: LatencyModel) -> (TagLog, TagLog) {
                 log.lock().unwrap().push((ctx.tag(), req.clone()));
                 ctx.set(resp_out, vec![req[0] + 1].into());
             });
-        drop(logic);
+        logic.finish();
         bs.connect(resp_out, smt.response).unwrap();
     }
     let server_rt = Runtime::new(bs.build().unwrap());
@@ -206,7 +206,7 @@ fn stp_violation_is_observable_when_latency_bound_is_wrong() {
             .triggered_by(t)
             .effects(out)
             .body(move |_, ctx| ctx.set(out, vec![1].into()));
-        drop(logic);
+        logic.finish();
         bp.connect(out, set.event).unwrap();
     }
     let pub_platform = FederatedPlatform::new(
@@ -238,7 +238,7 @@ fn stp_violation_is_observable_when_latency_bound_is_wrong() {
             .reaction("consume")
             .triggered_by(cet.event)
             .body(move |_, _| *rec.lock().unwrap() += 1);
-        drop(logic);
+        logic.finish();
     }
     let sub_platform = FederatedPlatform::new(
         "subscriber",
@@ -294,7 +294,7 @@ fn untagged_messages_follow_policy() {
                 .reaction("consume")
                 .triggered_by(cet.event)
                 .body(move |_, _| *rec.lock().unwrap() += 1);
-            drop(logic);
+            logic.finish();
         }
         let sub_platform = FederatedPlatform::new(
             "subscriber",

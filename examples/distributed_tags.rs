@@ -87,7 +87,7 @@ fn run(
                 let v = ctx.get(cmt.response).expect("present")[0];
                 sink.lock().unwrap().push((ctx.tag(), v));
             });
-        drop(logic);
+        logic.finish();
         bc.connect(req, cmt.request).unwrap();
     }
     let client = FederatedPlatform::new(
@@ -116,7 +116,7 @@ fn run(
                 let v = ctx.get(smt.request).expect("present")[0];
                 ctx.set(resp, vec![v.wrapping_mul(v)].into());
             });
-        drop(logic);
+        logic.finish();
         bs.connect(resp, smt.response).unwrap();
     }
     let server = FederatedPlatform::new(

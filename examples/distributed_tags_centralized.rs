@@ -146,7 +146,7 @@ fn run(seed: u64, latency_bound: Duration, centralized: bool) -> Outcome {
                 let v = ctx.get(cmt.response).expect("present")[0];
                 sink.lock().unwrap().push((ctx.tag(), v));
             });
-        drop(logic);
+        logic.finish();
         bc.connect(req, cmt.request).unwrap();
     }
     let client_runtime = Runtime::new(bc.build().expect("client program"));
@@ -168,7 +168,7 @@ fn run(seed: u64, latency_bound: Duration, centralized: bool) -> Outcome {
                 let v = ctx.get(smt.request).expect("present")[0];
                 ctx.set(resp, vec![v.wrapping_mul(v)].into());
             });
-        drop(logic);
+        logic.finish();
         bs.connect(resp, smt.response).unwrap();
     }
     let server_runtime = Runtime::new(bs.build().expect("server program"));

@@ -144,7 +144,7 @@ fn run(hierarchical: bool, sever_uplink: bool) -> Outcome {
                     }
                 },
             );
-            drop(logic);
+            logic.finish();
             b.connect(out, publish.event).unwrap();
         }
         let binding = Binding::new(&net, &sd, NodeId(4), 0x40);
@@ -183,7 +183,7 @@ fn run(hierarchical: bool, sever_uplink: bool) -> Outcome {
                     let level = ctx.get(input.event).unwrap()[0];
                     sink.lock().unwrap().push((ctx.tag(), level));
                 });
-            drop(logic);
+            logic.finish();
         }
         let binding = Binding::new(&net, &sd, NodeId(5 + v as u16), 0x50 + v as u16);
         let p = platform(

@@ -2,97 +2,120 @@
 //!
 //! A periodic sensor reactor emits readings; a monitor reactor filters
 //! them and raises an alarm event through a logical action; a logger
-//! collects everything. Run with:
+//! collects everything. The reactors are written in the `#[derive(Reactor)]`
+//! authoring DSL — see `examples/fig1_calculator.rs` for the same DSL over
+//! foreign transactor ports, and the `dear::reactor::ProgramBuilder` docs
+//! for the underlying builder calls the derive expands to. Run with:
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use dear::observe::{Lane, ObservabilityReport, Observe};
-use dear::reactor::{ProgramBuilder, Runtime, Startup};
+use dear::reactor::{
+    LogicalAction, Port, ProgramBuilder, Reaction, ReactionCtx, Reactor, Runtime, Timer,
+};
 use dear::time::{Duration, Instant};
 use std::sync::{Arc, Mutex};
+
+/// A sensor producing a sawtooth reading every 10 ms.
+#[derive(Reactor)]
+#[reactor(state = i64)]
+struct Sensor {
+    #[timer(period = "Duration::from_millis(10)")]
+    tick: Timer,
+    #[output]
+    reading: Port<i64>,
+    #[reaction(triggers(tick), effects(reading))]
+    sample: Reaction,
+}
+
+impl Sensor {
+    fn sample(state: &mut i64, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        *state = (*state + 7) % 20;
+        ctx.set(this.reading, *state);
+    }
+}
+
+/// A monitor that raises an alarm (via a logical action with a 1 ms
+/// delay) whenever the reading exceeds a threshold.
+#[derive(Reactor)]
+struct Monitor {
+    #[input]
+    reading: Port<i64>,
+    #[action(min_delay = "Duration::from_millis(1)")]
+    alarm: LogicalAction<i64>,
+    #[output]
+    alarm_msg: Port<String>,
+    #[reaction(triggers(reading), schedules(alarm))]
+    check: Reaction,
+    #[reaction(triggers(alarm), effects(alarm_msg))]
+    raise: Reaction,
+}
+
+impl Monitor {
+    fn check(_: &mut (), this: &Self, ctx: &mut ReactionCtx<'_>) {
+        let v = *ctx.get(this.reading).expect("triggered by reading");
+        if v > 15 {
+            ctx.schedule(this.alarm, Duration::ZERO, v);
+        }
+    }
+
+    fn raise(_: &mut (), this: &Self, ctx: &mut ReactionCtx<'_>) {
+        let v = ctx.get_action(&this.alarm).expect("alarm payload");
+        ctx.set(this.alarm_msg, format!("reading {v} exceeded threshold"));
+    }
+}
+
+/// A logger collecting readings and alarms.
+#[derive(Reactor)]
+#[reactor(state = Arc<Mutex<Vec<String>>>)]
+struct Logger {
+    #[input]
+    reading: Port<i64>,
+    #[input]
+    alarm: Port<String>,
+    #[reaction(triggers(reading))]
+    log_reading: Reaction,
+    #[reaction(triggers(alarm))]
+    log_alarm: Reaction,
+    #[reaction(triggers(startup))]
+    hello: Reaction,
+}
+
+impl Logger {
+    fn log_reading(log: &mut Arc<Mutex<Vec<String>>>, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        log.lock().unwrap().push(format!(
+            "[{}] reading = {}",
+            ctx.logical_time(),
+            ctx.get(this.reading).expect("present")
+        ));
+    }
+
+    fn log_alarm(log: &mut Arc<Mutex<Vec<String>>>, this: &Self, ctx: &mut ReactionCtx<'_>) {
+        log.lock().unwrap().push(format!(
+            "[{}] ALARM: {}",
+            ctx.logical_time(),
+            ctx.get(this.alarm).expect("present")
+        ));
+    }
+
+    fn hello(log: &mut Arc<Mutex<Vec<String>>>, _: &Self, _: &mut ReactionCtx<'_>) {
+        log.lock().unwrap().push("logger up".into());
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let mut b = ProgramBuilder::new();
 
-    // A sensor producing a sawtooth reading every 10 ms.
-    let mut sensor = b.reactor("sensor", 0i64);
-    let tick = sensor.timer("tick", Duration::ZERO, Some(Duration::from_millis(10)));
-    let reading = sensor.output::<i64>("reading");
-    sensor
-        .reaction("sample")
-        .triggered_by(tick)
-        .effects(reading)
-        .body(move |state: &mut i64, ctx| {
-            *state = (*state + 7) % 20;
-            ctx.set(reading, *state);
-        });
-    drop(sensor);
+    let sensor: Sensor = b.declare("sensor", 0);
+    let monitor: Monitor = b.declare("monitor", ());
+    let logger: Logger = b.declare("logger", log.clone());
 
-    // A monitor that raises an alarm (via a logical action with a 1 ms
-    // delay) whenever the reading exceeds a threshold.
-    let mut monitor = b.reactor("monitor", ());
-    let m_in = monitor.input::<i64>("reading");
-    let alarm = monitor.logical_action::<i64>("alarm", Duration::from_millis(1));
-    let alarm_out = monitor.output::<String>("alarm_msg");
-    monitor
-        .reaction("check")
-        .triggered_by(m_in)
-        .schedules(alarm)
-        .body(move |_, ctx| {
-            let v = *ctx.get(m_in).expect("triggered by reading");
-            if v > 15 {
-                ctx.schedule(alarm, Duration::ZERO, v);
-            }
-        });
-    monitor
-        .reaction("raise")
-        .triggered_by(alarm)
-        .effects(alarm_out)
-        .body(move |_, ctx| {
-            let v = ctx.get_action(&alarm).expect("alarm payload");
-            ctx.set(alarm_out, format!("reading {v} exceeded threshold"));
-        });
-    drop(monitor);
-
-    // A logger collecting readings and alarms.
-    let mut logger = b.reactor("logger", ());
-    let l_reading = logger.input::<i64>("reading");
-    let l_alarm = logger.input::<String>("alarm");
-    let log1 = log.clone();
-    logger
-        .reaction("log_reading")
-        .triggered_by(l_reading)
-        .body(move |_, ctx| {
-            log1.lock().unwrap().push(format!(
-                "[{}] reading = {}",
-                ctx.logical_time(),
-                ctx.get(l_reading).expect("present")
-            ));
-        });
-    let log2 = log.clone();
-    logger
-        .reaction("log_alarm")
-        .triggered_by(l_alarm)
-        .body(move |_, ctx| {
-            log2.lock().unwrap().push(format!(
-                "[{}] ALARM: {}",
-                ctx.logical_time(),
-                ctx.get(l_alarm).expect("present")
-            ));
-        });
-    let log3 = log.clone();
-    logger
-        .reaction("hello")
-        .triggered_by(Startup)
-        .body(move |_, _| log3.lock().unwrap().push("logger up".into()));
-    drop(logger);
-
-    b.connect(reading, m_in)?;
-    b.connect(reading, l_reading)?;
-    b.connect(alarm_out, l_alarm)?;
+    b.connect(sensor.reading, monitor.reading)?;
+    b.connect(sensor.reading, logger.reading)?;
+    b.connect(monitor.alarm_msg, logger.alarm)?;
 
     let mut rt = Runtime::new(b.build()?);
     // Telemetry: counters plus one span per processed tag on the

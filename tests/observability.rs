@@ -106,7 +106,7 @@ fn run_platoon(seed: u64, hierarchical: bool) -> (Vec<Vec<(Tag, u8)>>, Observe) 
                     }
                 },
             );
-            drop(logic);
+            logic.finish();
             b.connect(out, publish.event).unwrap();
         }
         let binding = Binding::new(&net, &sd, NodeId(4), 0x40);
@@ -144,7 +144,7 @@ fn run_platoon(seed: u64, hierarchical: bool) -> (Vec<Vec<(Tag, u8)>>, Observe) 
                     let level = ctx.get(input.event).unwrap()[0];
                     sink.lock().unwrap().push((ctx.tag(), level));
                 });
-            drop(logic);
+            logic.finish();
         }
         let binding = Binding::new(&net, &sd, NodeId(5 + v as u16), 0x50 + v as u16);
         let p = platform(

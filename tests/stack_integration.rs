@@ -138,7 +138,7 @@ fn dear_field_transactors_bridge_reactors_to_ara_fields() {
                     .unwrap()
                     .push(ctx.get(fct.set.response).unwrap().to_vec());
             });
-        drop(logic);
+        logic.finish();
         b.connect(set_req, fct.set.request).unwrap();
     }
     let platform = FederatedPlatform::new(
@@ -187,7 +187,7 @@ fn reactor_event_publisher_reaches_legacy_buffered_subscriber() {
                 *n += 1;
                 ctx.set(out, vec![*n].into());
             });
-        drop(logic);
+        logic.finish();
         b.connect(out, publish.event).unwrap();
     }
     let platform = FederatedPlatform::new(
@@ -241,7 +241,7 @@ fn startup_and_tag_zero_reach_through_facade() {
             *n += 1;
             assert_eq!(ctx.tag(), Tag::ORIGIN);
         });
-    drop(r);
+    r.finish();
     let mut rt = Runtime::new(b.build().expect("builds"));
     rt.start(Instant::EPOCH);
     rt.run_fast(u64::MAX);
