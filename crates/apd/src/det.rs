@@ -155,6 +155,12 @@ pub struct DetParams {
     /// only, so control messages never perturb data-plane latencies).
     /// Must deliver in order (the default; see [`Rti::new`]).
     pub coord_link: LinkConfig,
+    /// Enable the RTI's control-plane diet (DNET suppression, grant-ahead
+    /// windows, periodic fast path) under centralized coordination. Off
+    /// by default; ignored under decentralized coordination. Turning it
+    /// on must not change any observable trace — only the control-frame
+    /// counters in [`DetReport::coordination`].
+    pub control_diet: bool,
     /// Record per-stage runtime event traces and report their
     /// fingerprints in [`DetReport::stage_traces`]. Off by default: the
     /// figure benches call `run_det` in measured loops and tracing costs
@@ -187,6 +193,7 @@ impl Default for DetParams {
             loopback: nd.loopback,
             coordination: Coordination::Decentralized,
             coord_link: LinkConfig::ideal(Duration::from_micros(10)),
+            control_diet: false,
             record_traces: false,
             redundancy: None,
             observability: false,
@@ -243,6 +250,11 @@ pub struct CoordReport {
     pub bound_breaches: u64,
     /// Total time stages spent blocked waiting for grants.
     pub grant_wait: Duration,
+    /// Reports suppressed before hitting the wire (control diet only:
+    /// same-head NET dedup plus DNET sink suppression).
+    pub nets_suppressed: u64,
+    /// Windowed TAG grants received (control diet only).
+    pub windowed_grants: u64,
     /// Whether every stage's greatest processed tag stayed strictly
     /// below its final granted bound (vacuously true when no bounds are
     /// in play).
@@ -457,6 +469,7 @@ impl DriverFactory for DecentralizedFactory {
 /// traces stay bit-identical to the decentralized build.
 struct CentralizedFactory {
     coord_link: LinkConfig,
+    control_diet: bool,
     edges: [(&'static str, &'static str, Duration); 3],
     coord_net: Option<NetworkHandle>,
     coord_sd: SdRegistry,
@@ -469,6 +482,7 @@ impl CentralizedFactory {
         let stp = params.latency_bound + params.clock_error;
         CentralizedFactory {
             coord_link: params.coord_link.clone(),
+            control_diet: params.control_diet,
             edges: [
                 ("adapter", "preprocessing", params.deadlines.adapter + stp),
                 (
@@ -503,7 +517,13 @@ impl DriverFactory for CentralizedFactory {
 
     fn init(&mut self, sim: &mut Simulation) {
         let coord_net = NetworkHandle::new(self.coord_link.clone(), sim.fork_rng("coord-net"));
-        self.rti = Some(Rti::new(sim, &coord_net, &self.coord_sd, nodes::RTI));
+        let rti = Rti::new(sim, &coord_net, &self.coord_sd, nodes::RTI);
+        // Before any platform is built: each platform samples the diet
+        // mode once, at construction.
+        if self.control_diet {
+            rti.enable_control_diet();
+        }
+        self.rti = Some(rti);
         self.coord_net = Some(coord_net);
     }
 
@@ -560,6 +580,8 @@ impl DriverFactory for CentralizedFactory {
             report.ptags_received += cs.ptags_received();
             report.bound_breaches += cs.bound_breaches();
             report.grant_wait += cs.grant_wait();
+            report.nets_suppressed += cs.nets_suppressed();
+            report.windowed_grants += cs.windowed_grants();
             if let (Some(max), Some(bound)) = (p.max_processed_tag(), p.granted_bound()) {
                 report.within_bound &= max < bound;
             }

@@ -10,7 +10,9 @@
 //!
 //! * the static per-hop offset the tag algebra pays either way,
 //! * the grant traffic (TAGs received, NET/LTC reports) and the total +
-//!   mean grant-wait time of the centralized run,
+//!   mean grant-wait time of the centralized run — plain and with the
+//!   control-plane diet (PR 9), which suppresses the sink stage's
+//!   reports via DNET while leaving the traces untouched,
 //! * a cross-check that both runs stay error-free with byte-identical
 //!   per-stage traces,
 //!
@@ -40,6 +42,13 @@ fn params(frames: u64, l_ms: i64, coord_us: u64, coordination: Coordination) -> 
     }
 }
 
+fn diet_params(frames: u64, l_ms: i64, coord_us: u64) -> DetParams {
+    DetParams {
+        control_diet: true,
+        ..params(frames, l_ms, coord_us, Coordination::Centralized)
+    }
+}
+
 fn main() {
     let frames = env_u64("DEAR_FRAMES", 300);
     let coord_us = env_u64("DEAR_COORD_US", 10);
@@ -49,10 +58,10 @@ fn main() {
     println!("coordination link: ideal {coord_us} µs; deadlines 5/25/25/5 ms; E = 0");
     println!();
     println!(
-        "  L (ms) | static offset/hop | grants |  NETs |  LTCs | grant wait (total / per grant) | traces"
+        "  L (ms) | rti variant | static offset/hop | grants |  NETs |  LTCs | suppressed | grant wait (total / per grant) | traces"
     );
     println!(
-        "---------+-------------------+--------+-------+-------+--------------------------------+-------"
+        "---------+-------------+-------------------+--------+-------+-------+------------+--------------------------------+-------"
     );
 
     let started = std::time::Instant::now();
@@ -65,29 +74,47 @@ fn main() {
             42,
             &params(frames, l_ms, coord_us, Coordination::Centralized),
         );
-        let c = &cen.coordination;
-        let identical = dec.stage_traces == cen.stage_traces;
-        assert!(identical, "traces diverged at L = {l_ms} ms");
-        assert_eq!(cen.stp_violations, 0, "L = {l_ms} ms");
-        assert!(c.within_bound && c.bound_breaches == 0, "L = {l_ms} ms");
-        // The adapter hop pays Da + L; the heavier hops pay 25 ms + L.
-        let static_offset = Duration::from_millis(5 + l_ms);
-        let per_grant = if c.grants_received == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(
-                c.grant_wait.as_nanos() / i64::try_from(c.grants_received).expect("count"),
-            )
-        };
-        println!(
-            "   {l_ms:4}  |     {:>9}     | {:6} | {:5} | {:5} | {:>14} / {:>13} | {}",
-            static_offset.to_string(),
-            c.grants_received,
-            c.nets_sent,
-            c.ltcs_sent,
-            c.grant_wait.to_string(),
-            per_grant.to_string(),
-            if identical { "same" } else { "DIFF" },
+        let diet = run_det(42, &diet_params(frames, l_ms, coord_us));
+        for (label, run) in [("plain", &cen), ("diet", &diet)] {
+            let c = &run.coordination;
+            let identical = dec.stage_traces == run.stage_traces;
+            assert!(identical, "{label} traces diverged at L = {l_ms} ms");
+            assert_eq!(run.stp_violations, 0, "{label} L = {l_ms} ms");
+            assert!(
+                c.within_bound && c.bound_breaches == 0,
+                "{label} L = {l_ms} ms"
+            );
+            // The adapter hop pays Da + L; the heavier hops pay 25 ms + L.
+            let static_offset = Duration::from_millis(5 + l_ms);
+            let per_grant = if c.grants_received == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(
+                    c.grant_wait.as_nanos() / i64::try_from(c.grants_received).expect("count"),
+                )
+            };
+            println!(
+                "   {l_ms:4}  | {label:11} |     {:>9}     | {:6} | {:5} | {:5} | {:10} | {:>14} / {:>13} | {}",
+                static_offset.to_string(),
+                c.grants_received,
+                c.nets_sent,
+                c.ltcs_sent,
+                c.nets_suppressed,
+                c.grant_wait.to_string(),
+                per_grant.to_string(),
+                if identical { "same" } else { "DIFF" },
+            );
+        }
+        // The diet must genuinely shrink the control plane while the
+        // decision traces above stayed byte-identical.
+        assert!(
+            diet.coordination.nets_suppressed > 0,
+            "L = {l_ms} ms: the diet suppressed nothing"
+        );
+        assert!(
+            diet.coordination.nets_sent + diet.coordination.ltcs_sent
+                < cen.coordination.nets_sent + cen.coordination.ltcs_sent,
+            "L = {l_ms} ms: the diet did not cut report traffic"
         );
     }
     println!();

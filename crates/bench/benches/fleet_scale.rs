@@ -1,5 +1,7 @@
 //! **Fleet-scale federation** — flat RTI vs the two-level hierarchical
-//! coordinator on a star-of-chains fleet (PR 6 tentpole).
+//! coordinator on a star-of-chains fleet (PR 6 tentpole), each with and
+//! without the coordination control-plane diet (PR 9: DNET suppression,
+//! grant-ahead windows, periodic fast path).
 //!
 //! Topology: `Z` zones of `M = 10` federates each, chained inside the
 //! zone (`m0 → m1 → … → m9`), with cross-zone edges from zone 0's chain
@@ -10,18 +12,24 @@
 //! The flat RTI solves one global LBTS fixpoint over all `N` federates on
 //! every control message; the hierarchical coordinator solves an
 //! `M`-node fixpoint per zone plus a `Z`-node fixpoint at the root, and
-//! batches its control frames. Per scale point the harness reports:
+//! batches its control frames. The diet then shrinks the message volume
+//! itself: timer-only federates declare their periodic lattice, so one
+//! windowed TAG covers a run of future tags, and DNET-classified sinks
+//! stop reporting. Per scale point the harness reports:
 //!
-//! * **grants/sec** — TAG grants issued per wall-clock second (the
-//!   coordinator's throughput; the hierarchy should win big at 1000),
+//! * **grants/sec** — granted tags (plain TAG frames plus the tags
+//!   covered by grant-ahead windows) per wall-clock second,
 //! * **LBTS lag** — mean virtual time a federate spends blocked per
 //!   received grant (the price of the extra coordination hop),
+//! * **frames/grant** — control frames (reports in, grants + DNETs out)
+//!   per granted tag: the diet's headline metric,
 //! * control-frame counts (the batching win).
 //!
 //! Run with `cargo bench -p dear-bench --bench fleet_scale` (append
 //! `-- --test` for a small smoke run that also checks determinism and
-//! flat/hierarchical equivalence). `DEAR_FLEET_MS` (default 100) sets
-//! the virtual run length per point.
+//! flat/hierarchical/diet equivalence, and writes the machine-readable
+//! `BENCH_fleet_scale.json`). `DEAR_FLEET_MS` (default 100) sets the
+//! virtual run length per point.
 
 use dear_bench::{env_u64, header};
 use dear_core::{ProgramBuilder, Runtime, Tag};
@@ -30,6 +38,7 @@ use dear_sim::{LinkConfig, NetworkHandle, NodeId, Simulation, VirtualClock};
 use dear_someip::{Binding, SdRegistry};
 use dear_time::{Duration, Instant};
 use dear_transactors::Outbox;
+use std::fmt::Write as _;
 
 const MEMBERS_PER_ZONE: usize = 10;
 const SEED: u64 = 42;
@@ -43,9 +52,15 @@ enum Mode {
 struct Report {
     wall: std::time::Duration,
     tags_issued: u64,
+    window_tags: u64,
+    /// Control frames through the coordinator: reports in (NET + LTC)
+    /// plus grants and DNET pushes out.
+    control_frames: u64,
     grants_received: u64,
     grant_wait: Duration,
     batches: u64,
+    dnets_sent: u64,
+    windowed_grants: u64,
     /// FNV-1a over every federate's (processed, max tag) — the
     /// determinism witness.
     fingerprint: u64,
@@ -53,8 +68,14 @@ struct Report {
 }
 
 impl Report {
+    /// Granted tags: plain TAG frames plus the tags covered by windowed
+    /// grants (one frame standing in for a run of future tags).
+    fn granted(&self) -> u64 {
+        self.tags_issued + self.window_tags
+    }
+
     fn grants_per_sec(&self) -> f64 {
-        self.tags_issued as f64 / self.wall.as_secs_f64()
+        self.granted() as f64 / self.wall.as_secs_f64()
     }
 
     fn lag(&self) -> Duration {
@@ -66,9 +87,19 @@ impl Report {
             )
         }
     }
+
+    /// Control frames per granted tag — what the diet is dieting.
+    fn frames_per_grant(&self) -> f64 {
+        if self.granted() == 0 {
+            0.0
+        } else {
+            self.control_frames as f64 / self.granted() as f64
+        }
+    }
 }
 
 /// One timer-driven federate: no data plane, just tags to be granted.
+/// Timer-only, so under the diet it declares a 10 ms periodic lattice.
 fn fleet_member(name: &str) -> Runtime {
     let mut b = ProgramBuilder::new();
     let mut r = b.reactor(name, 0u64);
@@ -84,7 +115,7 @@ fn fleet_member(name: &str) -> Runtime {
     Runtime::new(b.build().expect("fleet member builds"))
 }
 
-fn run_fleet(zones: usize, mode: Mode, horizon: Duration) -> Report {
+fn run_fleet(zones: usize, mode: Mode, diet: bool, horizon: Duration) -> Report {
     let n = zones * MEMBERS_PER_ZONE;
     let edge_delay = Duration::from_millis(1);
     let mut sim = Simulation::new(SEED);
@@ -95,14 +126,24 @@ fn run_fleet(zones: usize, mode: Mode, horizon: Duration) -> Report {
     let sd = SdRegistry::new();
 
     // Node plan: 0 = root/RTI, 1..=zones = zone coordinators, rest =
-    // federates (one node each, like one ECU each).
+    // federates (one node each, like one ECU each). The diet must be on
+    // before any platform is built — platforms query the mode once.
     let fed_node = |i: usize| NodeId((1 + zones + i) as u16);
     let (flat, hier) = match mode {
-        Mode::Flat => (Some(Rti::new(&mut sim, &net, &sd, NodeId(0))), None),
+        Mode::Flat => {
+            let rti = Rti::new(&mut sim, &net, &sd, NodeId(0));
+            if diet {
+                rti.enable_control_diet();
+            }
+            (Some(rti), None)
+        }
         Mode::Hierarchical => {
             let h = HierarchicalRti::new(&mut sim, &net, &sd, NodeId(0));
             for z in 0..zones {
                 h.add_zone(&mut sim, &net, &sd, NodeId(1 + z as u16));
+            }
+            if diet {
+                h.enable_control_diet();
             }
             (None, Some(h))
         }
@@ -183,6 +224,7 @@ fn run_fleet(zones: usize, mode: Mode, horizon: Duration) -> Report {
     let mut grants_received = 0;
     let mut grant_wait = Duration::ZERO;
     let mut batches = 0;
+    let mut windowed_grants = 0;
     let mut processed = 0;
     for p in &platforms {
         let cs = p.coordination_stats();
@@ -190,6 +232,7 @@ fn run_fleet(zones: usize, mode: Mode, horizon: Duration) -> Report {
         grants_received += cs.grants_received();
         grant_wait += cs.grant_wait();
         batches += cs.coord_batches_sent() + cs.coord_batches_received();
+        windowed_grants += cs.windowed_grants();
         let tags = p.stats().processed_tags;
         processed += tags;
         let max = p.max_processed_tag().unwrap_or(Tag::ORIGIN);
@@ -200,42 +243,107 @@ fn run_fleet(zones: usize, mode: Mode, horizon: Duration) -> Report {
     Report {
         wall,
         tags_issued: stats.tags_issued,
+        window_tags: stats.window_tags,
+        control_frames: stats.nets_received
+            + stats.ltcs_received
+            + stats.tags_issued
+            + stats.ptags_issued
+            + stats.dnets_sent,
         grants_received,
         grant_wait,
         batches,
+        dnets_sent: stats.dnets_sent,
+        windowed_grants,
         fingerprint,
         processed,
     }
 }
 
-fn scale_table(points: &[usize], horizon: Duration) {
+/// The four variants of one scale point, in print order.
+fn variants(zones: usize, horizon: Duration) -> [(&'static str, bool, Report); 4] {
+    [
+        ("flat", false, run_fleet(zones, Mode::Flat, false, horizon)),
+        (
+            "flat+diet",
+            true,
+            run_fleet(zones, Mode::Flat, true, horizon),
+        ),
+        (
+            "2-level",
+            false,
+            run_fleet(zones, Mode::Hierarchical, false, horizon),
+        ),
+        (
+            "2-level+diet",
+            true,
+            run_fleet(zones, Mode::Hierarchical, true, horizon),
+        ),
+    ]
+}
+
+fn scale_table(points: &[usize], horizon: Duration) -> String {
+    let mut json_rows = String::new();
     println!(
-        "  federates | coordinator  | grants/sec |  LBTS lag | control batches | processed tags"
+        "  federates | coordinator  | grants/sec |  LBTS lag | frames/grant | control batches | processed tags"
     );
     println!(
-        "------------+--------------+------------+-----------+-----------------+---------------"
+        "------------+--------------+------------+-----------+--------------+-----------------+---------------"
     );
     for &zones in points {
         let n = zones * MEMBERS_PER_ZONE;
-        let flat = run_fleet(zones, Mode::Flat, horizon);
-        let hier = run_fleet(zones, Mode::Hierarchical, horizon);
-        assert_eq!(
-            flat.processed, hier.processed,
-            "coordinators disagree on processed tags at N = {n}"
-        );
-        for (label, r) in [("flat", &flat), ("2-level", &hier)] {
+        let rows = variants(zones, horizon);
+        for (label, _, r) in &rows {
+            assert_eq!(
+                rows[0].2.processed, r.processed,
+                "variant {label} disagrees on processed tags at N = {n}"
+            );
+        }
+        for (label, diet, r) in &rows {
             println!(
-                "  {n:9} | {label:12} | {:10.0} | {:>9} | {:15} | {:14}",
+                "  {n:9} | {label:12} | {:10.0} | {:>9} | {:12.2} | {:15} | {:14}",
                 r.grants_per_sec(),
                 r.lag().to_string(),
+                r.frames_per_grant(),
                 r.batches,
+                r.processed,
+            );
+            let _ = writeln!(
+                json_rows,
+                "    {{\"federates\": {n}, \"coordinator\": \"{label}\", \"diet\": {diet}, \
+                 \"grants_per_sec\": {:.0}, \"mean_grant_wait_ns\": {}, \
+                 \"frames_per_granted_tag\": {:.4}, \"granted_tags\": {}, \
+                 \"windowed_tags\": {}, \"dnets_sent\": {}, \"processed_tags\": {}}},",
+                r.grants_per_sec(),
+                r.lag().as_nanos(),
+                r.frames_per_grant(),
+                r.granted(),
+                r.window_tags,
+                r.dnets_sent,
                 r.processed,
             );
         }
         println!(
-            "            | speedup      | {:9.1}x |           |                 |",
-            hier.grants_per_sec() / flat.grants_per_sec()
+            "            | hier speedup | {:9.1}x | diet frames/grant: {:.2} -> {:.2} (flat), {:.2} -> {:.2} (2-level)",
+            rows[2].2.grants_per_sec() / rows[0].2.grants_per_sec(),
+            rows[0].2.frames_per_grant(),
+            rows[1].2.frames_per_grant(),
+            rows[2].2.frames_per_grant(),
+            rows[3].2.frames_per_grant(),
         );
+    }
+    json_rows
+}
+
+fn write_json(horizon: Duration, json_rows: &str) {
+    let rows = json_rows.trim_end().trim_end_matches(',');
+    let body = format!(
+        "{{\n  \"bench\": \"fleet_scale\",\n  \"seed\": {SEED},\n  \"horizon_ms\": {},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        horizon.as_millis(),
+    );
+    let path = "BENCH_fleet_scale.json";
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
     }
 }
 
@@ -248,19 +356,55 @@ fn main() {
         // Smoke run: small fleet, plus the determinism and equivalence
         // checks the full table only spot-checks.
         let horizon = Duration::from_millis(60);
-        let a = run_fleet(6, Mode::Hierarchical, horizon);
-        let b = run_fleet(6, Mode::Hierarchical, horizon);
+        let a = run_fleet(6, Mode::Hierarchical, false, horizon);
+        let b = run_fleet(6, Mode::Hierarchical, false, horizon);
         assert_eq!(
             a.fingerprint, b.fingerprint,
             "hierarchical run is not deterministic"
         );
-        let flat = run_fleet(6, Mode::Flat, horizon);
+        let flat = run_fleet(6, Mode::Flat, false, horizon);
         assert_eq!(flat.processed, a.processed, "coordinators disagree");
         assert!(a.batches > 0, "zone protocol must batch");
         assert_eq!(flat.batches, 0, "flat protocol must not batch");
-        scale_table(&[6], horizon);
+
+        // The diet changes the message volume, never the outcome.
+        let flat_diet = run_fleet(6, Mode::Flat, true, horizon);
+        let hier_diet = run_fleet(6, Mode::Hierarchical, true, horizon);
+        let hier_diet2 = run_fleet(6, Mode::Hierarchical, true, horizon);
+        assert_eq!(
+            hier_diet.fingerprint, hier_diet2.fingerprint,
+            "diet run is not deterministic"
+        );
+        assert_eq!(
+            flat_diet.fingerprint, flat.fingerprint,
+            "flat diet diverged"
+        );
+        assert_eq!(
+            hier_diet.fingerprint, a.fingerprint,
+            "hierarchical diet diverged"
+        );
+        for (label, on, off) in [("flat", &flat_diet, &flat), ("2-level", &hier_diet, &a)] {
+            assert!(
+                on.frames_per_grant() < off.frames_per_grant(),
+                "{label}: diet did not reduce control frames per granted tag \
+                 ({:.2} vs {:.2})",
+                on.frames_per_grant(),
+                off.frames_per_grant(),
+            );
+            assert!(on.window_tags > 0, "{label}: no windowed tags");
+            assert!(on.windowed_grants > 0, "{label}: no windowed grants seen");
+            assert!(on.dnets_sent > 0, "{label}: no DNETs pushed");
+            assert_eq!(off.window_tags, 0, "{label}: windows leaked into diet-off");
+            assert_eq!(off.dnets_sent, 0, "{label}: DNETs leaked into diet-off");
+        }
+
+        let json_rows = scale_table(&[6], horizon);
+        write_json(horizon, &json_rows);
         println!();
-        println!("smoke run OK: deterministic, flat == 2-level, batching verified");
+        println!(
+            "smoke run OK: deterministic, flat == 2-level == diet, batching verified, \
+             diet cuts frames/grant"
+        );
         return;
     }
 
@@ -273,12 +417,15 @@ fn main() {
     );
     println!();
     let started = std::time::Instant::now();
-    scale_table(&[10, 40, 100], horizon);
+    let json_rows = scale_table(&[10, 40, 100], horizon);
+    write_json(horizon, &json_rows);
     println!();
     println!("expected shape: the flat RTI re-solves an N-node fixpoint per control");
     println!("message, so grants/sec collapses as the fleet grows; the hierarchy");
     println!("solves 10-node zone fixpoints plus one zone-level fixpoint and batches");
-    println!("its frames, trading a little LBTS lag for throughput that scales.");
+    println!("its frames, trading a little LBTS lag for throughput that scales. The");
+    println!("control diet then cuts the frames each granted tag costs: windowed TAGs");
+    println!("cover runs of lattice tags and DNET-classified sinks stop reporting.");
     println!();
     println!("sweep in {:.1}s", started.elapsed().as_secs_f64());
 }

@@ -172,6 +172,45 @@ impl Program {
             .find(|(_, r)| r.name == name)
             .map(|(id, _)| id)
     }
+
+    /// The program's **periodic lattice**, if it has one: a duration `g`
+    /// such that every locally originated event tag is a whole multiple
+    /// of `g` at microstep zero.
+    ///
+    /// Returns `Some(g)` — the gcd of every timer offset and period —
+    /// only when the program's sole event sources are timers: any action
+    /// (logical actions schedule arbitrary delays and mint microsteps;
+    /// physical actions carry injection tags) makes the claim unsound,
+    /// so programs with actions return `None`, as do programs with no
+    /// timers or with all-zero offsets and no periods (gcd zero).
+    ///
+    /// A centrally coordinated federate declares this lattice to its
+    /// coordinator so the coordinator can leap a stale next-event tag
+    /// whole periods ahead on its own instead of waiting for a report.
+    #[must_use]
+    pub fn periodic_lattice(&self) -> Option<Duration> {
+        if !self.actions.is_empty() || self.timers.is_empty() {
+            return None;
+        }
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut g: u64 = 0;
+        for timer in self.timers.iter() {
+            g = gcd(
+                g,
+                u64::try_from(timer.offset.as_nanos().max(0)).unwrap_or(0),
+            );
+            if let Some(period) = timer.period {
+                g = gcd(g, u64::try_from(period.as_nanos().max(0)).unwrap_or(0));
+            }
+        }
+        (g > 0).then(|| Duration::from_nanos(i64::try_from(g).unwrap_or(i64::MAX)))
+    }
 }
 
 struct ReactionBuild {

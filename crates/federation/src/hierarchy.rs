@@ -81,6 +81,9 @@ impl ZoneEntry {
             completed: None,
             head: self.floor,
             fence: Tag::ORIGIN,
+            // Zone floors aggregate many federates; the periodic fast
+            // path applies inside zones, not to zone summaries.
+            period: None,
         }
     }
 }
@@ -109,6 +112,9 @@ struct RootInner {
     solver: LbtsSolver,
     stats: RtiStats,
     liveness_deadline: Option<Duration>,
+    /// Control-plane diet switch, propagated to every zone (current and
+    /// future) so the whole hierarchy diets — or none of it does.
+    diet: bool,
 }
 
 /// A shared handle to the two-level coordinator (root + zones).
@@ -161,6 +167,7 @@ impl HierarchicalRti {
             solver: LbtsSolver::new(),
             stats: RtiStats::default(),
             liveness_deadline: None,
+            diet: false,
         })));
         let hook = root.clone();
         binding.register_method(COORD_SERVICE, COORD_METHOD, move |sim, req, _responder| {
@@ -184,9 +191,9 @@ impl HierarchicalRti {
         let mut inner = self.0.borrow_mut();
         assert!(inner.zones.len() < MAX_ZONES, "zone capacity exhausted");
         let zone = ZoneId(inner.zones.len() as u16);
-        inner
-            .zones
-            .push(ZoneCoordinator::new(sim, net, sd, node, zone));
+        let coordinator = ZoneCoordinator::new(sim, net, sd, node, zone);
+        coordinator.set_control_diet(inner.diet);
+        inner.zones.push(coordinator);
         inner.entries.push(ZoneEntry {
             floor: Tag::ORIGIN,
             dead: false,
@@ -254,6 +261,10 @@ impl HierarchicalRti {
             return;
         }
         down_coord.connect_from_zone(ZoneId(up_zone), down_index, min_delay);
+        // The upstream zone's floor is now consumed elsewhere: none of
+        // its members may be DNET-classified as a sink (a silent member
+        // would hold the shared floor down and wedge this zone).
+        self.0.borrow().zones[usize::from(up_zone)].mark_exported();
         let mut inner = self.0.borrow_mut();
         let skeleton = &mut inner.entries[usize::from(down_zone)].upstream;
         match skeleton.iter_mut().find(|(z, _)| *z == up_zone) {
@@ -321,8 +332,30 @@ impl HierarchicalRti {
             total.deaths += z.deaths;
             total.floor_records += z.floor_records;
             total.batches_sent += z.batches_sent;
+            total.window_tags += z.window_tags;
+            total.dnets_sent += z.dnets_sent;
         }
         total
+    }
+
+    /// Enables the coordination control-plane diet across the hierarchy:
+    /// every zone (already added or added later) issues DNET suppression
+    /// pushes and grant-ahead windows, and solves with the periodic fast
+    /// path. Must be called before the platforms are constructed (they
+    /// query it once, at build time). Opt-in, like
+    /// [`Rti::enable_control_diet`](crate::Rti::enable_control_diet).
+    pub fn enable_control_diet(&self) {
+        let mut inner = self.0.borrow_mut();
+        inner.diet = true;
+        for zone in &inner.zones {
+            zone.set_control_diet(true);
+        }
+    }
+
+    /// Whether [`HierarchicalRti::enable_control_diet`] has been called.
+    #[must_use]
+    pub fn control_diet_enabled(&self) -> bool {
+        self.0.borrow().diet
     }
 
     /// Enables liveness end to end, scoped per shard: every zone watches

@@ -86,7 +86,9 @@ mod zone;
 pub use hierarchy::HierarchicalRti;
 pub use platform::CoordinatedPlatform;
 pub use rti::{FederateId, FederationError, Rti, RtiStats, MAX_FEDERATES};
-pub use solver::{edge_add, node_floor, tag_succ, LbtsGraph, LbtsSolver, NodeView, TAG_MAX};
+pub use solver::{
+    edge_add, lattice_next, node_floor, tag_succ, LbtsGraph, LbtsSolver, NodeView, TAG_MAX,
+};
 pub use zone::{
     zone_instance, zone_uplink_eventgroup, ZoneId, COORD_ROOT_INSTANCE, MAX_ZONES,
     ZONE_INSTANCE_BASE, ZONE_MEMBER_EVENTGROUP, ZONE_UPLINK_EVENTGROUP_BASE,

@@ -25,7 +25,8 @@ use dear_observe::{Lane, Observe};
 use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
 use dear_someip::{
     coord_eventgroup, Binding, CoordBatch, CoordKind, CoordMsg, ServiceInstance, WireTag,
-    COORD_BATCH_MARKER, COORD_EVENT, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE, TAG_NEVER,
+    COORD_BATCH_MARKER, COORD_EVENT, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE, DNET_SINK,
+    TAG_NEVER,
 };
 use dear_time::Instant;
 use dear_transactors::{
@@ -80,6 +81,40 @@ struct PlatformInner {
     armed_wake: Option<Instant>,
     /// Greatest tag processed so far (for the never-beyond-bound check).
     max_processed: Option<Tag>,
+    /// Whether the federate was registered with physical inputs from
+    /// outside the federation. External federates always report fence
+    /// advances; only pure federates are eligible for same-head NET
+    /// dedup (their fence is never consulted by the solver).
+    external: bool,
+    /// The program's periodic event lattice, declared to the coordinator
+    /// at start. `Some` only when the coordinator's control diet was on
+    /// at build time and the program is statically periodic (timers
+    /// only — see [`dear_core::Program::periodic_lattice`]).
+    lattice: Option<dear_time::Duration>,
+    /// The DNET suppression flag word most recently pushed by the
+    /// coordinator (zero until the first push): which of this federate's
+    /// reports provably cannot move any downstream LBTS.
+    dnet_flags: u32,
+}
+
+impl PlatformInner {
+    /// Whether the NET report with queue head `head` may be skipped,
+    /// counting it when so. Two rules, both fixpoint-neutral: a
+    /// DNET-flagged sink constrains nobody downstream, and a pure
+    /// federate whose head is unchanged since its last report adds no
+    /// information (its fence is never consulted by the solver). The
+    /// heartbeat path bypasses this on purpose — liveness needs traffic.
+    fn suppress_net(&mut self, head: WireTag) -> bool {
+        let sink = self.dnet_flags & DNET_SINK != 0;
+        let same_head = !self.external && self.last_net.is_some_and(|(h, _)| h == head);
+        if sink || same_head {
+            self.stats.record_net_suppressed();
+            self.observe.count("coord/nets_suppressed", 1);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// A platform participating in a centrally coordinated federation.
@@ -159,6 +194,8 @@ impl CoordinatedPlatform {
             COORD_INSTANCE,
             coord_eventgroup(federate.0),
             false,
+            external,
+            rti.control_diet_enabled(),
         ))
     }
 
@@ -196,6 +233,8 @@ impl CoordinatedPlatform {
             zone_instance(zone),
             ZONE_MEMBER_EVENTGROUP,
             true,
+            external,
+            hierarchy.control_diet_enabled(),
         ))
     }
 
@@ -211,7 +250,17 @@ impl CoordinatedPlatform {
         coord_instance: u16,
         grant_eventgroup: u16,
         batched: bool,
+        external: bool,
+        diet: bool,
     ) -> Self {
+        // The periodic lattice is declared only under the control diet:
+        // without it the platform sends no `Period` record and the
+        // coordinator's calendar — and every trace — stays unchanged.
+        let lattice = if diet {
+            runtime.program().periodic_lattice()
+        } else {
+            None
+        };
         let platform = CoordinatedPlatform(Rc::new(RefCell::new(PlatformInner {
             name: name.into(),
             runtime,
@@ -235,6 +284,9 @@ impl CoordinatedPlatform {
             blocked_since: None,
             armed_wake: None,
             max_processed: None,
+            external,
+            lattice,
+            dnet_flags: 0,
         })));
         binding.subscribe(
             ServiceInstance::new(COORD_SERVICE, coord_instance),
@@ -311,7 +363,7 @@ impl CoordinatedPlatform {
     /// Starts the runtime, announces the federate to the RTI and arms the
     /// first wake-up.
     pub fn start(&self, sim: &mut Simulation) {
-        let federate = {
+        let (federate, lattice) = {
             let mut inner = self.0.borrow_mut();
             assert!(!inner.started, "platform already started");
             inner.started = true;
@@ -325,9 +377,22 @@ impl CoordinatedPlatform {
             inner.runtime.set_observe(observe, lane);
             let local_now = inner.clock.local_time(sim.now());
             inner.runtime.start(local_now);
-            inner.federate
+            (inner.federate, inner.lattice)
         };
         self.send_to_rti(sim, CoordMsg::new(CoordKind::Join, federate.0, TAG_NEVER));
+        // Declare the periodic lattice (control diet only): the solver
+        // may then leap this federate's stale head whole periods, and
+        // grant-ahead windows become eligible.
+        if let Some(g) = lattice {
+            if let Ok(nanos) = u64::try_from(g.as_nanos()) {
+                if nanos > 0 {
+                    self.send_to_rti(
+                        sim,
+                        CoordMsg::new(CoordKind::Period, federate.0, WireTag::new(nanos, 0)),
+                    );
+                }
+            }
+        }
         self.report_status(sim);
         self.arm(sim);
     }
@@ -465,7 +530,7 @@ impl CoordinatedPlatform {
                 let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
                 let local_now = inner.clock.local_time(sim.now());
                 let fence = tag_to_wire(Tag::at(local_now));
-                if inner.last_net == Some((head, fence)) {
+                if inner.last_net == Some((head, fence)) || inner.suppress_net(head) {
                     None
                 } else {
                     inner.last_net = Some((head, fence));
@@ -502,7 +567,7 @@ impl CoordinatedPlatform {
                 let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
                 let local_now = inner.clock.local_time(sim.now());
                 let fence = tag_to_wire(Tag::at(local_now));
-                if inner.last_net == Some((head, fence)) {
+                if inner.last_net == Some((head, fence)) || inner.suppress_net(head) {
                     None
                 } else {
                     inner.last_net = Some((head, fence));
@@ -557,7 +622,22 @@ impl CoordinatedPlatform {
         }
         let applied = match msg.kind {
             CoordKind::Tag => {
-                inner.runtime.set_tag_bound(wire_to_tag(msg.tag));
+                let bound = wire_to_tag(msg.tag);
+                let horizon = wire_to_tag(msg.fence);
+                if horizon > bound {
+                    // Grant-ahead window: free-run to the horizon with no
+                    // per-tag round-trips. The clock gate still paces
+                    // every tag to its physical time.
+                    inner.runtime.set_tag_bound(horizon);
+                    inner.stats.record_windowed_grant();
+                    let len = horizon.time - bound.time;
+                    inner.observe.record_value(
+                        "coord/window_len",
+                        u64::try_from(len.as_nanos()).unwrap_or(0),
+                    );
+                } else {
+                    inner.runtime.set_tag_bound(bound);
+                }
                 inner.stats.record_grant_received(false);
                 true
             }
@@ -566,6 +646,15 @@ impl CoordinatedPlatform {
                 inner.runtime.set_tag_bound(tag_succ(wire_to_tag(msg.tag)));
                 inner.stats.record_grant_received(true);
                 true
+            }
+            CoordKind::Dnet => {
+                // Suppression-state push: remember which of our reports
+                // the coordinator has proven irrelevant downstream.
+                inner.dnet_flags = msg.fence.microstep;
+                inner
+                    .observe
+                    .record_value("coord/dnet_horizon_ns", msg.tag.nanos.min(i64::MAX as u64));
+                false // no bound change, nothing to re-arm
             }
             _ => false,
         };
@@ -682,13 +771,22 @@ impl CoordinatedPlatform {
                         .observe
                         .record_value("frame/occupancy_hist", occupancy);
                 }
-                ltc = Some(CoordMsg::new(
-                    CoordKind::Ltc,
-                    inner.federate.0,
-                    tag_to_wire(summary.tag),
-                ));
-                inner.stats.record_ltc_sent();
-                inner.observe.count("coord/sent/ltc", 1);
+                if inner.dnet_flags & DNET_SINK != 0 {
+                    // DNET sink: no downstream LBTS can move on this LTC,
+                    // so the report (and the recompute it would trigger)
+                    // is pure overhead. Our own grants ride upstream
+                    // reports, which the coordinator still receives.
+                    inner.stats.record_net_suppressed();
+                    inner.observe.count("coord/nets_suppressed", 1);
+                } else {
+                    ltc = Some(CoordMsg::new(
+                        CoordKind::Ltc,
+                        inner.federate.0,
+                        tag_to_wire(summary.tag),
+                    ));
+                    inner.stats.record_ltc_sent();
+                    inner.observe.count("coord/sent/ltc", 1);
+                }
             }
             (outcome, drain_at, ltc)
         };

@@ -22,12 +22,13 @@
 //! grant latency is governed by the simulated network like any other
 //! message — which is exactly what the `coordination_lag` bench measures.
 
-use crate::solver::{LbtsGraph, LbtsSolver, NodeView};
+use crate::solver::{LbtsGraph, LbtsSolver, NodeView, TAG_MAX};
 use dear_core::Tag;
 use dear_sim::{NetworkHandle, NodeId, Simulation};
 use dear_someip::{
-    coord_eventgroup, Binding, CoordKind, CoordMsg, SdRegistry, ServiceInstance, COORD_EVENT,
-    COORD_EVENTGROUP_BASE, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE,
+    coord_eventgroup, Binding, CoordKind, CoordMsg, SdRegistry, ServiceInstance, WireTag,
+    COORD_EVENT, COORD_EVENTGROUP_BASE, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE,
+    DNET_NET_LATTICE, DNET_SINK,
 };
 use dear_time::Duration;
 use dear_transactors::{tag_to_wire, wire_to_tag};
@@ -40,6 +41,12 @@ use std::rc::Rc;
 /// `COORD_EVENTGROUP_BASE`, so ids beyond this would wrap the u16
 /// eventgroup space.
 pub const MAX_FEDERATES: usize = (u16::MAX - COORD_EVENTGROUP_BASE) as usize;
+
+/// How many declared periods a grant-ahead window runs past the strict
+/// fixpoint bound. Large enough to amortize the TAG round-trip over a
+/// burst of periodic steps, small enough that a topology change (a new
+/// fault, a late joiner) is picked up within a handful of periods.
+pub(crate) const GRANT_WINDOW_PERIODS: u32 = 8;
 
 /// Identifies one federate within a federation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -104,13 +111,21 @@ pub struct RtiStats {
     /// floor broadcasts). Always zero for a flat RTI, which sends one
     /// record per frame.
     pub batches_sent: u64,
+    /// Extra future tags covered by grant-ahead windows, beyond the
+    /// windowed TAG's own strict bound. Zero unless the control diet is
+    /// enabled (see [`Rti::enable_control_diet`]).
+    pub window_tags: u64,
+    /// DNET suppression-state records pushed to federates. Zero unless
+    /// the control diet is enabled.
+    pub dnets_sent: u64,
 }
 
 impl fmt::Display for RtiStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "federates={} nets={} ltcs={} tags={} ptags={} deaths={} floors={} batches={}",
+            "federates={} nets={} ltcs={} tags={} ptags={} deaths={} floors={} batches={} \
+             windows={} dnets={}",
             self.federates,
             self.nets_received,
             self.ltcs_received,
@@ -118,7 +133,9 @@ impl fmt::Display for RtiStats {
             self.ptags_issued,
             self.deaths,
             self.floor_records,
-            self.batches_sent
+            self.batches_sent,
+            self.window_tags,
+            self.dnets_sent
         )
     }
 }
@@ -156,6 +173,18 @@ pub(crate) struct FederateEntry {
     /// flat RTI the index is the upstream federate id; a zone coordinator
     /// uses its own member/proxy index space.
     pub(crate) upstream: Vec<(u16, Duration)>,
+    /// Declared periodic event lattice (from a `Period` record): every
+    /// locally originated event tag is a whole multiple of this duration
+    /// at microstep zero. Only sent by platforms under the control diet.
+    pub(crate) period: Option<Duration>,
+    /// The federate has at least one downstream edge at this coordinator.
+    pub(crate) has_downstream: bool,
+    /// The federate feeds a downstream in another zone (set by the
+    /// hierarchy when a cross-zone edge departs from this member).
+    pub(crate) remote_downstream: bool,
+    /// The DNET flag word last pushed to the federate, so suppression
+    /// state is re-sent only when it changes.
+    pub(crate) last_dnet: Option<u32>,
 }
 
 impl FederateEntry {
@@ -174,6 +203,10 @@ impl FederateEntry {
             last_granted: None,
             last_ptag: None,
             upstream: Vec::new(),
+            period: None,
+            has_downstream: false,
+            remote_downstream: false,
+            last_dnet: None,
         }
     }
 
@@ -188,7 +221,18 @@ impl FederateEntry {
             completed: self.completed,
             head: self.head,
             fence: self.fence,
+            // Only ever `Some` under the control diet (platforms declare
+            // their lattice only when the diet is on), so the solver's
+            // periodic fast path stays inert by default.
+            period: self.period,
         }
+    }
+
+    /// Whether the federate constrains nothing at this coordinator: no
+    /// local downstream edge and no cross-zone downstream. Its NET/LTC
+    /// reports can never move any other node's LBTS.
+    pub(crate) fn is_sink(&self) -> bool {
+        !self.has_downstream && !self.remote_downstream
     }
 
     /// Applies one federate → coordinator control record and bumps the
@@ -200,11 +244,11 @@ impl FederateEntry {
         if self.dead {
             return false;
         }
-        // Grants are coordinator → federate only, and floor records are
-        // coordinator ↔ coordinator only.
+        // Grants and DNET pushes are coordinator → federate only, and
+        // floor records are coordinator ↔ coordinator only.
         if matches!(
             msg.kind,
-            CoordKind::Tag | CoordKind::Ptag | CoordKind::Floor
+            CoordKind::Tag | CoordKind::Ptag | CoordKind::Floor | CoordKind::Dnet
         ) {
             return false;
         }
@@ -222,8 +266,12 @@ impl FederateEntry {
                 stats.ltcs_received += 1;
             }
             CoordKind::Resign => self.resigned = true,
+            CoordKind::Period => {
+                let nanos = i64::try_from(msg.tag.nanos).unwrap_or(i64::MAX);
+                self.period = (nanos > 0).then(|| Duration::from_nanos(nanos));
+            }
             // Unreachable: filtered above.
-            CoordKind::Tag | CoordKind::Ptag | CoordKind::Floor => return false,
+            CoordKind::Tag | CoordKind::Ptag | CoordKind::Floor | CoordKind::Dnet => return false,
         }
         true
     }
@@ -244,18 +292,53 @@ impl LbtsGraph for FederateGraph<'_> {
     }
 }
 
+/// The grant-ahead window for federate `f` under the control diet, if one
+/// is justified: the strict bound pushed out by [`GRANT_WINDOW_PERIODS`]
+/// lattice periods. Requires the federate *and every direct upstream* to
+/// be lattice-declared (or released) — then every tag the federate can
+/// receive or originate inside the window rides the periodic lattice the
+/// solver already leaps over, and the platform's own clock gate (a tag is
+/// never processed before physical time reaches it, the PTIDES `D+L+E`
+/// argument from the paper) keeps the free-run safe.
+fn grant_horizon(federates: &[FederateEntry], f: usize, bound: Tag) -> Option<Tag> {
+    let entry = &federates[f];
+    let g = entry.period?;
+    if bound >= TAG_MAX {
+        return None; // already unconstrained; a window adds nothing
+    }
+    let lattice_ok = entry.upstream.iter().all(|&(u, _)| {
+        let up = &federates[usize::from(u)];
+        up.released() || up.period.is_some()
+    });
+    if !lattice_ok {
+        return None;
+    }
+    let span = g.as_nanos().checked_mul(i64::from(GRANT_WINDOW_PERIODS))?;
+    Some(Tag::new(
+        bound.time.saturating_add(Duration::from_nanos(span)),
+        bound.microstep,
+    ))
+}
+
 /// Runs the solver over `federates` and returns the grants it justifies,
 /// in deterministic order: the TAG pass (strict bounds that advanced)
 /// followed by at most one PTAG (zero-delay stall breaker, minimal
-/// `(tag, index)` tie-break). Updates per-entry grant high-water marks
-/// and the issue counters. Shared verbatim by the flat RTI and the zone
-/// coordinators — the flat path is the one-zone special case.
+/// `(tag, index)` tie-break), followed — under the control diet — by the
+/// DNET suppression records whose flag word changed. Updates per-entry
+/// grant high-water marks and the issue counters. Shared verbatim by the
+/// flat RTI and the zone coordinators — the flat path is the one-zone
+/// special case.
+///
+/// Each returned record is `(federate, kind, tag, fence)`: the fence slot
+/// of the wire record carries the window horizon on a TAG and the flag
+/// word on a DNET, and stays zero otherwise.
 pub(crate) fn solve_grants(
     solver: &mut LbtsSolver,
     federates: &mut [FederateEntry],
     stats: &mut RtiStats,
     grantable: usize,
-) -> Vec<(u16, CoordKind, Tag)> {
+    diet: bool,
+) -> Vec<(u16, CoordKind, Tag, WireTag)> {
     let lbts = solver.solve(&FederateGraph(federates)).to_vec();
     let mut grants = Vec::new();
     // TAG pass: strict bounds that advanced. Only the first `grantable`
@@ -266,8 +349,24 @@ pub(crate) fn solve_grants(
             continue;
         }
         if entry.last_granted.is_none_or(|g| bound > g) {
-            grants.push((f as u16, CoordKind::Tag, bound));
-            federates[f].last_granted = Some(bound);
+            let window = if diet {
+                grant_horizon(federates, f, bound)
+            } else {
+                None
+            };
+            match window {
+                Some(horizon) => {
+                    grants.push((f as u16, CoordKind::Tag, bound, tag_to_wire(horizon)));
+                    // The horizon is the new high-water mark: intermediate
+                    // bounds inside the window never echo back as TAGs.
+                    federates[f].last_granted = Some(horizon);
+                    stats.window_tags += u64::from(GRANT_WINDOW_PERIODS);
+                }
+                None => {
+                    grants.push((f as u16, CoordKind::Tag, bound, WireTag::new(0, 0)));
+                    federates[f].last_granted = Some(bound);
+                }
+            }
             stats.tags_issued += 1;
         }
     }
@@ -277,9 +376,36 @@ pub(crate) fn solve_grants(
         f < grantable && entry.connected && entry.last_ptag.is_none_or(|p| entry.head > p)
     });
     if let Some((tag, f)) = candidate {
-        grants.push((f as u16, CoordKind::Ptag, tag));
+        grants.push((f as u16, CoordKind::Ptag, tag, WireTag::new(0, 0)));
         federates[f].last_ptag = Some(tag);
         stats.ptags_issued += 1;
+    }
+    // DNET pass: push each member's suppression state when it changes.
+    // Flags only ever *add* report traffic here to *remove* much more on
+    // the federate side; a dead or resigned federate is skipped (its
+    // state is moot — release already unblocks everyone downstream).
+    if diet {
+        for f in 0..grantable {
+            let entry = &federates[f];
+            if !entry.connected || entry.released() {
+                continue;
+            }
+            let mut flags = 0u32;
+            if entry.period.is_some() {
+                flags |= DNET_NET_LATTICE;
+            }
+            if entry.is_sink() {
+                flags |= DNET_SINK;
+            }
+            if flags != 0 && entry.last_dnet != Some(flags) {
+                // The horizon slot: "no report before this tag can move a
+                // downstream LBTS". A sink's reports never can.
+                let horizon = if entry.is_sink() { TAG_MAX } else { lbts[f] };
+                grants.push((f as u16, CoordKind::Dnet, horizon, WireTag::new(0, flags)));
+                federates[f].last_dnet = Some(flags);
+                stats.dnets_sent += 1;
+            }
+        }
     }
     grants
 }
@@ -294,6 +420,10 @@ struct RtiInner {
     /// watchdog (the default — death detection is opt-in so that
     /// fault-free scenarios schedule zero extra events).
     liveness_deadline: Option<Duration>,
+    /// Control-plane diet (DNET suppression, grant-ahead windows, the
+    /// periodic fast path). Opt-in so existing deployments keep their
+    /// control traffic — and traces — bit for bit.
+    diet: bool,
 }
 
 /// A shared handle to the centralized coordinator.
@@ -338,6 +468,7 @@ impl Rti {
             solver: LbtsSolver::new(),
             stats: RtiStats::default(),
             liveness_deadline: None,
+            diet: false,
         })));
         let hook = rti.clone();
         binding.register_method(COORD_SERVICE, COORD_METHOD, move |sim, req, _responder| {
@@ -389,6 +520,23 @@ impl Rti {
         inner.federates[downstream.0 as usize]
             .upstream
             .push((upstream.0, min_delay));
+        inner.federates[upstream.0 as usize].has_downstream = true;
+    }
+
+    /// Enables the coordination **control-plane diet**: DNET suppression
+    /// pushes, grant-ahead windows, and the solver's periodic fast path.
+    /// Must be called before the platforms are constructed (they query it
+    /// once, at build time, to decide whether to declare their lattice
+    /// and honour suppression). Opt-in: without this call the RTI's
+    /// control traffic — and therefore every trace — is unchanged.
+    pub fn enable_control_diet(&self) {
+        self.0.borrow_mut().diet = true;
+    }
+
+    /// Whether [`Rti::enable_control_diet`] has been called.
+    #[must_use]
+    pub fn control_diet_enabled(&self) -> bool {
+        self.0.borrow().diet
     }
 
     /// The federate's name (for reports).
@@ -503,6 +651,7 @@ impl Rti {
     fn recompute(&self, sim: &mut Simulation) {
         let grants = {
             let mut inner = self.0.borrow_mut();
+            let diet = inner.diet;
             let RtiInner {
                 federates,
                 solver,
@@ -510,7 +659,7 @@ impl Rti {
                 ..
             } = &mut *inner;
             let grantable = federates.len();
-            solve_grants(solver, federates, stats, grantable)
+            solve_grants(solver, federates, stats, grantable, diet)
         };
         let observe = sim.observe().clone();
         if observe.is_enabled() {
@@ -521,8 +670,13 @@ impl Rti {
 
         let binding = self.0.borrow().binding.clone();
         let pool = binding.pool();
-        for (fed, kind, tag) in grants {
-            let msg = CoordMsg::new(kind, fed, tag_to_wire(tag));
+        for (fed, kind, tag, fence) in grants {
+            let msg = CoordMsg {
+                kind,
+                federate: fed,
+                tag: tag_to_wire(tag),
+                fence,
+            };
             binding.notify(
                 sim,
                 ServiceInstance::new(COORD_SERVICE, COORD_INSTANCE),

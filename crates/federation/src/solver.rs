@@ -45,6 +45,28 @@ pub fn edge_add(tag: Tag, delay: Duration) -> Tag {
     }
 }
 
+/// The earliest tag on the periodic lattice `g` **strictly after**
+/// `completed`: the next whole multiple of `g` at microstep zero. A node
+/// whose every local event source is a static timer with offsets and
+/// periods that are multiples of `g` cannot originate events off this
+/// lattice, so its stale head (≤ `completed`) may be leapt forward to it
+/// wholesale instead of one microstep at a time.
+#[must_use]
+pub fn lattice_next(completed: Tag, g: Duration) -> Tag {
+    let g_ns = g.as_nanos();
+    if g_ns <= 0 || completed >= TAG_MAX {
+        return tag_succ(completed);
+    }
+    let g_ns = g_ns.unsigned_abs();
+    let now_ns = completed.time.as_nanos();
+    // Next strict multiple of g: completing exactly on a lattice point
+    // still advances a full period (the event at that point is done).
+    let Some(next) = now_ns.checked_add(g_ns - now_ns % g_ns) else {
+        return TAG_MAX;
+    };
+    Tag::at(Instant::from_nanos(next))
+}
+
 /// The floor-relevant state of one node, as seen by the solver. A node is
 /// a federate at zone level and a whole zone at root level.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +84,12 @@ pub struct NodeView {
     pub head: Tag,
     /// Physical-time fence (meaningful only when `external`).
     pub fence: Tag,
+    /// The node's declared **periodic event lattice**, if any: every
+    /// locally originated event lands on a whole multiple of this
+    /// duration at microstep zero. Lets [`node_floor`] leap a stale head
+    /// (≤ `completed`) to [`lattice_next`] instead of waiting for the
+    /// next NET — the periodic fast path of the control-plane diet.
+    pub period: Option<Duration>,
 }
 
 /// A coordination graph the solver can run over: indexed nodes plus
@@ -92,7 +120,15 @@ pub fn node_floor(view: &NodeView, arrival: Tag) -> Tag {
     } else {
         arrival
     };
-    let reported = view.head.min(arrival_floor);
+    // Periodic fast path: a lattice-declared node whose reported head is
+    // stale (already completed past it) cannot originate anything before
+    // the next lattice point, so the solver refreshes the head itself
+    // instead of stalling until the node's next NET arrives.
+    let head = match (view.period, view.completed) {
+        (Some(g), Some(c)) if view.head <= c => lattice_next(c, g),
+        _ => view.head,
+    };
+    let reported = head.min(arrival_floor);
     view.completed
         .map_or(reported, |c| tag_succ(c).max(reported))
 }
@@ -224,6 +260,7 @@ mod tests {
             completed: None,
             head: Tag::at(Instant::from_millis(head_ms)),
             fence: Tag::ORIGIN,
+            period: None,
         }
     }
 
@@ -297,6 +334,57 @@ mod tests {
             solver.ptag_candidate(&g, |f| f != 0),
             Some((Tag::at(Instant::from_millis(5)), 1))
         );
+    }
+
+    #[test]
+    fn lattice_next_leaps_to_the_next_strict_multiple() {
+        let g = Duration::from_millis(10);
+        // Mid-period completion snaps up to the next lattice point.
+        assert_eq!(
+            lattice_next(Tag::at(Instant::from_millis(13)), g),
+            Tag::at(Instant::from_millis(20))
+        );
+        // Completing exactly on a point still advances a full period.
+        assert_eq!(
+            lattice_next(Tag::at(Instant::from_millis(20)), g),
+            Tag::at(Instant::from_millis(30))
+        );
+        // Microsteps collapse: the next lattice tag is at microstep zero.
+        assert_eq!(
+            lattice_next(Tag::new(Instant::from_millis(20), 3), g),
+            Tag::at(Instant::from_millis(30))
+        );
+        // Degenerate lattice falls back to the plain successor.
+        assert_eq!(
+            lattice_next(Tag::at(Instant::from_millis(7)), Duration::ZERO),
+            tag_succ(Tag::at(Instant::from_millis(7)))
+        );
+        assert_eq!(lattice_next(TAG_MAX, g), TAG_MAX);
+    }
+
+    #[test]
+    fn periodic_lattice_refreshes_a_stale_head() {
+        // Node 0 completed 20ms but its reported head is stale at 10ms.
+        // Without a lattice the floor only clears succ(completed); with a
+        // declared 10ms lattice the solver leaps the head to 30ms itself.
+        let mut g = TestGraph {
+            nodes: vec![node(10), node(50)],
+            edges: vec![vec![], vec![(0, Duration::from_millis(1))]],
+        };
+        g.nodes[0].completed = Some(Tag::at(Instant::from_millis(20)));
+        let mut solver = LbtsSolver::new();
+        let lbts = solver.solve(&g).to_vec();
+        assert_eq!(lbts[1], Tag::new(Instant::from_millis(21), 1));
+
+        g.nodes[0].period = Some(Duration::from_millis(10));
+        let lbts = solver.solve(&g).to_vec();
+        assert_eq!(lbts[1], Tag::at(Instant::from_millis(31)));
+
+        // A genuinely fresh head (beyond completed) is never overridden:
+        // the node may know about an aperiodic message arrival.
+        g.nodes[0].head = Tag::at(Instant::from_millis(25));
+        let lbts = solver.solve(&g).to_vec();
+        assert_eq!(lbts[1], Tag::at(Instant::from_millis(26)));
     }
 
     #[test]

@@ -104,6 +104,14 @@ struct ZoneInner {
     /// Last floor rolled up to the root (roll-ups are change-driven,
     /// plus the unconditional uplink heartbeat).
     last_rollup: Option<Tag>,
+    /// Control-plane diet, propagated from the hierarchy (see
+    /// [`HierarchicalRti::enable_control_diet`](crate::HierarchicalRti::enable_control_diet)).
+    diet: bool,
+    /// Another zone imports from this one. The zone floor is the `min`
+    /// over **all** member floors, so once it is consumed elsewhere no
+    /// member may be DNET-classified as a sink — a silent member would
+    /// hold the floor down and wedge the importing zone.
+    exported: bool,
 }
 
 /// One zone coordinator (internal: constructed through
@@ -146,6 +154,8 @@ impl ZoneCoordinator {
             stats: RtiStats::default(),
             liveness_deadline: None,
             last_rollup: None,
+            diet: false,
+            exported: false,
         })));
         let hook = coordinator.clone();
         binding.register_method(COORD_SERVICE, COORD_METHOD, move |sim, req, _responder| {
@@ -188,9 +198,11 @@ impl ZoneCoordinator {
                 *proxy += 1;
             }
         }
-        inner
-            .table
-            .insert(index, FederateEntry::new(name, node, external));
+        let mut entry = FederateEntry::new(name, node, external);
+        // An exported zone's floor is consumed elsewhere: every member's
+        // reports move it, so none may be suppressed as a sink.
+        entry.remote_downstream = inner.exported;
+        inner.table.insert(index, entry);
         inner.member_count += 1;
         inner.member_ids.insert(index, global);
         inner.by_global.insert(global, index);
@@ -204,6 +216,26 @@ impl ZoneCoordinator {
         inner.table[downstream]
             .upstream
             .push((upstream as u16, min_delay));
+        inner.table[upstream].has_downstream = true;
+    }
+
+    /// Marks this zone as exported (another zone imports from it): every
+    /// current and future member's reports feed the rolled-up zone floor
+    /// consumed elsewhere, so DNET sink detection is disabled for all of
+    /// them — a cross-zone producer, or any member dragging the shared
+    /// floor, must keep reporting.
+    pub(crate) fn mark_exported(&self) {
+        let mut inner = self.0.borrow_mut();
+        inner.exported = true;
+        let members = inner.member_count;
+        for entry in inner.table.iter_mut().take(members) {
+            entry.remote_downstream = true;
+        }
+    }
+
+    /// Propagates the hierarchy-wide control-plane diet switch.
+    pub(crate) fn set_control_diet(&self, diet: bool) {
+        self.0.borrow_mut().diet = diet;
     }
 
     /// Declares an edge from a remote zone into local member `downstream`,
@@ -409,10 +441,11 @@ impl ZoneCoordinator {
                 solver,
                 stats,
                 last_rollup,
+                diet,
                 ..
             } = &mut *inner;
             let grantable = *member_count;
-            let grants = solve_grants(solver, table, stats, grantable);
+            let grants = solve_grants(solver, table, stats, grantable, *diet);
             // The zone floor: what this zone as a whole promises the rest
             // of the federation. `min` over member floors; proxies are
             // the other zones' business.
@@ -426,9 +459,9 @@ impl ZoneCoordinator {
             } else {
                 None
             };
-            let grants: Vec<(u16, CoordKind, Tag)> = grants
+            let grants: Vec<_> = grants
                 .into_iter()
-                .map(|(index, kind, tag)| (member_ids[usize::from(index)], kind, tag))
+                .map(|(index, kind, tag, fence)| (member_ids[usize::from(index)], kind, tag, fence))
                 .collect();
             (
                 grants,
@@ -456,8 +489,13 @@ impl ZoneCoordinator {
 
         if !grants.is_empty() {
             let mut batch = CoordBatch::pooled(&binding.pool());
-            for (global, kind, tag) in grants {
-                batch.push(&CoordMsg::new(kind, global, tag_to_wire(tag)));
+            for (global, kind, tag, fence) in grants {
+                batch.push(&CoordMsg {
+                    kind,
+                    federate: global,
+                    tag: tag_to_wire(tag),
+                    fence,
+                });
             }
             observe.record_value("coord/batch_size", batch.len() as u64);
             binding.notify(

@@ -89,7 +89,29 @@ pub enum CoordKind {
     /// send at. Upward it is the zone's roll-up; downward it is the
     /// root's relay of an upstream zone's floor.
     Floor = 7,
+    /// Coordinator → federate: downstream-next-event-tag suppression
+    /// state. `tag` is the horizon below which the federate's reports
+    /// still matter ([`TAG_NEVER`] = unbounded); `fence.microstep`
+    /// carries [`DNET_NET_LATTICE`]/[`DNET_SINK`] flag bits telling the
+    /// federate which control reports it may skip.
+    Dnet = 8,
+    /// Federate → coordinator: declaration of the federate's periodic
+    /// event lattice. `tag.nanos` is the lattice `g` in nanoseconds —
+    /// a promise that every locally originated event tag is a whole
+    /// multiple of `g` at microstep zero, letting the coordinator leap
+    /// a stale next-event tag whole periods ahead by itself.
+    Period = 9,
 }
+
+/// [`CoordKind::Dnet`] flag: the coordinator knows the federate's
+/// periodic lattice, so NET reports whose head merely confirms the
+/// lattice prediction carry no information and may be skipped.
+pub const DNET_NET_LATTICE: u32 = 1 << 0;
+
+/// [`CoordKind::Dnet`] flag: the federate has no downstream edges at this
+/// coordinator — its floor constrains nobody, so both NET and LTC
+/// reports may be skipped entirely (heartbeats still flow).
+pub const DNET_SINK: u32 = 1 << 1;
 
 impl CoordKind {
     /// Parses a wire byte.
@@ -106,6 +128,8 @@ impl CoordKind {
             5 => Ok(CoordKind::Ptag),
             6 => Ok(CoordKind::Resign),
             7 => Ok(CoordKind::Floor),
+            8 => Ok(CoordKind::Dnet),
+            9 => Ok(CoordKind::Period),
             other => Err(CoordError::UnknownKind(other)),
         }
     }
@@ -122,6 +146,8 @@ impl CoordKind {
             CoordKind::Ptag => "ptag",
             CoordKind::Resign => "resign",
             CoordKind::Floor => "floor",
+            CoordKind::Dnet => "dnet",
+            CoordKind::Period => "period",
         }
     }
 }
@@ -436,6 +462,9 @@ mod tests {
             CoordKind::Tag,
             CoordKind::Ptag,
             CoordKind::Resign,
+            CoordKind::Floor,
+            CoordKind::Dnet,
+            CoordKind::Period,
         ] {
             let msg = CoordMsg::new(kind, 42, WireTag::new(5, 1));
             assert_eq!(CoordMsg::decode(&msg.encode()).unwrap(), msg);
@@ -540,7 +569,7 @@ mod tests {
 
     #[test]
     fn batch_marker_is_disjoint_from_kinds() {
-        for k in 1..=7u8 {
+        for k in 1..=9u8 {
             assert_ne!(k, COORD_BATCH_MARKER);
             CoordKind::from_u8(k).unwrap();
         }

@@ -45,7 +45,7 @@ pub use binding::{Binding, BindingError, BindingStats, Responder};
 pub use coord::{
     coord_eventgroup, CoordBatch, CoordBatchView, CoordError, CoordKind, CoordMsg,
     COORD_BATCH_HEADER_LEN, COORD_BATCH_MARKER, COORD_EVENT, COORD_EVENTGROUP_BASE, COORD_INSTANCE,
-    COORD_METHOD, COORD_PAYLOAD_LEN, COORD_SERVICE, TAG_NEVER,
+    COORD_METHOD, COORD_PAYLOAD_LEN, COORD_SERVICE, DNET_NET_LATTICE, DNET_SINK, TAG_NEVER,
 };
 pub use dear_sim::{FrameBuf, FrameMut, FramePool, FramePoolStats};
 pub use payload::{PayloadError, PayloadReader, PayloadWriter};

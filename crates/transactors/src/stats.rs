@@ -28,6 +28,11 @@ struct StatsInner {
     // many multi-record control frames this platform sent and received.
     coord_batches_sent: Cell<u64>,
     coord_batches_received: Cell<u64>,
+    // Control-plane diet counters: reports the platform *did not* send
+    // (same-head NET dedup, DNET sink suppression) and windowed TAGs
+    // received (one grant covering a run of future tags).
+    nets_suppressed: Cell<u64>,
+    windowed_grants: Cell<u64>,
 }
 
 /// Shared fault counters for one transactor binding.
@@ -49,6 +54,8 @@ impl fmt::Debug for TransactorStats {
             .field("grant_wait", &self.grant_wait())
             .field("coord_batches_sent", &self.coord_batches_sent())
             .field("coord_batches_received", &self.coord_batches_received())
+            .field("nets_suppressed", &self.nets_suppressed())
+            .field("windowed_grants", &self.windowed_grants())
             .finish()
     }
 }
@@ -60,7 +67,8 @@ impl fmt::Display for TransactorStats {
         write!(
             f,
             "stp_violations={} failovers={} untagged_dropped={} send_failures={} \
-             nets={} ltcs={} grants={} ptags={} bound_breaches={} grant_wait={} batches={}/{}",
+             nets={} ltcs={} grants={} ptags={} bound_breaches={} grant_wait={} batches={}/{} \
+             suppressed={} windowed={}",
             self.stp_violations(),
             self.failovers(),
             self.untagged_dropped(),
@@ -73,6 +81,8 @@ impl fmt::Display for TransactorStats {
             self.grant_wait(),
             self.coord_batches_sent(),
             self.coord_batches_received(),
+            self.nets_suppressed(),
+            self.windowed_grants(),
         )
     }
 }
@@ -207,6 +217,31 @@ impl TransactorStats {
             .set(self.0.coord_batches_received.get() + 1);
     }
 
+    /// Control-plane reports suppressed before hitting the wire: NETs
+    /// deduped by an unchanged queue head, plus NET/LTC reports skipped
+    /// under a coordinator-pushed DNET sink classification.
+    #[must_use]
+    pub fn nets_suppressed(&self) -> u64 {
+        self.0.nets_suppressed.get()
+    }
+
+    /// Windowed TAG grants received: grants whose horizon ran past the
+    /// strict bound, covering a run of future tags in one round-trip.
+    #[must_use]
+    pub fn windowed_grants(&self) -> u64 {
+        self.0.windowed_grants.get()
+    }
+
+    /// Records one suppressed control-plane report.
+    pub fn record_net_suppressed(&self) {
+        self.0.nets_suppressed.set(self.0.nets_suppressed.get() + 1);
+    }
+
+    /// Records one windowed TAG grant.
+    pub fn record_windowed_grant(&self) {
+        self.0.windowed_grants.set(self.0.windowed_grants.get() + 1);
+    }
+
     /// Accumulates time spent blocked on a grant.
     pub fn add_grant_wait(&self, wait: Duration) {
         let nanos = u64::try_from(wait.as_nanos().max(0)).unwrap_or(0);
@@ -275,6 +310,10 @@ mod tests {
         stats.record_coord_batch_sent();
         stats.record_coord_batch_received();
         stats.record_coord_batch_received();
+        stats.record_net_suppressed();
+        stats.record_net_suppressed();
+        stats.record_net_suppressed();
+        stats.record_windowed_grant();
         assert_eq!(stats.nets_sent(), 2);
         assert_eq!(stats.ltcs_sent(), 1);
         assert_eq!(stats.grants_received(), 2);
@@ -283,6 +322,10 @@ mod tests {
         assert_eq!(stats.grant_wait(), Duration::from_micros(42));
         assert_eq!(stats.coord_batches_sent(), 1);
         assert_eq!(stats.coord_batches_received(), 2);
+        assert_eq!(stats.nets_suppressed(), 3);
+        assert_eq!(stats.windowed_grants(), 1);
         assert!(stats.to_string().contains("batches=1/2"));
+        assert!(stats.to_string().contains("suppressed=3"));
+        assert!(stats.to_string().contains("windowed=1"));
     }
 }
