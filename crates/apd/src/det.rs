@@ -23,9 +23,9 @@
 use crate::logic::{detect_vehicles, eba_decide, StageTimings};
 use crate::nondet::{nodes, services};
 use crate::types::{BrakeDecision, Frame, LaneBox, VehicleList};
-use dear_core::{Port, ProgramBuilder, Reaction, ReactionCtx, Reactor, Runtime};
-use dear_federation::{CoordinatedPlatform, Rti};
-use dear_sim::{LinkConfig, NetworkHandle, SimRng, Simulation, VirtualClock};
+use dear_core::{Port, ProgramBuilder, Reaction, ReactionCtx, ReactionId, Reactor, Runtime};
+use dear_federation::{CoordinatedPlatform, EventLog, PlatformRecovery, Rti};
+use dear_sim::{FaultPlan, LinkConfig, NetworkHandle, SimRng, Simulation, VirtualClock};
 use dear_someip::{Binding, FrameBuf, SdRegistry, ServiceInstance};
 use dear_time::{Duration, Instant};
 use dear_transactors::{
@@ -127,6 +127,77 @@ pub struct FailoverReport {
     pub failovers: u64,
 }
 
+/// How a crash-recovery scenario kills and restarts a pipeline stage.
+///
+/// The Computer Vision federate runs with a durable event log attached
+/// ([`dear_federation::EventLog`]): every started tag, granted bound and
+/// injected input is appended before it takes effect, with periodic
+/// snapshot records. Mid-run the CV node is killed
+/// ([`dear_sim::FaultPlan::crash_node`]); while it is down, inbound
+/// frames and grants keep landing in the log. After
+/// [`dead_for`](Self::dead_for) the recovery driver rebuilds the
+/// identical reactor program (action and reaction ids are structural),
+/// replays the log — suppressing outbound messages the previous
+/// incarnation already drained, re-sending the ones it never did — and
+/// rejoins the RTI with a `Rejoin` frame. Because grants only ever
+/// *delay* processing, the post-rejoin decision sequence is
+/// byte-identical to a never-crashed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryParams {
+    /// The CV federate is killed a quarter frame period after the
+    /// nominal send time of this frame id (mid-cycle, with pipeline
+    /// traffic in flight).
+    pub crash_after_frame: u64,
+    /// How long the node stays dead before the recovery driver restarts
+    /// it. Must stay well inside the CV deadline plus `L` (25 + 5 ms by
+    /// default), or catch-up resends arrive after their release tags
+    /// and trip the safe-to-process check downstream.
+    pub dead_for: Duration,
+    /// Snapshot cadence of the durable log (processed tags between
+    /// snapshot records).
+    pub snapshot_every: u64,
+}
+
+impl Default for RecoveryParams {
+    /// Kill after frame 250 (mirroring [`RedundancyParams`]'s mid-run
+    /// primary death), 10 ms outage, snapshot every 32 tags.
+    fn default() -> Self {
+        RecoveryParams {
+            crash_after_frame: 250,
+            dead_for: Duration::from_millis(10),
+            snapshot_every: 32,
+        }
+    }
+}
+
+/// What one crash-recovery scenario observed (tags and counters, so
+/// byte-comparable across replays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// True time at which the CV federate was killed.
+    pub crashed_at: Instant,
+    /// True time at which replay completed and the `Rejoin` frame went
+    /// out.
+    pub rejoined_at: Instant,
+    /// Outage duration (`rejoined_at - crashed_at`) — the replay/rejoin
+    /// latency the `recovery_latency` bench measures.
+    pub outage: Duration,
+    /// Logged tags re-processed from the durable log.
+    pub replayed_tags: u64,
+    /// Logged input payloads re-scheduled from the durable log.
+    pub replayed_inputs: u64,
+    /// Outbound messages swallowed during replay (already on the wire
+    /// before the crash).
+    pub suppressed_sends: u64,
+    /// Outbound messages the dead incarnation produced but never
+    /// drained, re-sent after replay.
+    pub resent_sends: u64,
+    /// Replay steps disagreeing with the log (must be zero).
+    pub replay_mismatches: u64,
+    /// Incarnation number carried by the `Rejoin` frame.
+    pub incarnation: u32,
+}
+
 /// Parameters of one deterministic-build instance.
 #[derive(Debug, Clone)]
 pub struct DetParams {
@@ -170,6 +241,12 @@ pub struct DetParams {
     /// primary mid-run. `None` (the default) is the plain single-provider
     /// scenario, bit-identical to the pre-failover builds.
     pub redundancy: Option<RedundancyParams>,
+    /// Attach a durable event log to the Computer Vision federate and
+    /// kill + restart it mid-run ([`RecoveryParams`]). `None` (the
+    /// default) is the plain scenario. Requires
+    /// [`Coordination::Centralized`] — crash-recovery is a property of
+    /// the coordinated driver.
+    pub recovery: Option<RecoveryParams>,
     /// Enable the full telemetry spine (metrics + spans) for the run and
     /// report the final snapshot in [`DetReport::metrics_snapshot`]. Off
     /// by default for the same reason as [`DetParams::record_traces`];
@@ -196,6 +273,7 @@ impl Default for DetParams {
             control_diet: false,
             record_traces: false,
             redundancy: None,
+            recovery: None,
             observability: false,
         }
     }
@@ -230,6 +308,9 @@ pub struct DetReport {
     /// Failover observations (`Some` iff [`DetParams::redundancy`] was
     /// set).
     pub failover: Option<FailoverReport>,
+    /// Crash-recovery observations (`Some` iff [`DetParams::recovery`]
+    /// was set).
+    pub recovery: Option<RecoveryReport>,
     /// The run's deterministic metrics snapshot (empty unless
     /// [`DetParams::observability`] was set).
     pub metrics_snapshot: String,
@@ -430,6 +511,14 @@ trait DriverFactory {
 
     /// Coordination-layer report at the end of the run.
     fn report(&self) -> CoordReport;
+
+    /// The coordinated platform built for stage `name`, when the
+    /// strategy builds [`CoordinatedPlatform`]s (crash-recovery needs
+    /// the concrete driver; decentralized platforms have no grant state
+    /// to rejoin).
+    fn coordinated(&self, _name: &str) -> Option<CoordinatedPlatform> {
+        None
+    }
 }
 
 /// Decentralized coordination: plain `FederatedPlatform`s, no control
@@ -567,6 +656,13 @@ impl DriverFactory for CentralizedFactory {
         }
     }
 
+    fn coordinated(&self, name: &str) -> Option<CoordinatedPlatform> {
+        self.platforms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p.clone())
+    }
+
     fn report(&self) -> CoordReport {
         let mut report = CoordReport {
             within_bound: true,
@@ -597,7 +693,10 @@ impl DriverFactory for CentralizedFactory {
 ///
 /// Panics if [`DetParams::redundancy`] is set with
 /// `primary_dies_after >= frames` — a redundancy scenario must kill its
-/// primary within the run.
+/// primary within the run. Likewise panics if [`DetParams::recovery`]
+/// is set with `crash_after_frame >= frames`, or under
+/// [`Coordination::Decentralized`] (crash-recovery replays granted
+/// bounds, a property only the centralized driver has).
 #[must_use]
 pub fn run_det(seed: u64, params: &DetParams) -> DetReport {
     match params.coordination {
@@ -751,40 +850,22 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         }
     };
 
-    // Computer Vision.
+    // Computer Vision. The program construction is factored out
+    // ([`build_cv_program`]) so a crash-recovery scenario can rebuild
+    // the byte-identical program for the replacement incarnation.
     let mismatches = Arc::new(Mutex::new(0u64));
-    let cv = {
-        let outbox = Outbox::new();
-        let mut b = ProgramBuilder::new();
-        let lane_in = ClientEventTransactor::declare(&mut b, "lane");
-        let frame_in = ClientEventTransactor::declare(&mut b, "frame_fwd");
-        let publish = ServerEventTransactor::declare(
-            &mut b,
-            &outbox,
-            "vehicles",
-            params.deadlines.computer_vision,
-        );
-        let logic: ComputerVisionLogic = b.declare_ext(
-            "computer_vision_logic",
-            mismatches.clone(),
-            ComputerVisionLogicExternals {
-                lane: lane_in.event,
-                frame: frame_in.event,
-            },
-        );
-        b.connect(logic.vehicles, publish.event).unwrap();
-        let program = b.build().expect("cv program");
-        let logic_rid = program
-            .find_reaction("computer_vision_logic.detect")
-            .expect("detect reaction");
+    let cv_outbox = Outbox::new();
+    let (cv, cv_lane_in, cv_frame_in) = {
+        let (runtime, lane_in, frame_in, publish, logic_rid) =
+            build_cv_program(&cv_outbox, params.deadlines.computer_vision, &mismatches);
         let binding = Binding::new(&net, &sd, nodes::COMPUTER_VISION, 0x40);
         let cost_rng = sim.fork_rng("cv-costs");
         let platform = factory.make(
             &mut sim,
             "computer_vision",
-            Runtime::new(program),
+            runtime,
             VirtualClock::ideal(),
-            outbox,
+            cv_outbox.clone(),
             cost_rng,
             &binding,
         );
@@ -797,11 +878,74 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         let s1 = lane_in.bind(&platform, &binding, spec(PREPROCESSING, EVENT_MAIN), cfg);
         let s2 = frame_in.bind(&platform, &binding, spec(PREPROCESSING, EVENT_AUX), cfg);
         publish.bind(&platform, &binding, spec(COMPUTER_VISION, EVENT_MAIN));
-        Stage {
-            platform,
-            stats: vec![s1, s2],
-        }
+        (
+            Stage {
+                platform,
+                stats: vec![s1, s2],
+            },
+            lane_in,
+            frame_in,
+        )
     };
+
+    // --- Crash-recovery scenario (durable log + rejoin) --------------------
+    let recovered: Rc<RefCell<Option<PlatformRecovery>>> = Rc::new(RefCell::new(None));
+    if let Some(rec) = params.recovery {
+        assert!(
+            rec.crash_after_frame < params.frames,
+            "a recovery scenario must kill the CV federate within the run"
+        );
+        let platform = factory
+            .coordinated("computer_vision")
+            .expect("DetParams::recovery requires Coordination::Centralized");
+        platform.attach_durable(EventLog::in_memory());
+        platform.set_snapshot_every(rec.snapshot_every);
+        // Both CV inboxes carry raw SOME/IP payloads; the codec is the
+        // identity. The action ids are structural, so the rebuilt
+        // incarnation replays into the same inboxes.
+        platform.register_durable_input(
+            cv_lane_in.action(),
+            |frame: &FrameBuf| frame.to_vec(),
+            |bytes| Some(bytes.to_vec().into()),
+        );
+        platform.register_durable_input(
+            cv_frame_in.action(),
+            |frame: &FrameBuf| frame.to_vec(),
+            |bytes| Some(bytes.to_vec().into()),
+        );
+
+        let crash_at = Instant::EPOCH
+            + params.period * i64::try_from(rec.crash_after_frame).expect("frame id")
+            + Duration::from_nanos(params.period.as_nanos() / 4);
+        let mut plan = FaultPlan::new();
+        plan.crash_node(crash_at, nodes::COMPUTER_VISION)
+            .restore_node(crash_at + rec.dead_for, nodes::COMPUTER_VISION);
+        plan.apply(&mut sim, &net);
+
+        let slot = recovered.clone();
+        let outbox = cv_outbox.clone();
+        let mismatches = mismatches.clone();
+        let cv_deadline = params.deadlines.computer_vision;
+        let record_traces = params.record_traces;
+        net.on_node_event(move |sim, node, up| {
+            if node != nodes::COMPUTER_VISION {
+                return;
+            }
+            if up {
+                // The replacement incarnation: reset the outbox so the
+                // rebuilt transactors re-claim the same route ids,
+                // rebuild the identical program, and replay the log.
+                outbox.reset();
+                let (mut runtime, _, _, _, _) = build_cv_program(&outbox, cv_deadline, &mismatches);
+                if record_traces {
+                    runtime.enable_tracing();
+                }
+                *slot.borrow_mut() = Some(platform.recover(sim, runtime));
+            } else {
+                platform.crash(sim);
+            }
+        });
+    }
 
     // EBA.
     let decisions: Arc<Mutex<Vec<(BrakeDecision, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -954,6 +1098,24 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         }
     });
 
+    let recovery = params.recovery.map(|_| {
+        let r = recovered
+            .borrow_mut()
+            .take()
+            .expect("recovery scenarios restart the CV federate within the horizon");
+        RecoveryReport {
+            crashed_at: r.crashed_at,
+            rejoined_at: r.rejoined_at,
+            outage: r.rejoined_at - r.crashed_at,
+            replayed_tags: r.replayed_tags,
+            replayed_inputs: r.replayed_inputs,
+            suppressed_sends: r.suppressed_sends,
+            resent_sends: r.resent_sends,
+            replay_mismatches: r.replay_mismatches,
+            incarnation: r.incarnation,
+        }
+    });
+
     let mut wrong = 0;
     let mut out_decisions = Vec::with_capacity(collected.len());
     let mut end_to_end = Vec::with_capacity(collected.len());
@@ -979,8 +1141,47 @@ fn run_det_with<F: DriverFactory>(seed: u64, params: &DetParams, mut factory: F)
         stage_traces,
         coordination,
         failover,
+        recovery,
         metrics_snapshot: sim.observe().snapshot(),
     }
+}
+
+/// Builds the Computer Vision stage program.
+///
+/// Factored out of [`run_det_with`] so a crash-recovery scenario can
+/// rebuild the exact same program — declaration order and all — for the
+/// replacement incarnation: action and reaction ids are structural, so
+/// the registered input codecs, route handlers and reaction-cost models
+/// of the dead incarnation apply unchanged to the rebuilt one.
+fn build_cv_program(
+    outbox: &Outbox,
+    deadline: Duration,
+    mismatches: &Arc<Mutex<u64>>,
+) -> (
+    Runtime,
+    ClientEventTransactor,
+    ClientEventTransactor,
+    ServerEventTransactor,
+    ReactionId,
+) {
+    let mut b = ProgramBuilder::new();
+    let lane_in = ClientEventTransactor::declare(&mut b, "lane");
+    let frame_in = ClientEventTransactor::declare(&mut b, "frame_fwd");
+    let publish = ServerEventTransactor::declare(&mut b, outbox, "vehicles", deadline);
+    let logic: ComputerVisionLogic = b.declare_ext(
+        "computer_vision_logic",
+        mismatches.clone(),
+        ComputerVisionLogicExternals {
+            lane: lane_in.event,
+            frame: frame_in.event,
+        },
+    );
+    b.connect(logic.vehicles, publish.event).unwrap();
+    let program = b.build().expect("cv program");
+    let logic_rid = program
+        .find_reaction("computer_vision_logic.detect")
+        .expect("detect reaction");
+    (Runtime::new(program), lane_in, frame_in, publish, logic_rid)
 }
 
 /// Builds the primary/standby Video Provider pair of a redundancy

@@ -26,7 +26,8 @@ pub mod nondet;
 pub mod types;
 
 pub use det::{
-    run_det, CoordReport, DetParams, DetReport, FailoverReport, RedundancyParams, StageDeadlines,
+    run_det, CoordReport, DetParams, DetReport, FailoverReport, RecoveryParams, RecoveryReport,
+    RedundancyParams, StageDeadlines,
 };
 pub use logic::{detect_vehicles, eba_decide, preprocess, reference_decision, StageTimings};
 pub use nondet::{run_nondet, NondetParams, NondetReport};

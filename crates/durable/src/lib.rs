@@ -1,0 +1,757 @@
+//! The durable event log: crash recovery for DEAR federates.
+//!
+//! The paper's core claim is that a DEAR federation is a *deterministic
+//! function of its inputs* — so a crashed federate can come back: replay
+//! the persisted input stream to its last granted tag and rejoin with
+//! byte-identical behavior. This crate is the persistence half of that
+//! story (the recovery driver lives on
+//! `dear_federation::CoordinatedPlatform`):
+//!
+//! * [`Record`] — one logically-timestamped log entry: the runtime's
+//!   start anchor, a physical input (the federate's *only* source of
+//!   nondeterminism), the coordination high-water marks (granted bound,
+//!   processed tag, drained-outbox watermark) and periodic [`Record::
+//!   Snapshot`] checkpoints.
+//! * [`EventLog`] — an append-only, CRC-framed, segmented log. Every
+//!   record is framed as `[len][crc32][payload]`, so torn tails and
+//!   bit rot are detected, not replayed. Snapshots rotate the segment,
+//!   so [`EventLog::seek`] can start replay at the newest checkpoint at
+//!   or below a tag instead of the beginning of time.
+//! * [`LogStorage`] — the byte-level backend behind a trait, so the
+//!   deterministic simulation twin stays entirely in memory
+//!   ([`MemStorage`]) while a real deployment can drop in an mmap'd or
+//!   file-backed segment store without touching the log logic.
+//!
+//! The design follows the durable-topic/raft-log shape: an append-only
+//! record stream, periodic snapshots bounding replay work, and CRC
+//! framing making partial writes self-delimiting.
+//!
+//! ## What is — and is not — in a snapshot
+//!
+//! Reactor state is opaque (`Box<dyn Any>`), so snapshots do **not**
+//! serialize user state. A [`Record::Snapshot`] is a *coordination*
+//! checkpoint: the tags reached and the log sequence number. Recovery
+//! therefore replays inputs from the runtime's start anchor — which is
+//! exactly what determinism makes sufficient — while `seek` uses
+//! snapshots to bound how much log a *reader* (offline trace tooling,
+//! time-travel debugging) must scan to reach a tag.
+
+use dear_core::Tag;
+use dear_time::Instant;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`. Bitwise, table-free:
+/// the log's hot path appends tens of bytes per logical step, so a
+/// 1 KiB lookup table buys nothing worth its cache pressure here.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Bytes of framing before each record payload (`u32` length + `u32`
+/// CRC, both big-endian).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Default segment-rotation threshold in bytes: a snapshot appended when
+/// the open segment is at least this full closes it and starts a new
+/// segment (see [`EventLog::set_max_segment_bytes`]).
+pub const DEFAULT_MAX_SEGMENT_BYTES: usize = 64 * 1024;
+
+fn put_tag(out: &mut Vec<u8>, tag: Tag) {
+    out.extend_from_slice(&tag.time.as_nanos().to_be_bytes());
+    out.extend_from_slice(&tag.microstep.to_be_bytes());
+}
+
+fn put_opt_tag(out: &mut Vec<u8>, tag: Option<Tag>) {
+    match tag {
+        Some(tag) => {
+            out.push(1);
+            put_tag(out, tag);
+        }
+        None => out.push(0),
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.bytes.split_first()?;
+        self.bytes = rest;
+        Some(b)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.bytes.split_first_chunk::<4>()?;
+        self.bytes = rest;
+        Some(u32::from_be_bytes(*head))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.bytes.split_first_chunk::<8>()?;
+        self.bytes = rest;
+        Some(u64::from_be_bytes(*head))
+    }
+    fn tag(&mut self) -> Option<Tag> {
+        let nanos = self.u64()?;
+        let microstep = self.u32()?;
+        Some(Tag::new(Instant::from_nanos(nanos), microstep))
+    }
+    fn opt_tag(&mut self) -> Option<Option<Tag>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.tag()?)),
+            _ => None,
+        }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if n > self.bytes.len() {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Some(head)
+    }
+}
+
+/// One entry of the durable log. Everything a deterministic federate
+/// needs to reconstruct its exact state: the start anchor, the physical
+/// inputs, and the coordination high-water marks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// The runtime was started with this physical anchor (nanoseconds):
+    /// timers and the startup tag are derived from it, so replay must
+    /// restart the rebuilt runtime at exactly the same anchor.
+    Started {
+        /// `Instant::as_nanos()` of the start call.
+        anchor: u64,
+    },
+    /// A physical input was scheduled: the federate's only source of
+    /// nondeterminism, captured with its full tag and encoded value.
+    Input {
+        /// Which input this is — an action key registered by the
+        /// platform's input codec (stable across a rebuild, because the
+        /// rebuilt program allocates identical action ids).
+        key: u32,
+        /// The tag the input was scheduled at.
+        tag: Tag,
+        /// The encoded value (the codec's business; opaque here).
+        bytes: Vec<u8>,
+    },
+    /// The coordinator granted this exclusive tag bound (monotone
+    /// high-water mark; replay restores the maximum).
+    Granted {
+        /// The exclusive bound.
+        bound: Tag,
+    },
+    /// The runtime completed this tag (LTC high-water mark — the tag a
+    /// rejoin resumes *after*).
+    Processed {
+        /// The completed tag.
+        tag: Tag,
+        /// The local physical clock reading the step executed at
+        /// (`Instant::as_nanos`). Deadline checks — and anything a
+        /// reaction reads through its physical-time accessor — depend on
+        /// this reading, so replay must pass the very same one to `step`
+        /// or a recovered federate could miss (or meet) deadlines its
+        /// first incarnation did not.
+        local: u64,
+    },
+    /// The outbox was drained through this tag: every outbound message
+    /// with a tag at or below this watermark demonstrably reached the
+    /// network before the crash, so replay suppresses re-sending it.
+    Drained {
+        /// The drain watermark.
+        tag: Tag,
+    },
+    /// A coordination checkpoint (and segment-rotation point): where the
+    /// federate stood when the snapshot was cut.
+    Snapshot {
+        /// Monotone snapshot sequence number.
+        seq: u64,
+        /// LTC high-water mark at the checkpoint.
+        last_processed: Option<Tag>,
+        /// Granted-bound high-water mark at the checkpoint.
+        granted: Option<Tag>,
+    },
+}
+
+impl Record {
+    fn kind(&self) -> u8 {
+        match self {
+            Record::Started { .. } => 1,
+            Record::Input { .. } => 2,
+            Record::Granted { .. } => 3,
+            Record::Processed { .. } => 4,
+            Record::Drained { .. } => 5,
+            Record::Snapshot { .. } => 6,
+        }
+    }
+
+    /// Encodes the payload (kind byte + fields, no framing).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.kind()];
+        match self {
+            Record::Started { anchor } => out.extend_from_slice(&anchor.to_be_bytes()),
+            Record::Input { key, tag, bytes } => {
+                out.extend_from_slice(&key.to_be_bytes());
+                put_tag(&mut out, *tag);
+                let len = u32::try_from(bytes.len()).expect("input value fits u32");
+                out.extend_from_slice(&len.to_be_bytes());
+                out.extend_from_slice(bytes);
+            }
+            Record::Granted { bound } => put_tag(&mut out, *bound),
+            Record::Processed { tag, local } => {
+                put_tag(&mut out, *tag);
+                out.extend_from_slice(&local.to_be_bytes());
+            }
+            Record::Drained { tag } => put_tag(&mut out, *tag),
+            Record::Snapshot {
+                seq,
+                last_processed,
+                granted,
+            } => {
+                out.extend_from_slice(&seq.to_be_bytes());
+                put_opt_tag(&mut out, *last_processed);
+                put_opt_tag(&mut out, *granted);
+            }
+        }
+        out
+    }
+
+    /// Decodes one payload previously produced by [`Record::encode`].
+    /// Returns `None` on any malformation — the log layer treats that as
+    /// corruption, never as a panic.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Record> {
+        let mut r = Reader { bytes };
+        let record = match r.u8()? {
+            1 => Record::Started { anchor: r.u64()? },
+            2 => {
+                let key = r.u32()?;
+                let tag = r.tag()?;
+                let len = r.u32()?;
+                let bytes = r.take(len as usize)?.to_vec();
+                Record::Input { key, tag, bytes }
+            }
+            3 => Record::Granted { bound: r.tag()? },
+            4 => Record::Processed {
+                tag: r.tag()?,
+                local: r.u64()?,
+            },
+            5 => Record::Drained { tag: r.tag()? },
+            6 => Record::Snapshot {
+                seq: r.u64()?,
+                last_processed: r.opt_tag()?,
+                granted: r.opt_tag()?,
+            },
+            _ => return None,
+        };
+        r.bytes.is_empty().then_some(record)
+    }
+}
+
+/// The byte-level backend of an [`EventLog`]: an ordered list of
+/// append-only segments. Implementations only move bytes — framing,
+/// CRCs and record semantics all live above this trait, so a
+/// file-backed store is a drop-in swap while the deterministic
+/// simulation twin keeps the in-memory [`MemStorage`].
+pub trait LogStorage {
+    /// Appends raw bytes to the newest segment.
+    fn append(&mut self, bytes: &[u8]);
+    /// Closes the newest segment and opens a fresh, empty one.
+    fn rotate(&mut self);
+    /// Number of segments (at least 1 — storage starts with one open
+    /// segment).
+    fn segment_count(&self) -> usize;
+    /// The bytes of segment `i` so far (empty for out-of-range `i`).
+    fn segment(&self, i: usize) -> Vec<u8>;
+}
+
+/// The in-memory [`LogStorage`]: a `Vec` of segments. The default for
+/// simulated federates — the deterministic twin must not touch the
+/// filesystem, and a "crash" in simulation only discards the platform's
+/// volatile state, never the storage.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    segments: Vec<Vec<u8>>,
+}
+
+impl MemStorage {
+    /// Creates empty storage with one open segment.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStorage {
+            segments: vec![Vec::new()],
+        }
+    }
+}
+
+impl LogStorage for MemStorage {
+    fn append(&mut self, bytes: &[u8]) {
+        if self.segments.is_empty() {
+            self.segments.push(Vec::new());
+        }
+        self.segments
+            .last_mut()
+            .expect("at least one segment")
+            .extend_from_slice(bytes);
+    }
+    fn rotate(&mut self) {
+        self.segments.push(Vec::new());
+    }
+    fn segment_count(&self) -> usize {
+        self.segments.len().max(1)
+    }
+    fn segment(&self, i: usize) -> Vec<u8> {
+        self.segments.get(i).cloned().unwrap_or_default()
+    }
+}
+
+/// Counters describing a log's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStats {
+    /// Records appended.
+    pub appended: u64,
+    /// Snapshot records appended.
+    pub snapshots: u64,
+    /// Segment rotations performed.
+    pub rotations: u64,
+    /// Records rejected during replay (bad CRC, truncated frame, or
+    /// malformed payload). A non-zero count on an in-memory log is a
+    /// bug; on real storage it marks a torn tail.
+    pub corrupt: u64,
+}
+
+impl fmt::Display for LogStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "appended={} snapshots={} rotations={} corrupt={}",
+            self.appended, self.snapshots, self.rotations, self.corrupt
+        )
+    }
+}
+
+struct LogInner {
+    storage: Box<dyn LogStorage>,
+    /// Bytes appended to the currently open segment.
+    open_bytes: usize,
+    max_segment_bytes: usize,
+    /// Snapshot index: `(segment holding the snapshot, last_processed)`
+    /// in append order, so `seek` can binary-pick the newest checkpoint
+    /// at or below a tag without scanning storage.
+    snapshots: Vec<(usize, Option<Tag>)>,
+    next_seq: u64,
+    stats: LogStats,
+}
+
+/// A shared handle to one federate's durable event log.
+///
+/// Cheap to clone; clones share the log. Single-threaded by design
+/// (`Rc`): the log is written from the simulation's event loop, the
+/// same place the platform lives.
+#[derive(Clone)]
+pub struct EventLog {
+    inner: Rc<RefCell<LogInner>>,
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("EventLog")
+            .field("segments", &inner.storage.segment_count())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl EventLog {
+    /// Creates a log over the in-memory backend (the simulation default).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::with_storage(Box::new(MemStorage::new()))
+    }
+
+    /// Creates a log over a custom [`LogStorage`] backend.
+    #[must_use]
+    pub fn with_storage(storage: Box<dyn LogStorage>) -> Self {
+        EventLog {
+            inner: Rc::new(RefCell::new(LogInner {
+                storage,
+                open_bytes: 0,
+                max_segment_bytes: DEFAULT_MAX_SEGMENT_BYTES,
+                snapshots: Vec::new(),
+                next_seq: 0,
+                stats: LogStats::default(),
+            })),
+        }
+    }
+
+    /// Sets the segment-rotation threshold: a snapshot appended while
+    /// the open segment holds at least this many bytes rotates first,
+    /// so the snapshot starts the new segment. Rotation happens *only*
+    /// at snapshots — every segment but the first therefore begins with
+    /// one, which is what makes [`EventLog::seek`] segment-granular.
+    pub fn set_max_segment_bytes(&self, max: usize) {
+        self.inner.borrow_mut().max_segment_bytes = max.max(1);
+    }
+
+    /// Appends one record (CRC-framed). Returns the snapshot sequence
+    /// number when the record was a snapshot.
+    pub fn append(&self, record: &Record) -> Option<u64> {
+        let mut inner = self.inner.borrow_mut();
+        let mut seq_out = None;
+        let record = match record {
+            Record::Snapshot {
+                last_processed,
+                granted,
+                ..
+            } => {
+                // Snapshots own their sequence numbers: callers pass any
+                // seq, the log stamps the real one.
+                if inner.open_bytes >= inner.max_segment_bytes {
+                    inner.storage.rotate();
+                    inner.open_bytes = 0;
+                    inner.stats.rotations += 1;
+                }
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                let segment = inner.storage.segment_count() - 1;
+                inner.snapshots.push((segment, *last_processed));
+                inner.stats.snapshots += 1;
+                seq_out = Some(seq);
+                Record::Snapshot {
+                    seq,
+                    last_processed: *last_processed,
+                    granted: *granted,
+                }
+            }
+            other => other.clone(),
+        };
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        let len = u32::try_from(payload.len()).expect("record fits u32");
+        frame.extend_from_slice(&len.to_be_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        inner.storage.append(&frame);
+        inner.open_bytes += frame.len();
+        inner.stats.appended += 1;
+        seq_out
+    }
+
+    /// Decodes every record from segment `from_segment` on, in append
+    /// order. A frame that fails its length or CRC check ends that
+    /// segment's decode (torn tail) and is counted in
+    /// [`LogStats::corrupt`]; later segments still decode.
+    #[must_use]
+    pub fn replay_from(&self, from_segment: usize) -> Vec<Record> {
+        let mut inner = self.inner.borrow_mut();
+        let mut records = Vec::new();
+        for s in from_segment..inner.storage.segment_count() {
+            let bytes = inner.storage.segment(s);
+            let mut at = 0usize;
+            while at < bytes.len() {
+                let Some(record) = decode_frame(&bytes[at..]) else {
+                    inner.stats.corrupt += 1;
+                    break;
+                };
+                at += FRAME_HEADER_LEN + record.0;
+                records.push(record.1);
+            }
+        }
+        records
+    }
+
+    /// Decodes the whole log, in append order.
+    #[must_use]
+    pub fn replay(&self) -> Vec<Record> {
+        self.replay_from(0)
+    }
+
+    /// The records needed to reconstruct state *at or beyond* `tag`:
+    /// replay starting at the segment of the newest snapshot whose
+    /// `last_processed` is at or below `tag` (the whole log when no such
+    /// snapshot exists). The first returned record of a non-zero seek is
+    /// that snapshot.
+    #[must_use]
+    pub fn seek(&self, tag: Tag) -> Vec<Record> {
+        let from = {
+            let inner = self.inner.borrow();
+            inner
+                .snapshots
+                .iter()
+                .rev()
+                .find(|(_, processed)| processed.is_none_or(|p| p <= tag))
+                .map_or(0, |&(segment, _)| segment)
+        };
+        self.replay_from(from)
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> LogStats {
+        self.inner.borrow().stats
+    }
+
+    /// Number of storage segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.inner.borrow().storage.segment_count()
+    }
+}
+
+/// Decodes the frame at the head of `bytes`: `Some((payload_len,
+/// record))` or `None` on truncation, CRC mismatch or a malformed
+/// payload.
+fn decode_frame(bytes: &[u8]) -> Option<(usize, Record)> {
+    let (header, rest) = bytes.split_first_chunk::<FRAME_HEADER_LEN>()?;
+    let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+    let payload = rest.get(..len)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((len, Record::decode(payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tag_ms(ms: u64) -> Tag {
+        Tag::new(Instant::from_nanos(ms * 1_000_000), 0)
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Started { anchor: 1_000 },
+            Record::Input {
+                key: 7,
+                tag: Tag::new(Instant::from_nanos(5), 2),
+                bytes: vec![1, 2, 3],
+            },
+            Record::Granted { bound: tag_ms(10) },
+            Record::Processed {
+                tag: tag_ms(5),
+                local: 5_000_123,
+            },
+            Record::Drained { tag: tag_ms(5) },
+            Record::Snapshot {
+                seq: 0,
+                last_processed: Some(tag_ms(5)),
+                granted: Some(tag_ms(10)),
+            },
+            Record::Snapshot {
+                seq: 1,
+                last_processed: None,
+                granted: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_kind_roundtrips() {
+        for record in sample_records() {
+            let bytes = record.encode();
+            assert_eq!(Record::decode(&bytes), Some(record));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_and_truncated_bytes() {
+        let mut bytes = Record::Processed {
+            tag: tag_ms(1),
+            local: 7,
+        }
+        .encode();
+        bytes.push(0);
+        assert_eq!(Record::decode(&bytes), None, "trailing byte");
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(Record::decode(&bytes), None, "truncated");
+        assert_eq!(Record::decode(&[99]), None, "unknown kind");
+        assert_eq!(Record::decode(&[]), None, "empty");
+    }
+
+    #[test]
+    fn log_replays_in_append_order() {
+        let log = EventLog::in_memory();
+        for record in sample_records() {
+            log.append(&record);
+        }
+        let replayed = log.replay();
+        assert_eq!(replayed.len(), 7);
+        assert_eq!(replayed[0], Record::Started { anchor: 1_000 });
+        assert_eq!(log.stats().appended, 7);
+        assert_eq!(log.stats().corrupt, 0);
+    }
+
+    #[test]
+    fn log_stamps_snapshot_sequence_numbers() {
+        let log = EventLog::in_memory();
+        let snap = Record::Snapshot {
+            seq: 999, // caller's seq is ignored
+            last_processed: None,
+            granted: None,
+        };
+        assert_eq!(log.append(&snap), Some(0));
+        assert_eq!(log.append(&snap), Some(1));
+        assert_eq!(log.append(&Record::Started { anchor: 0 }), None);
+        let replayed = log.replay();
+        assert!(matches!(replayed[0], Record::Snapshot { seq: 0, .. }));
+        assert!(matches!(replayed[1], Record::Snapshot { seq: 1, .. }));
+    }
+
+    #[test]
+    fn snapshots_rotate_full_segments_and_seek_uses_them() {
+        let log = EventLog::in_memory();
+        log.set_max_segment_bytes(1); // every snapshot rotates
+        for ms in [10u64, 20, 30] {
+            log.append(&Record::Processed {
+                tag: tag_ms(ms),
+                local: ms,
+            });
+            log.append(&Record::Snapshot {
+                seq: 0,
+                last_processed: Some(tag_ms(ms)),
+                granted: None,
+            });
+        }
+        assert_eq!(log.segment_count(), 4, "three rotations after the first");
+        assert_eq!(log.stats().rotations, 3);
+
+        // Seeking to 25ms starts at the snapshot that processed 20ms.
+        let records = log.seek(tag_ms(25));
+        assert_eq!(
+            records[0],
+            Record::Snapshot {
+                seq: 1,
+                last_processed: Some(tag_ms(20)),
+                granted: None,
+            }
+        );
+        // A tag before every snapshot replays from the start.
+        assert_eq!(log.seek(tag_ms(1)).len(), log.replay().len());
+        // A tag beyond the newest snapshot starts there.
+        let newest = log.seek(tag_ms(99));
+        assert!(matches!(newest[0], Record::Snapshot { seq: 2, .. }));
+    }
+
+    /// Canned byte segments, for feeding the decoder corrupted storage.
+    struct Canned(Vec<Vec<u8>>);
+    impl LogStorage for Canned {
+        fn append(&mut self, bytes: &[u8]) {
+            self.0.last_mut().expect("segment").extend_from_slice(bytes);
+        }
+        fn rotate(&mut self) {
+            self.0.push(Vec::new());
+        }
+        fn segment_count(&self) -> usize {
+            self.0.len()
+        }
+        fn segment(&self, i: usize) -> Vec<u8> {
+            self.0.get(i).cloned().unwrap_or_default()
+        }
+    }
+
+    fn frame(record: &Record) -> Vec<u8> {
+        let payload = record.encode();
+        let mut out = (payload.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(&crc32(&payload).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    #[test]
+    fn corrupt_frames_end_the_segment_but_not_the_log() {
+        // Segment 0: good, bit-flipped, good-but-unreachable. Segment 1:
+        // good. The flip must cost exactly the rest of segment 0.
+        let good = Record::Processed {
+            tag: tag_ms(1),
+            local: 1,
+        };
+        let shadowed = Record::Processed {
+            tag: tag_ms(2),
+            local: 2,
+        };
+        let next_segment = Record::Processed {
+            tag: tag_ms(3),
+            local: 3,
+        };
+        let mut corrupted = frame(&good);
+        corrupted[FRAME_HEADER_LEN] ^= 0x80; // flip a payload bit: CRC mismatch
+        let mut seg0 = frame(&good);
+        seg0.extend_from_slice(&corrupted);
+        seg0.extend_from_slice(&frame(&shadowed));
+        let log = EventLog::with_storage(Box::new(Canned(vec![seg0, frame(&next_segment)])));
+        assert_eq!(log.replay(), vec![good, next_segment]);
+        assert_eq!(log.stats().corrupt, 1);
+
+        // A torn tail (truncated frame) ends the segment the same way.
+        let mut torn = frame(&Record::Processed {
+            tag: tag_ms(4),
+            local: 4,
+        });
+        torn.truncate(torn.len() - 3);
+        let survivor = Record::Processed {
+            tag: tag_ms(5),
+            local: 5,
+        };
+        let mut seg = frame(&survivor);
+        seg.extend_from_slice(&torn);
+        let log = EventLog::with_storage(Box::new(Canned(vec![seg])));
+        assert_eq!(log.replay(), vec![survivor]);
+        assert_eq!(log.stats().corrupt, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn record_roundtrip(
+            kind in 0u8..6,
+            a in any::<u64>(), b in any::<u32>(), c in any::<u64>(), d in any::<u32>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+            has_a in any::<bool>(), has_b in any::<bool>(),
+        ) {
+            let t1 = Tag::new(Instant::from_nanos(a), b);
+            let t2 = Tag::new(Instant::from_nanos(c), d);
+            let record = match kind {
+                0 => Record::Started { anchor: a },
+                1 => Record::Input { key: b, tag: t1, bytes: payload },
+                2 => Record::Granted { bound: t1 },
+                3 => Record::Processed { tag: t2, local: c },
+                4 => Record::Drained { tag: t2 },
+                _ => Record::Snapshot {
+                    seq: c,
+                    last_processed: has_a.then_some(t1),
+                    granted: has_b.then_some(t2),
+                },
+            };
+            prop_assert_eq!(Record::decode(&record.encode()), Some(record));
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Record::decode(&bytes);
+            let _ = decode_frame(&bytes);
+        }
+    }
+}

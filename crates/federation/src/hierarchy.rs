@@ -57,6 +57,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
+/// One downward relay batch: `(upstream federate, clamped floor,
+/// retreat?)` — a retreat fans down as a `Rejoin`-kind record.
+type RelayRecords = Vec<(u16, Tag, bool)>;
+
 struct ZoneEntry {
     /// Floor most recently rolled up by the zone (monotone max; origin
     /// until the first roll-up = "unknown, assume anything").
@@ -334,6 +338,7 @@ impl HierarchicalRti {
             total.batches_sent += z.batches_sent;
             total.window_tags += z.window_tags;
             total.dnets_sent += z.dnets_sent;
+            total.rejoins += z.rejoins;
         }
         total
     }
@@ -379,25 +384,42 @@ impl HierarchicalRti {
         }
     }
 
-    /// Handles one roll-up frame from a zone (batched `Floor` records).
+    /// Handles one roll-up frame from a zone: batched `Floor` records
+    /// (monotone rises) plus `Rejoin`-kind roll-ups, the one record that
+    /// may *retreat* a zone's floor — a crashed member replayed its
+    /// durable log and rejoined below the bound its death had released.
     fn on_rollup_frame(&self, sim: &mut Simulation, payload: &[u8]) {
         let mut touched: Vec<u16> = Vec::new();
         {
             let mut inner = self.0.borrow_mut();
             let apply = |inner: &mut RootInner, msg: &CoordMsg, touched: &mut Vec<u16>| {
-                if msg.kind != CoordKind::Floor {
+                let retreat = msg.kind == CoordKind::Rejoin;
+                if msg.kind != CoordKind::Floor && !retreat {
                     return;
                 }
                 let Some(entry) = inner.entries.get_mut(usize::from(msg.federate)) else {
                     return;
                 };
                 // Dead zones stay dead (see Rti::on_msg): a zombie's late
-                // roll-up must not resurrect a released floor.
-                if entry.dead {
+                // roll-up must not resurrect a released floor. The one
+                // exception is a Rejoin-kind roll-up — the zone actively
+                // reporting a revived member is also proof of life for
+                // the zone itself. The zone→root link delivers in order,
+                // so a pre-death Floor echo can never overtake it.
+                if entry.dead && !retreat {
                     return;
                 }
                 entry.liveness_gen += 1;
-                entry.floor = entry.floor.max(wire_to_tag(msg.tag));
+                let relayed = wire_to_tag(msg.tag);
+                if retreat {
+                    entry.dead = false;
+                    // Non-monotone on purpose: the rejoined member resumed
+                    // below the zone's released floor.
+                    entry.floor = relayed;
+                    inner.stats.rejoins += 1;
+                } else {
+                    entry.floor = entry.floor.max(relayed);
+                }
                 inner.stats.floor_records += 1;
                 if !touched.contains(&msg.federate) {
                     touched.push(msg.federate);
@@ -462,9 +484,11 @@ impl HierarchicalRti {
     }
 
     /// Recomputes the zone-level fixpoint and relays changed upstream
-    /// floors down, one batched frame per downstream zone.
+    /// floors down, one batched frame per downstream zone. A relay that
+    /// fell below the last one (an upstream member rejoined) fans down as
+    /// a `Rejoin`-kind record so the zone retreats its proxy head.
     fn recompute(&self, sim: &mut Simulation) {
-        let relays: Vec<(ZoneId, Vec<(u16, Tag)>)> = {
+        let relays: Vec<(ZoneId, RelayRecords)> = {
             let mut inner = self.0.borrow_mut();
             let RootInner {
                 entries,
@@ -475,7 +499,7 @@ impl HierarchicalRti {
             let lbts = solver.solve(&ZoneGraph(entries)).to_vec();
             let mut relays = Vec::new();
             for z in 0..entries.len() {
-                let mut records: Vec<(u16, Tag)> = Vec::new();
+                let mut records: Vec<(u16, Tag, bool)> = Vec::new();
                 for e in 0..entries[z].upstream.len() {
                     let (up, _) = entries[z].upstream[e];
                     // What the downstream zone may assume about `up`:
@@ -485,11 +509,13 @@ impl HierarchicalRti {
                     // never leaks past its own upstream constraints.
                     let relayed =
                         node_floor(&entries[usize::from(up)].view(), lbts[usize::from(up)]);
-                    if entries[z].last_relay.get(&up) == Some(&relayed) {
+                    let prev = entries[z].last_relay.get(&up).copied();
+                    if prev == Some(relayed) {
                         continue;
                     }
+                    let retreat = prev.is_some_and(|p| relayed < p);
                     entries[z].last_relay.insert(up, relayed);
-                    records.push((up, relayed));
+                    records.push((up, relayed, retreat));
                 }
                 if !records.is_empty() {
                     stats.floor_records += records.len() as u64;
@@ -508,7 +534,7 @@ impl HierarchicalRti {
             // floor trails true time when it fans back down.
             for (_, records) in &relays {
                 observe.record_value("coord/batch_size", records.len() as u64);
-                for (_, floor) in records {
+                for (_, floor, _) in records {
                     if *floor < crate::solver::TAG_MAX {
                         observe.record_duration("coord/root_relay_lag_ns", now - floor.time);
                     }
@@ -519,8 +545,13 @@ impl HierarchicalRti {
         let binding = self.0.borrow().binding.clone();
         for (zone, records) in relays {
             let mut batch = CoordBatch::pooled(&binding.pool());
-            for (up, floor) in records {
-                batch.push(&CoordMsg::new(CoordKind::Floor, up, tag_to_wire(floor)));
+            for (up, floor, retreat) in records {
+                let kind = if retreat {
+                    CoordKind::Rejoin
+                } else {
+                    CoordKind::Floor
+                };
+                batch.push(&CoordMsg::new(kind, up, tag_to_wire(floor)));
             }
             binding.notify(
                 sim,

@@ -84,7 +84,7 @@ mod solver;
 mod zone;
 
 pub use hierarchy::HierarchicalRti;
-pub use platform::CoordinatedPlatform;
+pub use platform::{CoordinatedPlatform, PlatformRecovery};
 pub use rti::{FederateId, FederationError, Rti, RtiStats, MAX_FEDERATES};
 pub use solver::{
     edge_add, lattice_next, node_floor, tag_succ, LbtsGraph, LbtsSolver, NodeView, TAG_MAX,
@@ -97,3 +97,7 @@ pub use zone::{
 // Re-exported so scenario code can pick a strategy without importing
 // dear-transactors separately.
 pub use dear_transactors::{Coordination, PlatformDriver};
+
+// Re-exported so recovery scenarios can build and inspect durable logs
+// without importing dear-durable separately.
+pub use dear_durable::{EventLog, LogStats, LogStorage, MemStorage, Record as LogRecord};

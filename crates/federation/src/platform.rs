@@ -21,6 +21,7 @@ use crate::rti::{FederateId, FederationError, Rti};
 use crate::solver::{tag_succ, TAG_MAX};
 use crate::zone::{zone_instance, ZoneId, ZONE_MEMBER_EVENTGROUP};
 use dear_core::{PhysicalAction, ReactionId, Runtime, RuntimeStats, StepOutcome, Tag};
+use dear_durable::{EventLog, Record};
 use dear_observe::{Lane, Observe};
 use dear_sim::{LatencyModel, SimRng, Simulation, VirtualClock};
 use dear_someip::{
@@ -32,12 +33,76 @@ use dear_time::Instant;
 use dear_transactors::{
     tag_to_wire, wire_to_tag, OutboundMsg, Outbox, PlatformDriver, TransactorStats,
 };
+use std::any::Any;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
 type RouteHandler = Rc<dyn Fn(&mut Simulation, OutboundMsg)>;
+
+type EncodeFn = Rc<dyn Fn(&dyn Any) -> Option<Vec<u8>>>;
+type ReplayFn = Rc<dyn Fn(&mut Runtime, Tag, &[u8]) -> bool>;
+
+/// Per-action serialization pair for durable input logging: `encode`
+/// turns a live payload into log bytes at injection time, `replay`
+/// rebuilds and re-schedules it from those bytes during recovery.
+struct InputCodec {
+    encode: EncodeFn,
+    replay: ReplayFn,
+}
+
+/// How many processed tags elapse between durable-log checkpoints by
+/// default. Each checkpoint rotates the log segment, so this bounds both
+/// replay length and segment size.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 32;
+
+/// The outcome of one [`CoordinatedPlatform::recover`] call: where the
+/// incarnation died, what replay rebuilt, and what went back on the wire.
+#[derive(Clone, Debug)]
+pub struct PlatformRecovery {
+    /// True time at which [`CoordinatedPlatform::crash`] took the
+    /// federate down.
+    pub crashed_at: Instant,
+    /// True time at which the `Rejoin` frame went out and the platform
+    /// resumed live operation.
+    pub rejoined_at: Instant,
+    /// Logged tags re-processed from the log.
+    pub replayed_tags: u64,
+    /// Logged physical-action payloads re-scheduled from the log.
+    pub replayed_inputs: u64,
+    /// Outbound messages swallowed during replay because the previous
+    /// incarnation had already drained them to the wire.
+    pub suppressed_sends: u64,
+    /// Outbound messages the previous incarnation produced but never
+    /// drained, re-sent after replay completed.
+    pub resent_sends: u64,
+    /// Greatest tag the replay re-processed (`None`: crashed before
+    /// completing any tag).
+    pub last_processed: Option<Tag>,
+    /// Granted bound restored from the log's high-water mark.
+    pub restored_bound: Option<Tag>,
+    /// The new incarnation number carried by the `Rejoin` frame.
+    pub incarnation: u32,
+    /// Replay steps whose outcome disagreed with the log (0 on any
+    /// healthy recovery — nonzero means the log and program diverged).
+    pub replay_mismatches: u64,
+}
+
+impl fmt::Display for PlatformRecovery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rejoin #{}: replayed {} tags / {} inputs, suppressed {} resent {} sends, outage {}ns",
+            self.incarnation,
+            self.replayed_tags,
+            self.replayed_inputs,
+            self.suppressed_sends,
+            self.resent_sends,
+            (self.rejoined_at - self.crashed_at).as_nanos(),
+        )
+    }
+}
 
 struct PlatformInner {
     name: String,
@@ -95,6 +160,33 @@ struct PlatformInner {
     /// coordinator (zero until the first push): which of this federate's
     /// reports provably cannot move any downstream LBTS.
     dnet_flags: u32,
+    /// Durable event log, when crash recovery is enabled. Every granted
+    /// bound, processed tag, injected input and drained outbox batch is
+    /// appended so a fresh incarnation can replay to the exact crash
+    /// point.
+    log: Option<EventLog>,
+    /// Input codecs keyed by physical-action id, for durable input
+    /// logging and replay.
+    codecs: BTreeMap<u32, InputCodec>,
+    /// Processed tags between durable checkpoints.
+    snapshot_every: u64,
+    /// Processed tags since the last checkpoint.
+    processed_since_snapshot: u64,
+    /// Whether the federate is currently down ([`CoordinatedPlatform::crash`]).
+    crashed: bool,
+    /// True time of the crash, reported by the next recovery.
+    crashed_at: Option<Instant>,
+    /// Incarnation number: 0 for the original process, bumped by every
+    /// recovery and carried in the `Rejoin` frame's fence microstep so
+    /// the coordinator can drop stale-incarnation control echoes.
+    incarnation: u32,
+    /// Bumped on every crash. Scheduled outbox drains capture the epoch
+    /// at scheduling time and no-op on mismatch — the wake-up
+    /// `generation` cannot guard them because `arm` bumps it on every
+    /// re-arm.
+    epoch: u64,
+    /// Report of the most recent recovery, if any.
+    last_recovery: Option<PlatformRecovery>,
 }
 
 impl PlatformInner {
@@ -287,6 +379,15 @@ impl CoordinatedPlatform {
             external,
             lattice,
             dnet_flags: 0,
+            log: None,
+            codecs: BTreeMap::new(),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            processed_since_snapshot: 0,
+            crashed: false,
+            crashed_at: None,
+            incarnation: 0,
+            epoch: 0,
+            last_recovery: None,
         })));
         binding.subscribe(
             ServiceInstance::new(COORD_SERVICE, coord_instance),
@@ -360,6 +461,265 @@ impl CoordinatedPlatform {
         self.0.borrow().runtime.stats()
     }
 
+    /// Attaches a durable event log. From `start` on, every granted
+    /// bound, processed tag, registered input and outbox drain is
+    /// appended, enabling [`CoordinatedPlatform::crash`] /
+    /// [`CoordinatedPlatform::recover`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform already started — the log must see the
+    /// `Started` anchor record first.
+    pub fn attach_durable(&self, log: EventLog) {
+        let mut inner = self.0.borrow_mut();
+        assert!(!inner.started, "attach the durable log before start");
+        inner.log = Some(log);
+    }
+
+    /// The attached durable log, if any.
+    #[must_use]
+    pub fn durable_log(&self) -> Option<EventLog> {
+        self.0.borrow().log.clone()
+    }
+
+    /// Sets how many processed tags elapse between durable checkpoints
+    /// (default 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_snapshot_every(&self, every: u64) {
+        assert!(every > 0, "snapshot interval must be positive");
+        self.0.borrow_mut().snapshot_every = every;
+    }
+
+    /// Registers a serialization codec for a physical action, so
+    /// payloads injected through [`CoordinatedPlatform::inject_at`] /
+    /// [`CoordinatedPlatform::inject_now`] are durably logged and can be
+    /// rebuilt during recovery replay.
+    pub fn register_durable_input<T: Send + Sync + 'static>(
+        &self,
+        action: PhysicalAction<T>,
+        encode: impl Fn(&T) -> Vec<u8> + 'static,
+        decode: impl Fn(&[u8]) -> Option<T> + 'static,
+    ) {
+        let key = action.id().index() as u32;
+        let encode: EncodeFn = Rc::new(move |value| value.downcast_ref::<T>().map(&encode));
+        let replay: ReplayFn = Rc::new(move |runtime, tag, bytes| {
+            decode(bytes)
+                .map(|value| runtime.schedule_physical_at(&action, value, tag).is_ok())
+                .unwrap_or(false)
+        });
+        self.0
+            .borrow_mut()
+            .codecs
+            .insert(key, InputCodec { encode, replay });
+    }
+
+    /// Whether the federate is currently down.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.0.borrow().crashed
+    }
+
+    /// Report of the most recent recovery, if any.
+    #[must_use]
+    pub fn last_recovery(&self) -> Option<PlatformRecovery> {
+        self.0.borrow().last_recovery.clone()
+    }
+
+    /// Kills the federate process: all armed wake-ups and scheduled
+    /// outbox drains are stranded, undrained outputs are lost, and the
+    /// control plane goes silent (the liveness watchdog will eventually
+    /// declare the federate dead). Frames addressed to the federate keep
+    /// landing in its durable log — the durable-inbox property recovery
+    /// replay depends on. Idempotent while down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform has not started.
+    pub fn crash(&self, sim: &Simulation) {
+        let mut inner = self.0.borrow_mut();
+        assert!(inner.started, "crash before start");
+        if inner.crashed {
+            return;
+        }
+        inner.crashed = true;
+        inner.crashed_at = Some(sim.now());
+        inner.generation += 1; // strand every armed wake-up
+        inner.epoch += 1; // strand every scheduled outbox drain
+        inner.armed_wake = None;
+        inner.blocked_since = None;
+        inner.last_net = None;
+        inner.last_net_sent_at = None;
+        // In-flight outputs die with the process; replay decides which
+        // of them the wire actually saw.
+        let _ = inner.outbox.drain();
+        inner.observe.count("recovery/crashes", 1);
+    }
+
+    /// Restarts a crashed federate from its durable log: replays every
+    /// logged input and processed tag into `fresh` (a newly built
+    /// runtime for the *same* program), suppressing outbound messages
+    /// the previous incarnation already drained, re-sending the ones it
+    /// did not, restoring the granted bound, and announcing the new
+    /// incarnation to the coordinator with a `Rejoin` frame.
+    ///
+    /// Replay steps run at the clock readings the log recorded, so
+    /// deadline misses — and anything a reaction read off the physical
+    /// clock — come out exactly as the first incarnation saw them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform is not crashed or has no attached log.
+    pub fn recover(&self, sim: &mut Simulation, fresh: Runtime) -> PlatformRecovery {
+        let (mut report, resend, rejoin) = {
+            let mut inner = self.0.borrow_mut();
+            assert!(inner.crashed, "recover on a live platform");
+            let log = inner
+                .log
+                .clone()
+                .expect("recover requires an attached durable log");
+            let records = log.replay();
+            // Outbound watermark: everything at or below this tag was on
+            // the wire before the crash and must not be sent twice.
+            let watermark = records
+                .iter()
+                .filter_map(|r| match r {
+                    Record::Drained { tag } => Some(*tag),
+                    _ => None,
+                })
+                .max();
+            inner.runtime = fresh;
+            let lane = Lane::Federate(inner.federate.0);
+            let observe = inner.observe.clone();
+            inner.runtime.set_observe(observe, lane);
+            inner.incarnation += 1;
+            inner.busy_until = Instant::EPOCH;
+            inner.dnet_flags = 0;
+            inner.last_net = None;
+            inner.last_net_sent_at = None;
+            inner.blocked_since = None;
+            inner.armed_wake = None;
+            inner.max_processed = None;
+            inner.processed_since_snapshot = 0;
+            let crashed_at = inner.crashed_at.take().unwrap_or_else(|| sim.now());
+            let mut report = PlatformRecovery {
+                crashed_at,
+                rejoined_at: sim.now(),
+                replayed_tags: 0,
+                replayed_inputs: 0,
+                suppressed_sends: 0,
+                resent_sends: 0,
+                last_processed: None,
+                restored_bound: None,
+                incarnation: inner.incarnation,
+                replay_mismatches: 0,
+            };
+            let mut resend: Vec<OutboundMsg> = Vec::new();
+            let mut max_granted: Option<Tag> = None;
+            let inner = &mut *inner;
+            for record in &records {
+                match record {
+                    Record::Started { anchor } => {
+                        inner.runtime.start(Instant::from_nanos(*anchor));
+                    }
+                    Record::Input { key, tag, bytes } => {
+                        let ok = inner
+                            .codecs
+                            .get(key)
+                            .is_some_and(|c| (c.replay)(&mut inner.runtime, *tag, bytes));
+                        if ok {
+                            report.replayed_inputs += 1;
+                        } else {
+                            report.replay_mismatches += 1;
+                        }
+                    }
+                    Record::Granted { bound } => {
+                        max_granted = Some(max_granted.map_or(*bound, |m| m.max(*bound)));
+                    }
+                    Record::Processed { tag, local } => {
+                        inner.runtime.set_tag_bound(tag_succ(*tag));
+                        match inner.runtime.step(Instant::from_nanos(*local)) {
+                            StepOutcome::Processed(summary) if summary.tag == *tag => {
+                                report.replayed_tags += 1;
+                                inner.max_processed = Some(
+                                    inner
+                                        .max_processed
+                                        .map_or(summary.tag, |m| m.max(summary.tag)),
+                                );
+                            }
+                            _ => report.replay_mismatches += 1,
+                        }
+                        // Outbound effects of the replayed step: swallow
+                        // what the wire already saw, hold the rest for a
+                        // post-replay re-send.
+                        for msg in inner.outbox.drain() {
+                            if watermark.is_some_and(|w| wire_to_tag(msg.tag) <= w) {
+                                inner.stats.record_replay_suppressed();
+                                report.suppressed_sends += 1;
+                            } else {
+                                resend.push(msg);
+                            }
+                        }
+                    }
+                    Record::Drained { .. } | Record::Snapshot { .. } => {}
+                }
+            }
+            if let Some(bound) = max_granted {
+                inner.runtime.set_tag_bound(bound);
+                report.restored_bound = Some(bound);
+            }
+            report.last_processed = inner.max_processed;
+            report.resent_sends = resend.len() as u64;
+            inner.crashed = false;
+            // The Rejoin frame: tag = last replayed tag (TAG_NEVER when
+            // the federate died before completing any), fence microstep
+            // = the new incarnation, which must strictly exceed the one
+            // the coordinator last saw.
+            let rejoin = CoordMsg {
+                kind: CoordKind::Rejoin,
+                federate: inner.federate.0,
+                tag: inner.max_processed.map_or(TAG_NEVER, tag_to_wire),
+                fence: WireTag::new(0, inner.incarnation),
+            };
+            inner.observe.count("recovery/rejoins", 1);
+            inner
+                .observe
+                .record_value("recovery/replayed_tags", report.replayed_tags);
+            inner
+                .observe
+                .record_value("recovery/replayed_inputs", report.replayed_inputs);
+            inner
+                .observe
+                .record_value("recovery/suppressed_sends", report.suppressed_sends);
+            inner
+                .observe
+                .record_duration("recovery/outage_ns", sim.now() - crashed_at);
+            inner.observe.span(lane, "rejoin", crashed_at, sim.now());
+            (report, resend, rejoin)
+        };
+        // Outputs the previous incarnation produced but never drained go
+        // on the wire now — exactly once, after the suppression pass.
+        for msg in resend {
+            let handler = self.0.borrow().routes.get(&msg.route).cloned();
+            match handler {
+                Some(h) => h(sim, msg),
+                None => panic!(
+                    "outbox message for unregistered route {} on platform {}",
+                    msg.route,
+                    self.0.borrow().name
+                ),
+            }
+        }
+        self.send_to_rti(sim, rejoin);
+        self.report_status(sim);
+        self.arm(sim);
+        report.rejoined_at = sim.now();
+        self.0.borrow_mut().last_recovery = Some(report.clone());
+        report
+    }
+
     /// Starts the runtime, announces the federate to the RTI and arms the
     /// first wake-up.
     pub fn start(&self, sim: &mut Simulation) {
@@ -377,6 +737,13 @@ impl CoordinatedPlatform {
             inner.runtime.set_observe(observe, lane);
             let local_now = inner.clock.local_time(sim.now());
             inner.runtime.start(local_now);
+            if let Some(log) = inner.log.clone() {
+                // Anchor record: replay restarts the fresh runtime at the
+                // same local clock reading.
+                log.append(&Record::Started {
+                    anchor: local_now.as_nanos(),
+                });
+            }
             (inner.federate, inner.lattice)
         };
         self.send_to_rti(sim, CoordMsg::new(CoordKind::Join, federate.0, TAG_NEVER));
@@ -428,7 +795,10 @@ impl CoordinatedPlatform {
             if inner.resigned {
                 return; // resignation ends the heartbeat
             }
-            if inner.started {
+            // A crashed process sends nothing — its silence is what the
+            // liveness watchdog detects — but the tick keeps rescheduling
+            // so the heartbeat resumes the moment recovery completes.
+            if inner.started && !inner.crashed {
                 let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
                 let local_now = inner.clock.local_time(sim.now());
                 let fence = tag_to_wire(Tag::at(local_now));
@@ -472,7 +842,32 @@ impl CoordinatedPlatform {
     ) -> Result<(), dear_core::RuntimeError> {
         let result = {
             let mut inner = self.0.borrow_mut();
-            inner.runtime.schedule_physical_at(action, value, tag)
+            let key = action.id().index() as u32;
+            // Encode before scheduling: the payload moves into the queue.
+            let encoded = if inner.log.is_some() {
+                inner.codecs.get(&key).and_then(|c| (c.encode)(&value))
+            } else {
+                None
+            };
+            if inner.crashed {
+                // Durable inbox: the frame reached a downed federate. It
+                // cannot be processed now, but logging it lets recovery
+                // replay rebuild the event at this exact tag.
+                return match (inner.log.clone(), encoded) {
+                    (Some(log), Some(bytes)) => {
+                        log.append(&Record::Input { key, tag, bytes });
+                        Ok(())
+                    }
+                    _ => Err(dear_core::RuntimeError::NotRunning),
+                };
+            }
+            let result = inner.runtime.schedule_physical_at(action, value, tag);
+            if result.is_ok() {
+                if let (Some(log), Some(bytes)) = (inner.log.clone(), encoded) {
+                    log.append(&Record::Input { key, tag, bytes });
+                }
+            }
+            result
         };
         if result.is_ok() {
             self.report_status(sim);
@@ -494,8 +889,28 @@ impl CoordinatedPlatform {
     ) -> Result<Tag, dear_core::RuntimeError> {
         let result = {
             let mut inner = self.0.borrow_mut();
+            if inner.crashed {
+                // Arrival-time tagging needs a live local clock; there is
+                // no exact tag to log, so the injection is refused rather
+                // than replayed at a made-up time.
+                return Err(dear_core::RuntimeError::NotRunning);
+            }
+            let key = action.id().index() as u32;
+            let encoded = if inner.log.is_some() {
+                inner.codecs.get(&key).and_then(|c| (c.encode)(&value))
+            } else {
+                None
+            };
             let local_now = inner.clock.local_time(sim.now());
-            inner.runtime.schedule_physical(action, value, local_now)
+            let result = inner.runtime.schedule_physical(action, value, local_now);
+            if let (Ok(tag), Some(log), Some(bytes)) = (&result, inner.log.clone(), encoded) {
+                log.append(&Record::Input {
+                    key,
+                    tag: *tag,
+                    bytes,
+                });
+            }
+            result
         };
         if result.is_ok() {
             self.report_status(sim);
@@ -524,7 +939,7 @@ impl CoordinatedPlatform {
     fn send_step_batch(&self, sim: &mut Simulation, ltc: CoordMsg) {
         let (binding, instance, net) = {
             let mut inner = self.0.borrow_mut();
-            let net = if !inner.started || inner.resigned {
+            let net = if !inner.started || inner.resigned || inner.crashed {
                 None
             } else {
                 let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
@@ -561,7 +976,7 @@ impl CoordinatedPlatform {
     fn report_status(&self, sim: &mut Simulation) {
         let msg = {
             let mut inner = self.0.borrow_mut();
-            if !inner.started || inner.resigned {
+            if !inner.started || inner.resigned || inner.crashed {
                 None
             } else {
                 let head = inner.runtime.next_tag().map_or(TAG_NEVER, tag_to_wire);
@@ -620,6 +1035,29 @@ impl CoordinatedPlatform {
         if msg.federate != inner.federate.0 {
             return false;
         }
+        if inner.crashed {
+            // Durable inbox for the control plane: grants addressed to a
+            // downed federate land in its log so recovery can restore
+            // the bound, but nothing moves until then.
+            if let Some(log) = inner.log.clone() {
+                match msg.kind {
+                    CoordKind::Tag => {
+                        let bound = wire_to_tag(msg.tag);
+                        let horizon = wire_to_tag(msg.fence);
+                        log.append(&Record::Granted {
+                            bound: if horizon > bound { horizon } else { bound },
+                        });
+                    }
+                    CoordKind::Ptag => {
+                        log.append(&Record::Granted {
+                            bound: tag_succ(wire_to_tag(msg.tag)),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            return false;
+        }
         let applied = match msg.kind {
             CoordKind::Tag => {
                 let bound = wire_to_tag(msg.tag);
@@ -638,12 +1076,21 @@ impl CoordinatedPlatform {
                 } else {
                     inner.runtime.set_tag_bound(bound);
                 }
+                if let Some(log) = inner.log.clone() {
+                    log.append(&Record::Granted {
+                        bound: if horizon > bound { horizon } else { bound },
+                    });
+                }
                 inner.stats.record_grant_received(false);
                 true
             }
             CoordKind::Ptag => {
                 // Provisional: process up to and including the tag.
-                inner.runtime.set_tag_bound(tag_succ(wire_to_tag(msg.tag)));
+                let bound = tag_succ(wire_to_tag(msg.tag));
+                inner.runtime.set_tag_bound(bound);
+                if let Some(log) = inner.log.clone() {
+                    log.append(&Record::Granted { bound });
+                }
                 inner.stats.record_grant_received(true);
                 true
             }
@@ -676,7 +1123,7 @@ impl CoordinatedPlatform {
     fn arm(&self, sim: &mut Simulation) {
         let (wake_at, generation) = {
             let mut inner = self.0.borrow_mut();
-            if !inner.started || !inner.runtime.is_running() {
+            if !inner.started || inner.crashed || !inner.runtime.is_running() {
                 return;
             }
             if inner.runtime.next_tag().is_none() {
@@ -719,7 +1166,7 @@ impl CoordinatedPlatform {
     fn on_wake(&self, sim: &mut Simulation, generation: u64) {
         {
             let mut inner = self.0.borrow_mut();
-            if generation != inner.generation || !inner.started {
+            if generation != inner.generation || !inner.started || inner.crashed {
                 return;
             }
             inner.armed_wake = None;
@@ -741,6 +1188,23 @@ impl CoordinatedPlatform {
                         .max_processed
                         .map_or(summary.tag, |m| m.max(summary.tag)),
                 );
+                if let Some(log) = inner.log.clone() {
+                    // The logged clock reading is what replay feeds back
+                    // into `step` — deadline classification depends on it.
+                    log.append(&Record::Processed {
+                        tag: summary.tag,
+                        local: local_now.as_nanos(),
+                    });
+                    inner.processed_since_snapshot += 1;
+                    if inner.processed_since_snapshot >= inner.snapshot_every {
+                        log.append(&Record::Snapshot {
+                            seq: 0,
+                            last_processed: inner.max_processed,
+                            granted: inner.runtime.tag_bound(),
+                        });
+                        inner.processed_since_snapshot = 0;
+                    }
+                }
                 let executed: Vec<ReactionId> = inner.runtime.executed_at_last_tag().to_vec();
                 let mut total = dear_time::Duration::ZERO;
                 for rid in executed {
@@ -804,7 +1268,15 @@ impl CoordinatedPlatform {
             StepOutcome::Processed(_) => {
                 if drain_at > sim.now() {
                     let platform = self.clone();
-                    sim.schedule_at(drain_at, move |sim| platform.drain_outbox(sim));
+                    // The epoch guard strands this drain if the federate
+                    // crashes first: recovery replay then decides whether
+                    // the batch goes on the wire.
+                    let epoch = self.0.borrow().epoch;
+                    sim.schedule_at(drain_at, move |sim| {
+                        if platform.0.borrow().epoch == epoch {
+                            platform.drain_outbox(sim);
+                        }
+                    });
                 } else {
                     self.drain_outbox(sim);
                 }
@@ -843,6 +1315,18 @@ impl CoordinatedPlatform {
             let inner = self.0.borrow();
             inner.outbox.drain()
         };
+        if msgs.is_empty() {
+            return;
+        }
+        // Watermark record: every message at or below this tag is now on
+        // the wire, so recovery replay must not send it again. Tags only
+        // grow between drains, which makes the batch maximum a prefix
+        // watermark.
+        if let Some(log) = self.0.borrow().log.clone() {
+            if let Some(max) = msgs.iter().map(|m| wire_to_tag(m.tag)).max() {
+                log.append(&Record::Drained { tag: max });
+            }
+        }
         for msg in msgs {
             let handler = self.0.borrow().routes.get(&msg.route).cloned();
             match handler {

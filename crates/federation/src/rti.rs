@@ -22,13 +22,13 @@
 //! grant latency is governed by the simulated network like any other
 //! message — which is exactly what the `coordination_lag` bench measures.
 
-use crate::solver::{LbtsGraph, LbtsSolver, NodeView, TAG_MAX};
+use crate::solver::{tag_succ, LbtsGraph, LbtsSolver, NodeView, TAG_MAX};
 use dear_core::Tag;
 use dear_sim::{NetworkHandle, NodeId, Simulation};
 use dear_someip::{
     coord_eventgroup, Binding, CoordKind, CoordMsg, SdRegistry, ServiceInstance, WireTag,
     COORD_EVENT, COORD_EVENTGROUP_BASE, COORD_INSTANCE, COORD_METHOD, COORD_SERVICE,
-    DNET_NET_LATTICE, DNET_SINK,
+    DNET_NET_LATTICE, DNET_SINK, TAG_NEVER,
 };
 use dear_time::Duration;
 use dear_transactors::{tag_to_wire, wire_to_tag};
@@ -118,6 +118,10 @@ pub struct RtiStats {
     /// DNET suppression-state records pushed to federates. Zero unless
     /// the control diet is enabled.
     pub dnets_sent: u64,
+    /// Rejoin records accepted: dead federates (or zones) revived after
+    /// replaying their durable log. Stale rejoins rejected by the
+    /// incarnation guard are not counted.
+    pub rejoins: u64,
 }
 
 impl fmt::Display for RtiStats {
@@ -125,7 +129,7 @@ impl fmt::Display for RtiStats {
         write!(
             f,
             "federates={} nets={} ltcs={} tags={} ptags={} deaths={} floors={} batches={} \
-             windows={} dnets={}",
+             windows={} dnets={} rejoins={}",
             self.federates,
             self.nets_received,
             self.ltcs_received,
@@ -135,7 +139,8 @@ impl fmt::Display for RtiStats {
             self.floor_records,
             self.batches_sent,
             self.window_tags,
-            self.dnets_sent
+            self.dnets_sent,
+            self.rejoins
         )
     }
 }
@@ -185,6 +190,11 @@ pub(crate) struct FederateEntry {
     /// The DNET flag word last pushed to the federate, so suppression
     /// state is re-sent only when it changes.
     pub(crate) last_dnet: Option<u32>,
+    /// Incarnation high-water mark: every accepted `Rejoin` carries an
+    /// incarnation (in the record's fence microstep slot) that must
+    /// exceed this, so a duplicated or stale rejoin can neither revive a
+    /// federate twice nor rewind its completed tag.
+    pub(crate) incarnation: u32,
 }
 
 impl FederateEntry {
@@ -207,6 +217,7 @@ impl FederateEntry {
             has_downstream: false,
             remote_downstream: false,
             last_dnet: None,
+            incarnation: 0,
         }
     }
 
@@ -241,6 +252,11 @@ impl FederateEntry {
     /// the liveness generation is bumped only for genuine reports, so an
     /// echo can neither disarm the armed watchdog nor revive a zombie.
     pub(crate) fn apply_control(&mut self, msg: &CoordMsg, stats: &mut RtiStats) -> bool {
+        // Rejoin is the one record the dead may send: it must be looked at
+        // *before* the zombie filter below, and it alone may clear `dead`.
+        if msg.kind == CoordKind::Rejoin {
+            return self.apply_rejoin(msg, stats);
+        }
         if self.dead {
             return false;
         }
@@ -271,8 +287,51 @@ impl FederateEntry {
                 self.period = (nanos > 0).then(|| Duration::from_nanos(nanos));
             }
             // Unreachable: filtered above.
-            CoordKind::Tag | CoordKind::Ptag | CoordKind::Floor | CoordKind::Dnet => return false,
+            CoordKind::Tag
+            | CoordKind::Ptag
+            | CoordKind::Floor
+            | CoordKind::Dnet
+            | CoordKind::Rejoin => return false,
         }
+        true
+    }
+
+    /// Applies a `Rejoin` record: revives a dead federate at its replayed
+    /// completed tag. The incarnation carried in the record's fence
+    /// microstep must strictly exceed the stored high-water mark —
+    /// duplicates and stale pre-crash echoes fall through as dead letters.
+    /// Resignation stays final: a resigned federate has declared it
+    /// imposes no further constraints, and nothing downstream waits on it.
+    fn apply_rejoin(&mut self, msg: &CoordMsg, stats: &mut RtiStats) -> bool {
+        let incarnation = msg.fence.microstep;
+        if incarnation <= self.incarnation || self.resigned {
+            return false;
+        }
+        self.incarnation = incarnation;
+        self.dead = false;
+        self.connected = true;
+        self.liveness_gen += 1;
+        // The replayed LTC high-water mark: the federate is exactly where
+        // it was. The head floors back from the released TAG_MAX to the
+        // conservative successor until a fresh NET report lands. The wire
+        // sentinel means the federate crashed before completing any tag —
+        // that is the fresh-join state, not a completed `TAG_MAX`.
+        if msg.tag == TAG_NEVER {
+            self.completed = None;
+            self.head = Tag::ORIGIN;
+        } else {
+            let completed = wire_to_tag(msg.tag);
+            self.completed = Some(completed);
+            self.head = tag_succ(completed);
+        }
+        // Forget grant/suppression high-water marks so the next recompute
+        // re-sends the current bound and DNET state: the recovered
+        // platform restored its logged bound, and over-granting is
+        // harmless (a lower re-sent bound is ignored monotonically).
+        self.last_granted = None;
+        self.last_ptag = None;
+        self.last_dnet = None;
+        stats.rejoins += 1;
         true
     }
 }
@@ -314,8 +373,18 @@ fn grant_horizon(federates: &[FederateEntry], f: usize, bound: Tag) -> Option<Ta
         return None;
     }
     let span = g.as_nanos().checked_mul(i64::from(GRANT_WINDOW_PERIODS))?;
+    // Checked, clamped tag math: near the end of the timeline the horizon
+    // must stay *strictly below* `TAG_MAX` — saturating into
+    // `Instant::MAX` would produce a tag in the wire sentinel's reserved
+    // time point (`dear_someip::TAG_NEVER`), which a platform would then
+    // echo back as an LTC and corrupt the fixpoint. No window is issued
+    // instead; the strict bound alone already covers such a federate.
+    let horizon_ns = bound.time.as_nanos().checked_add(span.unsigned_abs())?;
+    if horizon_ns >= dear_time::Instant::MAX.as_nanos() {
+        return None;
+    }
     Some(Tag::new(
-        bound.time.saturating_add(Duration::from_nanos(span)),
+        dear_time::Instant::from_nanos(horizon_ns),
         bound.microstep,
     ))
 }
@@ -569,9 +638,11 @@ impl Rti {
     /// [`CoordinatedPlatform::enable_heartbeat`]) plus the coordination
     /// link's worst-case latency — a federate blocked on a grant reports
     /// nothing on the normal path, so pair liveness with heartbeats or
-    /// blocked survivors will be declared dead too. Death is final;
-    /// control messages from a dead federate are ignored (an operator
-    /// restart re-registers under a fresh federate id).
+    /// blocked survivors will be declared dead too. Control messages from
+    /// a dead federate are ignored, with one exception: a `Rejoin` record
+    /// from a federate that replayed its durable log revives the entry at
+    /// its replayed completed tag (see
+    /// [`CoordinatedPlatform::recover`](crate::CoordinatedPlatform::recover)).
     ///
     /// [`CoordinatedPlatform::enable_heartbeat`]:
     ///     crate::CoordinatedPlatform::enable_heartbeat
@@ -685,5 +756,53 @@ impl Rti {
                 msg.encode_into(&pool),
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dear_time::Instant;
+
+    fn lattice_entry(period_ms: i64) -> FederateEntry {
+        let mut entry = FederateEntry::new("f", NodeId(1), false);
+        entry.period = Some(Duration::from_millis(period_ms));
+        entry
+    }
+
+    #[test]
+    fn grant_horizon_pushes_the_bound_by_the_window() {
+        let feds = vec![lattice_entry(10)];
+        let bound = Tag::at(Instant::from_millis(100));
+        assert_eq!(
+            grant_horizon(&feds, 0, bound),
+            Some(Tag::at(Instant::from_millis(
+                100 + 10 * u64::from(GRANT_WINDOW_PERIODS)
+            )))
+        );
+    }
+
+    #[test]
+    fn grant_horizon_clamps_instead_of_saturating_into_the_sentinel() {
+        let feds = vec![lattice_entry(10)];
+        // A bound so late that `bound + 8g` overflows u64 nanoseconds: no
+        // window, rather than a saturated tag at `Instant::MAX` (the wire
+        // sentinel's reserved time point).
+        let bound = Tag::new(Instant::from_nanos(u64::MAX - 1), 2);
+        assert_eq!(grant_horizon(&feds, 0, bound), None);
+        // A bound that lands *exactly* on `Instant::MAX` clamps too.
+        let window_ns =
+            Duration::from_millis(10).as_nanos().unsigned_abs() * u64::from(GRANT_WINDOW_PERIODS);
+        let exact = Tag::new(Instant::from_nanos(u64::MAX - window_ns), 0);
+        assert_eq!(grant_horizon(&feds, 0, exact), None);
+        // One nanosecond earlier the window is intact and keeps the
+        // bound's microstep.
+        let safe = Tag::new(Instant::from_nanos(u64::MAX - window_ns - 1), 7);
+        assert_eq!(
+            grant_horizon(&feds, 0, safe),
+            Some(Tag::new(Instant::from_nanos(u64::MAX - 1), 7))
+        );
+        // The unconstrained sentinel itself never gets a window.
+        assert_eq!(grant_horizon(&feds, 0, TAG_MAX), None);
     }
 }

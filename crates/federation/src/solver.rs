@@ -61,10 +61,14 @@ pub fn lattice_next(completed: Tag, g: Duration) -> Tag {
     let now_ns = completed.time.as_nanos();
     // Next strict multiple of g: completing exactly on a lattice point
     // still advances a full period (the event at that point is done).
-    let Some(next) = now_ns.checked_add(g_ns - now_ns % g_ns) else {
-        return TAG_MAX;
-    };
-    Tag::at(Instant::from_nanos(next))
+    // Overflow *or* landing exactly on `Instant::MAX` both clamp to the
+    // sentinel: a tag with time `u64::MAX` but microstep zero would sit
+    // between every real tag and [`TAG_MAX`], in wire-sentinel territory
+    // (`dear_someip::TAG_NEVER` reserves that time point).
+    match now_ns.checked_add(g_ns - now_ns % g_ns) {
+        Some(next) if next < Instant::MAX.as_nanos() => Tag::at(Instant::from_nanos(next)),
+        _ => TAG_MAX,
+    }
 }
 
 /// The floor-relevant state of one node, as seen by the solver. A node is
@@ -360,6 +364,25 @@ mod tests {
             tag_succ(Tag::at(Instant::from_millis(7)))
         );
         assert_eq!(lattice_next(TAG_MAX, g), TAG_MAX);
+    }
+
+    #[test]
+    fn lattice_next_clamps_at_the_sentinel_boundary() {
+        let g = Duration::from_nanos(1 << 30);
+        // A completion whose next lattice point would overflow u64 nanos
+        // clamps to the sentinel instead of wrapping.
+        let near_max = Tag::at(Instant::from_nanos(u64::MAX - 1));
+        assert_eq!(lattice_next(near_max, g), TAG_MAX);
+        // A next point that lands *exactly* on `Instant::MAX` is also the
+        // sentinel: `(u64::MAX, 0)` would be a tag below `TAG_MAX` but in
+        // TAG_NEVER's reserved time point. 5 divides `u64::MAX`, so the
+        // lattice point after `u64::MAX - 5` is exactly `u64::MAX`.
+        let g2 = Duration::from_nanos(5);
+        let completed = Tag::at(Instant::from_nanos(u64::MAX - 5));
+        assert_eq!(lattice_next(completed, g2), TAG_MAX);
+        // Just below the boundary the arithmetic is untouched.
+        let safe = Tag::at(Instant::from_nanos((1 << 30) + 5));
+        assert_eq!(lattice_next(safe, g), Tag::at(Instant::from_nanos(2 << 30)));
     }
 
     #[test]

@@ -299,7 +299,7 @@ impl ZoneCoordinator {
     fn heartbeat_tick(&self, sim: &mut Simulation, interval: Duration) {
         let floor = self.0.borrow().last_rollup;
         if let Some(floor) = floor {
-            self.send_rollup(sim, floor);
+            self.send_rollup(sim, floor, false);
         }
         let zone = self.clone();
         sim.schedule_in(interval, move |sim| zone.heartbeat_tick(sim, interval));
@@ -348,13 +348,17 @@ impl ZoneCoordinator {
     }
 
     /// Handles a relayed-floor frame from the root: each `Floor` record
-    /// names an upstream zone and raises its proxy's head.
+    /// names an upstream zone and raises its proxy's head, and each
+    /// `Rejoin` record carries the one legitimate *retreat* — an upstream
+    /// zone's floor fell back because a crashed member replayed its
+    /// durable log and rejoined below the bound its death had released.
     fn on_root_frame(&self, sim: &mut Simulation, payload: &[u8]) {
         let changed = {
             let mut inner = self.0.borrow_mut();
             let mut changed = false;
             let apply = |inner: &mut ZoneInner, msg: &CoordMsg| {
-                if msg.kind != CoordKind::Floor {
+                let retreat = msg.kind == CoordKind::Rejoin;
+                if msg.kind != CoordKind::Floor && !retreat {
                     return false;
                 }
                 let Some(&proxy) = inner.proxy_index.get(&msg.federate) else {
@@ -362,7 +366,7 @@ impl ZoneCoordinator {
                 };
                 let relayed = dear_transactors::wire_to_tag(msg.tag);
                 let head = inner.table[proxy].head;
-                if relayed > head {
+                if relayed > head || (retreat && relayed < head) {
                     inner.table[proxy].head = relayed;
                     inner.stats.floor_records += 1;
                     true
@@ -453,9 +457,14 @@ impl ZoneCoordinator {
             for (i, entry) in table.iter().enumerate().take(grantable) {
                 floor = floor.min(node_floor(&entry.view(), solver.lbts()[i]));
             }
+            // Roll-ups are change-driven in *both* directions: a floor
+            // that fell back below the last roll-up means a dead member
+            // rejoined, and must travel as a `Rejoin`-kind record so the
+            // root applies the retreat its monotone `Floor` path rejects.
             let rollup = if grantable > 0 && *last_rollup != Some(floor) {
+                let retreat = last_rollup.is_some_and(|prev| floor < prev);
                 *last_rollup = Some(floor);
-                Some(floor)
+                Some((floor, retreat))
             } else {
                 None
             };
@@ -480,7 +489,7 @@ impl ZoneCoordinator {
             // The zone-level coordination lag: how far the floor this
             // round promised to the rest of the federation trails the
             // true time at which it was computed.
-            if let Some(floor) = rollup {
+            if let Some((floor, _)) = rollup {
                 if floor < crate::solver::TAG_MAX {
                     observe.record_duration("coord/zone_floor_lag_ns", now - floor.time);
                 }
@@ -507,19 +516,27 @@ impl ZoneCoordinator {
             );
             self.0.borrow_mut().stats.batches_sent += 1;
         }
-        if let Some(floor) = rollup {
-            self.send_rollup(sim, floor);
+        if let Some((floor, retreat)) = rollup {
+            self.send_rollup(sim, floor, retreat);
         }
     }
 
-    /// Sends the zone floor to the root as a one-record batch frame.
-    fn send_rollup(&self, sim: &mut Simulation, floor: Tag) {
+    /// Sends the zone floor to the root as a one-record batch frame. A
+    /// `retreat` roll-up (floor below the previous one — a member
+    /// rejoined) travels as a `Rejoin`-kind record, the only record the
+    /// root applies non-monotonically.
+    fn send_rollup(&self, sim: &mut Simulation, floor: Tag, retreat: bool) {
         let (binding, zone) = {
             let inner = self.0.borrow();
             (inner.binding.clone(), inner.zone)
         };
+        let kind = if retreat {
+            CoordKind::Rejoin
+        } else {
+            CoordKind::Floor
+        };
         let mut batch = CoordBatch::pooled(&binding.pool());
-        batch.push(&CoordMsg::new(CoordKind::Floor, zone.0, tag_to_wire(floor)));
+        batch.push(&CoordMsg::new(kind, zone.0, tag_to_wire(floor)));
         if binding
             .call_no_return(
                 sim,

@@ -69,6 +69,14 @@ pub enum FaultAction {
     LinkDown,
     /// Brings a downed link back up.
     LinkUp,
+    /// Crashes a whole node (the event's `src`; `dst` is ignored): its
+    /// sends are swallowed until a matching [`FaultAction::NodeRestore`],
+    /// and every [`NetworkHandle::on_node_event`] observer fires — which
+    /// is how a recovery harness drives a platform's crash/recover cycle
+    /// from a seeded plan.
+    NodeCrash,
+    /// Restores a crashed node (the event's `src`; `dst` is ignored).
+    NodeRestore,
 }
 
 impl fmt::Display for FaultAction {
@@ -83,6 +91,8 @@ impl fmt::Display for FaultAction {
             }
             FaultAction::LinkDown => f.write_str("link-down"),
             FaultAction::LinkUp => f.write_str("link-up"),
+            FaultAction::NodeCrash => f.write_str("node-crash"),
+            FaultAction::NodeRestore => f.write_str("node-restore"),
         }
     }
 }
@@ -190,6 +200,27 @@ impl FaultPlan {
         })
     }
 
+    /// Schedules a crash of a whole node (until an explicit
+    /// [`FaultPlan::restore_node`]).
+    pub fn crash_node(&mut self, at: Instant, node: NodeId) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            src: node,
+            dst: node,
+            action: FaultAction::NodeCrash,
+        })
+    }
+
+    /// Schedules the restoration of a crashed node.
+    pub fn restore_node(&mut self, at: Instant, node: NodeId) -> &mut Self {
+        self.push(FaultEvent {
+            at,
+            src: node,
+            dst: node,
+            action: FaultAction::NodeRestore,
+        })
+    }
+
     /// Schedules a symmetric partition between `a` and `b`: both
     /// directions go down at `at` and heal after `duration`.
     pub fn partition(
@@ -289,7 +320,12 @@ impl FaultPlan {
             let net = net.clone();
             let (src, dst, action) = (event.src, event.dst, event.action.clone());
             sim.schedule_at(event.at, move |sim| {
-                sim.trace_with("fault", || format!("{src}->{dst} {action}"));
+                // Node faults concern one node, not a directed link.
+                if matches!(action, FaultAction::NodeCrash | FaultAction::NodeRestore) {
+                    sim.trace_with("fault", || format!("{src} {action}"));
+                } else {
+                    sim.trace_with("fault", || format!("{src}->{dst} {action}"));
+                }
                 match action {
                     FaultAction::LossBurst {
                         probability,
@@ -314,6 +350,8 @@ impl FaultPlan {
                     }
                     FaultAction::LinkDown => net.set_link_up(src, dst, false),
                     FaultAction::LinkUp => net.set_link_up(src, dst, true),
+                    FaultAction::NodeCrash => net.set_node_up(sim, src, false),
+                    FaultAction::NodeRestore => net.set_node_up(sim, src, true),
                 }
             });
         }
@@ -417,6 +455,46 @@ mod tests {
                 "node1->node2 loss-burst p=0.5 for 1ms".to_string(),
                 "node1->node2 loss-burst cleared".to_string(),
                 "node1->node2 link-down".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn node_crash_fires_observers_and_is_traced() {
+        let mut sim = Simulation::new(0);
+        sim.enable_tracing();
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_micros(1)),
+            sim.fork_rng("net"),
+        );
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let sink = events.clone();
+        net.on_node_event(move |sim, node, up| sink.borrow_mut().push((sim.now(), node, up)));
+        let mut plan = FaultPlan::new();
+        plan.crash_node(Instant::from_millis(2), NodeId(3));
+        plan.restore_node(Instant::from_millis(9), NodeId(3));
+        plan.apply(&mut sim, &net);
+        sim.run_until(Instant::from_millis(5));
+        assert!(!net.node_is_up(NodeId(3)));
+        sim.run_to_completion();
+        assert!(net.node_is_up(NodeId(3)));
+        assert_eq!(
+            *events.borrow(),
+            vec![
+                (Instant::from_millis(2), NodeId(3), false),
+                (Instant::from_millis(9), NodeId(3), true),
+            ]
+        );
+        let faults = sim
+            .trace_log()
+            .events_in("fault")
+            .map(crate::TraceEvent::detail_text)
+            .collect::<Vec<_>>();
+        assert_eq!(
+            faults,
+            vec![
+                "node3 node-crash".to_string(),
+                "node3 node-restore".to_string()
             ]
         );
     }

@@ -37,8 +37,24 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
+
+/// Default cap on a pool's free list (see [`FramePool::set_max_free`]):
+/// large enough that no steady-state workload in this workspace ever
+/// hits it, small enough that a transient fan-out burst cannot pin an
+/// unbounded peak working set forever.
+pub const DEFAULT_MAX_FREE: usize = 1024;
+
+/// Locks a pool mutex, recovering from poisoning: a worker thread that
+/// panicked while holding the guard leaves the free list intact (it only
+/// pushes/pops whole `Arc`s), so the data is still consistent — the pool
+/// degrades to allocation only if the list itself were lost. Aborting
+/// every later recycle/acquire over a dead thread's panic would turn one
+/// failure into a cascade.
+fn lock_free_list(free: &Mutex<Vec<Arc<Shared>>>) -> MutexGuard<'_, Vec<Arc<Shared>>> {
+    free.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Counters describing a pool's allocation behaviour.
 ///
@@ -53,15 +69,19 @@ pub struct FramePoolStats {
     pub reused: u64,
     /// Buffers returned to the free list by a final drop.
     pub recycled: u64,
+    /// Buffers deallocated instead of recycled because the free list was
+    /// at its [`FramePool::max_free`] cap.
+    pub dropped: u64,
 }
 
 impl FramePoolStats {
     /// Buffers currently in flight: acquired (freshly created or reused)
-    /// and not yet returned to the free list. This is the frame-path
-    /// occupancy the telemetry layer gauges under `frame/occupancy`.
+    /// and neither returned to the free list nor dropped at the cap. This
+    /// is the frame-path occupancy the telemetry layer gauges under
+    /// `frame/occupancy`.
     #[must_use]
     pub fn occupancy(&self) -> u64 {
-        (self.created + self.reused).saturating_sub(self.recycled)
+        (self.created + self.reused).saturating_sub(self.recycled + self.dropped)
     }
 }
 
@@ -69,21 +89,36 @@ impl fmt::Display for FramePoolStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "created={} reused={} recycled={} in_flight={}",
+            "created={} reused={} recycled={} dropped={} in_flight={}",
             self.created,
             self.reused,
             self.recycled,
+            self.dropped,
             self.occupancy()
         )
     }
 }
 
-#[derive(Default)]
 struct PoolInner {
     free: Mutex<Vec<Arc<Shared>>>,
+    max_free: AtomicUsize,
     created: AtomicU64,
     reused: AtomicU64,
     recycled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for PoolInner {
+    fn default() -> Self {
+        PoolInner {
+            free: Mutex::new(Vec::new()),
+            max_free: AtomicUsize::new(DEFAULT_MAX_FREE),
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The shared backing store of one frame. Only ever mutated while a
@@ -121,8 +156,17 @@ fn recycle(mut shared: Arc<Shared>) {
         None => return,
     };
     if let Some(pool) = pool {
+        let mut free = lock_free_list(&pool.free);
+        if free.len() >= pool.max_free.load(Ordering::Relaxed) {
+            // Free list at capacity: deallocate instead of pinning a
+            // burst's peak working set forever.
+            drop(free);
+            pool.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        free.push(shared);
+        drop(free);
         pool.recycled.fetch_add(1, Ordering::Relaxed);
-        pool.free.lock().expect("frame pool poisoned").push(shared);
     }
 }
 
@@ -170,11 +214,36 @@ impl FramePool {
         Self::default()
     }
 
+    /// Creates an empty pool whose free list is capped at `max_free`
+    /// buffers (see [`FramePool::set_max_free`]).
+    #[must_use]
+    pub fn with_max_free(max_free: usize) -> Self {
+        let pool = Self::default();
+        pool.set_max_free(max_free);
+        pool
+    }
+
+    /// Caps the free list: a final drop that would grow it beyond
+    /// `max_free` deallocates the buffer instead (counted in
+    /// [`FramePoolStats::dropped`]). Without a cap, one fan-out burst
+    /// would permanently pin its peak working set — every buffer the
+    /// burst forced into existence stays on the free list for the life
+    /// of the pool. Defaults to [`DEFAULT_MAX_FREE`].
+    pub fn set_max_free(&self, max_free: usize) {
+        self.inner.max_free.store(max_free, Ordering::Relaxed);
+    }
+
+    /// The current free-list cap.
+    #[must_use]
+    pub fn max_free(&self) -> usize {
+        self.inner.max_free.load(Ordering::Relaxed)
+    }
+
     /// Checks a cleared buffer out of the pool (recycling a free one when
     /// available, allocating otherwise).
     #[must_use]
     pub fn acquire(&self) -> FrameMut {
-        let recycled = self.inner.free.lock().expect("frame pool poisoned").pop();
+        let recycled = lock_free_list(&self.inner.free).pop();
         let shared = match recycled {
             Some(mut shared) => {
                 self.inner.reused.fetch_add(1, Ordering::Relaxed);
@@ -201,7 +270,7 @@ impl FramePool {
     /// Number of buffers currently on the free list.
     #[must_use]
     pub fn free_count(&self) -> usize {
-        self.inner.free.lock().expect("frame pool poisoned").len()
+        lock_free_list(&self.inner.free).len()
     }
 
     /// Allocation counters.
@@ -211,6 +280,7 @@ impl FramePool {
             created: self.inner.created.load(Ordering::Relaxed),
             reused: self.inner.reused.load(Ordering::Relaxed),
             recycled: self.inner.recycled.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -688,5 +758,60 @@ mod tests {
         let f = pool.acquire().freeze();
         drop(pool);
         drop(f); // must not panic; buffer simply deallocates
+    }
+
+    #[test]
+    fn free_list_is_capped_and_overflow_is_counted() {
+        let pool = FramePool::with_max_free(2);
+        assert_eq!(pool.max_free(), 2);
+        // A fan-out burst: four buffers in flight at once.
+        let burst: Vec<FrameBuf> = (0..4).map(|_| pool.acquire().freeze()).collect();
+        drop(burst);
+        // Only `max_free` survive on the free list; the rest deallocate.
+        assert_eq!(pool.free_count(), 2);
+        let stats = pool.stats();
+        assert_eq!(
+            (stats.created, stats.recycled, stats.dropped),
+            (4, 2, 2),
+            "burst of 4 against a cap of 2: 2 recycled, 2 dropped"
+        );
+        assert_eq!(stats.occupancy(), 0, "nothing in flight after the burst");
+        // Steady state below the cap still recycles.
+        drop(pool.acquire());
+        let stats = pool.stats();
+        assert_eq!((stats.reused, stats.dropped), (1, 2));
+    }
+
+    #[test]
+    fn lowering_the_cap_applies_to_later_recycles() {
+        let pool = FramePool::with_max_free(8);
+        let frames: Vec<FrameBuf> = (0..3).map(|_| pool.acquire().freeze()).collect();
+        pool.set_max_free(0);
+        drop(frames);
+        assert_eq!(pool.free_count(), 0);
+        assert_eq!(pool.stats().dropped, 3);
+    }
+
+    #[test]
+    fn poisoned_free_list_degrades_to_allocation_instead_of_panicking() {
+        let pool = FramePool::new();
+        drop(pool.acquire()); // one buffer on the free list
+        assert_eq!(pool.free_count(), 1);
+        // A worker panics while holding the free-list lock.
+        let inner = Arc::clone(&pool.inner);
+        std::thread::spawn(move || {
+            let _guard = inner.free.lock().expect("not yet poisoned");
+            panic!("worker dies while holding the pool lock");
+        })
+        .join()
+        .expect_err("the worker thread panicked");
+        assert!(pool.inner.free.lock().is_err(), "mutex is poisoned");
+        // Every pool operation still works: the list data is intact.
+        assert_eq!(pool.free_count(), 1);
+        let frame = pool.acquire();
+        assert_eq!(pool.stats().reused, 1, "recovered guard still recycles");
+        drop(frame);
+        assert_eq!(pool.stats().recycled, 2);
+        assert_eq!(pool.free_count(), 1);
     }
 }

@@ -56,7 +56,7 @@ mod trace;
 
 pub use clock::{ClockModel, VirtualClock};
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
-pub use frame::{FrameBuf, FrameMut, FramePool, FramePoolStats};
+pub use frame::{FrameBuf, FrameMut, FramePool, FramePoolStats, DEFAULT_MAX_FREE};
 pub use net::{Frame, LinkConfig, NetStats, NetworkHandle, NodeId};
 pub use pool::{PoolStats, TaskPool};
 pub use rng::{LatencyModel, SimRng};

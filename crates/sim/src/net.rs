@@ -16,7 +16,7 @@ use crate::rng::{LatencyModel, SimRng};
 use crate::sim::Simulation;
 use dear_time::{Duration, Instant};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
@@ -132,6 +132,7 @@ impl fmt::Display for NetStats {
 }
 
 type Receiver = Rc<dyn Fn(&mut Simulation, Frame)>;
+type NodeObserver = Rc<dyn Fn(&mut Simulation, NodeId, bool)>;
 
 struct LinkState {
     config: LinkConfig,
@@ -175,6 +176,16 @@ pub struct Network {
     // transactor platform tables.
     links: BTreeMap<(NodeId, NodeId), LinkState>,
     receivers: BTreeMap<NodeId, Receiver>,
+    /// Nodes whose whole ECU is down (see [`NetworkHandle::set_node_up`]):
+    /// frames *from* them are swallowed like a downed link's. Frames *to*
+    /// them still deliver — a crashed federate's durable log keeps
+    /// accepting inputs while the runtime is dead, which is what makes
+    /// crash recovery replay byte-identical.
+    downed_nodes: BTreeSet<NodeId>,
+    /// Observers of node up/down transitions, so higher layers (e.g. a
+    /// federation recovery harness) can react to a `FaultPlan`'s node
+    /// crashes without the sim crate knowing about them.
+    node_observers: Vec<NodeObserver>,
     rng: SimRng,
     stats: NetStats,
 }
@@ -200,6 +211,8 @@ impl Network {
             default_link,
             links: BTreeMap::new(),
             receivers: BTreeMap::new(),
+            downed_nodes: BTreeSet::new(),
+            node_observers: Vec::new(),
             rng,
             stats: NetStats::default(),
         }
@@ -288,9 +301,11 @@ impl NetworkHandle {
         let deliver_at = {
             let mut net = self.0.borrow_mut();
             net.stats.sent += 1;
-            // A downed link swallows the frame before any latency or loss
-            // sampling, so killing a link perturbs no other RNG draws.
-            if !net.link_state(frame.src, frame.dst).up {
+            // A downed link or node swallows the frame before any latency
+            // or loss sampling, so killing either perturbs no other RNG
+            // draws. Only the *sender* being down matters here: frames to
+            // a downed node still travel (its durable inbox is alive).
+            if net.downed_nodes.contains(&frame.src) || !net.link_state(frame.src, frame.dst).up {
                 net.stats.faulted += 1;
                 return;
             }
@@ -395,6 +410,45 @@ impl NetworkHandle {
     /// keeps reporting the configured bound.
     pub fn set_latency_override(&self, src: NodeId, dst: NodeId, model: Option<LatencyModel>) {
         self.0.borrow_mut().link_state(src, dst).latency_override = model;
+    }
+
+    /// Takes a whole node down (`up = false`) or brings it back
+    /// (`up = true`), notifying every [`NetworkHandle::on_node_event`]
+    /// observer on an actual transition. While down, frames *sent by*
+    /// the node are swallowed (counted in [`NetStats::faulted`]); frames
+    /// *addressed to* it still deliver, because the receiving stack's
+    /// durable inbox outlives its runtime — the registered receiver
+    /// decides what a dead node does with an arrival.
+    pub fn set_node_up(&self, sim: &mut Simulation, node: NodeId, up: bool) {
+        let observers = {
+            let mut net = self.0.borrow_mut();
+            let changed = if up {
+                net.downed_nodes.remove(&node)
+            } else {
+                net.downed_nodes.insert(node)
+            };
+            if !changed {
+                return;
+            }
+            net.node_observers.clone()
+        };
+        for observer in observers {
+            observer(sim, node, up);
+        }
+    }
+
+    /// Whether the node is currently up (nodes start up).
+    #[must_use]
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        !self.0.borrow().downed_nodes.contains(&node)
+    }
+
+    /// Registers an observer of node up/down transitions (all observers
+    /// run, in registration order, on every actual transition). This is
+    /// how a recovery harness hooks a `FaultPlan`'s node crashes to
+    /// platform-level crash/recover drivers without a layering inversion.
+    pub fn on_node_event(&self, observer: impl Fn(&mut Simulation, NodeId, bool) + 'static) {
+        self.0.borrow_mut().node_observers.push(Rc::new(observer));
     }
 }
 
@@ -594,6 +648,44 @@ mod tests {
         assert_eq!(*count.borrow(), 1);
         // The reverse direction was never touched.
         assert!(net.link_is_up(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn downed_node_blocks_sends_but_not_arrivals() {
+        let mut sim = Simulation::new(0);
+        let net = NetworkHandle::new(
+            LinkConfig::ideal(Duration::from_micros(1)),
+            sim.fork_rng("net"),
+        );
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for node in [1u16, 2] {
+            let sink = hits.clone();
+            net.set_receiver(NodeId(node), move |_, f| {
+                sink.borrow_mut().push((f.dst, f.payload[0]));
+            });
+        }
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let sink = events.clone();
+        net.on_node_event(move |_, node, up| sink.borrow_mut().push((node, up)));
+
+        assert!(net.node_is_up(NodeId(2)));
+        net.set_node_up(&mut sim, NodeId(2), false);
+        net.set_node_up(&mut sim, NodeId(2), false); // no transition, no event
+        assert!(!net.node_is_up(NodeId(2)));
+        net.send(&mut sim, frame(2, 1, 10)); // from the dead node: swallowed
+        net.send(&mut sim, frame(1, 2, 20)); // to the dead node: delivered
+        sim.run_to_completion();
+        assert_eq!(*hits.borrow(), vec![(NodeId(2), 20)]);
+        assert_eq!(net.stats().faulted, 1);
+
+        net.set_node_up(&mut sim, NodeId(2), true);
+        net.send(&mut sim, frame(2, 1, 30));
+        sim.run_to_completion();
+        assert_eq!(hits.borrow().last(), Some(&(NodeId(1), 30)));
+        assert_eq!(
+            *events.borrow(),
+            vec![(NodeId(2), false), (NodeId(2), true)]
+        );
     }
 
     #[test]

@@ -101,6 +101,16 @@ pub enum CoordKind {
     /// multiple of `g` at microstep zero, letting the coordinator leap
     /// a stale next-event tag whole periods ahead by itself.
     Period = 9,
+    /// Federate → coordinator (crash recovery): a dead federate has
+    /// replayed its durable log and asks to re-enter the federation.
+    /// `tag` is its last processed tag (the recovered LTC high-water
+    /// mark); `fence.microstep` carries the federate's **incarnation
+    /// number**, which must exceed the coordinator's stored incarnation —
+    /// stale duplicates (a pre-crash frame still in flight, a repeated
+    /// rejoin) are dropped by the guard. Upward through the hierarchy it
+    /// also carries a zone/root floor *retreat*: the explicit,
+    /// generation-guarded exception to the Floor record's monotonicity.
+    Rejoin = 10,
 }
 
 /// [`CoordKind::Dnet`] flag: the coordinator knows the federate's
@@ -130,6 +140,7 @@ impl CoordKind {
             7 => Ok(CoordKind::Floor),
             8 => Ok(CoordKind::Dnet),
             9 => Ok(CoordKind::Period),
+            10 => Ok(CoordKind::Rejoin),
             other => Err(CoordError::UnknownKind(other)),
         }
     }
@@ -148,6 +159,7 @@ impl CoordKind {
             CoordKind::Floor => "floor",
             CoordKind::Dnet => "dnet",
             CoordKind::Period => "period",
+            CoordKind::Rejoin => "rejoin",
         }
     }
 }
@@ -465,6 +477,7 @@ mod tests {
             CoordKind::Floor,
             CoordKind::Dnet,
             CoordKind::Period,
+            CoordKind::Rejoin,
         ] {
             let msg = CoordMsg::new(kind, 42, WireTag::new(5, 1));
             assert_eq!(CoordMsg::decode(&msg.encode()).unwrap(), msg);
@@ -569,7 +582,7 @@ mod tests {
 
     #[test]
     fn batch_marker_is_disjoint_from_kinds() {
-        for k in 1..=9u8 {
+        for k in 1..=10u8 {
             assert_ne!(k, COORD_BATCH_MARKER);
             CoordKind::from_u8(k).unwrap();
         }

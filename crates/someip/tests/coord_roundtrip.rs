@@ -10,7 +10,7 @@ use dear_someip::{
 use proptest::prelude::*;
 
 fn kind(index: u8) -> CoordKind {
-    CoordKind::from_u8(index % 9 + 1).expect("all nine kinds are assigned")
+    CoordKind::from_u8(index % 10 + 1).expect("all ten kinds are assigned")
 }
 
 proptest! {

@@ -122,6 +122,15 @@ impl ClientEventTransactor {
         ClientEventTransactor { event, evt_action }
     }
 
+    /// The inbox physical action payloads are injected into, exposed so
+    /// crash-recovery platforms can register a durable-input codec for
+    /// it (the action id is structural: a rebuilt program with the same
+    /// declaration order yields the same id).
+    #[must_use]
+    pub fn action(&self) -> PhysicalAction<FrameBuf> {
+        self.evt_action
+    }
+
     /// Binds the transactor: subscribes on the middleware and routes
     /// received notifications into the reactor network.
     pub fn bind(

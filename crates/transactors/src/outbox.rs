@@ -89,6 +89,19 @@ impl Outbox {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Resets the outbox to its freshly created state: pending messages
+    /// are discarded and route allocation restarts at zero.
+    ///
+    /// This exists for crash recovery — a platform that rebuilds its
+    /// reactor program re-declares its transactors, and those must be
+    /// handed the *same* route ids as the first incarnation so the
+    /// platform's registered route handlers keep matching. Never call
+    /// this on a live platform: in-flight routes would collide.
+    pub fn reset(&self) {
+        self.queue.lock().expect("outbox poisoned").clear();
+        self.next_route.store(0, Ordering::Relaxed);
+    }
 }
 
 /// The `Send + Sync` half of an [`Outbox`], capturable by reactions.
@@ -148,6 +161,25 @@ mod tests {
         let b = clone.allocate_route();
         let c = outbox.allocate_route();
         assert_eq!([a, b, c], [0, 1, 2]);
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let outbox = Outbox::new();
+        assert_eq!(outbox.allocate_route(), 0);
+        assert_eq!(outbox.allocate_route(), 1);
+        outbox.sender().push(OutboundMsg {
+            route: 0,
+            payload: vec![1].into(),
+            tag: WireTag::new(0, 0),
+        });
+        outbox.reset();
+        assert!(outbox.is_empty(), "pending messages are discarded");
+        assert_eq!(
+            outbox.allocate_route(),
+            0,
+            "a rebuilt transactor gets the same route id again"
+        );
     }
 
     #[test]

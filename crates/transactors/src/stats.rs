@@ -33,6 +33,9 @@ struct StatsInner {
     // received (one grant covering a run of future tags).
     nets_suppressed: Cell<u64>,
     windowed_grants: Cell<u64>,
+    // Crash-recovery counter: outbound messages swallowed during log
+    // replay because an earlier incarnation already put them on the wire.
+    replay_suppressed: Cell<u64>,
 }
 
 /// Shared fault counters for one transactor binding.
@@ -56,6 +59,7 @@ impl fmt::Debug for TransactorStats {
             .field("coord_batches_received", &self.coord_batches_received())
             .field("nets_suppressed", &self.nets_suppressed())
             .field("windowed_grants", &self.windowed_grants())
+            .field("replay_suppressed", &self.replay_suppressed())
             .finish()
     }
 }
@@ -68,7 +72,7 @@ impl fmt::Display for TransactorStats {
             f,
             "stp_violations={} failovers={} untagged_dropped={} send_failures={} \
              nets={} ltcs={} grants={} ptags={} bound_breaches={} grant_wait={} batches={}/{} \
-             suppressed={} windowed={}",
+             suppressed={} windowed={} replayed={}",
             self.stp_violations(),
             self.failovers(),
             self.untagged_dropped(),
@@ -83,6 +87,7 @@ impl fmt::Display for TransactorStats {
             self.coord_batches_received(),
             self.nets_suppressed(),
             self.windowed_grants(),
+            self.replay_suppressed(),
         )
     }
 }
@@ -242,6 +247,21 @@ impl TransactorStats {
         self.0.windowed_grants.set(self.0.windowed_grants.get() + 1);
     }
 
+    /// Outbound messages suppressed during crash-recovery replay: the
+    /// drained-watermark in the durable log proved an earlier incarnation
+    /// already sent them, so replay must not duplicate them on the wire.
+    #[must_use]
+    pub fn replay_suppressed(&self) -> u64 {
+        self.0.replay_suppressed.get()
+    }
+
+    /// Records one replay-suppressed outbound message.
+    pub fn record_replay_suppressed(&self) {
+        self.0
+            .replay_suppressed
+            .set(self.0.replay_suppressed.get() + 1);
+    }
+
     /// Accumulates time spent blocked on a grant.
     pub fn add_grant_wait(&self, wait: Duration) {
         let nanos = u64::try_from(wait.as_nanos().max(0)).unwrap_or(0);
@@ -314,6 +334,8 @@ mod tests {
         stats.record_net_suppressed();
         stats.record_net_suppressed();
         stats.record_windowed_grant();
+        stats.record_replay_suppressed();
+        stats.record_replay_suppressed();
         assert_eq!(stats.nets_sent(), 2);
         assert_eq!(stats.ltcs_sent(), 1);
         assert_eq!(stats.grants_received(), 2);
@@ -327,5 +349,7 @@ mod tests {
         assert!(stats.to_string().contains("batches=1/2"));
         assert!(stats.to_string().contains("suppressed=3"));
         assert!(stats.to_string().contains("windowed=1"));
+        assert_eq!(stats.replay_suppressed(), 2);
+        assert!(stats.to_string().contains("replayed=2"));
     }
 }
